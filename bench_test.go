@@ -1,0 +1,292 @@
+// Benchmarks, one per table and figure of the paper's evaluation
+// (§V), plus micro-benchmarks of the DHARMA primitives and their
+// substrates. Each BenchmarkTable*/BenchmarkFigure* target runs the
+// same driver the dharma-bench command uses to regenerate the artifact;
+// run with -v to see the rendered tables (logged once per target).
+//
+// The workload scale defaults to the "small" preset so the whole suite
+// finishes in seconds; set DHARMA_SCALE=tiny|small|lastfm to change it.
+package dharma_test
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+
+	"dharma"
+	"dharma/internal/core"
+	"dharma/internal/dataset"
+	"dharma/internal/dht"
+	"dharma/internal/exp"
+	"dharma/internal/kademlia"
+	"dharma/internal/kadid"
+	"dharma/internal/search"
+	"dharma/internal/sim"
+	"dharma/internal/wire"
+)
+
+var (
+	benchOnce sync.Once
+	benchW    *exp.Workbench
+)
+
+func workbench(b *testing.B) *exp.Workbench {
+	b.Helper()
+	benchOnce.Do(func() {
+		var cfg dataset.Config
+		switch os.Getenv("DHARMA_SCALE") {
+		case "tiny":
+			cfg = dataset.Tiny(1)
+		case "lastfm":
+			cfg = dataset.LastFMScaled(1)
+		default:
+			cfg = dataset.Small(1)
+		}
+		benchW = exp.NewWorkbench(cfg)
+	})
+	return benchW
+}
+
+func logOnce(b *testing.B, i int, v fmt.Stringer) {
+	if i == 0 {
+		b.Log("\n" + v.String())
+	}
+}
+
+// BenchmarkTableI regenerates Table I: primitive lookup costs, naive
+// and approximated, verified against a live overlay.
+func BenchmarkTableI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.RunTable1(5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Verified() {
+			b.Fatal("Table I verification failed")
+		}
+		logOnce(b, i, res)
+	}
+}
+
+// BenchmarkTableII regenerates Table II: TRG/FG degree statistics.
+func BenchmarkTableII(b *testing.B) {
+	w := workbench(b)
+	w.Stats() // exclude one-time dataset construction
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		logOnce(b, i, exp.RunTable2(w))
+	}
+}
+
+// BenchmarkFigure5 regenerates Figure 5: nodal degree CDFs.
+func BenchmarkFigure5(b *testing.B) {
+	w := workbench(b)
+	w.Stats()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		logOnce(b, i, exp.RunFigure5(w))
+	}
+}
+
+// BenchmarkTableIII regenerates Table III: recall / Kendall τ / cosine
+// / sim1% of the approximated graph for k = 1, 5, 10.
+func BenchmarkTableIII(b *testing.B) {
+	w := workbench(b)
+	for _, k := range []int{1, 5, 10} {
+		w.Evolution(k) // cache replays outside the timed region
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		logOnce(b, i, exp.RunTable3(w, []int{1, 5, 10}))
+	}
+}
+
+// BenchmarkFigure6 regenerates Figure 6: original-vs-simulated nodal
+// out-degrees for k = 1 and 100.
+func BenchmarkFigure6(b *testing.B) {
+	w := workbench(b)
+	for _, k := range []int{1, 100} {
+		w.Evolution(k)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		logOnce(b, i, exp.RunFigure6(w, []int{1, 100}))
+	}
+}
+
+// BenchmarkFigure8 regenerates Figure 8: original-vs-simulated arc
+// weights for k = 1, 25, 500.
+func BenchmarkFigure8(b *testing.B) {
+	w := workbench(b)
+	for _, k := range []int{1, 25, 500} {
+		w.Evolution(k)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		logOnce(b, i, exp.RunFigure8(w, []int{1, 25, 500}))
+	}
+}
+
+// BenchmarkTableIV regenerates Table IV: faceted-search path lengths
+// under the three strategies, original vs approximated graph.
+func BenchmarkTableIV(b *testing.B) {
+	w := workbench(b)
+	w.Evolution(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		logOnce(b, i, exp.RunTable4(w, 1, 20, 20))
+	}
+}
+
+// BenchmarkFigure7 regenerates Figure 7: path-length CDFs per strategy.
+func BenchmarkFigure7(b *testing.B) {
+	w := workbench(b)
+	w.Evolution(1)
+	t4 := exp.RunTable4(w, 1, 20, 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		logOnce(b, i, exp.RunFigure7(t4))
+	}
+}
+
+// BenchmarkEvolutionReplay measures the §V-B graph evolution itself:
+// annotations replayed per second under Approximations A and B.
+func BenchmarkEvolutionReplay(b *testing.B) {
+	w := workbench(b)
+	schedule := w.Schedule()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.Evolve(schedule, sim.EvolutionConfig{K: 1, ApproxB: true, Seed: int64(i)})
+	}
+	b.ReportMetric(float64(len(schedule)), "annotations/op")
+}
+
+// BenchmarkTagNaive measures the naive tagging primitive on resources
+// carrying 20 tags (cost 4+20 block operations).
+func BenchmarkTagNaive(b *testing.B) { benchTag(b, core.Naive, 0) }
+
+// BenchmarkTagApproximatedK1 measures the approximated primitive with
+// k=1 (cost 5 block operations) on the same resource shape.
+func BenchmarkTagApproximatedK1(b *testing.B) { benchTag(b, core.Approximated, 1) }
+
+// BenchmarkTagApproximatedK5 measures the approximated primitive with
+// k=5.
+func BenchmarkTagApproximatedK5(b *testing.B) { benchTag(b, core.Approximated, 5) }
+
+func benchTag(b *testing.B, mode core.Mode, k int) {
+	store := dht.NewLocal()
+	if k == 0 {
+		k = 1
+	}
+	eng, err := core.NewEngine(store, core.Config{Mode: mode, K: k, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tags := make([]string, 20)
+	for i := range tags {
+		tags[i] = fmt.Sprintf("t%02d", i)
+	}
+	if err := eng.InsertResource("r", "", tags...); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := eng.Tag("r", fmt.Sprintf("fresh%d", i%64)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkInsertResource measures resource publication with 5 tags
+// (cost 2+2·5 block operations).
+func BenchmarkInsertResource(b *testing.B) {
+	store := dht.NewLocal()
+	eng, err := core.NewEngine(store, core.Config{Mode: core.Approximated, K: 5, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := eng.InsertResource(fmt.Sprintf("r%d", i), "uri", "a", "b", "c", "d", "e"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSearchStep measures one search step (2 block operations with
+// index-side filtering).
+func BenchmarkSearchStep(b *testing.B) {
+	eng, _, err := dharma.NewLocalEngine(dharma.Config{Mode: dharma.Approximated, K: 5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if err := eng.InsertResource(fmt.Sprintf("r%d", i), "", "hub", fmt.Sprintf("t%d", i%17)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := eng.SearchStep("hub"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOverlayLookup measures one iterative FIND_NODE on a 64-node
+// overlay.
+func BenchmarkOverlayLookup(b *testing.B) {
+	cl, err := kademlia.NewCluster(kademlia.ClusterConfig{
+		N:    64,
+		Node: kademlia.Config{K: 8, Alpha: 3},
+		Seed: 9,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cl.Nodes[i%len(cl.Nodes)].IterativeFindNode(kadid.HashString(fmt.Sprintf("key%d", i)))
+	}
+}
+
+// BenchmarkOverlayStoreGet measures a block append plus a filtered read
+// through the full overlay path.
+func BenchmarkOverlayStoreGet(b *testing.B) {
+	cl, err := kademlia.NewCluster(kademlia.ClusterConfig{
+		N:    32,
+		Node: kademlia.Config{K: 8, Alpha: 3},
+		Seed: 10,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	store := dht.NewOverlay(cl.Nodes[3], nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key := kadid.HashString(fmt.Sprintf("blk%d", i%128))
+		if err := store.Append(key, []wire.Entry{{Field: "f", Count: 1}}); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := store.Get(key, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFacetedNavigation measures a full first-strategy navigation
+// on the workbench graph from a popular tag.
+func BenchmarkFacetedNavigation(b *testing.B) {
+	w := workbench(b)
+	g := w.Graph()
+	seeds := w.PopularTags(1)
+	view := search.NewFolkView(g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		search.Run(view, seeds[0], search.First, search.Options{})
+	}
+}

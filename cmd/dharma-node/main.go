@@ -1,0 +1,223 @@
+// Command dharma-node runs a DHARMA participant over real UDP: a
+// storage node that serves the overlay, or a short-lived client that
+// inserts, tags, searches and resolves through a bootstrap node.
+//
+// Run a first node:
+//
+//	dharma-node serve -listen 127.0.0.1:9000
+//
+// Join more (any running node works as bootstrap):
+//
+//	dharma-node serve -listen 127.0.0.1:9001 -bootstrap 127.0.0.1:9000
+//
+// Use the index:
+//
+//	dharma-node insert  -bootstrap 127.0.0.1:9000 -r song -uri magnet:x -tags rock,60s
+//	dharma-node tag     -bootstrap 127.0.0.1:9000 -r song -t beatles
+//	dharma-node search  -bootstrap 127.0.0.1:9000 -t rock
+//	dharma-node resolve -bootstrap 127.0.0.1:9000 -r song
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"os/signal"
+	"strings"
+	"time"
+
+	"dharma/internal/core"
+	"dharma/internal/dht"
+	"dharma/internal/kademlia"
+	"dharma/internal/kadid"
+	"dharma/internal/wire"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "serve":
+		err = serve(args)
+	case "insert", "tag", "search", "resolve":
+		err = client(cmd, args)
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dharma-node:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  dharma-node serve   -listen host:port [-bootstrap host:port] [-k n] [-alpha n]
+  dharma-node insert  -bootstrap host:port -r name -uri uri [-tags a,b,c]
+  dharma-node tag     -bootstrap host:port -r name -t tag
+  dharma-node search  -bootstrap host:port -t tag [-top n]
+  dharma-node resolve -bootstrap host:port -r name`)
+}
+
+// startNode binds a UDP node and optionally joins through bootstrap.
+func startNode(listen, bootstrap string, k, alpha int) (*kademlia.Node, error) {
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	node := kademlia.NewNode(kadid.Random(rng), kademlia.Config{K: k, Alpha: alpha})
+	tr, err := wire.ListenUDP(listen, node, 0)
+	if err != nil {
+		return nil, err
+	}
+	node.Attach(tr)
+	if bootstrap != "" {
+		seed, err := node.Discover(bootstrap)
+		if err != nil {
+			return nil, fmt.Errorf("discover %s: %w", bootstrap, err)
+		}
+		if err := node.Bootstrap([]wire.Contact{seed}); err != nil {
+			return nil, err
+		}
+	}
+	return node, nil
+}
+
+func serve(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	listen := fs.String("listen", "127.0.0.1:9000", "UDP address to bind")
+	bootstrap := fs.String("bootstrap", "", "address of an existing node (empty = first node)")
+	k := fs.Int("k", 20, "bucket size / replication factor")
+	alpha := fs.Int("alpha", 3, "lookup parallelism")
+	maintain := fs.Duration("maintain", 10*time.Minute,
+		"interval between maintenance rounds (republish + bucket refresh); 0 disables")
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+
+	node, err := startNode(*listen, *bootstrap, *k, *alpha)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("node %s serving on %s (routing table: %d contacts)\n",
+		node.Self().ID.Short(), node.Self().Addr, node.Table().Len())
+	fmt.Println("press Ctrl-C to stop")
+
+	stop := make(chan struct{})
+	if *maintain > 0 {
+		go func() {
+			ticker := time.NewTicker(*maintain)
+			defer ticker.Stop()
+			seed := time.Now().UnixNano()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-ticker.C:
+					blocks, acks := node.RepublishOnce()
+					for _, b := range node.Table().NonEmptyBuckets() {
+						seed++
+						node.RefreshBucket(b, seed)
+					}
+					fmt.Printf("maintenance: republished %d blocks (%d replica acks), table %d contacts\n",
+						blocks, acks, node.Table().Len())
+				}
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	close(stop)
+	fmt.Printf("stopping; served %d RPCs, stored %d blocks\n",
+		node.RPCServed(), node.LocalStore().Len())
+	return nil
+}
+
+func client(cmd string, args []string) error {
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	bootstrap := fs.String("bootstrap", "127.0.0.1:9000", "address of a running node")
+	r := fs.String("r", "", "resource name")
+	t := fs.String("t", "", "tag")
+	uri := fs.String("uri", "", "resource URI")
+	tags := fs.String("tags", "", "comma-separated tag list")
+	top := fs.Int("top", 10, "entries to display")
+	mode := fs.String("mode", "approx", "maintenance mode: naive or approx")
+	k := fs.Int("k", 5, "connection parameter (approx mode)")
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+
+	node, err := startNode("127.0.0.1:0", *bootstrap, 20, 3)
+	if err != nil {
+		return err
+	}
+	engMode := core.Approximated
+	if *mode == "naive" {
+		engMode = core.Naive
+	}
+	eng, err := core.NewEngine(dht.NewOverlay(node, nil), core.Config{
+		Mode: engMode, K: *k, Seed: time.Now().UnixNano(),
+	})
+	if err != nil {
+		return err
+	}
+
+	switch cmd {
+	case "insert":
+		if *r == "" || *uri == "" {
+			return fmt.Errorf("insert needs -r and -uri")
+		}
+		var tagList []string
+		if *tags != "" {
+			tagList = strings.Split(*tags, ",")
+		}
+		if err := eng.InsertResource(*r, *uri, tagList...); err != nil {
+			return err
+		}
+		fmt.Printf("inserted %s with %d tags\n", *r, len(tagList))
+
+	case "tag":
+		if *r == "" || *t == "" {
+			return fmt.Errorf("tag needs -r and -t")
+		}
+		if err := eng.Tag(*r, *t); err != nil {
+			return err
+		}
+		fmt.Printf("tagged %s with %s\n", *r, *t)
+
+	case "search":
+		if *t == "" {
+			return fmt.Errorf("search needs -t")
+		}
+		related, resources, err := eng.SearchStep(*t)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("related tags of %q:\n", *t)
+		for i, w := range related {
+			if i == *top {
+				break
+			}
+			fmt.Printf("  %-24s sim=%d\n", w.Name, w.Weight)
+		}
+		fmt.Printf("resources labeled %q:\n", *t)
+		for i, w := range resources {
+			if i == *top {
+				break
+			}
+			fmt.Printf("  %-24s u=%d\n", w.Name, w.Weight)
+		}
+
+	case "resolve":
+		if *r == "" {
+			return fmt.Errorf("resolve needs -r")
+		}
+		uri, err := eng.ResolveURI(*r)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s -> %s\n", *r, uri)
+	}
+	return nil
+}

@@ -1,0 +1,234 @@
+// Package dharma is a Go implementation of DHARMA — a DHT-based
+// Approach for Resource Mapping through Approximation (Aiello,
+// Milanesio, Ruffo, Schifanella; IPPS 2010) — together with every
+// substrate the paper builds on: a Kademlia overlay with a Likir-style
+// identity layer, the folksonomy model, the approximated graph
+// maintenance protocol, and faceted tag search.
+//
+// The package is a thin facade over the implementation packages:
+//
+//	internal/core        the DHARMA engine (blocks, primitives, approximations)
+//	internal/kademlia    the overlay (routing, lookups, replication)
+//	internal/likir       identity-bound node IDs and signed content
+//	internal/search      faceted navigation
+//	internal/dataset     synthetic Last.fm-like workloads
+//	internal/exp         the paper's tables and figures
+//
+// # Quick start
+//
+//	sys, err := dharma.NewSystem(dharma.Config{Nodes: 16, K: 5})
+//	if err != nil { ... }
+//	p := sys.Peer(0)
+//	p.InsertResource("norwegian-wood", "magnet:?xt=...", "rock", "60s", "beatles")
+//	p.Tag("norwegian-wood", "folk-rock")
+//	res := p.Navigate("rock", dharma.First, dharma.NavOptions{})
+//	fmt.Println(res.Path, res.FinalResources)
+//
+// See the examples/ directory for complete programs.
+package dharma
+
+import (
+	"fmt"
+	"time"
+
+	"dharma/internal/core"
+	"dharma/internal/dht"
+	"dharma/internal/kademlia"
+	"dharma/internal/likir"
+	"dharma/internal/search"
+	"dharma/internal/simnet"
+)
+
+// Mode selects between the exact maintenance protocol and the paper's
+// approximated one.
+type Mode = core.Mode
+
+// Engine modes.
+const (
+	// Naive implements the §III model verbatim: a tagging operation
+	// costs 4+|Tags(r)| overlay lookups.
+	Naive = core.Naive
+	// Approximated applies Approximations A and B: a tagging operation
+	// costs 4+k lookups and updates are race-free token appends.
+	Approximated = core.Approximated
+)
+
+// Strategy selects the next tag during faceted navigation.
+type Strategy = search.Strategy
+
+// Navigation strategies (§V-C).
+const (
+	First  = search.First
+	Last   = search.Last
+	Random = search.Random
+)
+
+// NavOptions re-exports the navigator's options.
+type NavOptions = search.Options
+
+// NavResult re-exports the navigation result.
+type NavResult = search.Result
+
+// Config describes a DHARMA deployment simulated in-process.
+type Config struct {
+	// Nodes is the overlay size (default 16).
+	Nodes int
+	// Mode selects the maintenance protocol (default Approximated —
+	// the paper's contribution).
+	Mode Mode
+	// K is the connection parameter of Approximation A (default 5).
+	K int
+	// TopN caps entries returned per block read (default 100, the
+	// paper's display bound; -1 disables filtering).
+	TopN int
+	// Replication is the overlay's bucket size and replica count
+	// (default 8 for in-process clusters).
+	Replication int
+	// Alpha is the lookup parallelism (default 3).
+	Alpha int
+	// WithIdentity enables the Likir layer: a certification authority
+	// issues every node an identity; peers reject uncertified traffic
+	// and URI entries are signed.
+	WithIdentity bool
+	// Seed makes the deployment reproducible (node IDs, approximation
+	// subsets).
+	Seed int64
+	// DropRate injects network loss in [0,1).
+	DropRate float64
+	// MTU bounds simulated packet payloads (0 = unlimited).
+	MTU int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Nodes == 0 {
+		c.Nodes = 16
+	}
+	if c.Mode == Approximated && c.K == 0 {
+		c.K = 5
+	}
+	if c.K == 0 {
+		c.K = 5
+	}
+	if c.Replication == 0 {
+		c.Replication = 8
+	}
+	if c.Alpha == 0 {
+		c.Alpha = 3
+	}
+	return c
+}
+
+// System is an in-process DHARMA deployment: an overlay cluster with
+// one tagging engine per node.
+type System struct {
+	cluster   *kademlia.Cluster
+	peers     []*Peer
+	authority *likir.Authority
+}
+
+// Peer is one participant: a DHARMA engine bound to an overlay node.
+// The engine's methods (InsertResource, Tag, SearchStep, ResolveURI,
+// TagsOf, Neighbors) are promoted.
+type Peer struct {
+	*core.Engine
+	Node  *kademlia.Node
+	store *dht.Overlay
+}
+
+// Lookups returns the number of block operations (the paper's lookup
+// unit) this peer has issued.
+func (p *Peer) Lookups() int64 { return p.store.Lookups() }
+
+// Navigate runs a faceted search over the live overlay starting from
+// tag start.
+func (p *Peer) Navigate(start string, strat Strategy, opt NavOptions) NavResult {
+	return search.Run(search.NewEngineView(p.Engine), start, strat, opt)
+}
+
+// NavigateFromResource runs a "more like this" search: the walk enters
+// the folksonomy through one of resource r's own tags (chosen by the
+// strategy) and refines from there.
+func (p *Peer) NavigateFromResource(r string, strat Strategy, opt NavOptions) NavResult {
+	v := search.NewEngineView(p.Engine)
+	return search.RunFromResource(v, v, r, strat, opt)
+}
+
+// NewSystem boots an overlay of cfg.Nodes nodes and attaches a DHARMA
+// engine to each.
+func NewSystem(cfg Config) (*System, error) {
+	cfg = cfg.withDefaults()
+
+	var authority *likir.Authority
+	if cfg.WithIdentity {
+		var err error
+		authority, err = likir.NewAuthority(nil, 24*time.Hour, nil)
+		if err != nil {
+			return nil, fmt.Errorf("dharma: create authority: %w", err)
+		}
+	}
+
+	cluster, err := kademlia.NewCluster(kademlia.ClusterConfig{
+		N:         cfg.Nodes,
+		Node:      kademlia.Config{K: cfg.Replication, Alpha: cfg.Alpha},
+		Net:       simnet.Config{DropRate: cfg.DropRate, MTU: cfg.MTU, Seed: cfg.Seed},
+		Seed:      cfg.Seed,
+		Authority: authority,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("dharma: boot overlay: %w", err)
+	}
+
+	sys := &System{cluster: cluster, authority: authority}
+	for i, node := range cluster.Nodes {
+		var signer *likir.Identity
+		if authority != nil {
+			signer = node.Identity()
+		}
+		store := dht.NewOverlay(node, signer)
+		engine, err := core.NewEngine(store, core.Config{
+			Mode: cfg.Mode,
+			K:    cfg.K,
+			TopN: cfg.TopN,
+			Seed: cfg.Seed + int64(i),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("dharma: engine %d: %w", i, err)
+		}
+		sys.peers = append(sys.peers, &Peer{Engine: engine, Node: node, store: store})
+	}
+	return sys, nil
+}
+
+// Peer returns the i-th participant.
+func (s *System) Peer(i int) *Peer { return s.peers[i] }
+
+// Peers returns all participants.
+func (s *System) Peers() []*Peer { return s.peers }
+
+// Size returns the overlay size.
+func (s *System) Size() int { return len(s.peers) }
+
+// Network exposes the simulated network for fault injection and
+// traffic accounting.
+func (s *System) Network() *simnet.Network { return s.cluster.Net }
+
+// SetDown crashes (or revives) the i-th node: its endpoint stops
+// answering until revived.
+func (s *System) SetDown(i int, down bool) {
+	s.cluster.Net.SetDown(simnet.Addr(s.peers[i].Node.Self().Addr), down)
+}
+
+// NewLocalEngine creates a DHARMA engine over an in-process block store
+// with the same semantics as the overlay — the embedding mode for
+// applications that want the tagging model without networking.
+func NewLocalEngine(cfg Config) (*core.Engine, *dht.Local, error) {
+	cfg = cfg.withDefaults()
+	store := dht.NewLocal()
+	engine, err := core.NewEngine(store, core.Config{
+		Mode: cfg.Mode, K: cfg.K, TopN: cfg.TopN, Seed: cfg.Seed,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return engine, store, nil
+}

@@ -1,0 +1,149 @@
+package dharma_test
+
+import (
+	"fmt"
+	"testing"
+
+	"dharma"
+)
+
+func TestSystemEndToEnd(t *testing.T) {
+	sys, err := dharma.NewSystem(dharma.Config{Nodes: 16, Mode: dharma.Approximated, K: 5, Seed: 1})
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	if sys.Size() != 16 {
+		t.Fatalf("Size = %d", sys.Size())
+	}
+
+	publisher := sys.Peer(3)
+	if err := publisher.InsertResource("norwegian-wood", "magnet:nw", "rock", "60s", "beatles"); err != nil {
+		t.Fatalf("InsertResource: %v", err)
+	}
+	if err := publisher.InsertResource("yesterday", "magnet:yd", "rock", "60s", "ballad"); err != nil {
+		t.Fatal(err)
+	}
+	if err := publisher.Tag("norwegian-wood", "folk-rock"); err != nil {
+		t.Fatalf("Tag: %v", err)
+	}
+
+	// A different peer sees the published graph.
+	reader := sys.Peer(11)
+	related, resources, err := reader.SearchStep("rock")
+	if err != nil {
+		t.Fatalf("SearchStep: %v", err)
+	}
+	if len(related) == 0 || len(resources) != 2 {
+		t.Fatalf("related=%v resources=%v", related, resources)
+	}
+	uri, err := reader.ResolveURI("yesterday")
+	if err != nil || uri != "magnet:yd" {
+		t.Fatalf("ResolveURI = %q, %v", uri, err)
+	}
+
+	res := reader.Navigate("rock", dharma.First, dharma.NavOptions{MinResources: 1})
+	if res.Steps() < 1 {
+		t.Fatal("navigation produced no path")
+	}
+	if reader.Lookups() == 0 {
+		t.Fatal("reader performed no lookups")
+	}
+}
+
+func TestSystemWithIdentity(t *testing.T) {
+	sys, err := dharma.NewSystem(dharma.Config{Nodes: 12, WithIdentity: true, Seed: 2})
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	p := sys.Peer(0)
+	if err := p.InsertResource("song", "uri:song", "jazz"); err != nil {
+		t.Fatalf("InsertResource: %v", err)
+	}
+	uri, err := sys.Peer(7).ResolveURI("song")
+	if err != nil || uri != "uri:song" {
+		t.Fatalf("ResolveURI over Likir overlay = %q, %v", uri, err)
+	}
+}
+
+func TestSystemNaiveMode(t *testing.T) {
+	sys, err := dharma.NewSystem(dharma.Config{Nodes: 8, Mode: dharma.Naive, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := sys.Peer(1)
+	if err := p.InsertResource("r", "", "a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	before := p.Lookups()
+	if err := p.Tag("r", "c"); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Lookups() - before; got != 4+2 {
+		t.Fatalf("naive tag cost %d block ops, want 6", got)
+	}
+}
+
+func TestNewLocalEngine(t *testing.T) {
+	eng, store, err := dharma.NewLocalEngine(dharma.Config{Mode: dharma.Approximated, K: 2, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := eng.InsertResource(fmt.Sprintf("r%d", i), "", "x", "y"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	related, _, err := eng.SearchStep("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(related) != 1 || related[0].Name != "y" {
+		t.Fatalf("related = %v", related)
+	}
+	if store.Lookups() == 0 {
+		t.Fatal("no lookups counted")
+	}
+}
+
+func TestNavigateFromResource(t *testing.T) {
+	sys, err := dharma.NewSystem(dharma.Config{Nodes: 12, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := sys.Peer(2)
+	for i := 0; i < 6; i++ {
+		if err := p.InsertResource(fmt.Sprintf("song%d", i), "", "rock", "live"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res := sys.Peer(9).NavigateFromResource("song3", dharma.First, dharma.NavOptions{MinResources: 1})
+	if res.Steps() < 1 {
+		t.Fatalf("pivot navigation empty: %+v", res)
+	}
+	if res.Path[0] != "live" && res.Path[0] != "rock" {
+		t.Fatalf("entry tag %q not on song3", res.Path[0])
+	}
+	// Unknown resource degrades gracefully.
+	empty := sys.Peer(9).NavigateFromResource("ghost", dharma.First, dharma.NavOptions{})
+	if empty.Steps() != 0 {
+		t.Fatalf("ghost pivot produced a path: %+v", empty)
+	}
+}
+
+func TestSystemFaultInjection(t *testing.T) {
+	sys, err := dharma.NewSystem(dharma.Config{Nodes: 24, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Peer(0).InsertResource("r", "uri:r", "tag"); err != nil {
+		t.Fatal(err)
+	}
+	// Take down a third of the overlay; the blocks must survive thanks
+	// to write-time replication.
+	for i := 10; i < 18; i++ {
+		sys.SetDown(i, true)
+	}
+	if _, err := sys.Peer(2).ResolveURI("r"); err != nil {
+		t.Fatalf("ResolveURI after failures: %v", err)
+	}
+}

@@ -1,0 +1,74 @@
+package dharma_test
+
+import (
+	"fmt"
+
+	"dharma"
+)
+
+// ExampleNewSystem boots an in-process overlay, publishes tagged
+// resources and runs one search step — the complete loop of the paper.
+func ExampleNewSystem() {
+	sys, err := dharma.NewSystem(dharma.Config{Nodes: 12, Mode: dharma.Approximated, K: 3, Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+
+	alice := sys.Peer(2)
+	alice.InsertResource("norwegian-wood", "magnet:nw", "rock", "60s") //nolint:errcheck
+	alice.InsertResource("yesterday", "magnet:yd", "rock", "ballad")   //nolint:errcheck
+
+	bob := sys.Peer(7)
+	related, resources, err := bob.SearchStep("rock")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("related tags: %d, resources: %d\n", len(related), len(resources))
+
+	uri, _ := bob.ResolveURI("yesterday")
+	fmt.Println("yesterday ->", uri)
+	// Output:
+	// related tags: 2, resources: 2
+	// yesterday -> magnet:yd
+}
+
+// ExampleNewLocalEngine embeds the tagging engine without networking
+// and shows the Table I cost model live.
+func ExampleNewLocalEngine() {
+	eng, store, err := dharma.NewLocalEngine(dharma.Config{Mode: dharma.Approximated, K: 2, Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	eng.InsertResource("song", "uri:song", "jazz", "bebop", "50s") //nolint:errcheck
+	fmt.Println("insert lookups (2+2m, m=3):", store.Lookups())
+
+	before := store.Lookups()
+	eng.Tag("song", "brubeck") //nolint:errcheck
+	fmt.Println("tag lookups (4+k, k=2):", store.Lookups()-before)
+	// Output:
+	// insert lookups (2+2m, m=3): 8
+	// tag lookups (4+k, k=2): 6
+}
+
+// ExamplePeer_Navigate runs a faceted navigation and prints the path
+// shape.
+func ExamplePeer_Navigate() {
+	sys, err := dharma.NewSystem(dharma.Config{Nodes: 12, Seed: 3})
+	if err != nil {
+		panic(err)
+	}
+	p := sys.Peer(0)
+	for i := 0; i < 4; i++ {
+		p.InsertResource(fmt.Sprintf("album%d", i), "", "music", "rock", "indie") //nolint:errcheck
+	}
+	for i := 0; i < 4; i++ {
+		p.InsertResource(fmt.Sprintf("track%d", i), "", "music", "jazz") //nolint:errcheck
+	}
+
+	res := p.Navigate("music", dharma.First, dharma.NavOptions{MinResources: 1})
+	fmt.Println("path:", res.Path)
+	fmt.Println("stopped:", res.Reason)
+	// Output:
+	// path: [music indie]
+	// stopped: tags-converged
+}

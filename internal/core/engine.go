@@ -1,0 +1,334 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"dharma/internal/dht"
+	"dharma/internal/folksonomy"
+	"dharma/internal/wire"
+)
+
+// Mode selects between the exact protocol and the approximated one.
+type Mode int
+
+// Engine modes. Naive implements §III-B verbatim (one lookup per
+// reverse arc, forward arcs created at u(τ,r)); Approximated applies
+// Approximations A and B.
+const (
+	Naive Mode = iota
+	Approximated
+)
+
+// String returns the mode name.
+func (m Mode) String() string {
+	if m == Naive {
+		return "naive"
+	}
+	return "approximated"
+}
+
+// DefaultTopN is the index-side filter cap used by search steps: the
+// paper bounds the tag set shown to the user at each step to the top
+// 100 tags retrieved from the DHT.
+const DefaultTopN = 100
+
+// Config parameterises an Engine.
+type Config struct {
+	// Mode selects naive or approximated maintenance (default Naive).
+	Mode Mode
+	// K is the connection parameter of Approximation A: the maximum
+	// number of reverse-arc blocks updated per tagging operation.
+	// It must be positive in Approximated mode.
+	K int
+	// TopN caps the entries fetched per block during a search step
+	// (default DefaultTopN). 0 keeps the default; negative disables
+	// filtering.
+	TopN int
+	// Parallel issues the reverse-arc block updates of a tagging
+	// operation concurrently. The paper notes the lookups can run in
+	// parallel (the count stays 4+k; only latency changes); the updates
+	// are commutative token appends, so the result is identical.
+	Parallel bool
+	// Seed drives the random subset selection of Approximation A.
+	Seed int64
+}
+
+// ErrNoSuchTag is returned by SearchStep for a tag with no blocks.
+var ErrNoSuchTag = errors.New("core: unknown tag")
+
+// Engine is a DHARMA endpoint: it executes tagging-system primitives
+// against a block store. An Engine is what a peer embeds; any number of
+// engines may operate on the same overlay concurrently.
+type Engine struct {
+	store dht.Store
+	cfg   Config
+	rng   *rand.Rand
+	topN  int
+}
+
+// NewEngine creates an engine over store.
+func NewEngine(store dht.Store, cfg Config) (*Engine, error) {
+	if cfg.Mode == Approximated && cfg.K <= 0 {
+		return nil, fmt.Errorf("core: approximated mode requires K > 0, got %d", cfg.K)
+	}
+	topN := cfg.TopN
+	switch {
+	case topN == 0:
+		topN = DefaultTopN
+	case topN < 0:
+		topN = 0 // disable filtering
+	}
+	return &Engine{
+		store: store,
+		cfg:   cfg,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		topN:  topN,
+	}, nil
+}
+
+// Mode returns the engine's maintenance mode.
+func (e *Engine) Mode() Mode { return e.cfg.Mode }
+
+// K returns the connection parameter (meaningful in Approximated mode).
+func (e *Engine) K() int { return e.cfg.K }
+
+// Store returns the underlying block store.
+func (e *Engine) Store() dht.Store { return e.store }
+
+// InsertResource publishes a new resource r with URI uri and the tag
+// set tags (deduplicated). Per Table I it costs exactly 2+2m lookups
+// for m distinct tags, in both modes:
+//
+//	1 append of r̃ + 1 append of r̄ + m appends of t̄_i + m appends of t̂_i.
+//
+// Inserting a name that already exists is not detected here (checking
+// would cost an extra lookup the paper does not account); higher layers
+// own name allocation.
+func (e *Engine) InsertResource(r, uri string, tags ...string) error {
+	tags = dedup(tags)
+
+	if err := e.store.Append(BlockKey(r, BlockResourceURI), []wire.Entry{
+		{Field: r, Count: 1, Data: []byte(uri)},
+	}); err != nil {
+		return fmt.Errorf("core: insert %q (r̃): %w", r, err)
+	}
+
+	rBar := make([]wire.Entry, len(tags))
+	for i, t := range tags {
+		rBar[i] = wire.Entry{Field: t, Count: 1}
+	}
+	if err := e.store.Append(BlockKey(r, BlockResourceTags), rBar); err != nil {
+		return fmt.Errorf("core: insert %q (r̄): %w", r, err)
+	}
+
+	for _, t := range tags {
+		if err := e.store.Append(BlockKey(t, BlockTagResources), []wire.Entry{
+			{Field: r, Count: 1},
+		}); err != nil {
+			return fmt.Errorf("core: insert %q (t̄ of %q): %w", r, t, err)
+		}
+	}
+	for _, t := range tags {
+		arcs := make([]wire.Entry, 0, len(tags)-1)
+		for _, other := range tags {
+			if other != t {
+				arcs = append(arcs, wire.Entry{Field: other, Count: 1})
+			}
+		}
+		if err := e.store.Append(BlockKey(t, BlockTagNeighbors), arcs); err != nil {
+			return fmt.Errorf("core: insert %q (t̂ of %q): %w", r, t, err)
+		}
+	}
+	return nil
+}
+
+// Tag adds tag t to the existing resource r, maintaining the mapped TRG
+// and FG. Its cost is exactly 4+|Tags(r)\{t}| lookups in Naive mode and
+// 4+min(K,|Tags(r)\{t}|) in Approximated mode:
+//
+//	1 get of r̄ (learn Tags(r) and the u(τ,r) weights)
+//	1 append of r̄ (u(t,r) += 1)
+//	1 append of t̄ (u(t,r) += 1, reverse orientation)
+//	1 append of t̂_t (forward arcs (t,τ); empty when t was present)
+//	+ one append of t̂_τ per updated reverse arc (τ,t).
+func (e *Engine) Tag(r, t string) error {
+	prior, err := e.store.Get(BlockKey(r, BlockResourceTags), 0)
+	if err != nil && !errors.Is(err, dht.ErrNotFound) {
+		return fmt.Errorf("core: tag %q on %q (read r̄): %w", t, r, err)
+	}
+
+	wasTagged := false
+	others := prior[:0:0]
+	for _, en := range prior {
+		if en.Field == t {
+			wasTagged = true
+		} else {
+			others = append(others, en)
+		}
+	}
+
+	if err := e.store.Append(BlockKey(r, BlockResourceTags), []wire.Entry{
+		{Field: t, Count: 1},
+	}); err != nil {
+		return fmt.Errorf("core: tag %q on %q (r̄): %w", t, r, err)
+	}
+	if err := e.store.Append(BlockKey(t, BlockTagResources), []wire.Entry{
+		{Field: r, Count: 1},
+	}); err != nil {
+		return fmt.Errorf("core: tag %q on %q (t̄): %w", t, r, err)
+	}
+
+	// Forward arcs (t,τ): only updated when t is new on r, by the
+	// theoretic increment u(τ,r). Approximation B dampens the creation
+	// case: an arc that does not exist yet starts at 1 instead of
+	// u(τ,r). The conditional travels with the entry (Init) and is
+	// evaluated by the storage node, so no extra lookup is needed and a
+	// racing double-creation is bounded at 2 rather than 2·u(τ,r).
+	forward := make([]wire.Entry, 0, len(others))
+	if !wasTagged {
+		for _, en := range others {
+			entry := wire.Entry{Field: en.Field, Count: en.Count}
+			if e.cfg.Mode == Approximated {
+				entry.Init = 1
+			}
+			forward = append(forward, entry)
+		}
+	}
+	if err := e.store.Append(BlockKey(t, BlockTagNeighbors), forward); err != nil {
+		return fmt.Errorf("core: tag %q on %q (t̂): %w", t, r, err)
+	}
+
+	// Reverse arcs (τ,t): one block update per τ. Approximation A
+	// bounds the fan-out to a uniform random subset of size ≤ K.
+	reverse := others
+	if e.cfg.Mode == Approximated && len(reverse) > e.cfg.K {
+		reverse = e.sampleEntries(reverse, e.cfg.K)
+	}
+	if e.cfg.Parallel && len(reverse) > 1 {
+		return e.reverseParallel(r, t, reverse)
+	}
+	for _, en := range reverse {
+		if err := e.store.Append(BlockKey(en.Field, BlockTagNeighbors), []wire.Entry{
+			{Field: t, Count: 1},
+		}); err != nil {
+			return fmt.Errorf("core: tag %q on %q (t̂ of %q): %w", t, r, en.Field, err)
+		}
+	}
+	return nil
+}
+
+// reverseParallel issues the reverse-arc appends concurrently. Appends
+// are commutative, so ordering does not matter; the first error wins.
+func (e *Engine) reverseParallel(r, t string, reverse []wire.Entry) error {
+	var wg sync.WaitGroup
+	errs := make(chan error, len(reverse))
+	for _, en := range reverse {
+		wg.Add(1)
+		go func(field string) {
+			defer wg.Done()
+			if err := e.store.Append(BlockKey(field, BlockTagNeighbors), []wire.Entry{
+				{Field: t, Count: 1},
+			}); err != nil {
+				errs <- fmt.Errorf("core: tag %q on %q (t̂ of %q): %w", t, r, field, err)
+			}
+		}(en.Field)
+	}
+	wg.Wait()
+	close(errs)
+	return <-errs
+}
+
+// SearchStep retrieves the navigation data for tag t: its FG neighbours
+// ordered by descending similarity and its resources ordered by
+// descending annotation count, both truncated to the engine's TopN
+// (index-side filtering). Per Table I it costs exactly 2 lookups.
+func (e *Engine) SearchStep(t string) (related, resources []folksonomy.Weighted, err error) {
+	neigh, errN := e.store.Get(BlockKey(t, BlockTagNeighbors), e.topN)
+	if errN != nil && !errors.Is(errN, dht.ErrNotFound) {
+		return nil, nil, fmt.Errorf("core: search %q (t̂): %w", t, errN)
+	}
+	res, errR := e.store.Get(BlockKey(t, BlockTagResources), e.topN)
+	if errR != nil && !errors.Is(errR, dht.ErrNotFound) {
+		return nil, nil, fmt.Errorf("core: search %q (t̄): %w", t, errR)
+	}
+	if errors.Is(errN, dht.ErrNotFound) && errors.Is(errR, dht.ErrNotFound) {
+		return nil, nil, fmt.Errorf("%w: %q", ErrNoSuchTag, t)
+	}
+	return toWeighted(neigh), toWeighted(res), nil
+}
+
+// ResolveURI fetches the URI published for resource r (block r̃); one
+// lookup.
+func (e *Engine) ResolveURI(r string) (string, error) {
+	es, err := e.store.Get(BlockKey(r, BlockResourceURI), 0)
+	if err != nil {
+		return "", fmt.Errorf("core: resolve %q: %w", r, err)
+	}
+	for _, en := range es {
+		if en.Field == r {
+			return string(en.Data), nil
+		}
+	}
+	return "", fmt.Errorf("core: resolve %q: %w", r, dht.ErrNotFound)
+}
+
+// TagsOf fetches Tags(r) with weights from r̄ (one lookup), sorted by
+// descending weight.
+func (e *Engine) TagsOf(r string) ([]folksonomy.Weighted, error) {
+	es, err := e.store.Get(BlockKey(r, BlockResourceTags), 0)
+	if err != nil {
+		if errors.Is(err, dht.ErrNotFound) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	return toWeighted(es), nil
+}
+
+// Neighbors fetches the full (unfiltered) FG adjacency of t; used by
+// experiments that compare the mapped graph against the theoretic one.
+func (e *Engine) Neighbors(t string) ([]folksonomy.Weighted, error) {
+	es, err := e.store.Get(BlockKey(t, BlockTagNeighbors), 0)
+	if err != nil {
+		if errors.Is(err, dht.ErrNotFound) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	return toWeighted(es), nil
+}
+
+// sampleEntries returns k entries drawn uniformly without replacement
+// (partial Fisher-Yates on a copy; input order is preserved for the
+// caller).
+func (e *Engine) sampleEntries(in []wire.Entry, k int) []wire.Entry {
+	cp := append([]wire.Entry(nil), in...)
+	for i := 0; i < k; i++ {
+		j := i + e.rng.Intn(len(cp)-i)
+		cp[i], cp[j] = cp[j], cp[i]
+	}
+	return cp[:k]
+}
+
+func toWeighted(es []wire.Entry) []folksonomy.Weighted {
+	out := make([]folksonomy.Weighted, len(es))
+	for i, en := range es {
+		out[i] = folksonomy.Weighted{Name: en.Field, Weight: int(en.Count)}
+	}
+	return out
+}
+
+func dedup(in []string) []string {
+	seen := make(map[string]bool, len(in))
+	out := make([]string, 0, len(in))
+	for _, s := range in {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,663 @@
+package core_test
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"dharma/internal/core"
+	"dharma/internal/dht"
+	"dharma/internal/folksonomy"
+	"dharma/internal/kademlia"
+)
+
+func newLocalEngine(t *testing.T, cfg core.Config) (*core.Engine, *dht.Local) {
+	t.Helper()
+	store := dht.NewLocal()
+	e, err := core.NewEngine(store, cfg)
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	return e, store
+}
+
+func TestNewEngineValidation(t *testing.T) {
+	if _, err := core.NewEngine(dht.NewLocal(), core.Config{Mode: core.Approximated}); err == nil {
+		t.Fatal("approximated engine without K accepted")
+	}
+	if _, err := core.NewEngine(dht.NewLocal(), core.Config{Mode: core.Approximated, K: 1}); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+}
+
+func TestBlockKeysDistinct(t *testing.T) {
+	types := []core.BlockType{core.BlockResourceTags, core.BlockTagResources,
+		core.BlockTagNeighbors, core.BlockResourceURI}
+	seen := map[string]string{}
+	for _, name := range []string{"rock", "pop", "rock|1", "rock|2", "a|b|3"} {
+		for _, bt := range types {
+			k := core.BlockKey(name, bt).String()
+			label := fmt.Sprintf("%s/%d", name, bt)
+			if prev, dup := seen[k]; dup {
+				t.Fatalf("key collision: %s and %s", prev, label)
+			}
+			seen[k] = label
+		}
+	}
+	// Same (name, type) must be stable.
+	if core.BlockKey("rock", core.BlockTagNeighbors) != core.BlockKey("rock", core.BlockTagNeighbors) {
+		t.Fatal("BlockKey not deterministic")
+	}
+}
+
+func TestInsertResourceCost(t *testing.T) {
+	// Table I row 1: Insert(r, t1..m) costs 2+2m lookups in both modes.
+	for _, mode := range []core.Mode{core.Naive, core.Approximated} {
+		for m := 0; m <= 12; m++ {
+			e, store := newLocalEngine(t, core.Config{Mode: mode, K: 3})
+			tags := make([]string, m)
+			for i := range tags {
+				tags[i] = fmt.Sprintf("t%d", i)
+			}
+			before := store.Lookups()
+			if err := e.InsertResource("r", "uri:r", tags...); err != nil {
+				t.Fatal(err)
+			}
+			got := store.Lookups() - before
+			want := int64(2 + 2*m)
+			if got != want {
+				t.Fatalf("mode=%v m=%d: cost %d lookups, Table I says %d", mode, m, got, want)
+			}
+		}
+	}
+}
+
+func TestInsertResourceDedupCost(t *testing.T) {
+	e, store := newLocalEngine(t, core.Config{})
+	before := store.Lookups()
+	if err := e.InsertResource("r", "", "a", "a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if got := store.Lookups() - before; got != 2+2*2 {
+		t.Fatalf("cost %d, want %d (duplicates must not be charged)", got, 2+2*2)
+	}
+}
+
+func TestTagCostNaive(t *testing.T) {
+	// Table I row 2, naive: Tag(r,t) costs 4+|Tags(r)| lookups (Tags(r)
+	// counted without t itself).
+	e, store := newLocalEngine(t, core.Config{Mode: core.Naive})
+	tags := []string{"a", "b", "c", "d", "e"}
+	if err := e.InsertResource("r", "", tags...); err != nil {
+		t.Fatal(err)
+	}
+	before := store.Lookups()
+	if err := e.Tag("r", "fresh"); err != nil {
+		t.Fatal(err)
+	}
+	if got := store.Lookups() - before; got != 4+5 {
+		t.Fatalf("new tag: cost %d, want %d", got, 4+5)
+	}
+
+	before = store.Lookups()
+	if err := e.Tag("r", "a"); err != nil { // re-tag: |Tags(r)\{a}| = 5
+		t.Fatal(err)
+	}
+	if got := store.Lookups() - before; got != 4+5 {
+		t.Fatalf("repeat tag: cost %d, want %d", got, 4+5)
+	}
+}
+
+func TestTagCostApproximated(t *testing.T) {
+	// Table I row 2, approximated: Tag(r,t) costs 4+k lookups however
+	// many tags the resource carries.
+	const k = 3
+	e, store := newLocalEngine(t, core.Config{Mode: core.Approximated, K: k})
+	var tags []string
+	for i := 0; i < 40; i++ {
+		tags = append(tags, fmt.Sprintf("t%02d", i))
+	}
+	if err := e.InsertResource("r", "", tags...); err != nil {
+		t.Fatal(err)
+	}
+	before := store.Lookups()
+	if err := e.Tag("r", "fresh"); err != nil {
+		t.Fatal(err)
+	}
+	if got := store.Lookups() - before; got != 4+k {
+		t.Fatalf("cost %d, want %d", got, 4+k)
+	}
+
+	// With fewer than k other tags, the subset is everything.
+	e2, store2 := newLocalEngine(t, core.Config{Mode: core.Approximated, K: 10})
+	if err := e2.InsertResource("r", "", "x", "y"); err != nil {
+		t.Fatal(err)
+	}
+	before = store2.Lookups()
+	if err := e2.Tag("r", "z"); err != nil {
+		t.Fatal(err)
+	}
+	if got := store2.Lookups() - before; got != 4+2 {
+		t.Fatalf("small resource: cost %d, want %d", got, 4+2)
+	}
+}
+
+func TestSearchStepCost(t *testing.T) {
+	// Table I row 3: a search step costs exactly 2 lookups.
+	e, store := newLocalEngine(t, core.Config{})
+	if err := e.InsertResource("r", "", "rock", "pop"); err != nil {
+		t.Fatal(err)
+	}
+	before := store.Lookups()
+	if _, _, err := e.SearchStep("rock"); err != nil {
+		t.Fatal(err)
+	}
+	if got := store.Lookups() - before; got != 2 {
+		t.Fatalf("cost %d, want 2", got)
+	}
+}
+
+func TestTagCostProperty(t *testing.T) {
+	// Property: over random workloads the measured lookup cost of every
+	// operation equals the Table I formula.
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 10; trial++ {
+		k := 1 + rng.Intn(6)
+		mode := core.Naive
+		if trial%2 == 1 {
+			mode = core.Approximated
+		}
+		e, store := newLocalEngine(t, core.Config{Mode: mode, K: k, Seed: int64(trial)})
+		model := folksonomy.New()
+
+		nRes := 0
+		for op := 0; op < 150; op++ {
+			if nRes == 0 || rng.Float64() < 0.2 {
+				m := rng.Intn(8)
+				tags := make([]string, 0, m)
+				for len(tags) < m {
+					tg := fmt.Sprintf("t%d", rng.Intn(20))
+					dup := false
+					for _, x := range tags {
+						if x == tg {
+							dup = true
+						}
+					}
+					if !dup {
+						tags = append(tags, tg)
+					}
+				}
+				r := fmt.Sprintf("r%d", nRes)
+				before := store.Lookups()
+				if err := e.InsertResource(r, "", tags...); err != nil {
+					t.Fatal(err)
+				}
+				if got := store.Lookups() - before; got != int64(2+2*len(tags)) {
+					t.Fatalf("trial %d: insert m=%d cost %d", trial, len(tags), got)
+				}
+				if err := model.InsertResource(r, "", tags...); err != nil {
+					t.Fatal(err)
+				}
+				nRes++
+			} else {
+				r := fmt.Sprintf("r%d", rng.Intn(nRes))
+				tg := fmt.Sprintf("t%d", rng.Intn(20))
+				others := model.TagDegree(r)
+				if model.U(tg, r) > 0 {
+					others-- // t itself is excluded from the reverse set
+				}
+				want := int64(4 + others)
+				if mode == core.Approximated && others > k {
+					want = int64(4 + k)
+				}
+				before := store.Lookups()
+				if err := e.Tag(r, tg); err != nil {
+					t.Fatal(err)
+				}
+				if got := store.Lookups() - before; got != want {
+					t.Fatalf("trial %d: tag cost %d, want %d (others=%d mode=%v k=%d)",
+						trial, got, want, others, mode, k)
+				}
+				if err := model.Tag(r, tg); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+}
+
+// TestNaiveEngineMatchesTheoreticModel is the central correctness
+// property: replaying any operation sequence through the naive engine
+// must reproduce the in-memory model of §III exactly — same TRG weights,
+// same FG arcs, same similarity values.
+func TestNaiveEngineMatchesTheoreticModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	e, store := newLocalEngine(t, core.Config{Mode: core.Naive, TopN: -1})
+	model := folksonomy.New()
+
+	nRes := 0
+	for op := 0; op < 400; op++ {
+		if nRes == 0 || rng.Float64() < 0.15 {
+			var tags []string
+			for i := 0; i < 6; i++ {
+				if rng.Float64() < 0.5 {
+					tags = append(tags, fmt.Sprintf("t%d", rng.Intn(12)))
+				}
+			}
+			r := fmt.Sprintf("r%d", nRes)
+			if err := e.InsertResource(r, "uri:"+r, tags...); err != nil {
+				t.Fatal(err)
+			}
+			if err := model.InsertResource(r, "uri:"+r, tags...); err != nil {
+				t.Fatal(err)
+			}
+			nRes++
+		} else {
+			r := fmt.Sprintf("r%d", rng.Intn(nRes))
+			tg := fmt.Sprintf("t%d", rng.Intn(12))
+			if err := e.Tag(r, tg); err != nil {
+				t.Fatal(err)
+			}
+			if err := model.Tag(r, tg); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	// Compare FG adjacency per tag.
+	for _, tg := range model.TagNames() {
+		wantArcs := map[string]int{}
+		for _, w := range model.Neighbors(tg) {
+			wantArcs[w.Name] = w.Weight
+		}
+		got, err := e.Neighbors(tg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotArcs := map[string]int{}
+		for _, w := range got {
+			if w.Weight != 0 {
+				gotArcs[w.Name] = w.Weight
+			}
+		}
+		if len(gotArcs) != len(wantArcs) {
+			t.Fatalf("tag %s: %d arcs on DHT, model has %d (%v vs %v)",
+				tg, len(gotArcs), len(wantArcs), gotArcs, wantArcs)
+		}
+		for t2, w := range wantArcs {
+			if gotArcs[t2] != w {
+				t.Fatalf("sim(%s,%s) = %d on DHT, model says %d", tg, t2, gotArcs[t2], w)
+			}
+		}
+	}
+
+	// Compare TRG weights via r̄ blocks.
+	for _, r := range model.ResourceNames() {
+		got, err := e.TagsOf(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotU := map[string]int{}
+		for _, w := range got {
+			gotU[w.Name] = w.Weight
+		}
+		for _, w := range model.Tags(r) {
+			if gotU[w.Name] != w.Weight {
+				t.Fatalf("u(%s,%s) = %d on DHT, model says %d", w.Name, r, gotU[w.Name], w.Weight)
+			}
+		}
+		if len(gotU) != model.TagDegree(r) {
+			t.Fatalf("resource %s: %d tags on DHT, model has %d", r, len(gotU), model.TagDegree(r))
+		}
+	}
+	_ = store
+}
+
+func TestApproximationBForwardArcWeight(t *testing.T) {
+	// When a tagging operation creates forward arcs, the approximated
+	// engine writes weight 1 where the naive engine writes u(τ,r).
+	build := func(mode core.Mode) *core.Engine {
+		e, _ := newLocalEngine(t, core.Config{Mode: mode, K: 100})
+		if err := e.InsertResource("r", "", "a"); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 4; i++ { // u(a,r) = 5
+			if err := e.Tag("r", "a"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := e.Tag("r", "fresh"); err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+
+	naive := build(core.Naive)
+	ws, err := naive.Neighbors("fresh")
+	if err != nil || len(ws) != 1 || ws[0].Weight != 5 {
+		t.Fatalf("naive sim(fresh,a) = %v (err %v), want 5", ws, err)
+	}
+
+	approx := build(core.Approximated)
+	ws, err = approx.Neighbors("fresh")
+	if err != nil || len(ws) != 1 || ws[0].Weight != 1 {
+		t.Fatalf("approx sim(fresh,a) = %v (err %v), want 1 (Approximation B)", ws, err)
+	}
+}
+
+func TestApproximationBExistingArcGrowsTheoretically(t *testing.T) {
+	// Approximation B dampens only arc creation; an arc that already
+	// exists still grows by the theoretic increment u(τ,r).
+	e, _ := newLocalEngine(t, core.Config{Mode: core.Approximated, K: 100})
+	// Create arc (fresh,a) with weight 1 on r1 (u(a,r1)=1 at creation).
+	if err := e.InsertResource("r1", "", "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Tag("r1", "fresh"); err != nil {
+		t.Fatal(err)
+	}
+	// On r2, a carries weight 4; adding fresh (arc now exists) must add
+	// the full u(a,r2)=4.
+	if err := e.InsertResource("r2", "", "a"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := e.Tag("r2", "a"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Tag("r2", "fresh"); err != nil {
+		t.Fatal(err)
+	}
+	ws, err := e.Neighbors("fresh")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range ws {
+		if w.Name == "a" {
+			if w.Weight != 1+4 {
+				t.Fatalf("sim(fresh,a) = %d, want 5 (created at 1, then +u=4)", w.Weight)
+			}
+			return
+		}
+	}
+	t.Fatal("arc (fresh,a) missing")
+}
+
+func TestApproximatedGraphIsBoundedByNaive(t *testing.T) {
+	// The approximated FG must be a subgraph of the naive FG with
+	// pointwise smaller-or-equal weights.
+	rng := rand.New(rand.NewSource(17))
+	naive, _ := newLocalEngine(t, core.Config{Mode: core.Naive})
+	approx, _ := newLocalEngine(t, core.Config{Mode: core.Approximated, K: 2, Seed: 3})
+
+	tags := []string{"a", "b", "c", "d", "e", "f", "g"}
+	for i := 0; i < 10; i++ {
+		r := fmt.Sprintf("r%d", i)
+		if err := naive.InsertResource(r, ""); err != nil {
+			t.Fatal(err)
+		}
+		if err := approx.InsertResource(r, ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for op := 0; op < 300; op++ {
+		r := fmt.Sprintf("r%d", rng.Intn(10))
+		tg := tags[rng.Intn(len(tags))]
+		if err := naive.Tag(r, tg); err != nil {
+			t.Fatal(err)
+		}
+		if err := approx.Tag(r, tg); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for _, tg := range tags {
+		nv, err := naive.Neighbors(tg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		naiveW := map[string]int{}
+		for _, w := range nv {
+			naiveW[w.Name] = w.Weight
+		}
+		av, err := approx.Neighbors(tg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range av {
+			if w.Weight == 0 {
+				continue
+			}
+			nw, ok := naiveW[w.Name]
+			if !ok {
+				t.Fatalf("approximated arc (%s,%s) absent from naive graph", tg, w.Name)
+			}
+			if w.Weight > nw {
+				t.Fatalf("sim(%s,%s): approx %d > naive %d", tg, w.Name, w.Weight, nw)
+			}
+		}
+	}
+}
+
+func TestParallelReverseUpdatesEquivalent(t *testing.T) {
+	// Parallel and sequential engines must produce identical graphs and
+	// identical costs for the same seeded workload.
+	run := func(parallel bool) (*core.Engine, *dht.Local) {
+		e, store := newLocalEngine(t, core.Config{
+			Mode: core.Approximated, K: 3, Seed: 11, Parallel: parallel,
+		})
+		rng := rand.New(rand.NewSource(7))
+		for i := 0; i < 8; i++ {
+			if err := e.InsertResource(fmt.Sprintf("r%d", i), ""); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for op := 0; op < 200; op++ {
+			r := fmt.Sprintf("r%d", rng.Intn(8))
+			tg := fmt.Sprintf("t%d", rng.Intn(10))
+			if err := e.Tag(r, tg); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return e, store
+	}
+	seq, seqStore := run(false)
+	par, parStore := run(true)
+	if seqStore.Lookups() != parStore.Lookups() {
+		t.Fatalf("lookup counts differ: %d vs %d", seqStore.Lookups(), parStore.Lookups())
+	}
+	for i := 0; i < 10; i++ {
+		tg := fmt.Sprintf("t%d", i)
+		a, err := seq.Neighbors(tg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := par.Neighbors(tg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("tag %s: %d vs %d arcs", tg, len(a), len(b))
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("tag %s arc %d: %+v vs %+v", tg, j, a[j], b[j])
+			}
+		}
+	}
+}
+
+func TestSearchStepFilteringAndOrder(t *testing.T) {
+	e, _ := newLocalEngine(t, core.Config{TopN: 3})
+	var tags []string
+	for i := 0; i < 10; i++ {
+		tags = append(tags, fmt.Sprintf("t%d", i))
+	}
+	if err := e.InsertResource("r0", "", tags...); err != nil {
+		t.Fatal(err)
+	}
+	// Make t1 strongly related to t0 (co-tag them on more resources).
+	for i := 1; i < 5; i++ {
+		r := fmt.Sprintf("rr%d", i)
+		if err := e.InsertResource(r, "", "t0", "t1"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	related, resources, err := e.SearchStep("t0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(related) != 3 {
+		t.Fatalf("TopN not applied to tags: %d", len(related))
+	}
+	if related[0].Name != "t1" {
+		t.Fatalf("strongest neighbour = %+v, want t1", related[0])
+	}
+	for i := 1; i < len(related); i++ {
+		if related[i].Weight > related[i-1].Weight {
+			t.Fatal("related tags not sorted by similarity")
+		}
+	}
+	if len(resources) != 3 {
+		t.Fatalf("TopN not applied to resources: %d", len(resources))
+	}
+}
+
+func TestSearchStepUnknownTag(t *testing.T) {
+	e, _ := newLocalEngine(t, core.Config{})
+	if _, _, err := e.SearchStep("ghost"); !errors.Is(err, core.ErrNoSuchTag) {
+		t.Fatalf("want ErrNoSuchTag, got %v", err)
+	}
+}
+
+func TestResolveURI(t *testing.T) {
+	e, _ := newLocalEngine(t, core.Config{})
+	if err := e.InsertResource("song", "http://example/song.ogg", "rock"); err != nil {
+		t.Fatal(err)
+	}
+	uri, err := e.ResolveURI("song")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uri != "http://example/song.ogg" {
+		t.Fatalf("URI = %q", uri)
+	}
+	if _, err := e.ResolveURI("ghost"); err == nil {
+		t.Fatal("ResolveURI on missing resource succeeded")
+	}
+}
+
+func TestApproximationADeterministicUnderSeed(t *testing.T) {
+	run := func() []folksonomy.Weighted {
+		e, _ := newLocalEngine(t, core.Config{Mode: core.Approximated, K: 2, Seed: 77})
+		if err := e.InsertResource("r", "", "a", "b", "c", "d", "e", "f"); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Tag("r", "x"); err != nil {
+			t.Fatal(err)
+		}
+		var out []folksonomy.Weighted
+		for _, tg := range []string{"a", "b", "c", "d", "e", "f"} {
+			ws, err := e.Neighbors(tg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, w := range ws {
+				if w.Name == "x" {
+					out = append(out, folksonomy.Weighted{Name: tg, Weight: w.Weight})
+				}
+			}
+		}
+		return out
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("different subset sizes: %v vs %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("subset differs under same seed: %v vs %v", a, b)
+		}
+	}
+	if len(a) != 2 {
+		t.Fatalf("reverse updates = %d, want K=2", len(a))
+	}
+}
+
+// TestEngineOverRealOverlay runs the same workload over a live Kademlia
+// cluster and over the in-process store; the resulting graphs must agree.
+func TestEngineOverRealOverlay(t *testing.T) {
+	cl, err := kademlia.NewCluster(kademlia.ClusterConfig{
+		N:    24,
+		Node: kademlia.Config{K: 8, Alpha: 3},
+		Seed: 31,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	over, err := core.NewEngine(dht.NewOverlay(cl.Nodes[4], nil), core.Config{Mode: core.Approximated, K: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := core.NewEngine(dht.NewLocal(), core.Config{Mode: core.Approximated, K: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type op struct {
+		insert bool
+		r, t   string
+		tags   []string
+	}
+	ops := []op{
+		{insert: true, r: "r1", tags: []string{"rock", "pop"}},
+		{insert: true, r: "r2", tags: []string{"rock", "indie", "live"}},
+		{r: "r1", t: "indie"},
+		{r: "r1", t: "rock"},
+		{r: "r2", t: "pop"},
+		{insert: true, r: "r3", tags: []string{"pop"}},
+		{r: "r3", t: "rock"},
+	}
+	for _, o := range ops {
+		if o.insert {
+			if err := over.InsertResource(o.r, "uri:"+o.r, o.tags...); err != nil {
+				t.Fatal(err)
+			}
+			if err := local.InsertResource(o.r, "uri:"+o.r, o.tags...); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			if err := over.Tag(o.r, o.t); err != nil {
+				t.Fatal(err)
+			}
+			if err := local.Tag(o.r, o.t); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	for _, tg := range []string{"rock", "pop", "indie", "live"} {
+		a, err := over.Neighbors(tg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := local.Neighbors(tg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("tag %s: overlay %v vs local %v", tg, a, b)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("tag %s entry %d: overlay %+v vs local %+v", tg, i, a[i], b[i])
+			}
+		}
+	}
+	uri, err := over.ResolveURI("r2")
+	if err != nil || uri != "uri:r2" {
+		t.Fatalf("overlay ResolveURI = %q, %v", uri, err)
+	}
+}

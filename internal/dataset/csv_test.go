@@ -1,0 +1,59 @@
+package dataset
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	d := Generate(Tiny(5))
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	if !reflect.DeepEqual(got.Annotations, d.Annotations) {
+		t.Fatal("annotations differ after round trip")
+	}
+	if !reflect.DeepEqual(got.TagNames, d.TagNames) {
+		t.Fatal("tag name order differs after round trip")
+	}
+	if !reflect.DeepEqual(got.ResourceNames, d.ResourceNames) {
+		t.Fatal("resource name order differs after round trip")
+	}
+}
+
+func TestReadCSVValidation(t *testing.T) {
+	cases := map[string]string{
+		"empty":        "",
+		"bad header":   "a,b,c\nu,r,t\n",
+		"wrong fields": "user,item,tag\nu,r\n",
+		"empty tag":    "user,item,tag\nu,r,\n",
+		"no rows":      "user,item,tag\n",
+	}
+	for name, input := range cases {
+		if _, err := ReadCSV(strings.NewReader(input)); err == nil {
+			t.Fatalf("%s: accepted %q", name, input)
+		}
+	}
+}
+
+func TestReadCSVSkipsBlankLines(t *testing.T) {
+	in := "user,item,tag\nu1,r1,t1\n\nu2,r1,t2\n"
+	d, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Annotations) != 2 {
+		t.Fatalf("got %d annotations, want 2", len(d.Annotations))
+	}
+	g := d.BuildGraph()
+	if g.NumResources() != 1 || g.NumTags() != 2 {
+		t.Fatalf("graph from CSV: R=%d T=%d", g.NumResources(), g.NumTags())
+	}
+}

@@ -1,0 +1,174 @@
+package dataset
+
+import (
+	"reflect"
+	"testing"
+
+	"dharma/internal/metrics"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Tiny(42))
+	b := Generate(Tiny(42))
+	if !reflect.DeepEqual(a.Annotations, b.Annotations) {
+		t.Fatal("same seed produced different workloads")
+	}
+	c := Generate(Tiny(43))
+	if reflect.DeepEqual(a.Annotations, c.Annotations) {
+		t.Fatal("different seeds produced identical workloads")
+	}
+}
+
+func TestGenerateCounts(t *testing.T) {
+	cfg := Tiny(1)
+	d := Generate(cfg)
+	if len(d.Annotations) != cfg.Annotations {
+		t.Fatalf("annotations = %d, want %d", len(d.Annotations), cfg.Annotations)
+	}
+	if len(d.ResourceNames) == 0 || len(d.ResourceNames) > cfg.Resources {
+		t.Fatalf("resources touched = %d, config max %d", len(d.ResourceNames), cfg.Resources)
+	}
+	if len(d.TagNames) == 0 {
+		t.Fatal("no tags used")
+	}
+}
+
+func TestGeneratePanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for empty config")
+		}
+	}()
+	Generate(Config{})
+}
+
+func TestBuildGraphConsistent(t *testing.T) {
+	d := Generate(Tiny(2))
+	g := d.BuildGraph()
+	if g.NumResources() != len(d.ResourceNames) {
+		t.Fatalf("graph resources = %d, dataset touched %d", g.NumResources(), len(d.ResourceNames))
+	}
+	if g.NumTags() != len(d.TagNames) {
+		t.Fatalf("graph tags = %d, dataset used %d", g.NumTags(), len(d.TagNames))
+	}
+	// Total TRG weight equals the number of annotations.
+	total := 0
+	for _, r := range g.ResourceNames() {
+		for _, w := range g.Tags(r) {
+			total += w.Weight
+		}
+	}
+	if total != len(d.Annotations) {
+		t.Fatalf("total TRG weight = %d, want %d", total, len(d.Annotations))
+	}
+}
+
+func TestShuffledIsPermutation(t *testing.T) {
+	d := Generate(Tiny(3))
+	sh := d.Shuffled(9)
+	if len(sh) != len(d.Annotations) {
+		t.Fatal("shuffle changed length")
+	}
+	count := map[Annotation]int{}
+	for _, a := range d.Annotations {
+		count[a]++
+	}
+	for _, a := range sh {
+		count[a]--
+	}
+	for a, c := range count {
+		if c != 0 {
+			t.Fatalf("annotation %+v multiplicity off by %d", a, c)
+		}
+	}
+	// Order must differ (astronomically unlikely to match), and must be
+	// reproducible under the same seed.
+	if reflect.DeepEqual(sh, d.Annotations) {
+		t.Fatal("shuffle left order unchanged")
+	}
+	if !reflect.DeepEqual(sh, d.Shuffled(9)) {
+		t.Fatal("shuffle not deterministic under seed")
+	}
+}
+
+func TestShapeCorePeriphery(t *testing.T) {
+	// The generator must reproduce the §V-A structure: a large fraction
+	// of singleton tags and single-tag resources, plus a popular core.
+	d := Generate(Small(5))
+	g := d.BuildGraph()
+	st := d.ComputeStats(g)
+
+	if st.SingletonTagFrac < 0.35 || st.SingletonTagFrac > 0.75 {
+		t.Fatalf("singleton tag fraction %.2f outside [0.35, 0.75] (paper: ~0.55)", st.SingletonTagFrac)
+	}
+	if st.SingleTagResourceFr < 0.2 || st.SingleTagResourceFr > 0.6 {
+		t.Fatalf("single-tag resource fraction %.2f outside [0.2, 0.6] (paper: ~0.40)", st.SingleTagResourceFr)
+	}
+
+	// Heavy tails: max degree far above mean.
+	res := metrics.Summarize(st.ResPerTag)
+	if res.Max < 10*res.Mean {
+		t.Fatalf("Res(t) not heavy-tailed: max %.0f, mean %.1f", res.Max, res.Mean)
+	}
+	tpr := metrics.Summarize(st.TagsPerResource)
+	if tpr.Max < 5*tpr.Mean {
+		t.Fatalf("Tags(r) not heavy-tailed: max %.0f, mean %.1f", tpr.Max, tpr.Mean)
+	}
+
+	// The FG core: popular tags see many times more neighbours than the
+	// median tag.
+	nfg := metrics.Summarize(st.NeighborsPerTag)
+	if nfg.Max < 5*nfg.Median+1 {
+		t.Fatalf("N_FG(t) lacks a connected core: max %.0f, median %.0f", nfg.Max, nfg.Median)
+	}
+}
+
+func TestStatsSampleSizes(t *testing.T) {
+	d := Generate(Tiny(6))
+	g := d.BuildGraph()
+	st := d.ComputeStats(g)
+	if len(st.TagsPerResource) != g.NumResources() {
+		t.Fatal("TagsPerResource sample size mismatch")
+	}
+	if len(st.ResPerTag) != g.NumTags() || len(st.NeighborsPerTag) != g.NumTags() {
+		t.Fatal("per-tag sample size mismatch")
+	}
+	if st.Annotations != len(d.Annotations) {
+		t.Fatal("annotation count mismatch")
+	}
+}
+
+func TestPopularTags(t *testing.T) {
+	d := Generate(Tiny(7))
+	g := d.BuildGraph()
+	top := PopularTags(g, 10)
+	if len(top) != 10 {
+		t.Fatalf("got %d popular tags", len(top))
+	}
+	// Must be sorted by descending Res degree.
+	for i := 1; i < len(top); i++ {
+		if g.ResDegree(top[i]) > g.ResDegree(top[i-1]) {
+			t.Fatal("popular tags not sorted by popularity")
+		}
+	}
+	// The most popular tag must label far more resources than the median
+	// tag — the "core" exists.
+	if g.ResDegree(top[0]) < 20 {
+		t.Fatalf("top tag labels only %d resources", g.ResDegree(top[0]))
+	}
+	// Asking for more tags than exist returns all of them.
+	all := PopularTags(g, g.NumTags()+100)
+	if len(all) != g.NumTags() {
+		t.Fatalf("overflow request returned %d of %d tags", len(all), g.NumTags())
+	}
+}
+
+func TestPresetScalesAreOrdered(t *testing.T) {
+	tiny, small, big := Tiny(1), Small(1), LastFMScaled(1)
+	if !(tiny.Annotations < small.Annotations && small.Annotations < big.Annotations) {
+		t.Fatal("presets not ordered by size")
+	}
+	if !(tiny.Resources < small.Resources && small.Resources < big.Resources) {
+		t.Fatal("presets not ordered by resources")
+	}
+}

@@ -1,0 +1,188 @@
+package dht
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dharma/internal/kadid"
+	"dharma/internal/wire"
+)
+
+// Cached wraps a Store with a bounded, TTL-limited LRU read cache.
+// DHARMA's read traffic is extremely skewed — every navigation starts
+// from a handful of popular tags whose t̂/t̄ blocks are fetched over and
+// over — so a small client cache absorbs most repeat lookups (measured
+// by the A7 experiment). Writes go through and invalidate the written
+// key, and entries expire after TTL so cached weights cannot stray far
+// behind the replicas.
+type Cached struct {
+	inner Store
+	cap   int
+	ttl   time.Duration
+	now   func() time.Time
+
+	mu    sync.Mutex
+	ll    *list.List // front = most recently used
+	items map[cacheKey]*list.Element
+	byID  map[kadid.ID]map[int]*list.Element
+
+	hits, misses atomic.Int64
+}
+
+// cacheKey caches per (block, filter) pair: a top-10 read and a top-100
+// read of the same block are different wire results.
+type cacheKey struct {
+	id   kadid.ID
+	topN int
+}
+
+type cacheEntry struct {
+	key     cacheKey
+	entries []wire.Entry
+	expires time.Time
+}
+
+// DefaultCacheTTL bounds the staleness of cached reads.
+const DefaultCacheTTL = 30 * time.Second
+
+// NewCached wraps inner with a cache of at most capacity blocks. A zero
+// ttl selects DefaultCacheTTL; now is injectable for tests (nil =
+// time.Now).
+func NewCached(inner Store, capacity int, ttl time.Duration, now func() time.Time) *Cached {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	if ttl <= 0 {
+		ttl = DefaultCacheTTL
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &Cached{
+		inner: inner,
+		cap:   capacity,
+		ttl:   ttl,
+		now:   now,
+		ll:    list.New(),
+		items: make(map[cacheKey]*list.Element),
+		byID:  make(map[kadid.ID]map[int]*list.Element),
+	}
+}
+
+// Get implements Store. Hits are served locally and cost no overlay
+// lookup; misses go through and populate the cache.
+func (c *Cached) Get(key kadid.ID, topN int) ([]wire.Entry, error) {
+	ck := cacheKey{id: key, topN: topN}
+	c.mu.Lock()
+	if el, ok := c.items[ck]; ok {
+		ce := el.Value.(*cacheEntry)
+		if c.now().Before(ce.expires) {
+			c.ll.MoveToFront(el)
+			out := ce.entries
+			c.mu.Unlock()
+			c.hits.Add(1)
+			return out, nil
+		}
+		c.removeLocked(el)
+	}
+	c.mu.Unlock()
+	c.misses.Add(1)
+
+	entries, err := c.inner.Get(key, topN)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.insertLocked(ck, entries)
+	c.mu.Unlock()
+	return entries, nil
+}
+
+// Append implements Store: write-through plus invalidation of every
+// cached read of the written block.
+func (c *Cached) Append(key kadid.ID, entries []wire.Entry) error {
+	if err := c.inner.Append(key, entries); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	for _, el := range c.byID[key] {
+		c.removeLocked(el)
+	}
+	c.mu.Unlock()
+	return nil
+}
+
+// Hits returns how many reads were served from the cache.
+func (c *Cached) Hits() int64 { return c.hits.Load() }
+
+// Misses returns how many reads went to the underlying store.
+func (c *Cached) Misses() int64 { return c.misses.Load() }
+
+// Len returns the number of cached blocks.
+func (c *Cached) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Inner returns the wrapped store.
+func (c *Cached) Inner() Store { return c.inner }
+
+// Appends implements Counter by delegation (cache hits do not change
+// the lookup cost of writes).
+func (c *Cached) Appends() int64 { return c.counter().Appends() }
+
+// Gets implements Counter: the overlay lookups actually performed.
+func (c *Cached) Gets() int64 { return c.counter().Gets() }
+
+// Lookups implements Counter.
+func (c *Cached) Lookups() int64 { return c.counter().Lookups() }
+
+func (c *Cached) counter() Counter {
+	if ctr, ok := c.inner.(Counter); ok {
+		return ctr
+	}
+	return zeroCounter{}
+}
+
+type zeroCounter struct{}
+
+func (zeroCounter) Appends() int64 { return 0 }
+func (zeroCounter) Gets() int64    { return 0 }
+func (zeroCounter) Lookups() int64 { return 0 }
+
+func (c *Cached) insertLocked(ck cacheKey, entries []wire.Entry) {
+	if el, ok := c.items[ck]; ok {
+		c.removeLocked(el)
+	}
+	el := c.ll.PushFront(&cacheEntry{key: ck, entries: entries, expires: c.now().Add(c.ttl)})
+	c.items[ck] = el
+	m, ok := c.byID[ck.id]
+	if !ok {
+		m = make(map[int]*list.Element, 2)
+		c.byID[ck.id] = m
+	}
+	m[ck.topN] = el
+	for c.ll.Len() > c.cap {
+		c.removeLocked(c.ll.Back())
+	}
+}
+
+func (c *Cached) removeLocked(el *list.Element) {
+	ce := el.Value.(*cacheEntry)
+	c.ll.Remove(el)
+	delete(c.items, ce.key)
+	if m, ok := c.byID[ce.key.id]; ok {
+		delete(m, ce.key.topN)
+		if len(m) == 0 {
+			delete(c.byID, ce.key.id)
+		}
+	}
+}
+
+var (
+	_ Store   = (*Cached)(nil)
+	_ Counter = (*Cached)(nil)
+)

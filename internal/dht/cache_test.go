@@ -1,0 +1,178 @@
+package dht
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"dharma/internal/kadid"
+	"dharma/internal/wire"
+)
+
+func newCachedLocal(t *testing.T, capacity int, ttl time.Duration, now func() time.Time) (*Cached, *Local) {
+	t.Helper()
+	l := NewLocal()
+	return NewCached(l, capacity, ttl, now), l
+}
+
+func TestCacheHitAvoidsLookup(t *testing.T) {
+	c, l := newCachedLocal(t, 8, time.Minute, nil)
+	key := kadid.HashString("rock|3")
+	if err := c.Append(key, []wire.Entry{{Field: "pop", Count: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get(key, 0); err != nil {
+		t.Fatal(err)
+	}
+	innerGets := l.Gets()
+	for i := 0; i < 10; i++ {
+		es, err := c.Get(key, 0)
+		if err != nil || len(es) != 1 || es[0].Count != 2 {
+			t.Fatalf("cached read wrong: %+v, %v", es, err)
+		}
+	}
+	if l.Gets() != innerGets {
+		t.Fatalf("cache hits reached the store: %d -> %d", innerGets, l.Gets())
+	}
+	if c.Hits() != 10 || c.Misses() != 1 {
+		t.Fatalf("hits=%d misses=%d", c.Hits(), c.Misses())
+	}
+}
+
+func TestCacheKeyIncludesTopN(t *testing.T) {
+	c, _ := newCachedLocal(t, 8, time.Minute, nil)
+	key := kadid.HashString("k")
+	if err := c.Append(key, []wire.Entry{
+		{Field: "a", Count: 3}, {Field: "b", Count: 2}, {Field: "c", Count: 1},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	full, err := c.Get(key, 0)
+	if err != nil || len(full) != 3 {
+		t.Fatalf("full read: %v %v", full, err)
+	}
+	top1, err := c.Get(key, 1)
+	if err != nil || len(top1) != 1 {
+		t.Fatalf("filtered read served from wrong cache slot: %v %v", top1, err)
+	}
+}
+
+func TestCacheAppendInvalidates(t *testing.T) {
+	c, _ := newCachedLocal(t, 8, time.Minute, nil)
+	key := kadid.HashString("k")
+	if err := c.Append(key, []wire.Entry{{Field: "a", Count: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get(key, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Append(key, []wire.Entry{{Field: "a", Count: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	es, err := c.Get(key, 0)
+	if err != nil || es[0].Count != 2 {
+		t.Fatalf("stale read after write: %+v, %v", es, err)
+	}
+}
+
+func TestCacheTTLExpiry(t *testing.T) {
+	clock := time.Unix(1000, 0)
+	now := func() time.Time { return clock }
+	c, l := newCachedLocal(t, 8, 10*time.Second, now)
+	key := kadid.HashString("k")
+	if err := c.Append(key, []wire.Entry{{Field: "a", Count: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	c.Get(key, 0) //nolint:errcheck
+	before := l.Gets()
+	clock = clock.Add(11 * time.Second)
+	c.Get(key, 0) //nolint:errcheck
+	if l.Gets() != before+1 {
+		t.Fatal("expired entry served from cache")
+	}
+}
+
+func TestCacheCapacityEviction(t *testing.T) {
+	c, l := newCachedLocal(t, 2, time.Minute, nil)
+	keys := []kadid.ID{kadid.HashString("a"), kadid.HashString("b"), kadid.HashString("c")}
+	for _, k := range keys {
+		if err := c.Append(k, []wire.Entry{{Field: "f", Count: 1}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, k := range keys {
+		c.Get(k, 0) //nolint:errcheck
+	}
+	if c.Len() != 2 {
+		t.Fatalf("cache len = %d, want 2", c.Len())
+	}
+	// "a" was evicted (LRU): reading it again must hit the store.
+	before := l.Gets()
+	c.Get(keys[0], 0) //nolint:errcheck
+	if l.Gets() != before+1 {
+		t.Fatal("evicted entry still cached")
+	}
+	// "c" is fresh: cache hit.
+	before = l.Gets()
+	c.Get(keys[2], 0) //nolint:errcheck
+	if l.Gets() != before {
+		t.Fatal("fresh entry not cached")
+	}
+}
+
+func TestCacheMissOnErrorNotCached(t *testing.T) {
+	c, _ := newCachedLocal(t, 8, time.Minute, nil)
+	missing := kadid.HashString("missing")
+	if _, err := c.Get(missing, 0); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("want ErrNotFound, got %v", err)
+	}
+	if c.Len() != 0 {
+		t.Fatal("error result was cached")
+	}
+	// The block appears later; it must be found.
+	if err := c.Append(missing, []wire.Entry{{Field: "f", Count: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get(missing, 0); err != nil {
+		t.Fatalf("block invisible after append: %v", err)
+	}
+}
+
+func TestCacheCountersDelegate(t *testing.T) {
+	c, l := newCachedLocal(t, 8, time.Minute, nil)
+	key := kadid.HashString("k")
+	c.Append(key, []wire.Entry{{Field: "f", Count: 1}}) //nolint:errcheck
+	c.Get(key, 0)                                       //nolint:errcheck
+	c.Get(key, 0)                                       // hit //nolint:errcheck
+	if c.Lookups() != l.Lookups() {
+		t.Fatalf("counter mismatch: %d vs %d", c.Lookups(), l.Lookups())
+	}
+	if c.Gets() != 1 {
+		t.Fatalf("Gets = %d, want 1 (hit must not count)", c.Gets())
+	}
+}
+
+func TestCacheConcurrent(t *testing.T) {
+	c, _ := newCachedLocal(t, 32, time.Minute, nil)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := kadid.HashString(fmt.Sprintf("k%d", i%16))
+				if i%5 == 0 {
+					if err := c.Append(key, []wire.Entry{{Field: "f", Count: 1}}); err != nil {
+						t.Error(err)
+						return
+					}
+				} else {
+					c.Get(key, 0) //nolint:errcheck // may be missing
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,154 @@
+// Package dht exposes the block-store abstraction DHARMA is written
+// against. The paper assumes "retrieving or modifying the content of a
+// block on the DHT costs only one overlay lookup operation", provided
+// the overlay offers PUT and GET primitives; this package provides those
+// primitives and the lookup accounting that Table I is stated in.
+//
+// Two implementations are provided:
+//
+//   - Overlay: backed by a live Kademlia node (internal/kademlia); every
+//     operation performs one iterative overlay lookup plus the replica
+//     RPCs, exactly like a deployment.
+//   - Local: backed by an in-process block store with identical
+//     semantics; used to run the paper's large-scale graph simulations
+//     without paying network costs that the experiment does not measure.
+//
+// Both count operations, so experiments can assert the costs of Table I
+// regardless of the backing.
+package dht
+
+import (
+	"errors"
+	"sync/atomic"
+
+	"dharma/internal/kademlia"
+	"dharma/internal/kadid"
+	"dharma/internal/likir"
+	"dharma/internal/wire"
+)
+
+// ErrNotFound is returned by Get when no block exists under a key.
+var ErrNotFound = errors.New("dht: block not found")
+
+// Store is the PUT/GET interface DHARMA's engine runs on. Append merges
+// entries into the block under key ("one-bit token" semantics: counts
+// add up, data replaces); Get returns the block's entries sorted by
+// descending count, truncated to topN when topN > 0.
+type Store interface {
+	Append(key kadid.ID, entries []wire.Entry) error
+	Get(key kadid.ID, topN int) ([]wire.Entry, error)
+}
+
+// Counter reports how many block operations (the paper's "overlay
+// lookups") a store has performed.
+type Counter interface {
+	Appends() int64
+	Gets() int64
+	// Lookups is Appends + Gets: the total cost in Table I units.
+	Lookups() int64
+}
+
+// Local is an in-process Store. It reuses the same storage the overlay
+// nodes use, so append/filter semantics are identical to a deployment.
+type Local struct {
+	store   *kademlia.Store
+	appends atomic.Int64
+	gets    atomic.Int64
+}
+
+// NewLocal creates an empty in-process store.
+func NewLocal() *Local {
+	return &Local{store: kademlia.NewStore()}
+}
+
+// Append implements Store.
+func (l *Local) Append(key kadid.ID, entries []wire.Entry) error {
+	l.appends.Add(1)
+	l.store.Append(key, entries)
+	return nil
+}
+
+// Get implements Store.
+func (l *Local) Get(key kadid.ID, topN int) ([]wire.Entry, error) {
+	l.gets.Add(1)
+	es, ok := l.store.Get(key, topN)
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return es, nil
+}
+
+// Appends implements Counter.
+func (l *Local) Appends() int64 { return l.appends.Load() }
+
+// Gets implements Counter.
+func (l *Local) Gets() int64 { return l.gets.Load() }
+
+// Lookups implements Counter.
+func (l *Local) Lookups() int64 { return l.appends.Load() + l.gets.Load() }
+
+// Raw exposes the underlying block store (for inspection in tests and
+// the hotspot experiment).
+func (l *Local) Raw() *kademlia.Store { return l.store }
+
+// Overlay is a Store backed by a live Kademlia node. When Signer is
+// set, entries that carry Data (URI blocks) are signed before storing,
+// as Likir prescribes.
+type Overlay struct {
+	node    *kademlia.Node
+	signer  *likir.Identity
+	appends atomic.Int64
+	gets    atomic.Int64
+}
+
+// NewOverlay wraps a bootstrapped node. signer may be nil (open overlay).
+func NewOverlay(node *kademlia.Node, signer *likir.Identity) *Overlay {
+	return &Overlay{node: node, signer: signer}
+}
+
+// Append implements Store: one iterative lookup locates the replica set,
+// then the entries are stored on the k closest nodes.
+func (o *Overlay) Append(key kadid.ID, entries []wire.Entry) error {
+	o.appends.Add(1)
+	if o.signer != nil {
+		signed := make([]wire.Entry, len(entries))
+		for i, e := range entries {
+			if len(e.Data) > 0 && len(e.Sig) == 0 {
+				o.signer.SignEntry(key, &e)
+			}
+			signed[i] = e
+		}
+		entries = signed
+	}
+	_, err := o.node.Store(key, entries)
+	return err
+}
+
+// Get implements Store: one iterative value lookup.
+func (o *Overlay) Get(key kadid.ID, topN int) ([]wire.Entry, error) {
+	o.gets.Add(1)
+	es, err := o.node.FindValue(key, topN)
+	if errors.Is(err, kademlia.ErrNotFound) {
+		return nil, ErrNotFound
+	}
+	return es, err
+}
+
+// Appends implements Counter.
+func (o *Overlay) Appends() int64 { return o.appends.Load() }
+
+// Gets implements Counter.
+func (o *Overlay) Gets() int64 { return o.gets.Load() }
+
+// Lookups implements Counter.
+func (o *Overlay) Lookups() int64 { return o.appends.Load() + o.gets.Load() }
+
+// Node exposes the backing overlay node.
+func (o *Overlay) Node() *kademlia.Node { return o.node }
+
+var (
+	_ Store   = (*Local)(nil)
+	_ Counter = (*Local)(nil)
+	_ Store   = (*Overlay)(nil)
+	_ Counter = (*Overlay)(nil)
+)

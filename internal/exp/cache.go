@@ -1,0 +1,152 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"dharma/internal/core"
+	"dharma/internal/dht"
+	"dharma/internal/kademlia"
+	"dharma/internal/metrics"
+	"dharma/internal/simnet"
+)
+
+// CacheResult is the A7 extension experiment: how much of DHARMA's
+// read traffic a small client-side LRU cache absorbs, and what it does
+// to the hotspot skew. Search traffic is Zipf-skewed over the popular
+// tags, matching the access pattern §V identifies as the problem.
+type CacheResult struct {
+	Nodes, Readers, Searches int
+
+	PlainLookups, CachedLookups int64   // overlay reads issued by readers
+	HitRate                     float64 // cache hits / reads
+	PlainGini, CachedGini       float64 // request skew across storage nodes
+}
+
+// RunCacheEffect publishes a workload slice, then replays a Zipf-skewed
+// stream of search steps through a set of reader peers — once against
+// plain overlay stores and once with a per-reader dht.Cached wrapper —
+// and compares overlay lookups and per-node request skew.
+func RunCacheEffect(w *Workbench, nodes, annotations, k, searches int) (*CacheResult, error) {
+	const readers = 8
+	res := &CacheResult{Nodes: nodes, Readers: readers, Searches: searches}
+
+	run := func(cached bool) (lookups int64, hitRate, gini float64, err error) {
+		cl, err := kademlia.NewCluster(kademlia.ClusterConfig{
+			N:    nodes,
+			Node: kademlia.Config{K: 8, Alpha: 3},
+			Seed: w.Seed,
+		})
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		pub, err := core.NewEngine(dht.NewOverlay(cl.Nodes[0], nil), core.Config{
+			Mode: core.Approximated, K: k, Seed: w.Seed,
+		})
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		schedule := w.Schedule()
+		if len(schedule) > annotations {
+			schedule = schedule[:annotations]
+		}
+		inserted := map[string]bool{}
+		tagPop := map[string]int{}
+		for _, a := range schedule {
+			if !inserted[a.Resource] {
+				if err := pub.InsertResource(a.Resource, "uri:"+a.Resource); err != nil {
+					return 0, 0, 0, err
+				}
+				inserted[a.Resource] = true
+			}
+			if err := pub.Tag(a.Resource, a.Tag); err != nil {
+				return 0, 0, 0, err
+			}
+			tagPop[a.Tag]++
+		}
+		top := topTags(tagPop, 50)
+
+		// Reader engines on distinct peers, optionally cache-fronted.
+		engines := make([]*core.Engine, readers)
+		stores := make([]dht.Counter, readers)
+		caches := make([]*dht.Cached, readers)
+		for i := 0; i < readers; i++ {
+			var store dht.Store = dht.NewOverlay(cl.Nodes[1+i], nil)
+			if cached {
+				c := dht.NewCached(store, 128, time.Minute, nil)
+				caches[i] = c
+				store = c
+			}
+			stores[i] = store.(dht.Counter)
+			engines[i], err = core.NewEngine(store, core.Config{
+				Mode: core.Approximated, K: k, Seed: w.Seed + int64(i),
+			})
+			if err != nil {
+				return 0, 0, 0, err
+			}
+		}
+
+		// Snapshot per-node request counters so only the search phase
+		// is measured.
+		before := make(map[simnet.Addr]int64, len(cl.Nodes))
+		for _, n := range cl.Nodes {
+			addr := simnet.Addr(n.Self().Addr)
+			before[addr] = cl.Net.Stats(addr).Received.Load()
+		}
+
+		zipf := rand.NewZipf(rand.New(rand.NewSource(w.Seed+9)), 1.3, 1, uint64(len(top)-1))
+		for i := 0; i < searches; i++ {
+			tag := top[zipf.Uint64()]
+			if _, _, err := engines[i%readers].SearchStep(tag); err != nil {
+				return 0, 0, 0, fmt.Errorf("search %q: %w", tag, err)
+			}
+		}
+
+		var load []float64
+		for _, n := range cl.Nodes {
+			addr := simnet.Addr(n.Self().Addr)
+			load = append(load, float64(cl.Net.Stats(addr).Received.Load()-before[addr]))
+		}
+		for _, s := range stores {
+			lookups += s.Gets()
+		}
+		if cached {
+			var hits, total int64
+			for _, c := range caches {
+				hits += c.Hits()
+				total += c.Hits() + c.Misses()
+			}
+			if total > 0 {
+				hitRate = float64(hits) / float64(total)
+			}
+		}
+		return lookups, hitRate, metrics.Gini(load), nil
+	}
+
+	var err error
+	if res.PlainLookups, _, res.PlainGini, err = run(false); err != nil {
+		return nil, err
+	}
+	if res.CachedLookups, res.HitRate, res.CachedGini, err = run(true); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// String renders the comparison.
+func (r *CacheResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Extension A7 — client cache vs hotspot traffic (%d Zipf searches, %d readers)\n",
+		r.Searches, r.Readers)
+	fmt.Fprintf(&b, "%-10s %16s %14s %12s\n", "variant", "overlay lookups", "request Gini", "hit rate")
+	fmt.Fprintf(&b, "%-10s %16d %14.3f %12s\n", "plain", r.PlainLookups, r.PlainGini, "-")
+	fmt.Fprintf(&b, "%-10s %16d %14.3f %12.3f\n", "cached", r.CachedLookups, r.CachedGini, r.HitRate)
+	if r.PlainLookups > 0 {
+		fmt.Fprintf(&b, "lookup reduction: %.1f%%\n",
+			100*(1-float64(r.CachedLookups)/float64(r.PlainLookups)))
+	}
+	b.WriteString("(a small per-peer LRU absorbs the Zipf head, easing the popular-tag hotspots of §V)\n")
+	return b.String()
+}

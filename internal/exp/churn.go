@@ -1,0 +1,178 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"dharma/internal/core"
+	"dharma/internal/dht"
+	"dharma/internal/kademlia"
+	"dharma/internal/simnet"
+)
+
+// ChurnResult is the A6 extension experiment: block availability under
+// node churn, with and without replica maintenance (republish). The
+// paper defers "emulative and evolutionary analysis" to future work;
+// this measures the part a deployment cares about most — whether the
+// folksonomy index survives peers leaving.
+type ChurnResult struct {
+	Nodes, ProbeKeys, Cycles   int
+	KillPerCycle, JoinPerCycle int
+
+	Live         []int     // live node count after each cycle
+	AvailWith    []float64 // probe availability with republish
+	AvailWithout []float64 // probe availability without
+}
+
+// RunChurn publishes a workload slice on a live overlay, then runs
+// churn cycles (kill `kill` random nodes, join `join` fresh ones per
+// cycle), measuring the retrievability of the most popular tags' t̂
+// blocks. The scenario runs twice from identical seeds: once with every
+// live node republishing each cycle, once without any maintenance.
+func RunChurn(w *Workbench, nodes, annotations, cycles, kill, join, replication int) (*ChurnResult, error) {
+	if replication <= 0 {
+		replication = 8
+	}
+	res := &ChurnResult{
+		Nodes: nodes, Cycles: cycles,
+		KillPerCycle: kill, JoinPerCycle: join,
+	}
+
+	run := func(republish bool) ([]int, []float64, error) {
+		cl, err := kademlia.NewCluster(kademlia.ClusterConfig{
+			N:    nodes,
+			Node: kademlia.Config{K: replication, Alpha: 3},
+			Seed: w.Seed,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		eng, err := core.NewEngine(dht.NewOverlay(cl.Nodes[0], nil), core.Config{
+			Mode: core.Approximated, K: 5, Seed: w.Seed,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+
+		schedule := w.Schedule()
+		if len(schedule) > annotations {
+			schedule = schedule[:annotations]
+		}
+		inserted := map[string]bool{}
+		tagPop := map[string]int{}
+		for _, a := range schedule {
+			if !inserted[a.Resource] {
+				if err := eng.InsertResource(a.Resource, "uri:"+a.Resource); err != nil {
+					return nil, nil, err
+				}
+				inserted[a.Resource] = true
+			}
+			if err := eng.Tag(a.Resource, a.Tag); err != nil {
+				return nil, nil, err
+			}
+			tagPop[a.Tag]++
+		}
+
+		// Probe the t̂ blocks of the most popular tags in the slice.
+		probes := topTags(tagPop, 30)
+		res.ProbeKeys = len(probes)
+
+		rng := rand.New(rand.NewSource(w.Seed + 5))
+		alive := make([]bool, nodes)
+		for i := range alive {
+			alive[i] = true
+		}
+		liveCount := nodes
+		var liveSeries []int
+		var avail []float64
+
+		for cycle := 0; cycle < cycles; cycle++ {
+			// Kill: never node 0, which hosts the probing engine.
+			for k := 0; k < kill; k++ {
+				for tries := 0; tries < 10*nodes; tries++ {
+					i := 1 + rng.Intn(len(cl.Nodes)-1)
+					if i < len(alive) && alive[i] {
+						alive[i] = false
+						liveCount--
+						cl.Net.SetDown(simnet.Addr(cl.Nodes[i].Self().Addr), true)
+						break
+					}
+				}
+			}
+			// Join fresh nodes via node 0.
+			for j := 0; j < join; j++ {
+				if _, err := cl.AddNode(kademlia.Config{K: replication, Alpha: 3},
+					w.Seed+int64(1000+cycle*join+j), 0); err != nil {
+					return nil, nil, err
+				}
+				alive = append(alive, true)
+				liveCount++
+			}
+			if republish {
+				for i, n := range cl.Nodes {
+					if i < len(alive) && alive[i] {
+						n.RepublishOnce()
+					}
+				}
+			}
+
+			found := 0
+			for _, tag := range probes {
+				if _, err := eng.Store().Get(core.BlockKey(tag, core.BlockTagNeighbors), 1); err == nil {
+					found++
+				}
+			}
+			liveSeries = append(liveSeries, liveCount)
+			avail = append(avail, float64(found)/float64(len(probes)))
+		}
+		return liveSeries, avail, nil
+	}
+
+	var err error
+	if res.Live, res.AvailWith, err = run(true); err != nil {
+		return nil, err
+	}
+	if _, res.AvailWithout, err = run(false); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func topTags(pop map[string]int, n int) []string {
+	type tc struct {
+		tag string
+		n   int
+	}
+	all := make([]tc, 0, len(pop))
+	for t, c := range pop {
+		all = append(all, tc{t, c})
+	}
+	for i := 1; i < len(all); i++ { // insertion sort: small n
+		for j := i; j > 0 && (all[j].n > all[j-1].n ||
+			(all[j].n == all[j-1].n && all[j].tag < all[j-1].tag)); j-- {
+			all[j], all[j-1] = all[j-1], all[j]
+		}
+	}
+	if len(all) > n {
+		all = all[:n]
+	}
+	out := make([]string, len(all))
+	for i, t := range all {
+		out[i] = t.tag
+	}
+	return out
+}
+
+// String renders the availability series.
+func (r *ChurnResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Extension A6 — availability under churn (%d nodes, -%d/+%d per cycle, %d probe blocks)\n",
+		r.Nodes, r.KillPerCycle, r.JoinPerCycle, r.ProbeKeys)
+	fmt.Fprintf(&b, "%6s %6s %18s %18s\n", "cycle", "live", "avail (republish)", "avail (none)")
+	for i := range r.AvailWith {
+		fmt.Fprintf(&b, "%6d %6d %18.3f %18.3f\n", i+1, r.Live[i], r.AvailWith[i], r.AvailWithout[i])
+	}
+	b.WriteString("(replica maintenance keeps the index retrievable as the original holders disappear)\n")
+	return b.String()
+}

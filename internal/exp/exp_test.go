@@ -1,0 +1,352 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dharma/internal/dataset"
+	"dharma/internal/search"
+)
+
+func tinyBench(t *testing.T) *Workbench {
+	t.Helper()
+	return NewWorkbench(dataset.Tiny(3))
+}
+
+func TestRunTable1VerifiesFormulas(t *testing.T) {
+	for _, k := range []int{1, 3, 10} {
+		res, err := RunTable1(k)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if !res.Verified() {
+			t.Fatalf("k=%d: measured costs diverge from Table I:\n%s", k, res)
+		}
+		s := res.String()
+		for _, want := range []string{"Insert(r, t1..m)", "Tag(r,t)", "Search step", "2+2m", "4+k"} {
+			if !strings.Contains(s, want) {
+				t.Fatalf("rendering lacks %q:\n%s", want, s)
+			}
+		}
+	}
+}
+
+func TestRunTable2(t *testing.T) {
+	w := tinyBench(t)
+	res := RunTable2(w)
+	if res.Rows["Tags(r)"].N == 0 || res.Rows["Res(t)"].N == 0 || res.Rows["NFG(t)"].N == 0 {
+		t.Fatal("empty degree samples")
+	}
+	if res.Rows["Tags(r)"].Mean <= 1 {
+		t.Fatalf("Tags(r) mean %.2f implausible", res.Rows["Tags(r)"].Mean)
+	}
+	if res.SingletonTagFrac <= 0 || res.SingletonTagFrac >= 1 {
+		t.Fatalf("singleton fraction %v", res.SingletonTagFrac)
+	}
+	s := res.String()
+	if !strings.Contains(s, "Table II") || !strings.Contains(s, "1182") {
+		t.Fatalf("rendering lacks paper reference:\n%s", s)
+	}
+}
+
+func TestRunFigure5(t *testing.T) {
+	w := tinyBench(t)
+	res := RunFigure5(w)
+	for name, cdf := range map[string]int{
+		"tags":      len(res.TagsPerResource),
+		"res":       len(res.ResPerTag),
+		"neighbors": len(res.NeighborsPerTag),
+	} {
+		if cdf == 0 {
+			t.Fatalf("empty CDF %s", name)
+		}
+	}
+	var buf bytes.Buffer
+	if err := res.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "series,value,cumulative_probability\n") {
+		t.Fatal("CSV header missing")
+	}
+	if len(strings.Split(buf.String(), "\n")) < 5 {
+		t.Fatal("CSV too short")
+	}
+	if !strings.Contains(res.String(), "Figure 5") {
+		t.Fatal("rendering header missing")
+	}
+}
+
+func TestRunTable3(t *testing.T) {
+	w := tinyBench(t)
+	res := RunTable3(w, []int{1, 5, 10})
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for i, row := range res.Rows {
+		if row.Recall.Mean <= 0 || row.Recall.Mean > 1 {
+			t.Fatalf("row %d recall %v", i, row.Recall.Mean)
+		}
+		if row.Theta.Mean <= 0 {
+			t.Fatalf("row %d theta %v", i, row.Theta.Mean)
+		}
+	}
+	// Recall must not decrease with k.
+	if res.Rows[2].Recall.Mean+0.02 < res.Rows[0].Recall.Mean {
+		t.Fatalf("recall shrank with k: %v -> %v", res.Rows[0].Recall.Mean, res.Rows[2].Recall.Mean)
+	}
+	s := res.String()
+	if !strings.Contains(s, "Table III") || !strings.Contains(s, "0.6103") {
+		t.Fatalf("rendering lacks paper values:\n%s", s)
+	}
+}
+
+func TestRunFigures6And8(t *testing.T) {
+	w := tinyBench(t)
+	f6 := RunFigure6(w, []int{1, 100})
+	if len(f6.Series[1]) == 0 || len(f6.Series[100]) == 0 {
+		t.Fatal("figure 6 series empty")
+	}
+	// Degrees align near the diagonal even at k=1 (paper's claim); at
+	// k=100 Approximation A almost never truncates on a tiny dataset.
+	if f6.Slopes[1] < 0.5 || f6.Slopes[1] > 1.01 {
+		t.Fatalf("k=1 degree slope %.3f implausible", f6.Slopes[1])
+	}
+	if f6.Slopes[100] < f6.Slopes[1]-1e-9 {
+		t.Fatalf("degree slope did not improve with k: %v vs %v", f6.Slopes[100], f6.Slopes[1])
+	}
+
+	f8 := RunFigure8(w, []int{1, 25, 500})
+	if f8.Slopes[1] >= f8.Slopes[500] {
+		t.Fatalf("weight slope must grow with k: k1=%v k500=%v", f8.Slopes[1], f8.Slopes[500])
+	}
+	var buf bytes.Buffer
+	if err := f8.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "k,original_arc_weight") {
+		t.Fatalf("CSV header: %q", strings.SplitN(buf.String(), "\n", 2)[0])
+	}
+	if !strings.Contains(f6.String(), "Figure 6") || !strings.Contains(f8.String(), "Figure 8") {
+		t.Fatal("figure headers missing")
+	}
+}
+
+func TestRunTable4AndFigure7(t *testing.T) {
+	w := tinyBench(t)
+	t4 := RunTable4(w, 1, 5, 10)
+	for _, strat := range table4Strategies {
+		if t4.Original[strat].N == 0 || t4.Simulated[strat].N == 0 {
+			t.Fatalf("missing samples for %v", strat)
+		}
+		if t4.Original[strat].Mean < 1 {
+			t.Fatalf("%v mean %v below 1", strat, t4.Original[strat].Mean)
+		}
+	}
+	// Last converges at least as fast as First on the original graph.
+	if t4.Original[search.Last].Mean > t4.Original[search.First].Mean+1e-9 {
+		t.Fatalf("last (%v) slower than first (%v)",
+			t4.Original[search.Last].Mean, t4.Original[search.First].Mean)
+	}
+	s := t4.String()
+	if !strings.Contains(s, "Table IV") || !strings.Contains(s, "33.94") {
+		t.Fatalf("rendering lacks paper values:\n%s", s)
+	}
+
+	f7 := RunFigure7(t4)
+	if len(f7.CDFs["original"]) != 3 || len(f7.CDFs["approximated"]) != 3 {
+		t.Fatal("figure 7 missing series")
+	}
+	var buf bytes.Buffer
+	if err := f7.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "graph,strategy,steps") {
+		t.Fatal("CSV header missing")
+	}
+	if !strings.Contains(f7.String(), "Figure 7") {
+		t.Fatal("rendering header missing")
+	}
+}
+
+func TestRunAblationB(t *testing.T) {
+	w := tinyBench(t)
+	res := RunAblationB(w, 1)
+	// Approximation B alone never drops arcs.
+	if res.BOnlyRecall.Mean != 1 {
+		t.Fatalf("B-only recall %v, want 1", res.BOnlyRecall.Mean)
+	}
+	// Approximation A alone does drop arcs at k=1.
+	if res.AOnlyRecall.Mean >= 1 {
+		t.Fatalf("A-only recall %v, want < 1", res.AOnlyRecall.Mean)
+	}
+	if !strings.Contains(res.String(), "Ablation A1") {
+		t.Fatal("rendering header missing")
+	}
+}
+
+func TestRunAblationK(t *testing.T) {
+	w := tinyBench(t)
+	res := RunAblationK(w, []int{1, 2, 5, 20})
+	if len(res.Recall) != 4 {
+		t.Fatal("missing sweep points")
+	}
+	for i := 1; i < len(res.Recall); i++ {
+		if res.Recall[i]+0.02 < res.Recall[i-1] {
+			t.Fatalf("recall regressed in sweep: %v", res.Recall)
+		}
+	}
+	// Sub-linearity: the recall gain from k=1→2 exceeds the per-k gain
+	// from 5→20.
+	gainLow := res.Recall[1] - res.Recall[0]
+	gainHigh := (res.Recall[3] - res.Recall[2]) / 15
+	if gainHigh > gainLow+1e-9 {
+		t.Fatalf("recall not sub-linear: low gain %v, high per-k gain %v", gainLow, gainHigh)
+	}
+	if !strings.Contains(res.String(), "Ablation A2") {
+		t.Fatal("rendering header missing")
+	}
+}
+
+func TestRunHotspots(t *testing.T) {
+	w := tinyBench(t)
+	res, err := RunHotspots(w, 16, 400, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalBlocks == 0 || res.TotalRequests == 0 {
+		t.Fatalf("no load recorded: %+v", res)
+	}
+	if res.BlockGini < 0 || res.BlockGini > 1 || res.RequestGini < 0 || res.RequestGini > 1 {
+		t.Fatalf("gini out of range: %+v", res)
+	}
+	if res.Top5RequestFrac <= 0 || res.Top5RequestFrac > 1 {
+		t.Fatalf("top-5 share %v", res.Top5RequestFrac)
+	}
+	if !strings.Contains(res.String(), "Ablation A3") {
+		t.Fatal("rendering header missing")
+	}
+}
+
+func TestRunFilterCap(t *testing.T) {
+	w := tinyBench(t)
+	res := RunFilterCap(w, []int{5, 100}, 4, 5)
+	if len(res.Stats) != 2 {
+		t.Fatal("missing cap entries")
+	}
+	for _, c := range res.Caps {
+		for _, strat := range table4Strategies {
+			if res.Stats[c][strat].N == 0 {
+				t.Fatalf("cap %d strategy %v: no samples", c, strat)
+			}
+		}
+	}
+	if !strings.Contains(res.String(), "Ablation A4") {
+		t.Fatal("rendering header missing")
+	}
+}
+
+func TestRunTrendEmergence(t *testing.T) {
+	w := tinyBench(t)
+	res := RunTrendEmergence(w, 1, 150, 10, 100)
+	if res.HostTag == "" || res.TrendTag == "" {
+		t.Fatal("missing tags")
+	}
+	if len(res.OpsDone) == 0 {
+		t.Fatal("no checkpoints recorded")
+	}
+	if res.ExactEmergence < 0 {
+		t.Fatal("a 150-annotation burst must emerge on the exact graph")
+	}
+	// sim(host, trend) grows monotonically on the exact graph.
+	for i := 1; i < len(res.ExactSim); i++ {
+		if res.ExactSim[i] < res.ExactSim[i-1] {
+			t.Fatalf("exact sim regressed at checkpoint %d: %v", i, res.ExactSim)
+		}
+	}
+	// Approximated sim is bounded by the exact one at each checkpoint.
+	for i := range res.ApproxSim {
+		if res.ApproxSim[i] > res.ExactSim[i] {
+			t.Fatalf("approx sim %d exceeds exact %d", res.ApproxSim[i], res.ExactSim[i])
+		}
+	}
+	var buf bytes.Buffer
+	if err := res.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "ops,exact_rank") {
+		t.Fatal("CSV header missing")
+	}
+	if !strings.Contains(res.String(), "Extension A5") {
+		t.Fatal("rendering header missing")
+	}
+}
+
+func TestRunChurn(t *testing.T) {
+	w := tinyBench(t)
+	res, err := RunChurn(w, 20, 300, 4, 3, 1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.AvailWith) != 4 || len(res.AvailWithout) != 4 {
+		t.Fatalf("cycle series wrong: %+v", res)
+	}
+	for i := range res.AvailWith {
+		if res.AvailWith[i] < 0 || res.AvailWith[i] > 1 {
+			t.Fatalf("availability out of range: %v", res.AvailWith)
+		}
+		if res.AvailWith[i]+1e-9 < res.AvailWithout[i]-0.15 {
+			t.Fatalf("cycle %d: republish (%.2f) markedly worse than none (%.2f)",
+				i, res.AvailWith[i], res.AvailWithout[i])
+		}
+	}
+	// With maintenance, availability at the end must not collapse.
+	last := res.AvailWith[len(res.AvailWith)-1]
+	if last < 0.9 {
+		t.Fatalf("availability with republish fell to %.2f", last)
+	}
+	if !strings.Contains(res.String(), "Extension A6") {
+		t.Fatal("rendering header missing")
+	}
+}
+
+func TestRunCacheEffect(t *testing.T) {
+	w := tinyBench(t)
+	res, err := RunCacheEffect(w, 16, 300, 2, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PlainLookups == 0 {
+		t.Fatal("no plain lookups recorded")
+	}
+	if res.CachedLookups >= res.PlainLookups {
+		t.Fatalf("cache did not reduce lookups: %d vs %d", res.CachedLookups, res.PlainLookups)
+	}
+	if res.HitRate <= 0.3 {
+		t.Fatalf("hit rate %.2f too low for Zipf traffic", res.HitRate)
+	}
+	if !strings.Contains(res.String(), "Extension A7") {
+		t.Fatal("rendering header missing")
+	}
+}
+
+func TestWorkbenchCaches(t *testing.T) {
+	w := tinyBench(t)
+	if w.Dataset() != w.Dataset() {
+		t.Fatal("dataset not cached")
+	}
+	if w.Graph() != w.Graph() {
+		t.Fatal("graph not cached")
+	}
+	if w.Evolution(3) != w.Evolution(3) {
+		t.Fatal("evolution not cached")
+	}
+	s1 := w.Schedule()
+	s2 := w.Schedule()
+	if &s1[0] != &s2[0] {
+		t.Fatal("schedule not cached")
+	}
+	if len(w.PopularTags(5)) != 5 {
+		t.Fatal("popular tags")
+	}
+}

@@ -1,0 +1,132 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"dharma/internal/metrics"
+	"dharma/internal/plot"
+)
+
+// paperTable2 holds the degree statistics the paper reports for the
+// full-scale Last.fm crawl (Table II), for side-by-side rendering.
+var paperTable2 = map[string][3]float64{ // µ, σ, max
+	"Tags(r)": {5, 13, 1182},
+	"Res(t)":  {26, 525, 109717},
+	"NFG(t)":  {316, 1569, 120568},
+}
+
+// Table2Result reproduces Table II: the nodal degree statistics of the
+// TRG and FG.
+type Table2Result struct {
+	Rows map[string]metrics.Summary // keyed like paperTable2
+	// Core-periphery indicators from the §V-A prose.
+	SingletonTagFrac    float64 // paper: ~0.55
+	SingleTagResourceFr float64 // paper: ~0.40
+	Resources, Tags     int
+	Annotations         int
+}
+
+// RunTable2 computes the degree statistics of the workbench's dataset.
+func RunTable2(w *Workbench) *Table2Result {
+	st := w.Stats()
+	return &Table2Result{
+		Rows: map[string]metrics.Summary{
+			"Tags(r)": metrics.Summarize(st.TagsPerResource),
+			"Res(t)":  metrics.Summarize(st.ResPerTag),
+			"NFG(t)":  metrics.Summarize(st.NeighborsPerTag),
+		},
+		SingletonTagFrac:    st.SingletonTagFrac,
+		SingleTagResourceFr: st.SingleTagResourceFr,
+		Resources:           st.Resources,
+		Tags:                st.Tags,
+		Annotations:         st.Annotations,
+	}
+}
+
+// String renders the table with the paper's full-scale values alongside.
+func (r *Table2Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table II — graph degree statistics (synthetic: R=%d T=%d annotations=%d; paper: R=1413657 T=285182 annotations≈11M)\n",
+		r.Resources, r.Tags, r.Annotations)
+	fmt.Fprintf(&b, "%-9s %10s %10s %10s   %28s\n", "degree", "mu", "sigma", "max", "paper (mu/sigma/max)")
+	for _, key := range []string{"Tags(r)", "Res(t)", "NFG(t)"} {
+		s := r.Rows[key]
+		p := paperTable2[key]
+		fmt.Fprintf(&b, "%-9s %10.1f %10.1f %10.0f   %10.0f %8.0f %9.0f\n",
+			key, s.Mean, s.Std, s.Max, p[0], p[1], p[2])
+	}
+	fmt.Fprintf(&b, "singleton tags: %.2f (paper ~0.55) | single-tag resources: %.2f (paper ~0.40)\n",
+		r.SingletonTagFrac, r.SingleTagResourceFr)
+	return b.String()
+}
+
+// Figure5Result reproduces Figure 5: the cumulative distribution of the
+// three nodal degrees.
+type Figure5Result struct {
+	TagsPerResource []metrics.CDFPoint
+	ResPerTag       []metrics.CDFPoint
+	NeighborsPerTag []metrics.CDFPoint
+}
+
+// RunFigure5 builds the degree CDFs.
+func RunFigure5(w *Workbench) *Figure5Result {
+	st := w.Stats()
+	return &Figure5Result{
+		TagsPerResource: metrics.CDF(st.TagsPerResource),
+		ResPerTag:       metrics.CDF(st.ResPerTag),
+		NeighborsPerTag: metrics.CDF(st.NeighborsPerTag),
+	}
+}
+
+// String renders the CDFs evaluated at powers of ten, matching the
+// figure's log-scaled x axis, followed by an ASCII rendering of the
+// curves.
+func (r *Figure5Result) String() string {
+	var b strings.Builder
+	b.WriteString("Figure 5 — nodal degree CDFs, P(X <= x) at log-spaced sizes\n")
+	fmt.Fprintf(&b, "%8s %12s %12s %12s\n", "size", "Res(t)", "Tags(r)", "NFG(t)")
+	for _, x := range []float64{1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 10000, 100000} {
+		fmt.Fprintf(&b, "%8.0f %12.4f %12.4f %12.4f\n",
+			x, metrics.CDFAt(r.ResPerTag, x), metrics.CDFAt(r.TagsPerResource, x),
+			metrics.CDFAt(r.NeighborsPerTag, x))
+	}
+	b.WriteString(plot.Render([]plot.Series{
+		{Name: "Res(t)", Points: cdfPoints(r.ResPerTag)},
+		{Name: "Tags(r)", Points: cdfPoints(r.TagsPerResource)},
+		{Name: "NFG(t)", Points: cdfPoints(r.NeighborsPerTag)},
+	}, plot.Options{LogX: true, XLabel: "size", YLabel: "cumulative probability"}))
+	b.WriteString("(paper: ~55% of tags at size 1 for Res(t); ~40% of resources at size 1 for Tags(r))\n")
+	return b.String()
+}
+
+func cdfPoints(cdf []metrics.CDFPoint) [][2]float64 {
+	out := make([][2]float64, len(cdf))
+	for i, p := range cdf {
+		out[i] = [2]float64{p.Value, p.Prob}
+	}
+	return out
+}
+
+// WriteCSV dumps the three CDF series for plotting.
+func (r *Figure5Result) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "series,value,cumulative_probability"); err != nil {
+		return err
+	}
+	dump := func(name string, pts []metrics.CDFPoint) error {
+		for _, p := range pts {
+			if _, err := fmt.Fprintf(w, "%s,%g,%g\n", name, p.Value, p.Prob); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := dump("Res(t)", r.ResPerTag); err != nil {
+		return err
+	}
+	if err := dump("Tags(r)", r.TagsPerResource); err != nil {
+		return err
+	}
+	return dump("NFG(t)", r.NeighborsPerTag)
+}

@@ -1,0 +1,58 @@
+package folksonomy
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkTagMaintenance measures the §III-B2 update on resources of
+// varying tag degree — the hot loop of every evaluation replay.
+func BenchmarkTagMaintenance(b *testing.B) {
+	for _, degree := range []int{5, 50, 500} {
+		b.Run(fmt.Sprintf("degree=%d", degree), func(b *testing.B) {
+			g := New()
+			tags := make([]string, degree)
+			for i := range tags {
+				tags[i] = fmt.Sprintf("t%d", i)
+			}
+			if err := g.InsertResource("r", "", tags...); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := g.Tag("r", tags[i%degree]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkInsertResource measures resource insertion with 5 tags.
+func BenchmarkInsertResource(b *testing.B) {
+	g := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := g.InsertResource(fmt.Sprintf("r%d", i), "", "a", "b", "c", "d", "e"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNeighbors measures FG adjacency extraction for a dense tag.
+func BenchmarkNeighbors(b *testing.B) {
+	g := New()
+	for i := 0; i < 500; i++ {
+		if err := g.InsertResource(fmt.Sprintf("r%d", i), "", "hub", fmt.Sprintf("t%d", i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ws := g.Neighbors("hub"); len(ws) != 500 {
+			b.Fatal("wrong adjacency")
+		}
+	}
+}

@@ -1,0 +1,287 @@
+package folksonomy
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestInsertResourceBasics(t *testing.T) {
+	g := New()
+	if err := g.InsertResource("r1", "uri:r1", "t1", "t2", "t3"); err != nil {
+		t.Fatalf("InsertResource: %v", err)
+	}
+	if !g.HasResource("r1") || !g.HasTag("t2") {
+		t.Fatal("resource or tag missing")
+	}
+	if g.URI("r1") != "uri:r1" {
+		t.Fatalf("URI = %q", g.URI("r1"))
+	}
+	for _, tag := range []string{"t1", "t2", "t3"} {
+		if g.U(tag, "r1") != 1 {
+			t.Fatalf("u(%s,r1) = %d, want 1", tag, g.U(tag, "r1"))
+		}
+	}
+	// All ordered pairs get sim = 1.
+	for _, pair := range [][2]string{{"t1", "t2"}, {"t2", "t1"}, {"t1", "t3"}, {"t3", "t2"}} {
+		if got := g.Sim(pair[0], pair[1]); got != 1 {
+			t.Fatalf("sim(%s,%s) = %d, want 1", pair[0], pair[1], got)
+		}
+	}
+	if g.NumResources() != 1 || g.NumTags() != 3 || g.NumArcs() != 6 {
+		t.Fatalf("sizes: R=%d T=%d arcs=%d", g.NumResources(), g.NumTags(), g.NumArcs())
+	}
+}
+
+func TestInsertResourceDuplicateFails(t *testing.T) {
+	g := New()
+	if err := g.InsertResource("r", "", "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.InsertResource("r", "", "b"); err == nil {
+		t.Fatal("duplicate resource accepted")
+	}
+}
+
+func TestInsertResourceDedupsTags(t *testing.T) {
+	g := New()
+	if err := g.InsertResource("r", "", "a", "a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if g.U("a", "r") != 1 {
+		t.Fatalf("u(a,r) = %d, want 1 after dedup", g.U("a", "r"))
+	}
+	if g.Sim("a", "b") != 1 || g.Sim("b", "a") != 1 {
+		t.Fatal("dedup broke similarity updates")
+	}
+	if g.Sim("a", "a") != 0 {
+		t.Fatal("self-similarity created")
+	}
+}
+
+func TestTagOnMissingResourceFails(t *testing.T) {
+	g := New()
+	if err := g.Tag("ghost", "t"); err == nil {
+		t.Fatal("Tag on missing resource accepted")
+	}
+}
+
+// TestPaperFigure1Example rebuilds the worked example of Figure 1: the
+// arc (t1,t2) has weight 5 because the resources r1, r2 ∈ Res(t1) carry
+// t2 with weights 3 and 2, while conversely sim(t2,t1) = 7.
+func TestPaperFigure1Example(t *testing.T) {
+	g := New()
+	// r1: u(t1)=4, u(t2)=3; r2: u(t1)=3, u(t2)=2.
+	if err := g.InsertResource("r1", "", "t1", "t2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.InsertResource("r2", "", "t1", "t2"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		mustTag(t, g, "r1", "t1")
+	}
+	for i := 0; i < 2; i++ {
+		mustTag(t, g, "r1", "t2")
+	}
+	for i := 0; i < 2; i++ {
+		mustTag(t, g, "r2", "t1")
+	}
+	mustTag(t, g, "r2", "t2")
+
+	if g.U("t1", "r1") != 4 || g.U("t2", "r1") != 3 || g.U("t1", "r2") != 3 || g.U("t2", "r2") != 2 {
+		t.Fatalf("TRG weights wrong: %d %d %d %d",
+			g.U("t1", "r1"), g.U("t2", "r1"), g.U("t1", "r2"), g.U("t2", "r2"))
+	}
+	if got := g.Sim("t1", "t2"); got != 5 {
+		t.Fatalf("sim(t1,t2) = %d, want 5", got)
+	}
+	if got := g.Sim("t2", "t1"); got != 7 {
+		t.Fatalf("sim(t2,t1) = %d, want 7", got)
+	}
+}
+
+// TestPaperFigure2TagInsertion replays Figure 2(b): r2 holds t1 (u=3)
+// and t2 (u=2); attaching the new tag t3 must set sim(t3,t1)=3,
+// sim(t3,t2)=2 and increment sim(t1,t3), sim(t2,t3) by one.
+func TestPaperFigure2TagInsertion(t *testing.T) {
+	g := New()
+	if err := g.InsertResource("r2", "", "t1", "t2"); err != nil {
+		t.Fatal(err)
+	}
+	mustTag(t, g, "r2", "t1")
+	mustTag(t, g, "r2", "t1")
+	mustTag(t, g, "r2", "t2")
+	if g.U("t1", "r2") != 3 || g.U("t2", "r2") != 2 {
+		t.Fatalf("setup wrong: u(t1)=%d u(t2)=%d", g.U("t1", "r2"), g.U("t2", "r2"))
+	}
+	simT1T3 := g.Sim("t1", "t3")
+	simT2T3 := g.Sim("t2", "t3")
+
+	mustTag(t, g, "r2", "t3")
+
+	if got := g.Sim("t3", "t1"); got != 3 {
+		t.Fatalf("sim(t3,t1) = %d, want u(t1,r2)=3", got)
+	}
+	if got := g.Sim("t3", "t2"); got != 2 {
+		t.Fatalf("sim(t3,t2) = %d, want u(t2,r2)=2", got)
+	}
+	if got := g.Sim("t1", "t3"); got != simT1T3+1 {
+		t.Fatalf("sim(t1,t3) = %d, want +1", got)
+	}
+	if got := g.Sim("t2", "t3"); got != simT2T3+1 {
+		t.Fatalf("sim(t2,t3) = %d, want +1", got)
+	}
+}
+
+func TestRepeatedTagLeavesForwardSimUnchanged(t *testing.T) {
+	// §III-B2: if t was already in Tags(r), sim(t,τ) must not change,
+	// while sim(τ,t) still grows by one.
+	g := New()
+	if err := g.InsertResource("r", "", "a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	simAB := g.Sim("a", "b")
+	simBA := g.Sim("b", "a")
+	mustTag(t, g, "r", "a") // a already present
+	if got := g.Sim("a", "b"); got != simAB {
+		t.Fatalf("sim(a,b) changed: %d -> %d", simAB, got)
+	}
+	if got := g.Sim("b", "a"); got != simBA+1 {
+		t.Fatalf("sim(b,a) = %d, want %d", got, simBA+1)
+	}
+}
+
+func TestIncrementalMatchesDefinition(t *testing.T) {
+	// The maintenance rules must keep sim identical to recomputing it
+	// from the TRG definition, under arbitrary operation sequences.
+	rng := rand.New(rand.NewSource(42))
+	tags := []string{"t0", "t1", "t2", "t3", "t4", "t5", "t6", "t7"}
+
+	for trial := 0; trial < 20; trial++ {
+		g := New()
+		nRes := 0
+		for op := 0; op < 200; op++ {
+			if nRes == 0 || rng.Float64() < 0.15 {
+				var tr []string
+				for _, tg := range tags {
+					if rng.Float64() < 0.4 {
+						tr = append(tr, tg)
+					}
+				}
+				if len(tr) == 0 {
+					tr = []string{tags[rng.Intn(len(tags))]}
+				}
+				if err := g.InsertResource(fmt.Sprintf("r%d", nRes), "", tr...); err != nil {
+					t.Fatal(err)
+				}
+				nRes++
+			} else {
+				r := fmt.Sprintf("r%d", rng.Intn(nRes))
+				mustTag(t, g, r, tags[rng.Intn(len(tags))])
+			}
+		}
+		want := g.RecomputeSimFromTRG()
+		got := make(map[string]map[string]int)
+		for _, t1 := range g.TagNames() {
+			m := make(map[string]int)
+			for _, w := range g.Neighbors(t1) {
+				m[w.Name] = w.Weight
+			}
+			got[t1] = m
+		}
+		for t1, m := range want {
+			for t2, w := range m {
+				if got[t1][t2] != w {
+					t.Fatalf("trial %d: sim(%s,%s) = %d, definition says %d",
+						trial, t1, t2, got[t1][t2], w)
+				}
+			}
+		}
+		for t1, m := range got {
+			for t2 := range m {
+				if want[t1][t2] == 0 && m[t2] != 0 {
+					t.Fatalf("trial %d: spurious arc (%s,%s)=%d", trial, t1, t2, m[t2])
+				}
+			}
+		}
+	}
+}
+
+func TestSimExistenceSymmetry(t *testing.T) {
+	// By construction, sim(t1,t2) != 0 implies sim(t2,t1) != 0.
+	rng := rand.New(rand.NewSource(7))
+	g := New()
+	tags := []string{"a", "b", "c", "d", "e"}
+	for i := 0; i < 30; i++ {
+		var tr []string
+		for _, tg := range tags {
+			if rng.Float64() < 0.5 {
+				tr = append(tr, tg)
+			}
+		}
+		if len(tr) == 0 {
+			continue
+		}
+		if err := g.InsertResource(fmt.Sprintf("r%d", i), "", tr...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		r := fmt.Sprintf("r%d", rng.Intn(30))
+		if g.HasResource(r) {
+			mustTag(t, g, r, tags[rng.Intn(len(tags))])
+		}
+	}
+	g.ForEachArc(func(t1, t2 string, w int) {
+		if w <= 0 {
+			t.Fatalf("non-positive arc weight sim(%s,%s)=%d", t1, t2, w)
+		}
+		if g.Sim(t2, t1) == 0 {
+			t.Fatalf("sim(%s,%s)=%d but sim(%s,%s)=0", t1, t2, w, t2, t1)
+		}
+	})
+}
+
+func TestDegreesAndSets(t *testing.T) {
+	g := New()
+	if err := g.InsertResource("r1", "", "a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.InsertResource("r2", "", "b", "c"); err != nil {
+		t.Fatal(err)
+	}
+	if g.TagDegree("r1") != 2 || g.ResDegree("b") != 2 {
+		t.Fatalf("degrees wrong: TagDegree=%d ResDegree=%d", g.TagDegree("r1"), g.ResDegree("b"))
+	}
+	if g.NeighborDegree("b") != 2 { // b co-occurs with a and c
+		t.Fatalf("NeighborDegree(b) = %d, want 2", g.NeighborDegree("b"))
+	}
+	if g.NeighborDegree("a") != 1 {
+		t.Fatalf("NeighborDegree(a) = %d, want 1", g.NeighborDegree("a"))
+	}
+	res := g.Res("b")
+	if len(res) != 2 {
+		t.Fatalf("Res(b) = %v", res)
+	}
+	if len(g.ResourceNames()) != 2 || len(g.TagNames()) != 3 {
+		t.Fatal("name listings wrong")
+	}
+}
+
+func TestSortWeighted(t *testing.T) {
+	ws := []Weighted{{"b", 2}, {"a", 2}, {"c", 9}, {"d", 1}}
+	SortWeighted(ws)
+	want := []Weighted{{"c", 9}, {"a", 2}, {"b", 2}, {"d", 1}}
+	if !reflect.DeepEqual(ws, want) {
+		t.Fatalf("SortWeighted = %v, want %v", ws, want)
+	}
+}
+
+func mustTag(t *testing.T, g *Graph, r, tag string) {
+	t.Helper()
+	if err := g.Tag(r, tag); err != nil {
+		t.Fatalf("Tag(%s,%s): %v", r, tag, err)
+	}
+}

@@ -1,0 +1,118 @@
+package folksonomy
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// Persistence. A Graph snapshot stores the interned name tables, the
+// TRG adjacency and the FG arcs, so a built folksonomy (minutes of
+// replay at full scale) can be saved once and reloaded in milliseconds.
+
+// snapshot is the gob-encoded on-disk form. Field names are part of the
+// format; bump formatVersion when they change.
+type snapshot struct {
+	Version  int
+	TagNames []string
+	ResNames []string
+	URIs     []string
+	// TRG: per resource, parallel slices of tag ids and weights.
+	AdjTags    [][]int32
+	AdjWeights [][]int32
+	// FG: per tag, adjacency map.
+	Sim []map[int32]int32
+}
+
+const formatVersion = 1
+
+// Save writes the graph to w. The encoding is self-contained: Load
+// restores an identical graph.
+func (g *Graph) Save(w io.Writer) error {
+	s := snapshot{
+		Version:    formatVersion,
+		TagNames:   g.tagName,
+		ResNames:   g.resName,
+		URIs:       g.uri,
+		AdjTags:    make([][]int32, len(g.tagsOf)),
+		AdjWeights: make([][]int32, len(g.tagsOf)),
+		Sim:        g.sim,
+	}
+	for i, adj := range g.tagsOf {
+		ids := make([]int32, len(adj))
+		ws := make([]int32, len(adj))
+		for j, c := range adj {
+			ids[j], ws[j] = c.id, c.w
+		}
+		s.AdjTags[i], s.AdjWeights[i] = ids, ws
+	}
+	if err := gob.NewEncoder(w).Encode(&s); err != nil {
+		return fmt.Errorf("folksonomy: save: %w", err)
+	}
+	return nil
+}
+
+// Load reads a graph previously written by Save.
+func Load(r io.Reader) (*Graph, error) {
+	var s snapshot
+	if err := gob.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("folksonomy: load: %w", err)
+	}
+	if s.Version != formatVersion {
+		return nil, fmt.Errorf("folksonomy: load: unsupported format version %d", s.Version)
+	}
+	if len(s.AdjTags) != len(s.ResNames) || len(s.URIs) != len(s.ResNames) ||
+		len(s.Sim) != len(s.TagNames) || len(s.AdjWeights) != len(s.AdjTags) {
+		return nil, fmt.Errorf("folksonomy: load: inconsistent snapshot")
+	}
+
+	g := &Graph{
+		tagID:   make(map[string]int32, len(s.TagNames)),
+		tagName: s.TagNames,
+		resID:   make(map[string]int32, len(s.ResNames)),
+		resName: s.ResNames,
+		uri:     s.URIs,
+		sim:     s.Sim,
+	}
+	for i, name := range s.TagNames {
+		g.tagID[name] = int32(i)
+	}
+	for i, name := range s.ResNames {
+		g.resID[name] = int32(i)
+	}
+	g.resOf = make([]map[int32]int32, len(s.TagNames))
+	for i := range g.resOf {
+		g.resOf[i] = make(map[int32]int32)
+	}
+	if g.sim == nil {
+		g.sim = []map[int32]int32{}
+	}
+	for i := range g.sim {
+		if g.sim[i] == nil {
+			g.sim[i] = make(map[int32]int32)
+		}
+	}
+
+	g.tagsOf = make([][]idw, len(s.AdjTags))
+	g.tagPos = make([]map[int32]int32, len(s.AdjTags))
+	for rid, ids := range s.AdjTags {
+		ws := s.AdjWeights[rid]
+		if len(ws) != len(ids) {
+			return nil, fmt.Errorf("folksonomy: load: resource %d adjacency mismatch", rid)
+		}
+		adj := make([]idw, len(ids))
+		pos := make(map[int32]int32, len(ids))
+		for j := range ids {
+			tid, weight := ids[j], ws[j]
+			if int(tid) >= len(s.TagNames) || weight <= 0 {
+				return nil, fmt.Errorf("folksonomy: load: bad cell (%d,%d) on resource %d", tid, weight, rid)
+			}
+			adj[j] = idw{id: tid, w: weight}
+			pos[tid] = int32(j)
+			g.resOf[tid][int32(rid)] = weight
+		}
+		g.tagsOf[rid] = adj
+		g.tagPos[rid] = pos
+	}
+	return g, nil
+}

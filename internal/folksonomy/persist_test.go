@@ -1,0 +1,139 @@
+package folksonomy
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func buildRandomGraph(t *testing.T, seed int64, ops int) *Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	g := New()
+	nRes := 0
+	for i := 0; i < ops; i++ {
+		if nRes == 0 || rng.Float64() < 0.2 {
+			var tags []string
+			for j := 0; j < 5; j++ {
+				if rng.Float64() < 0.5 {
+					tags = append(tags, fmt.Sprintf("t%d", rng.Intn(15)))
+				}
+			}
+			r := fmt.Sprintf("r%d", nRes)
+			if err := g.InsertResource(r, "uri:"+r, tags...); err != nil {
+				t.Fatal(err)
+			}
+			nRes++
+		} else {
+			if err := g.Tag(fmt.Sprintf("r%d", rng.Intn(nRes)), fmt.Sprintf("t%d", rng.Intn(15))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return g
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	g := buildRandomGraph(t, 3, 300)
+	var buf bytes.Buffer
+	if err := g.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	g2, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+
+	if g2.NumResources() != g.NumResources() || g2.NumTags() != g.NumTags() || g2.NumArcs() != g.NumArcs() {
+		t.Fatalf("sizes differ: R %d/%d T %d/%d arcs %d/%d",
+			g2.NumResources(), g.NumResources(), g2.NumTags(), g.NumTags(), g2.NumArcs(), g.NumArcs())
+	}
+	for _, r := range g.ResourceNames() {
+		if g2.URI(r) != g.URI(r) {
+			t.Fatalf("URI(%s) differs", r)
+		}
+		for _, w := range g.Tags(r) {
+			if g2.U(w.Name, r) != w.Weight {
+				t.Fatalf("u(%s,%s) = %d, want %d", w.Name, r, g2.U(w.Name, r), w.Weight)
+			}
+		}
+	}
+	for _, tag := range g.TagNames() {
+		if g2.ResDegree(tag) != g.ResDegree(tag) {
+			t.Fatalf("ResDegree(%s) differs", tag)
+		}
+		for _, w := range g.Neighbors(tag) {
+			if g2.Sim(tag, w.Name) != w.Weight {
+				t.Fatalf("sim(%s,%s) = %d, want %d", tag, w.Name, g2.Sim(tag, w.Name), w.Weight)
+			}
+		}
+	}
+}
+
+func TestLoadedGraphRemainsMutable(t *testing.T) {
+	g := buildRandomGraph(t, 4, 100)
+	var buf bytes.Buffer
+	if err := g.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Continue evolving both identically; they must stay equal.
+	for i := 0; i < 50; i++ {
+		r := fmt.Sprintf("r%d", i%g.NumResources())
+		tag := fmt.Sprintf("t%d", i%15)
+		if err := g.Tag(r, tag); err != nil {
+			t.Fatal(err)
+		}
+		if err := g2.Tag(r, tag); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := g.RecomputeSimFromTRG()
+	got := g2.RecomputeSimFromTRG()
+	for t1, m := range want {
+		for t2, w := range m {
+			if got[t1][t2] != w {
+				t.Fatalf("post-load divergence at sim(%s,%s)", t1, t2)
+			}
+		}
+	}
+	// And the incremental state matches the definition.
+	for t1, m := range got {
+		for t2, w := range m {
+			if g2.Sim(t1, t2) != w {
+				t.Fatalf("loaded graph maintenance broken at (%s,%s)", t1, t2)
+			}
+		}
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	if _, err := Load(bytes.NewReader([]byte("not a gob stream"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestSaveLoadEmptyGraph(t *testing.T) {
+	var buf bytes.Buffer
+	if err := New().Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumResources() != 0 || g.NumTags() != 0 {
+		t.Fatal("empty graph round trip not empty")
+	}
+	// Must be usable after load.
+	if err := g.InsertResource("r", "", "a"); err != nil {
+		t.Fatal(err)
+	}
+}

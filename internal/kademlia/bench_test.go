@@ -1,0 +1,93 @@
+package kademlia
+
+import (
+	"fmt"
+	"testing"
+
+	"dharma/internal/kadid"
+	"dharma/internal/wire"
+)
+
+func benchCluster(b *testing.B, n int) *Cluster {
+	b.Helper()
+	cl, err := NewCluster(ClusterConfig{
+		N:    n,
+		Node: Config{K: 8, Alpha: 3},
+		Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return cl
+}
+
+// BenchmarkIterativeLookup measures lookup latency against overlay
+// size; Kademlia promises O(log n) hops.
+func BenchmarkIterativeLookup(b *testing.B) {
+	for _, n := range []int{16, 64, 256} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			cl := benchCluster(b, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cl.Nodes[i%n].IterativeFindNode(kadid.HashString(fmt.Sprintf("t%d", i)))
+			}
+		})
+	}
+}
+
+// BenchmarkStoreReplicated measures a replicated write (lookup + k
+// STOREs).
+func BenchmarkStoreReplicated(b *testing.B) {
+	cl := benchCluster(b, 64)
+	entries := []wire.Entry{{Field: "f", Count: 1}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cl.Nodes[i%64].Store(kadid.HashString(fmt.Sprintf("k%d", i%256)), entries); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFindValueHot measures repeated reads of one popular block.
+func BenchmarkFindValueHot(b *testing.B) {
+	cl := benchCluster(b, 64)
+	key := kadid.HashString("hot")
+	if _, err := cl.Nodes[0].Store(key, []wire.Entry{{Field: "f", Count: 1}}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cl.Nodes[i%64].FindValue(key, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRoutingTableUpdate measures the table's hot path.
+func BenchmarkRoutingTableUpdate(b *testing.B) {
+	tab := NewTable(kadid.HashString("self"), 20, nil)
+	contacts := make([]wire.Contact, 1024)
+	for i := range contacts {
+		contacts[i] = wire.Contact{ID: kadid.HashString(fmt.Sprintf("c%d", i)), Addr: "a"}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab.Update(contacts[i%len(contacts)])
+	}
+}
+
+// BenchmarkLocalStoreAppend measures the storage merge path.
+func BenchmarkLocalStoreAppend(b *testing.B) {
+	s := NewStore()
+	keys := make([]kadid.ID, 64)
+	for i := range keys {
+		keys[i] = kadid.HashString(fmt.Sprintf("k%d", i))
+	}
+	e := []wire.Entry{{Field: "f", Count: 1}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Append(keys[i%len(keys)], e)
+	}
+}

@@ -1,0 +1,126 @@
+package kademlia
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dharma/internal/kadid"
+	"dharma/internal/likir"
+	"dharma/internal/simnet"
+	"dharma/internal/wire"
+)
+
+// ClusterConfig describes an in-process overlay for experiments, tests
+// and examples.
+type ClusterConfig struct {
+	// N is the number of nodes (at least 1).
+	N int
+	// Node is the per-node protocol configuration.
+	Node Config
+	// Net configures the simulated network.
+	Net simnet.Config
+	// Seed drives node identifier generation and refresh randomness.
+	Seed int64
+	// Authority, when set, issues a Likir identity to every node and
+	// enables credential checking cluster-wide (Node.CAPub is filled).
+	Authority *likir.Authority
+	// RefreshRounds runs extra random lookups per node after joining to
+	// densify routing tables. 0 keeps plain bootstrap.
+	RefreshRounds int
+}
+
+// Cluster is a set of overlay nodes wired through one simulated
+// network. Node 0 acts as the bootstrap seed.
+type Cluster struct {
+	Net   *simnet.Network
+	Nodes []*Node
+}
+
+// NewCluster builds and joins an N-node overlay. Every node bootstraps
+// against node 0, which mirrors how a deployment uses a well-known
+// rendezvous node.
+func NewCluster(cc ClusterConfig) (*Cluster, error) {
+	if cc.N < 1 {
+		return nil, fmt.Errorf("kademlia: cluster needs at least 1 node, got %d", cc.N)
+	}
+	rng := rand.New(rand.NewSource(cc.Seed))
+	net := simnet.New(cc.Net)
+	cl := &Cluster{Net: net, Nodes: make([]*Node, cc.N)}
+
+	for i := 0; i < cc.N; i++ {
+		cfg := cc.Node
+		var id kadid.ID
+		if cc.Authority != nil {
+			ident, err := cc.Authority.Issue(deterministicReader{rng}, fmt.Sprintf("node-%d", i))
+			if err != nil {
+				return nil, fmt.Errorf("kademlia: issue identity: %w", err)
+			}
+			cfg.Identity = ident
+			cfg.CAPub = cc.Authority.PublicKey()
+		} else {
+			id = kadid.Random(rng)
+		}
+		node := NewNode(id, cfg)
+		tr := net.Attach(simnet.Addr(fmt.Sprintf("node-%d", i)), node)
+		node.Attach(tr)
+		cl.Nodes[i] = node
+	}
+
+	seed := cl.Nodes[0].Self()
+	for i := 1; i < cc.N; i++ {
+		if err := cl.Nodes[i].Bootstrap([]wire.Contact{seed}); err != nil {
+			return nil, fmt.Errorf("kademlia: bootstrap node %d: %w", i, err)
+		}
+	}
+	for r := 0; r < cc.RefreshRounds; r++ {
+		for _, n := range cl.Nodes {
+			n.IterativeFindNode(kadid.Random(rng))
+		}
+	}
+	return cl, nil
+}
+
+// AddNode joins one more node to a running cluster (churn-in). The new
+// node bootstraps through the given existing member.
+func (c *Cluster) AddNode(cfg Config, seed int64, via int) (*Node, error) {
+	rng := rand.New(rand.NewSource(seed))
+	node := NewNode(kadid.Random(rng), cfg)
+	addr := simnet.Addr(fmt.Sprintf("node-%d", len(c.Nodes)))
+	node.Attach(c.Net.Attach(addr, node))
+	if err := node.Bootstrap([]wire.Contact{c.Nodes[via].Self()}); err != nil {
+		return nil, err
+	}
+	c.Nodes = append(c.Nodes, node)
+	return node, nil
+}
+
+// Contacts returns the contact of every cluster node.
+func (c *Cluster) Contacts() []wire.Contact {
+	out := make([]wire.Contact, len(c.Nodes))
+	for i, n := range c.Nodes {
+		out[i] = n.Self()
+	}
+	return out
+}
+
+// ClosestGroundTruth returns the true k closest node contacts to target
+// across the whole cluster — the oracle lookups are validated against.
+func (c *Cluster) ClosestGroundTruth(target kadid.ID, k int) []wire.Contact {
+	all := c.Contacts()
+	sortContactsByDistance(all, target)
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all
+}
+
+// deterministicReader adapts a *rand.Rand to io.Reader for key
+// generation, keeping cluster construction reproducible under a seed.
+type deterministicReader struct{ r *rand.Rand }
+
+func (d deterministicReader) Read(p []byte) (int, error) {
+	for i := range p {
+		p[i] = byte(d.r.Intn(256))
+	}
+	return len(p), nil
+}

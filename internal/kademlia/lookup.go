@@ -1,0 +1,236 @@
+package kademlia
+
+import (
+	"math/rand"
+	"sync"
+
+	"dharma/internal/kadid"
+	"dharma/internal/wire"
+)
+
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// lookupResult is what one RPC in a lookup round produced.
+type lookupResult struct {
+	from     wire.Contact
+	contacts []wire.Contact
+	entries  []wire.Entry
+	isValue  bool
+	err      error
+}
+
+// iterativeLookup is the Kademlia node-lookup procedure. Starting from
+// the k closest known contacts it repeatedly queries, with parallelism
+// α, the closest not-yet-queried candidates, merging every NODES
+// response into the candidate set. It stops when the k closest known
+// contacts have all been queried — or, in value mode, as soon as a
+// replica returns the block.
+//
+// In value mode (wantValue) the RPC is FIND_VALUE and entries from all
+// VALUE responses of the final round are merged field-wise, taking the
+// maximum count per field: counts only grow, so the maximum is the most
+// complete replica state.
+func (n *Node) iterativeLookup(target kadid.ID, wantValue bool, topN int) ([]wire.Entry, bool, []wire.Contact) {
+	n.lookups.Add(1)
+
+	type candidate struct {
+		contact   wire.Contact
+		queried   bool
+		responded bool
+		failed    bool
+	}
+	seen := make(map[kadid.ID]*candidate)
+	var order []*candidate // kept sorted by distance to target
+
+	insert := func(c wire.Contact) {
+		if c.ID == n.self.ID || c.ID.IsZero() || c.Addr == "" {
+			return
+		}
+		if _, ok := seen[c.ID]; ok {
+			return
+		}
+		cd := &candidate{contact: c}
+		seen[c.ID] = cd
+		order = append(order, cd)
+		for i := len(order) - 1; i > 0 && kadid.Closer(order[i].contact.ID, order[i-1].contact.ID, target); i-- {
+			order[i], order[i-1] = order[i-1], order[i]
+		}
+	}
+
+	// Seed with a deeper slice of the table than the k-window needs:
+	// when an entire near-key neighbourhood has crashed, the extra
+	// candidates are what lets the lookup route around it.
+	for _, c := range n.table.Closest(target, 3*n.cfg.K) {
+		insert(c)
+	}
+
+	var merged map[string]wire.Entry
+	foundValue := false
+	var valueHolders map[kadid.ID]bool
+
+	for {
+		// Pick the α closest unqueried candidates among the k closest
+		// that have not failed: dead nodes must not occupy the window,
+		// or a crashed replica set would mask the live nodes behind it.
+		var batch []*candidate
+		inspected := 0
+		for _, cd := range order {
+			if cd.failed {
+				continue
+			}
+			if inspected >= n.cfg.K {
+				break
+			}
+			inspected++
+			if !cd.queried {
+				batch = append(batch, cd)
+				if len(batch) >= n.cfg.Alpha {
+					break
+				}
+			}
+		}
+		if len(batch) == 0 {
+			break
+		}
+
+		results := make(chan lookupResult, len(batch))
+		var wg sync.WaitGroup
+		for _, cd := range batch {
+			cd.queried = true
+			wg.Add(1)
+			go func(c wire.Contact) {
+				defer wg.Done()
+				var msg *wire.Message
+				if wantValue {
+					msg = &wire.Message{Kind: wire.KindFindValue, Target: target, TopN: uint32(topN)}
+				} else {
+					msg = &wire.Message{Kind: wire.KindFindNode, Target: target}
+				}
+				resp, err := n.call(c, msg)
+				if err != nil {
+					results <- lookupResult{from: c, err: err}
+					return
+				}
+				results <- lookupResult{
+					from:     c,
+					contacts: resp.Contacts,
+					entries:  resp.Entries,
+					isValue:  resp.Kind == wire.KindValue,
+				}
+			}(cd.contact)
+		}
+		wg.Wait()
+		close(results)
+
+		for res := range results {
+			if res.err != nil {
+				if cd, ok := seen[res.from.ID]; ok {
+					cd.failed = true
+				}
+				continue
+			}
+			if cd, ok := seen[res.from.ID]; ok {
+				cd.responded = true
+			}
+			if res.isValue {
+				foundValue = true
+				if merged == nil {
+					merged = make(map[string]wire.Entry)
+					valueHolders = make(map[kadid.ID]bool)
+				}
+				valueHolders[res.from.ID] = true
+				for _, e := range res.entries {
+					if cur, ok := merged[e.Field]; !ok || e.Count > cur.Count {
+						merged[e.Field] = e
+					}
+				}
+				continue
+			}
+			for _, c := range res.contacts {
+				insert(c)
+			}
+		}
+		if foundValue {
+			break
+		}
+	}
+
+	// The k closest responders, in distance order, are the lookup's
+	// node-set result (used for replica placement by Store).
+	closest := make([]wire.Contact, 0, n.cfg.K)
+	for _, cd := range order {
+		if cd.responded {
+			closest = append(closest, cd.contact)
+			if len(closest) >= n.cfg.K {
+				break
+			}
+		}
+	}
+
+	if !foundValue {
+		return nil, false, closest
+	}
+	out := make([]wire.Entry, 0, len(merged))
+	for _, e := range merged {
+		out = append(out, e)
+	}
+	sortEntries(out)
+
+	// Kademlia §4.1: replicate the found value onto the closest node
+	// observed during the lookup that does not hold it, so hot blocks
+	// migrate towards their readers. Max-merge keeps this idempotent.
+	// Only unfiltered lookups are cached: a TopN-truncated response is
+	// a partial block, and caching it would let it shadow full replicas
+	// for later readers. (Cached copies can still serve stale counts —
+	// acceptable for DHARMA, whose weights are approximate by design.)
+	if n.cfg.CacheOnLookup && topN == 0 {
+		for _, c := range closest {
+			if !valueHolders[c.ID] {
+				go n.call(c, &wire.Message{ //nolint:errcheck // best effort
+					Kind: wire.KindReplicate, Target: target, Entries: out,
+				})
+				break
+			}
+		}
+	}
+
+	if topN > 0 && len(out) > topN {
+		out = out[:topN]
+	}
+	return out, true, closest
+}
+
+func sortEntries(es []wire.Entry) {
+	for i := 1; i < len(es); i++ {
+		for j := i; j > 0 && entryLess(es[j], es[j-1]); j-- {
+			es[j], es[j-1] = es[j-1], es[j]
+		}
+	}
+}
+
+func entryLess(a, b wire.Entry) bool {
+	if a.Count != b.Count {
+		return a.Count > b.Count
+	}
+	return a.Field < b.Field
+}
+
+// mergeEntriesMax merges two entry lists field-wise, keeping the larger
+// count per field, and returns the result sorted by descending count.
+func mergeEntriesMax(a, b []wire.Entry) []wire.Entry {
+	m := make(map[string]wire.Entry, len(a)+len(b))
+	for _, e := range a {
+		m[e.Field] = e
+	}
+	for _, e := range b {
+		if cur, ok := m[e.Field]; !ok || e.Count > cur.Count {
+			m[e.Field] = e
+		}
+	}
+	out := make([]wire.Entry, 0, len(m))
+	for _, e := range m {
+		out = append(out, e)
+	}
+	sortEntries(out)
+	return out
+}

@@ -1,0 +1,88 @@
+package kademlia
+
+import (
+	"sync"
+
+	"dharma/internal/kadid"
+	"dharma/internal/wire"
+)
+
+// Replica maintenance. Kademlia keeps values alive under churn by
+// periodically republishing each stored block to the nodes currently
+// closest to its key. Republication must be idempotent — replicas that
+// already hold the block must not double-count its weights — so it uses
+// a dedicated merge rule: per-field MAXIMUM instead of addition. Block
+// counts grow monotonically, so max-merge converges every replica to
+// the most complete state it has seen (an anti-entropy exchange in the
+// G-Counter style; increments applied to disjoint replica sets during a
+// partition are reconciled to the larger side rather than summed, an
+// approximation consistent with DHARMA's tolerance for approximate
+// weights).
+
+// MergeMax merges entries into the block under key taking the maximum
+// count per field. Data and its signature envelope are adopted when the
+// local copy has none.
+func (s *Store) MergeMax(key kadid.ID, entries []wire.Entry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	blk, ok := s.blocks[key]
+	if !ok {
+		blk = make(map[string]*storedEntry, len(entries))
+		s.blocks[key] = blk
+	}
+	for _, e := range entries {
+		se, ok := blk[e.Field]
+		if !ok {
+			se = &storedEntry{}
+			blk[e.Field] = se
+		}
+		if e.Count > se.count {
+			se.count = e.Count
+		}
+		if len(se.data) == 0 && len(e.Data) > 0 {
+			se.data = append([]byte(nil), e.Data...)
+			se.author = append([]byte(nil), e.Author...)
+			se.sig = append([]byte(nil), e.Sig...)
+		}
+	}
+}
+
+// RepublishOnce pushes every locally stored block to the k nodes
+// currently closest to its key (max-merge on arrival). It returns how
+// many blocks were pushed and how many replica stores succeeded.
+// Deployments call this periodically; tests and the churn experiment
+// call it directly.
+func (n *Node) RepublishOnce() (blocks int, acks int) {
+	for _, key := range n.store.Keys() {
+		entries, ok := n.store.Get(key, 0)
+		if !ok {
+			continue // deleted concurrently
+		}
+		targets := n.insertSelf(n.IterativeFindNode(key), key)
+		blocks++
+
+		var wg sync.WaitGroup
+		var mu sync.Mutex
+		for _, c := range targets {
+			if c.ID == n.self.ID {
+				continue // we already hold it
+			}
+			wg.Add(1)
+			go func(c wire.Contact) {
+				defer wg.Done()
+				resp, err := n.call(c, &wire.Message{
+					Kind:    wire.KindReplicate,
+					Target:  key,
+					Entries: entries,
+				})
+				if err == nil && resp.Kind == wire.KindStoreAck {
+					mu.Lock()
+					acks++
+					mu.Unlock()
+				}
+			}(c)
+		}
+		wg.Wait()
+	}
+	return blocks, acks
+}

@@ -1,0 +1,400 @@
+// Package kademlia implements the structured overlay DHARMA runs on: a
+// complete Kademlia node (XOR-metric routing table, iterative lookups
+// with parallelism α, STORE/FIND_VALUE with k-closest replication)
+// extended with the two features the paper requires of its DHT layer:
+// append-only block updates ("one-bit tokens") and index-side filtering
+// on reads. An optional Likir identity layer authenticates both nodes
+// and stored entries.
+//
+// The protocol logic is transport-agnostic: it speaks through the
+// simnet.Transport interface, so the same node runs on the in-memory
+// instrumented network (tests, experiments) and on real UDP
+// (cmd/dharma-node).
+package kademlia
+
+import (
+	"crypto/ed25519"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dharma/internal/kadid"
+	"dharma/internal/likir"
+	"dharma/internal/simnet"
+	"dharma/internal/wire"
+)
+
+// Protocol defaults; both are the constants of the Kademlia paper.
+const (
+	DefaultK     = 20
+	DefaultAlpha = 3
+)
+
+// Errors returned by overlay operations.
+var (
+	ErrNotFound   = errors.New("kademlia: value not found")
+	ErrNoContacts = errors.New("kademlia: routing table is empty")
+)
+
+// Config parameterises a node.
+type Config struct {
+	// K is the bucket size and replication factor (default DefaultK).
+	K int
+	// Alpha is the lookup parallelism (default DefaultAlpha).
+	Alpha int
+	// Identity is the node's Likir identity. When set, outbound RPCs
+	// carry the marshalled credential.
+	Identity *likir.Identity
+	// CAPub, when set, makes the node reject RPCs from peers without a
+	// valid credential and drop stored entries whose signature fails.
+	CAPub ed25519.PublicKey
+	// Revoked, when set, rejects peers whose identifier it reports as
+	// withdrawn. It is consulted on every message (a revocation cuts
+	// off peers that were admitted earlier). Typically backed by a
+	// likir.RevocationSet refreshed from the authority's bundle.
+	Revoked func(kadid.ID) bool
+	// CacheOnLookup enables the Kademlia §4.1 optimisation: after a
+	// successful value lookup, the block is replicated (max-merge) onto
+	// the closest observed node that did not have it. Popular blocks —
+	// DHARMA's hotspot concern — thereby spread towards their readers.
+	CacheOnLookup bool
+	// Now is the clock used for credential validation (default time.Now).
+	Now func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.K <= 0 {
+		c.K = DefaultK
+	}
+	if c.Alpha <= 0 {
+		c.Alpha = DefaultAlpha
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// Node is one overlay participant.
+type Node struct {
+	cfg       Config
+	self      wire.Contact
+	transport simnet.Transport
+	table     *Table
+	store     *Store
+	credBlob  []byte
+
+	// credCache remembers peers whose credential already verified, so
+	// the Ed25519 check runs once per peer rather than once per message.
+	credMu    sync.RWMutex
+	credSeen  map[kadid.ID]bool
+	lookups   atomic.Int64
+	rpcServed atomic.Int64
+}
+
+// NewNode creates a node with identifier self. Attach must be called
+// with a live transport before the node can serve or send RPCs.
+func NewNode(self kadid.ID, cfg Config) *Node {
+	cfg = cfg.withDefaults()
+	if cfg.Identity != nil {
+		self = cfg.Identity.NodeID // Likir: the identity fixes the ID
+	}
+	n := &Node{
+		cfg:      cfg,
+		self:     wire.Contact{ID: self},
+		store:    NewStore(),
+		credSeen: make(map[kadid.ID]bool),
+	}
+	n.table = NewTable(self, cfg.K, n.pingContact)
+	if cfg.Identity != nil {
+		n.credBlob = cfg.Identity.Credential.Marshal()
+	}
+	return n
+}
+
+// Attach binds the node to a transport endpoint. The typical sequence
+// is: node := NewNode(...); tr := net.Attach(addr, node); node.Attach(tr).
+func (n *Node) Attach(tr simnet.Transport) {
+	n.transport = tr
+	n.self.Addr = string(tr.Addr())
+}
+
+// Self returns the node's own contact.
+func (n *Node) Self() wire.Contact { return n.self }
+
+// Identity returns the node's Likir identity, nil on an open overlay.
+func (n *Node) Identity() *likir.Identity { return n.cfg.Identity }
+
+// Table exposes the routing table (read-mostly; used by tests and the
+// hotspot experiment).
+func (n *Node) Table() *Table { return n.table }
+
+// LocalStore exposes the node's block storage.
+func (n *Node) LocalStore() *Store { return n.store }
+
+// Lookups returns how many iterative lookup procedures this node has
+// initiated; it is the unit the paper's Table I counts costs in.
+func (n *Node) Lookups() int64 { return n.lookups.Load() }
+
+// RPCServed returns how many RPC requests this node has answered.
+func (n *Node) RPCServed() int64 { return n.rpcServed.Load() }
+
+// HandleRPC implements simnet.Handler: it decodes one request, updates
+// the routing table with the caller, and dispatches.
+func (n *Node) HandleRPC(from simnet.Addr, payload []byte) ([]byte, error) {
+	msg, err := wire.Decode(payload)
+	if err != nil {
+		return nil, err
+	}
+	n.rpcServed.Add(1)
+
+	if err := n.admit(msg); err != nil {
+		return wire.Encode(&wire.Message{Kind: wire.KindError, From: n.self, Err: err.Error()}), nil
+	}
+	if msg.From.ID != (kadid.ID{}) && msg.From.Addr != "" {
+		n.table.Update(msg.From)
+	}
+
+	var resp *wire.Message
+	switch msg.Kind {
+	case wire.KindPing:
+		resp = &wire.Message{Kind: wire.KindPong}
+
+	case wire.KindFindNode:
+		resp = &wire.Message{
+			Kind:     wire.KindNodes,
+			Contacts: n.table.Closest(msg.Target, n.cfg.K),
+		}
+
+	case wire.KindFindValue:
+		if entries, ok := n.store.Get(msg.Target, int(msg.TopN)); ok {
+			resp = &wire.Message{Kind: wire.KindValue, Entries: entries}
+		} else {
+			resp = &wire.Message{
+				Kind:     wire.KindNodes,
+				Contacts: n.table.Closest(msg.Target, n.cfg.K),
+			}
+		}
+
+	case wire.KindStore, wire.KindReplicate:
+		kept := msg.Entries
+		if n.cfg.CAPub != nil {
+			kept = kept[:0:len(kept)]
+			for _, e := range msg.Entries {
+				if likir.VerifyEntry(msg.Target, &e) == nil {
+					kept = append(kept, e)
+				}
+			}
+		}
+		if msg.Kind == wire.KindStore {
+			n.store.Append(msg.Target, kept)
+		} else {
+			n.store.MergeMax(msg.Target, kept)
+		}
+		resp = &wire.Message{Kind: wire.KindStoreAck}
+
+	default:
+		resp = &wire.Message{Kind: wire.KindError, Err: fmt.Sprintf("unexpected %v", msg.Kind)}
+	}
+	resp.From = n.self
+	return wire.Encode(resp), nil
+}
+
+// admit enforces Likir node admission when a CA public key is
+// configured: requests must carry a valid credential matching the
+// claimed sender identifier.
+func (n *Node) admit(msg *wire.Message) error {
+	if n.cfg.Revoked != nil && n.cfg.Revoked(msg.From.ID) {
+		return errors.New("kademlia: peer identity revoked")
+	}
+	if n.cfg.CAPub == nil {
+		return nil
+	}
+	if msg.From.ID == (kadid.ID{}) {
+		return nil // anonymous probe (no routing-table update happens)
+	}
+	n.credMu.RLock()
+	ok := n.credSeen[msg.From.ID]
+	n.credMu.RUnlock()
+	if ok {
+		return nil
+	}
+	if len(msg.Cred) == 0 {
+		return errors.New("kademlia: credential required")
+	}
+	cred, err := likir.UnmarshalCredential(msg.Cred)
+	if err != nil {
+		return err
+	}
+	if err := likir.VerifyCredential(n.cfg.CAPub, cred, n.cfg.Now); err != nil {
+		return err
+	}
+	if cred.NodeID != msg.From.ID {
+		return fmt.Errorf("%w: sender id does not match credential", likir.ErrBadCredential)
+	}
+	n.credMu.Lock()
+	n.credSeen[msg.From.ID] = true
+	n.credMu.Unlock()
+	return nil
+}
+
+// call sends one RPC and maintains the routing table on success and
+// failure.
+func (n *Node) call(to wire.Contact, msg *wire.Message) (*wire.Message, error) {
+	msg.From = n.self
+	msg.Cred = n.credBlob
+	raw, err := n.transport.Call(simnet.Addr(to.Addr), wire.Encode(msg))
+	if err != nil {
+		n.table.Remove(to.ID)
+		return nil, err
+	}
+	resp, err := wire.Decode(raw)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Kind == wire.KindError {
+		return nil, fmt.Errorf("kademlia: remote error: %s", resp.Err)
+	}
+	if resp.From.ID != (kadid.ID{}) && resp.From.Addr != "" {
+		n.table.Update(resp.From)
+	}
+	return resp, nil
+}
+
+func (n *Node) pingContact(c wire.Contact) bool {
+	resp, err := n.call(c, &wire.Message{Kind: wire.KindPing})
+	return err == nil && resp.Kind == wire.KindPong
+}
+
+// Ping probes a contact and returns whether it answered.
+func (n *Node) Ping(c wire.Contact) bool { return n.pingContact(c) }
+
+// Discover pings a bare address and returns the full contact of the
+// node answering there — how a joining node learns its bootstrap
+// contact from a host:port alone.
+func (n *Node) Discover(addr string) (wire.Contact, error) {
+	resp, err := n.call(wire.Contact{Addr: addr}, &wire.Message{Kind: wire.KindPing})
+	if err != nil {
+		return wire.Contact{}, err
+	}
+	if resp.From.ID.IsZero() || resp.From.Addr == "" {
+		return wire.Contact{}, errors.New("kademlia: peer did not identify itself")
+	}
+	return resp.From, nil
+}
+
+// Bootstrap introduces the node to the overlay through seed contacts:
+// it inserts them into the table and performs an iterative lookup of its
+// own identifier, which populates the buckets closest to the node.
+func (n *Node) Bootstrap(seeds []wire.Contact) error {
+	for _, s := range seeds {
+		if s.ID != n.self.ID {
+			n.table.Update(s)
+		}
+	}
+	if n.table.Len() == 0 {
+		return ErrNoContacts
+	}
+	n.IterativeFindNode(n.self.ID)
+	return nil
+}
+
+// RefreshBucket performs the Kademlia bucket-refresh procedure for one
+// bucket index: it looks up a random identifier falling in that bucket.
+func (n *Node) RefreshBucket(bucket int, seed int64) {
+	id := kadid.RandomInBucket(n.self.ID, bucket, newRand(seed))
+	n.IterativeFindNode(id)
+}
+
+// Store places entries under key on the k closest nodes to key
+// (replication at write time). The writer itself participates when it
+// is one of the k closest, so every writer converges on the same
+// replica set. It returns how many replicas acknowledged.
+func (n *Node) Store(key kadid.ID, entries []wire.Entry) (int, error) {
+	targets := n.IterativeFindNode(key)
+	targets = n.insertSelf(targets, key)
+	if len(targets) == 0 {
+		return 0, ErrNoContacts
+	}
+	acks := 0
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, c := range targets {
+		if c.ID == n.self.ID {
+			n.store.Append(key, entries)
+			mu.Lock()
+			acks++
+			mu.Unlock()
+			continue
+		}
+		wg.Add(1)
+		go func(c wire.Contact) {
+			defer wg.Done()
+			resp, err := n.call(c, &wire.Message{Kind: wire.KindStore, Target: key, Entries: entries})
+			if err == nil && resp.Kind == wire.KindStoreAck {
+				mu.Lock()
+				acks++
+				mu.Unlock()
+			}
+		}(c)
+	}
+	wg.Wait()
+	if acks == 0 {
+		return 0, fmt.Errorf("kademlia: no replica acknowledged store of %s", key.Short())
+	}
+	return acks, nil
+}
+
+// insertSelf adds the node's own contact to a distance-sorted contact
+// list when it belongs among the k closest to key.
+func (n *Node) insertSelf(sorted []wire.Contact, key kadid.ID) []wire.Contact {
+	if len(sorted) >= n.cfg.K && !kadid.Closer(n.self.ID, sorted[n.cfg.K-1].ID, key) {
+		return sorted
+	}
+	out := append(sorted, n.self)
+	for i := len(out) - 1; i > 0 && kadid.Closer(out[i].ID, out[i-1].ID, key); i-- {
+		out[i], out[i-1] = out[i-1], out[i]
+	}
+	if len(out) > n.cfg.K {
+		out = out[:n.cfg.K]
+	}
+	return out
+}
+
+// FindValue retrieves the block stored under key, asking for at most
+// topN entries (0 = all). It performs one iterative lookup and returns
+// ErrNotFound if no replica holds the block.
+func (n *Node) FindValue(key kadid.ID, topN int) ([]wire.Entry, error) {
+	entries, found, _ := n.iterativeLookup(key, true, topN)
+	if local, ok := n.store.Get(key, topN); ok {
+		// The reader may itself hold a replica; merge it in field-wise,
+		// keeping the larger count (counts only grow).
+		entries = mergeEntriesMax(entries, local)
+		found = true
+		if topN > 0 && len(entries) > topN {
+			entries = entries[:topN]
+		}
+	}
+	if !found {
+		return nil, ErrNotFound
+	}
+	if n.cfg.CAPub != nil {
+		kept := entries[:0]
+		for _, e := range entries {
+			if likir.VerifyEntry(key, &e) == nil {
+				kept = append(kept, e)
+			}
+		}
+		entries = kept
+	}
+	return entries, nil
+}
+
+// IterativeFindNode locates the k closest live nodes to target, sorted
+// by ascending XOR distance.
+func (n *Node) IterativeFindNode(target kadid.ID) []wire.Contact {
+	_, _, closest := n.iterativeLookup(target, false, 0)
+	return closest
+}

@@ -1,0 +1,391 @@
+package kademlia
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"dharma/internal/kadid"
+	"dharma/internal/likir"
+	"dharma/internal/simnet"
+	"dharma/internal/wire"
+)
+
+func newTestCluster(t *testing.T, n int, seed int64) *Cluster {
+	t.Helper()
+	cl, err := NewCluster(ClusterConfig{
+		N:    n,
+		Node: Config{K: 8, Alpha: 3},
+		Seed: seed,
+	})
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	return cl
+}
+
+func TestIterativeFindNodeFindsTrueClosest(t *testing.T) {
+	cl := newTestCluster(t, 48, 1)
+	rng := rand.New(rand.NewSource(2))
+
+	for trial := 0; trial < 10; trial++ {
+		target := kadid.Random(rng)
+		origin := cl.Nodes[rng.Intn(len(cl.Nodes))]
+		got := origin.IterativeFindNode(target)
+		want := cl.ClosestGroundTruth(target, 8)
+
+		if len(got) < len(want) {
+			t.Fatalf("trial %d: found %d contacts, want %d", trial, len(got), len(want))
+		}
+		gotIDs := map[kadid.ID]bool{}
+		for _, c := range got {
+			gotIDs[c.ID] = true
+		}
+		// The lookup runs from `origin`, which never returns itself; all
+		// other ground-truth nodes must be present.
+		for _, w := range want {
+			if w.ID == origin.Self().ID {
+				continue
+			}
+			if !gotIDs[w.ID] {
+				t.Fatalf("trial %d: lookup missed true closest node %s", trial, w.ID.Short())
+			}
+		}
+		// Result must be sorted by distance.
+		for i := 1; i < len(got); i++ {
+			if kadid.Closer(got[i].ID, got[i-1].ID, target) {
+				t.Fatalf("trial %d: result not sorted", trial)
+			}
+		}
+	}
+}
+
+func TestStoreAndFindValue(t *testing.T) {
+	cl := newTestCluster(t, 32, 3)
+	key := kadid.HashString("rock|3")
+	writer := cl.Nodes[5]
+	reader := cl.Nodes[20]
+
+	acks, err := writer.Store(key, []wire.Entry{{Field: "pop", Count: 2}, {Field: "indie", Count: 1}})
+	if err != nil {
+		t.Fatalf("Store: %v", err)
+	}
+	if acks < 1 {
+		t.Fatal("no replica acknowledged")
+	}
+
+	es, err := reader.FindValue(key, 0)
+	if err != nil {
+		t.Fatalf("FindValue: %v", err)
+	}
+	if len(es) != 2 || es[0].Field != "pop" || es[0].Count != 2 {
+		t.Fatalf("entries = %+v", es)
+	}
+}
+
+func TestFindValueNotFound(t *testing.T) {
+	cl := newTestCluster(t, 16, 4)
+	if _, err := cl.Nodes[3].FindValue(kadid.HashString("absent"), 0); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("want ErrNotFound, got %v", err)
+	}
+}
+
+func TestStoreAppendsAccumulateAcrossWriters(t *testing.T) {
+	cl := newTestCluster(t, 24, 5)
+	key := kadid.HashString("jazz|3")
+	for i := 0; i < 10; i++ {
+		if _, err := cl.Nodes[i].Store(key, []wire.Entry{{Field: "swing", Count: 1}}); err != nil {
+			t.Fatalf("Store %d: %v", i, err)
+		}
+	}
+	es, err := cl.Nodes[15].FindValue(key, 0)
+	if err != nil {
+		t.Fatalf("FindValue: %v", err)
+	}
+	if len(es) != 1 || es[0].Count != 10 {
+		t.Fatalf("entries = %+v, want swing/10", es)
+	}
+}
+
+func TestValueSurvivesReplicaFailures(t *testing.T) {
+	cl := newTestCluster(t, 32, 6)
+	key := kadid.HashString("blues|2")
+	if _, err := cl.Nodes[1].Store(key, []wire.Entry{{Field: "r", Count: 1}}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Take down half of the replica set (K=8 -> 4 holders).
+	holders := cl.ClosestGroundTruth(key, 8)
+	for _, h := range holders[:4] {
+		cl.Net.SetDown(simnet.Addr(h.Addr), true)
+	}
+
+	// A reader that is not among the dead replicas must still find it.
+	var reader *Node
+	for _, n := range cl.Nodes {
+		dead := false
+		for _, h := range holders[:4] {
+			if n.Self().ID == h.ID {
+				dead = true
+				break
+			}
+		}
+		if !dead {
+			reader = n
+			break
+		}
+	}
+	if _, err := reader.FindValue(key, 0); err != nil {
+		t.Fatalf("FindValue after failures: %v", err)
+	}
+}
+
+func TestFindValueTopNFiltering(t *testing.T) {
+	cl := newTestCluster(t, 24, 7)
+	key := kadid.HashString("pop|3")
+	var entries []wire.Entry
+	for i := 0; i < 50; i++ {
+		entries = append(entries, wire.Entry{Field: fmt.Sprintf("t%02d", i), Count: uint64(i + 1)})
+	}
+	if _, err := cl.Nodes[0].Store(key, entries); err != nil {
+		t.Fatal(err)
+	}
+	es, err := cl.Nodes[10].FindValue(key, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(es) != 5 {
+		t.Fatalf("got %d entries, want 5", len(es))
+	}
+	// The top-5 by count are t49..t45.
+	if es[0].Field != "t49" || es[4].Field != "t45" {
+		t.Fatalf("filter returned wrong entries: %+v", es)
+	}
+}
+
+func TestBootstrapRequiresSeeds(t *testing.T) {
+	n := NewNode(kadid.HashString("lonely"), Config{K: 4})
+	net := simnet.New(simnet.Config{})
+	n.Attach(net.Attach("lonely", n))
+	if err := n.Bootstrap(nil); !errors.Is(err, ErrNoContacts) {
+		t.Fatalf("want ErrNoContacts, got %v", err)
+	}
+}
+
+func TestLookupCounterIncrements(t *testing.T) {
+	cl := newTestCluster(t, 16, 8)
+	n := cl.Nodes[2]
+	before := n.Lookups()
+	n.IterativeFindNode(kadid.HashString("x"))
+	if _, err := n.FindValue(kadid.HashString("y"), 0); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("unexpected: %v", err)
+	}
+	if got := n.Lookups() - before; got != 2 {
+		t.Fatalf("Lookups delta = %d, want 2", got)
+	}
+}
+
+func TestPing(t *testing.T) {
+	cl := newTestCluster(t, 4, 9)
+	if !cl.Nodes[1].Ping(cl.Nodes[2].Self()) {
+		t.Fatal("live node did not answer ping")
+	}
+	cl.Net.SetDown("node-2", true)
+	if cl.Nodes[1].Ping(cl.Nodes[2].Self()) {
+		t.Fatal("dead node answered ping")
+	}
+}
+
+func TestRefreshBucketPopulates(t *testing.T) {
+	cl := newTestCluster(t, 32, 10)
+	n := cl.Nodes[4]
+	buckets := n.Table().NonEmptyBuckets()
+	if len(buckets) == 0 {
+		t.Fatal("no buckets after bootstrap")
+	}
+	before := n.Table().Len()
+	n.RefreshBucket(buckets[0], 123)
+	if n.Table().Len() < before {
+		t.Fatal("refresh shrank the table")
+	}
+}
+
+func TestLikirClusterAcceptsCertifiedTraffic(t *testing.T) {
+	auth, err := likir.NewAuthority(nil, time.Hour, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := NewCluster(ClusterConfig{
+		N:         16,
+		Node:      Config{K: 4, Alpha: 2},
+		Seed:      11,
+		Authority: auth,
+	})
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	key := kadid.HashString("folk|3")
+	if _, err := cl.Nodes[3].Store(key, []wire.Entry{{Field: "acoustic", Count: 1}}); err != nil {
+		t.Fatalf("Store: %v", err)
+	}
+	if _, err := cl.Nodes[9].FindValue(key, 0); err != nil {
+		t.Fatalf("FindValue: %v", err)
+	}
+}
+
+func TestLikirClusterRejectsUncredentialedPeer(t *testing.T) {
+	auth, err := likir.NewAuthority(nil, time.Hour, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := NewCluster(ClusterConfig{
+		N:         8,
+		Node:      Config{K: 4, Alpha: 2},
+		Seed:      12,
+		Authority: auth,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A rogue node with a self-chosen ID and no credential. Honest nodes
+	// must refuse its RPCs: whatever its local API reports, no certified
+	// node may end up holding its block, and no certified node may admit
+	// it into a routing table.
+	rogue := NewNode(kadid.HashString("rogue"), Config{K: 4, Alpha: 2})
+	rogue.Attach(cl.Net.Attach("rogue", rogue))
+	key := kadid.HashString("x|3")
+	if err := rogue.Bootstrap([]wire.Contact{cl.Nodes[0].Self()}); err == nil {
+		rogue.Store(key, []wire.Entry{{Field: "f", Count: 1}}) //nolint:errcheck
+	}
+	for i, n := range cl.Nodes {
+		if n.LocalStore().Has(key) {
+			t.Fatalf("certified node %d stored a block from an uncredentialed peer", i)
+		}
+		if n.Table().Contains(rogue.Self().ID) {
+			t.Fatalf("certified node %d admitted the rogue into its routing table", i)
+		}
+	}
+	if _, err := cl.Nodes[3].FindValue(key, 0); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("rogue block visible on the overlay: %v", err)
+	}
+}
+
+func TestLikirDropsTamperedEntries(t *testing.T) {
+	auth, err := likir.NewAuthority(nil, time.Hour, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := NewCluster(ClusterConfig{
+		N:         12,
+		Node:      Config{K: 4, Alpha: 2},
+		Seed:      13,
+		Authority: auth,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := kadid.HashString("uri|4")
+	writer := cl.Nodes[2]
+
+	good := wire.Entry{Field: "res", Data: []byte("http://good")}
+	writer.cfg.Identity.SignEntry(key, &good)
+
+	evil := wire.Entry{Field: "res2", Data: []byte("http://evil")}
+	writer.cfg.Identity.SignEntry(key, &evil)
+	evil.Data = []byte("http://tampered") // break the signature
+
+	if _, err := writer.Store(key, []wire.Entry{good, evil}); err != nil {
+		t.Fatalf("Store: %v", err)
+	}
+	es, err := cl.Nodes[7].FindValue(key, 0)
+	if err != nil {
+		t.Fatalf("FindValue: %v", err)
+	}
+	if len(es) != 1 || es[0].Field != "res" {
+		t.Fatalf("tampered entry survived: %+v", es)
+	}
+}
+
+func TestRevokedPeerRejected(t *testing.T) {
+	auth, err := likir.NewAuthority(nil, time.Hour, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := likir.NewRevocationSet(auth.PublicKey(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := NewCluster(ClusterConfig{
+		N:         10,
+		Node:      Config{K: 4, Alpha: 2, Revoked: set.Contains},
+		Seed:      61,
+		Authority: auth,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := cl.Nodes[3]
+	key := kadid.HashString("pre|3")
+	if _, err := victim.Store(key, []wire.Entry{{Field: "f", Count: 1}}); err != nil {
+		t.Fatalf("store before revocation: %v", err)
+	}
+
+	// The authority withdraws the victim's identity; every node's
+	// revocation set sees it (shared set here, as if all refreshed).
+	auth.Revoke(victim.Self().ID)
+	if err := set.Refresh(auth.PublicKey(), auth.RevocationBundle()); err != nil {
+		t.Fatal(err)
+	}
+
+	// The victim can no longer operate: peers reject every RPC, even
+	// though it was admitted (and cached) before the revocation.
+	if _, err := victim.Store(kadid.HashString("post|3"), []wire.Entry{{Field: "f", Count: 1}}); err == nil {
+		acks := 0
+		for _, n := range cl.Nodes {
+			if n != victim && n.LocalStore().Has(kadid.HashString("post|3")) {
+				acks++
+			}
+		}
+		if acks > 0 {
+			t.Fatalf("revoked peer stored on %d honest nodes", acks)
+		}
+	}
+	if victim.Ping(cl.Nodes[1].Self()) {
+		t.Fatal("revoked peer still gets PONGs")
+	}
+}
+
+func TestClusterRejectsBadSize(t *testing.T) {
+	if _, err := NewCluster(ClusterConfig{N: 0}); err == nil {
+		t.Fatal("accepted empty cluster")
+	}
+}
+
+func TestLookupsUnderPacketLoss(t *testing.T) {
+	cl, err := NewCluster(ClusterConfig{
+		N:    32,
+		Node: Config{K: 8, Alpha: 3},
+		Net:  simnet.Config{DropRate: 0.05, Seed: 77},
+		Seed: 14,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := kadid.HashString("lossy|3")
+	if _, err := cl.Nodes[1].Store(key, []wire.Entry{{Field: "f", Count: 1}}); err != nil {
+		t.Fatalf("Store under loss: %v", err)
+	}
+	// Retry a few times: 5% loss can still kill a single lookup.
+	var got []wire.Entry
+	for i := 0; i < 5 && got == nil; i++ {
+		if es, err := cl.Nodes[9].FindValue(key, 0); err == nil {
+			got = es
+		}
+	}
+	if got == nil {
+		t.Fatal("value unreachable under 5% loss with retries")
+	}
+}

@@ -1,0 +1,139 @@
+package kademlia
+
+import (
+	"sort"
+	"sync"
+
+	"dharma/internal/kadid"
+	"dharma/internal/wire"
+)
+
+// Store is a node's local block storage. A block is a weighted set of
+// fields: DHARMA appends "+1 tokens" to a (block, field) pair, so the
+// only mutation is a commutative merge, which is what makes concurrent
+// tagging race-free (Approximation B relies on this).
+type Store struct {
+	mu     sync.RWMutex
+	blocks map[kadid.ID]map[string]*storedEntry
+}
+
+type storedEntry struct {
+	count  uint64
+	data   []byte
+	author []byte
+	sig    []byte
+}
+
+// NewStore creates an empty block store.
+func NewStore() *Store {
+	return &Store{blocks: make(map[kadid.ID]map[string]*storedEntry)}
+}
+
+// Append merges entries into the block stored under key. Counts add up;
+// an entry with Init > 0 whose field is absent is created at Init
+// instead (Approximation B's conditional create, evaluated here at the
+// storage node); non-empty Data (with its signature envelope) replaces
+// the stored copy.
+func (s *Store) Append(key kadid.ID, entries []wire.Entry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	blk, ok := s.blocks[key]
+	if !ok {
+		blk = make(map[string]*storedEntry, len(entries))
+		s.blocks[key] = blk
+	}
+	for _, e := range entries {
+		se, ok := blk[e.Field]
+		if !ok {
+			se = &storedEntry{}
+			blk[e.Field] = se
+			if e.Init > 0 {
+				se.count = e.Init
+			} else {
+				se.count = e.Count
+			}
+		} else {
+			se.count += e.Count
+		}
+		if len(e.Data) > 0 {
+			se.data = append([]byte(nil), e.Data...)
+			se.author = append([]byte(nil), e.Author...)
+			se.sig = append([]byte(nil), e.Sig...)
+		}
+	}
+}
+
+// Get returns the block under key sorted by descending count (ties
+// broken by field name), truncated to topN entries when topN > 0. This
+// is the "index side filtering" of the paper: a popular tag's block may
+// hold tens of thousands of arcs, far more than fits a UDP payload, so
+// the storing node returns only the most relevant ones. The second
+// result reports whether the block exists.
+func (s *Store) Get(key kadid.ID, topN int) ([]wire.Entry, bool) {
+	s.mu.RLock()
+	blk, ok := s.blocks[key]
+	if !ok {
+		s.mu.RUnlock()
+		return nil, false
+	}
+	out := make([]wire.Entry, 0, len(blk))
+	for f, se := range blk {
+		out = append(out, wire.Entry{
+			Field:  f,
+			Count:  se.count,
+			Data:   se.data,
+			Author: se.author,
+			Sig:    se.sig,
+		})
+	}
+	s.mu.RUnlock()
+
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Field < out[j].Field
+	})
+	if topN > 0 && len(out) > topN {
+		out = out[:topN]
+	}
+	return out, true
+}
+
+// Has reports whether a block exists under key.
+func (s *Store) Has(key kadid.ID) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.blocks[key]
+	return ok
+}
+
+// Keys returns the identifiers of all stored blocks.
+func (s *Store) Keys() []kadid.ID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]kadid.ID, 0, len(s.blocks))
+	for k := range s.blocks {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Len returns the number of stored blocks.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.blocks)
+}
+
+// EntryCount returns the total number of fields across all blocks; it
+// approximates the node's storage load for the hotspot experiment.
+func (s *Store) EntryCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := 0
+	for _, blk := range s.blocks {
+		n += len(blk)
+	}
+	return n
+}

@@ -1,0 +1,143 @@
+package kademlia
+
+import (
+	"sync"
+	"testing"
+
+	"dharma/internal/kadid"
+	"dharma/internal/wire"
+)
+
+func TestStoreAppendAccumulates(t *testing.T) {
+	s := NewStore()
+	key := kadid.HashString("rock|3")
+	s.Append(key, []wire.Entry{{Field: "pop", Count: 1}})
+	s.Append(key, []wire.Entry{{Field: "pop", Count: 2}, {Field: "indie", Count: 1}})
+
+	es, ok := s.Get(key, 0)
+	if !ok {
+		t.Fatal("block missing")
+	}
+	if len(es) != 2 {
+		t.Fatalf("got %d entries, want 2", len(es))
+	}
+	if es[0].Field != "pop" || es[0].Count != 3 {
+		t.Fatalf("entry 0 = %+v, want pop/3", es[0])
+	}
+	if es[1].Field != "indie" || es[1].Count != 1 {
+		t.Fatalf("entry 1 = %+v, want indie/1", es[1])
+	}
+}
+
+func TestStoreAppendInitSemantics(t *testing.T) {
+	// Init applies only when the field is absent (Approximation B's
+	// conditional create); existing fields add Count as usual.
+	s := NewStore()
+	key := kadid.HashString("k")
+	s.Append(key, []wire.Entry{{Field: "a", Count: 7, Init: 1}})
+	es, _ := s.Get(key, 0)
+	if es[0].Count != 1 {
+		t.Fatalf("absent field with Init: count = %d, want 1", es[0].Count)
+	}
+	s.Append(key, []wire.Entry{{Field: "a", Count: 7, Init: 1}})
+	es, _ = s.Get(key, 0)
+	if es[0].Count != 8 {
+		t.Fatalf("present field with Init: count = %d, want 1+7", es[0].Count)
+	}
+}
+
+func TestStoreDataReplaced(t *testing.T) {
+	s := NewStore()
+	key := kadid.HashString("song|4")
+	s.Append(key, []wire.Entry{{Field: "song", Data: []byte("uri-v1")}})
+	s.Append(key, []wire.Entry{{Field: "song", Data: []byte("uri-v2")}})
+	s.Append(key, []wire.Entry{{Field: "song", Count: 1}}) // no data: keep v2
+
+	es, _ := s.Get(key, 0)
+	if string(es[0].Data) != "uri-v2" {
+		t.Fatalf("Data = %q, want uri-v2", es[0].Data)
+	}
+}
+
+func TestStoreGetTopNOrdering(t *testing.T) {
+	s := NewStore()
+	key := kadid.HashString("k")
+	s.Append(key, []wire.Entry{
+		{Field: "c", Count: 5},
+		{Field: "a", Count: 9},
+		{Field: "b", Count: 5},
+		{Field: "d", Count: 1},
+	})
+	es, _ := s.Get(key, 3)
+	if len(es) != 3 {
+		t.Fatalf("topN not applied: %d entries", len(es))
+	}
+	// Descending count; ties broken by field name.
+	want := []string{"a", "b", "c"}
+	for i, w := range want {
+		if es[i].Field != w {
+			t.Fatalf("order[%d] = %s, want %s (full: %+v)", i, es[i].Field, w, es)
+		}
+	}
+}
+
+func TestStoreGetMissing(t *testing.T) {
+	s := NewStore()
+	if _, ok := s.Get(kadid.HashString("nope"), 0); ok {
+		t.Fatal("Get on missing key reported ok")
+	}
+	if s.Has(kadid.HashString("nope")) {
+		t.Fatal("Has on missing key")
+	}
+}
+
+func TestStoreKeysLenEntryCount(t *testing.T) {
+	s := NewStore()
+	s.Append(kadid.HashString("k1"), []wire.Entry{{Field: "a", Count: 1}, {Field: "b", Count: 1}})
+	s.Append(kadid.HashString("k2"), []wire.Entry{{Field: "c", Count: 1}})
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", s.Len())
+	}
+	if got := len(s.Keys()); got != 2 {
+		t.Fatalf("Keys = %d, want 2", got)
+	}
+	if s.EntryCount() != 3 {
+		t.Fatalf("EntryCount = %d, want 3", s.EntryCount())
+	}
+}
+
+func TestStoreConcurrentAppends(t *testing.T) {
+	// The commutative merge is what makes DHARMA's Approximation B sound:
+	// concurrent "+1 token" appends must never lose an increment.
+	s := NewStore()
+	key := kadid.HashString("hot")
+	const goroutines, perG = 16, 100
+
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				s.Append(key, []wire.Entry{{Field: "t", Count: 1}})
+			}
+		}()
+	}
+	wg.Wait()
+	es, _ := s.Get(key, 0)
+	if es[0].Count != goroutines*perG {
+		t.Fatalf("Count = %d, want %d", es[0].Count, goroutines*perG)
+	}
+}
+
+func TestStoreGetDoesNotAliasInternalState(t *testing.T) {
+	s := NewStore()
+	key := kadid.HashString("k")
+	s.Append(key, []wire.Entry{{Field: "a", Count: 1, Data: []byte("x")}})
+	es, _ := s.Get(key, 0)
+	es[0].Count = 999
+	es2, _ := s.Get(key, 0)
+	if es2[0].Count != 1 {
+		t.Fatal("caller mutation leaked into store")
+	}
+}

@@ -1,0 +1,172 @@
+package kademlia
+
+import (
+	"sync"
+
+	"dharma/internal/kadid"
+	"dharma/internal/wire"
+)
+
+// Pinger checks whether a contact is still alive. The routing table
+// calls it (outside its lock) before evicting a least-recently-seen
+// contact in favour of a new one, as prescribed by the Kademlia paper.
+type Pinger func(wire.Contact) bool
+
+// Table is a Kademlia routing table: one bucket per distance prefix,
+// each holding at most k contacts ordered from least to most recently
+// seen. It is safe for concurrent use.
+type Table struct {
+	self kadid.ID
+	k    int
+	ping Pinger
+
+	mu      sync.Mutex
+	buckets [kadid.Bits][]wire.Contact
+}
+
+// NewTable creates a routing table for the node with identifier self.
+// ping may be nil, in which case full buckets evict their
+// least-recently-seen contact without probing it first.
+func NewTable(self kadid.ID, k int, ping Pinger) *Table {
+	if k <= 0 {
+		panic("kademlia: bucket size must be positive")
+	}
+	return &Table{self: self, k: k, ping: ping}
+}
+
+// Update records that contact c was just seen. Following Kademlia's
+// rules: a known contact moves to the most-recently-seen position; a new
+// contact fills spare bucket capacity; when the bucket is full the
+// least-recently-seen contact is pinged and keeps its slot if it
+// answers, otherwise it is replaced.
+func (t *Table) Update(c wire.Contact) {
+	if c.ID == t.self || c.ID.IsZero() {
+		return
+	}
+	idx := kadid.BucketIndex(t.self, c.ID)
+
+	t.mu.Lock()
+	b := t.buckets[idx]
+	for i := range b {
+		if b[i].ID == c.ID {
+			// Move to tail (most recently seen), refresh the address.
+			copy(b[i:], b[i+1:])
+			b[len(b)-1] = c
+			t.mu.Unlock()
+			return
+		}
+	}
+	if len(b) < t.k {
+		t.buckets[idx] = append(b, c)
+		t.mu.Unlock()
+		return
+	}
+	oldest := b[0]
+	t.mu.Unlock()
+
+	alive := false
+	if t.ping != nil {
+		alive = t.ping(oldest) // outside the lock: may take network time
+	}
+
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	b = t.buckets[idx]
+	if len(b) == 0 || b[0].ID != oldest.ID {
+		// The bucket changed while we were pinging; drop the newcomer
+		// rather than guessing.
+		return
+	}
+	if alive {
+		// Oldest responded: it moves to the tail, the newcomer is dropped.
+		copy(b, b[1:])
+		b[len(b)-1] = oldest
+		return
+	}
+	copy(b, b[1:])
+	b[len(b)-1] = c
+}
+
+// Remove deletes a contact, typically after it failed to answer an RPC.
+func (t *Table) Remove(id kadid.ID) {
+	if id == t.self {
+		return
+	}
+	idx := kadid.BucketIndex(t.self, id)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	b := t.buckets[idx]
+	for i := range b {
+		if b[i].ID == id {
+			t.buckets[idx] = append(b[:i], b[i+1:]...)
+			return
+		}
+	}
+}
+
+// Closest returns up to n known contacts sorted by ascending XOR
+// distance from target.
+func (t *Table) Closest(target kadid.ID, n int) []wire.Contact {
+	t.mu.Lock()
+	all := make([]wire.Contact, 0, 2*n)
+	for i := range t.buckets {
+		all = append(all, t.buckets[i]...)
+	}
+	t.mu.Unlock()
+
+	sortContactsByDistance(all, target)
+	if len(all) > n {
+		all = all[:n]
+	}
+	return all
+}
+
+// Len returns the total number of contacts in the table.
+func (t *Table) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for i := range t.buckets {
+		n += len(t.buckets[i])
+	}
+	return n
+}
+
+// Contains reports whether the table currently holds id.
+func (t *Table) Contains(id kadid.ID) bool {
+	if id == t.self {
+		return false
+	}
+	idx := kadid.BucketIndex(t.self, id)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, c := range t.buckets[idx] {
+		if c.ID == id {
+			return true
+		}
+	}
+	return false
+}
+
+// NonEmptyBuckets returns the indices of buckets that hold at least one
+// contact; used by bucket refresh.
+func (t *Table) NonEmptyBuckets() []int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []int
+	for i := range t.buckets {
+		if len(t.buckets[i]) > 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func sortContactsByDistance(cs []wire.Contact, target kadid.ID) {
+	// Insertion sort: candidate lists are short (k to a few k).
+	for i := 1; i < len(cs); i++ {
+		for j := i; j > 0 && kadid.Closer(cs[j].ID, cs[j-1].ID, target); j-- {
+			cs[j], cs[j-1] = cs[j-1], cs[j]
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package kademlia
+
+import (
+	"fmt"
+	"testing"
+
+	"dharma/internal/kadid"
+	"dharma/internal/wire"
+)
+
+func mkContact(s string) wire.Contact {
+	return wire.Contact{ID: kadid.HashString(s), Addr: s}
+}
+
+func TestTableUpdateAndContains(t *testing.T) {
+	self := kadid.HashString("self")
+	tab := NewTable(self, 4, nil)
+
+	c := mkContact("a")
+	tab.Update(c)
+	if !tab.Contains(c.ID) {
+		t.Fatal("contact not inserted")
+	}
+	if tab.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", tab.Len())
+	}
+	// Self and zero IDs are never inserted.
+	tab.Update(wire.Contact{ID: self, Addr: "self"})
+	tab.Update(wire.Contact{})
+	if tab.Len() != 1 {
+		t.Fatalf("Len = %d after inserting self/zero, want 1", tab.Len())
+	}
+}
+
+func TestTableUpdateRefreshesAddr(t *testing.T) {
+	tab := NewTable(kadid.HashString("self"), 4, nil)
+	id := kadid.HashString("a")
+	tab.Update(wire.Contact{ID: id, Addr: "old"})
+	tab.Update(wire.Contact{ID: id, Addr: "new"})
+	cs := tab.Closest(id, 1)
+	if len(cs) != 1 || cs[0].Addr != "new" {
+		t.Fatalf("got %+v, want refreshed address", cs)
+	}
+	if tab.Len() != 1 {
+		t.Fatalf("duplicate insert: Len = %d", tab.Len())
+	}
+}
+
+// bucketFiller generates contacts that all land in the same bucket of
+// self, so eviction logic can be exercised deterministically.
+func bucketFiller(t *testing.T, self kadid.ID, bucket, n int) []wire.Contact {
+	t.Helper()
+	rng := newRand(99)
+	out := make([]wire.Contact, 0, n)
+	seen := map[kadid.ID]bool{}
+	for len(out) < n {
+		id := kadid.RandomInBucket(self, bucket, rng)
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		out = append(out, wire.Contact{ID: id, Addr: fmt.Sprintf("c%d", len(out))})
+	}
+	return out
+}
+
+func TestTableEvictsDeadOldest(t *testing.T) {
+	self := kadid.HashString("self")
+	dead := func(wire.Contact) bool { return false }
+	tab := NewTable(self, 3, dead)
+
+	cs := bucketFiller(t, self, 5, 4)
+	for _, c := range cs[:3] {
+		tab.Update(c)
+	}
+	tab.Update(cs[3]) // bucket full; oldest (cs[0]) is dead -> replaced
+	if tab.Contains(cs[0].ID) {
+		t.Fatal("dead oldest contact kept")
+	}
+	if !tab.Contains(cs[3].ID) {
+		t.Fatal("newcomer not inserted after eviction")
+	}
+}
+
+func TestTableKeepsAliveOldest(t *testing.T) {
+	self := kadid.HashString("self")
+	alive := func(wire.Contact) bool { return true }
+	tab := NewTable(self, 3, alive)
+
+	cs := bucketFiller(t, self, 5, 4)
+	for _, c := range cs[:3] {
+		tab.Update(c)
+	}
+	tab.Update(cs[3]) // oldest answers ping -> newcomer dropped
+	if !tab.Contains(cs[0].ID) {
+		t.Fatal("alive oldest contact evicted")
+	}
+	if tab.Contains(cs[3].ID) {
+		t.Fatal("newcomer inserted into full bucket with live oldest")
+	}
+}
+
+func TestTableNilPingerEvicts(t *testing.T) {
+	self := kadid.HashString("self")
+	tab := NewTable(self, 2, nil)
+	cs := bucketFiller(t, self, 7, 3)
+	tab.Update(cs[0])
+	tab.Update(cs[1])
+	tab.Update(cs[2])
+	if tab.Contains(cs[0].ID) {
+		t.Fatal("nil pinger must treat oldest as dead")
+	}
+	if !tab.Contains(cs[2].ID) {
+		t.Fatal("newcomer missing")
+	}
+}
+
+func TestTableRemove(t *testing.T) {
+	tab := NewTable(kadid.HashString("self"), 4, nil)
+	c := mkContact("a")
+	tab.Update(c)
+	tab.Remove(c.ID)
+	if tab.Contains(c.ID) {
+		t.Fatal("Remove did not delete contact")
+	}
+	tab.Remove(c.ID) // removing twice is a no-op
+}
+
+func TestTableClosestSorted(t *testing.T) {
+	self := kadid.HashString("self")
+	tab := NewTable(self, 20, nil)
+	for i := 0; i < 40; i++ {
+		tab.Update(mkContact(fmt.Sprintf("n%d", i)))
+	}
+	target := kadid.HashString("target")
+	cs := tab.Closest(target, 10)
+	if len(cs) != 10 {
+		t.Fatalf("got %d contacts, want 10", len(cs))
+	}
+	for i := 1; i < len(cs); i++ {
+		if kadid.Closer(cs[i].ID, cs[i-1].ID, target) {
+			t.Fatal("Closest result not sorted by distance")
+		}
+	}
+}
+
+func TestTableNonEmptyBuckets(t *testing.T) {
+	self := kadid.HashString("self")
+	tab := NewTable(self, 4, nil)
+	if got := tab.NonEmptyBuckets(); len(got) != 0 {
+		t.Fatalf("empty table has non-empty buckets: %v", got)
+	}
+	cs := bucketFiller(t, self, 3, 1)
+	tab.Update(cs[0])
+	got := tab.NonEmptyBuckets()
+	if len(got) != 1 || got[0] != 3 {
+		t.Fatalf("NonEmptyBuckets = %v, want [3]", got)
+	}
+}
+
+func TestNewTablePanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for k=0")
+		}
+	}()
+	NewTable(kadid.ID{}, 0, nil)
+}

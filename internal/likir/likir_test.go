@@ -1,0 +1,210 @@
+package likir
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"dharma/internal/kadid"
+	"dharma/internal/wire"
+)
+
+// detRand is a deterministic io.Reader for key generation in tests.
+type detRand struct{ r *rand.Rand }
+
+func (d detRand) Read(p []byte) (int, error) {
+	for i := range p {
+		p[i] = byte(d.r.Intn(256))
+	}
+	return len(p), nil
+}
+
+func newTestAuthority(t *testing.T, now func() time.Time) *Authority {
+	t.Helper()
+	a, err := NewAuthority(detRand{rand.New(rand.NewSource(1))}, time.Hour, now)
+	if err != nil {
+		t.Fatalf("NewAuthority: %v", err)
+	}
+	return a
+}
+
+func TestIssueAndVerify(t *testing.T) {
+	a := newTestAuthority(t, nil)
+	id, err := a.Issue(detRand{rand.New(rand.NewSource(2))}, "alice")
+	if err != nil {
+		t.Fatalf("Issue: %v", err)
+	}
+	if err := VerifyCredential(a.PublicKey(), &id.Credential, nil); err != nil {
+		t.Fatalf("VerifyCredential: %v", err)
+	}
+	if id.NodeID != DeriveNodeID(id.Pub, "alice") {
+		t.Fatal("node id not derived from (pub, name)")
+	}
+}
+
+func TestVerifyRejectsTamperedName(t *testing.T) {
+	a := newTestAuthority(t, nil)
+	id, _ := a.Issue(detRand{rand.New(rand.NewSource(3))}, "alice")
+	cred := id.Credential
+	cred.Name = "mallory"
+	if err := VerifyCredential(a.PublicKey(), &cred, nil); !errors.Is(err, ErrBadCredential) {
+		t.Fatalf("want ErrBadCredential, got %v", err)
+	}
+}
+
+func TestVerifyRejectsTamperedNodeID(t *testing.T) {
+	a := newTestAuthority(t, nil)
+	id, _ := a.Issue(detRand{rand.New(rand.NewSource(4))}, "alice")
+	cred := id.Credential
+	cred.NodeID[0] ^= 0xFF // try to move to a chosen key-space position
+	if err := VerifyCredential(a.PublicKey(), &cred, nil); !errors.Is(err, ErrBadCredential) {
+		t.Fatalf("want ErrBadCredential, got %v", err)
+	}
+}
+
+func TestVerifyRejectsWrongCA(t *testing.T) {
+	a := newTestAuthority(t, nil)
+	rogue, err := NewAuthority(detRand{rand.New(rand.NewSource(5))}, time.Hour, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, _ := rogue.Issue(detRand{rand.New(rand.NewSource(6))}, "alice")
+	if err := VerifyCredential(a.PublicKey(), &id.Credential, nil); !errors.Is(err, ErrBadCredential) {
+		t.Fatalf("want ErrBadCredential, got %v", err)
+	}
+}
+
+func TestVerifyRejectsExpired(t *testing.T) {
+	issued := time.Unix(1000, 0)
+	a := newTestAuthority(t, func() time.Time { return issued })
+	id, _ := a.Issue(detRand{rand.New(rand.NewSource(7))}, "alice")
+
+	late := func() time.Time { return issued.Add(2 * time.Hour) }
+	if err := VerifyCredential(a.PublicKey(), &id.Credential, late); !errors.Is(err, ErrExpired) {
+		t.Fatalf("want ErrExpired, got %v", err)
+	}
+	early := func() time.Time { return issued.Add(-time.Minute) }
+	if err := VerifyCredential(a.PublicKey(), &id.Credential, early); !errors.Is(err, ErrExpired) {
+		t.Fatalf("before issue: want ErrExpired, got %v", err)
+	}
+	within := func() time.Time { return issued.Add(time.Minute) }
+	if err := VerifyCredential(a.PublicKey(), &id.Credential, within); err != nil {
+		t.Fatalf("within validity: %v", err)
+	}
+}
+
+func TestCredentialMarshalRoundTrip(t *testing.T) {
+	a := newTestAuthority(t, nil)
+	id, _ := a.Issue(detRand{rand.New(rand.NewSource(8))}, "bob")
+	got, err := UnmarshalCredential(id.Credential.Marshal())
+	if err != nil {
+		t.Fatalf("UnmarshalCredential: %v", err)
+	}
+	if got.Name != "bob" || got.NodeID != id.NodeID ||
+		got.IssuedAt != id.IssuedAt || got.ExpiresAt != id.ExpiresAt {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	if err := VerifyCredential(a.PublicKey(), got, nil); err != nil {
+		t.Fatalf("verify decoded credential: %v", err)
+	}
+}
+
+func TestUnmarshalCredentialRejectsGarbage(t *testing.T) {
+	if _, err := UnmarshalCredential(nil); err == nil {
+		t.Fatal("accepted empty input")
+	}
+	if _, err := UnmarshalCredential([]byte{0xFF, 0x01, 0x02}); err == nil {
+		t.Fatal("accepted garbage")
+	}
+	a := newTestAuthority(t, nil)
+	id, _ := a.Issue(detRand{rand.New(rand.NewSource(9))}, "x")
+	b := id.Credential.Marshal()
+	if _, err := UnmarshalCredential(append(b, 1)); err == nil {
+		t.Fatal("accepted trailing bytes")
+	}
+	if _, err := UnmarshalCredential(b[:len(b)-3]); err == nil {
+		t.Fatal("accepted truncated credential")
+	}
+}
+
+func TestSignAndVerifyEntry(t *testing.T) {
+	a := newTestAuthority(t, nil)
+	id, _ := a.Issue(detRand{rand.New(rand.NewSource(10))}, "alice")
+	key := kadid.HashString("rock|3")
+	e := wire.Entry{Field: "pop", Count: 1, Data: []byte("d")}
+	id.SignEntry(key, &e)
+	if err := VerifyEntry(key, &e); err != nil {
+		t.Fatalf("VerifyEntry: %v", err)
+	}
+}
+
+func TestVerifyEntryRejectsTampering(t *testing.T) {
+	a := newTestAuthority(t, nil)
+	id, _ := a.Issue(detRand{rand.New(rand.NewSource(11))}, "alice")
+	key := kadid.HashString("rock|3")
+
+	e := wire.Entry{Field: "pop", Data: []byte("d")}
+	id.SignEntry(key, &e)
+
+	tampered := e.Clone()
+	tampered.Field = "metal"
+	if err := VerifyEntry(key, &tampered); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("tampered field: want ErrBadSignature, got %v", err)
+	}
+
+	tampered = e.Clone()
+	tampered.Data = []byte("evil")
+	if err := VerifyEntry(key, &tampered); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("tampered data: want ErrBadSignature, got %v", err)
+	}
+
+	// Signed for a different block key must not verify for this one.
+	otherKey := kadid.HashString("pop|3")
+	if err := VerifyEntry(otherKey, &e); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("replayed under other key: want ErrBadSignature, got %v", err)
+	}
+
+	tampered = e.Clone()
+	tampered.Author = tampered.Author[:16]
+	if err := VerifyEntry(key, &tampered); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("short author key: want ErrBadSignature, got %v", err)
+	}
+}
+
+func TestVerifyEntryAcceptsUnsigned(t *testing.T) {
+	e := wire.Entry{Field: "pop", Count: 5}
+	if err := VerifyEntry(kadid.HashString("k"), &e); err != nil {
+		t.Fatalf("unsigned entry must pass in open mode, got %v", err)
+	}
+}
+
+func TestEntryCountNotCovered(t *testing.T) {
+	// Counts are aggregates of appended tokens; changing them must not
+	// invalidate the author signature.
+	a := newTestAuthority(t, nil)
+	id, _ := a.Issue(detRand{rand.New(rand.NewSource(12))}, "alice")
+	key := kadid.HashString("rock|3")
+	e := wire.Entry{Field: "pop", Count: 1}
+	id.SignEntry(key, &e)
+	e.Count = 999
+	if err := VerifyEntry(key, &e); err != nil {
+		t.Fatalf("count change must not break signature, got %v", err)
+	}
+}
+
+func TestDistinctIdentitiesDistinctIDs(t *testing.T) {
+	a := newTestAuthority(t, nil)
+	seen := map[kadid.ID]bool{}
+	src := detRand{rand.New(rand.NewSource(13))}
+	for i := 0; i < 50; i++ {
+		id, err := a.Issue(src, "user")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[id.NodeID] {
+			t.Fatal("two identities collided on a node id")
+		}
+		seen[id.NodeID] = true
+	}
+}

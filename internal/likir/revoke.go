@@ -1,0 +1,141 @@
+package likir
+
+import (
+	"bytes"
+	"crypto/ed25519"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"dharma/internal/kadid"
+)
+
+// Credential revocation. The Likir certification service can withdraw
+// an identity (compromised key, banned user); it publishes a signed
+// revocation bundle that overlay nodes load and consult on admission.
+// Revocation is checked on every message, not only on first contact, so
+// a peer admitted before its revocation is cut off as soon as the node
+// refreshes its bundle.
+
+// ErrBadBundle is returned for revocation bundles that fail to parse or
+// verify.
+var ErrBadBundle = fmt.Errorf("likir: invalid revocation bundle")
+
+// Revoke withdraws the credential bound to id. Subsequent bundles
+// include it.
+func (a *Authority) Revoke(id kadid.ID) {
+	a.revokedMu.Lock()
+	defer a.revokedMu.Unlock()
+	if a.revoked == nil {
+		a.revoked = make(map[kadid.ID]bool)
+	}
+	a.revoked[id] = true
+}
+
+// IsRevoked reports whether the authority has withdrawn id.
+func (a *Authority) IsRevoked(id kadid.ID) bool {
+	a.revokedMu.Lock()
+	defer a.revokedMu.Unlock()
+	return a.revoked[id]
+}
+
+// RevocationBundle returns the current signed revocation list for
+// distribution to overlay nodes.
+func (a *Authority) RevocationBundle() []byte {
+	a.revokedMu.Lock()
+	ids := make([]kadid.ID, 0, len(a.revoked))
+	for id := range a.revoked {
+		ids = append(ids, id)
+	}
+	a.revokedMu.Unlock()
+
+	sort.Slice(ids, func(i, j int) bool { return kadid.Cmp(ids[i], ids[j]) < 0 })
+	var payload bytes.Buffer
+	binary.Write(&payload, binary.BigEndian, uint32(len(ids))) //nolint:errcheck
+	for _, id := range ids {
+		payload.Write(id[:])
+	}
+	sig := ed25519.Sign(a.priv, payload.Bytes())
+
+	var out bytes.Buffer
+	writeBlob(&out, payload.Bytes())
+	writeBlob(&out, sig)
+	return out.Bytes()
+}
+
+// RevocationSet is a verified, queryable revocation list. It is safe
+// for concurrent use and can be refreshed in place as new bundles
+// arrive.
+type RevocationSet struct {
+	mu  sync.RWMutex
+	ids map[kadid.ID]bool
+}
+
+// NewRevocationSet verifies bundle against the CA key and builds the
+// set. A nil/empty bundle yields an empty set.
+func NewRevocationSet(caPub ed25519.PublicKey, bundle []byte) (*RevocationSet, error) {
+	s := &RevocationSet{ids: make(map[kadid.ID]bool)}
+	if len(bundle) == 0 {
+		return s, nil
+	}
+	if err := s.Refresh(caPub, bundle); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Refresh replaces the set's contents with a newer verified bundle.
+func (s *RevocationSet) Refresh(caPub ed25519.PublicKey, bundle []byte) error {
+	r := bytes.NewReader(bundle)
+	payload, err := readBlob(r)
+	if err != nil {
+		return fmt.Errorf("%w: payload: %v", ErrBadBundle, err)
+	}
+	sig, err := readBlob(r)
+	if err != nil {
+		return fmt.Errorf("%w: signature: %v", ErrBadBundle, err)
+	}
+	if r.Len() != 0 {
+		return fmt.Errorf("%w: trailing bytes", ErrBadBundle)
+	}
+	if !ed25519.Verify(caPub, payload, sig) {
+		return fmt.Errorf("%w: signature check failed", ErrBadBundle)
+	}
+
+	pr := bytes.NewReader(payload)
+	var n uint32
+	if err := binary.Read(pr, binary.BigEndian, &n); err != nil {
+		return fmt.Errorf("%w: count: %v", ErrBadBundle, err)
+	}
+	if int(n) > pr.Len()/kadid.Size {
+		return fmt.Errorf("%w: count %d exceeds payload", ErrBadBundle, n)
+	}
+	ids := make(map[kadid.ID]bool, n)
+	for i := uint32(0); i < n; i++ {
+		var id kadid.ID
+		if _, err := io.ReadFull(pr, id[:]); err != nil {
+			return fmt.Errorf("%w: id %d: %v", ErrBadBundle, i, err)
+		}
+		ids[id] = true
+	}
+	s.mu.Lock()
+	s.ids = ids
+	s.mu.Unlock()
+	return nil
+}
+
+// Contains reports whether id is revoked.
+func (s *RevocationSet) Contains(id kadid.ID) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.ids[id]
+}
+
+// Len returns the number of revoked identities.
+func (s *RevocationSet) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.ids)
+}

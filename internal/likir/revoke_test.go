@@ -1,0 +1,99 @@
+package likir
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestRevokeAndBundle(t *testing.T) {
+	a := newTestAuthority(t, nil)
+	alice, _ := a.Issue(detRand{rand.New(rand.NewSource(20))}, "alice")
+	bob, _ := a.Issue(detRand{rand.New(rand.NewSource(21))}, "bob")
+
+	if a.IsRevoked(alice.NodeID) {
+		t.Fatal("fresh identity already revoked")
+	}
+	a.Revoke(alice.NodeID)
+	if !a.IsRevoked(alice.NodeID) {
+		t.Fatal("Revoke did not register")
+	}
+
+	set, err := NewRevocationSet(a.PublicKey(), a.RevocationBundle())
+	if err != nil {
+		t.Fatalf("NewRevocationSet: %v", err)
+	}
+	if !set.Contains(alice.NodeID) {
+		t.Fatal("bundle missing revoked identity")
+	}
+	if set.Contains(bob.NodeID) {
+		t.Fatal("bundle revoked an innocent identity")
+	}
+	if set.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", set.Len())
+	}
+}
+
+func TestEmptyBundle(t *testing.T) {
+	a := newTestAuthority(t, nil)
+	set, err := NewRevocationSet(a.PublicKey(), nil)
+	if err != nil {
+		t.Fatalf("empty set: %v", err)
+	}
+	if set.Len() != 0 {
+		t.Fatal("empty bundle produced entries")
+	}
+	// A bundle with zero revocations still verifies.
+	set2, err := NewRevocationSet(a.PublicKey(), a.RevocationBundle())
+	if err != nil || set2.Len() != 0 {
+		t.Fatalf("zero-entry bundle: %v, len %d", err, set2.Len())
+	}
+}
+
+func TestBundleTamperRejected(t *testing.T) {
+	a := newTestAuthority(t, nil)
+	id, _ := a.Issue(detRand{rand.New(rand.NewSource(22))}, "x")
+	a.Revoke(id.NodeID)
+	bundle := a.RevocationBundle()
+
+	tampered := append([]byte(nil), bundle...)
+	tampered[10] ^= 0xFF
+	if _, err := NewRevocationSet(a.PublicKey(), tampered); !errors.Is(err, ErrBadBundle) {
+		t.Fatalf("tampered bundle accepted: %v", err)
+	}
+
+	// Signed by the wrong authority.
+	rogue, err := NewAuthority(detRand{rand.New(rand.NewSource(23))}, time.Hour, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rogue.Revoke(id.NodeID)
+	if _, err := NewRevocationSet(a.PublicKey(), rogue.RevocationBundle()); !errors.Is(err, ErrBadBundle) {
+		t.Fatalf("wrong-CA bundle accepted: %v", err)
+	}
+
+	if _, err := NewRevocationSet(a.PublicKey(), []byte{1, 2, 3}); !errors.Is(err, ErrBadBundle) {
+		t.Fatalf("garbage bundle accepted: %v", err)
+	}
+}
+
+func TestRevocationSetRefresh(t *testing.T) {
+	a := newTestAuthority(t, nil)
+	alice, _ := a.Issue(detRand{rand.New(rand.NewSource(24))}, "alice")
+
+	set, err := NewRevocationSet(a.PublicKey(), a.RevocationBundle())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Contains(alice.NodeID) {
+		t.Fatal("premature revocation")
+	}
+	a.Revoke(alice.NodeID)
+	if err := set.Refresh(a.PublicKey(), a.RevocationBundle()); err != nil {
+		t.Fatalf("Refresh: %v", err)
+	}
+	if !set.Contains(alice.NodeID) {
+		t.Fatal("refresh did not pick up new revocation")
+	}
+}

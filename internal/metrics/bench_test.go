@@ -1,0 +1,41 @@
+package metrics
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkKendallTau verifies the O(n log n) implementation scales to
+// the adjacency sizes of popular tags.
+func BenchmarkKendallTau(b *testing.B) {
+	for _, n := range []int{100, 1000, 10000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			x := make([]float64, n)
+			y := make([]float64, n)
+			for i := range x {
+				x[i] = float64(rng.Intn(50)) // plenty of ties, like arc weights
+				y[i] = float64(rng.Intn(50))
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				KendallTau(x, y)
+			}
+		})
+	}
+}
+
+// BenchmarkCDF measures empirical CDF construction at degree-sample
+// sizes.
+func BenchmarkCDF(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	v := make([]float64, 50000)
+	for i := range v {
+		v[i] = float64(rng.Intn(1000))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		CDF(v)
+	}
+}

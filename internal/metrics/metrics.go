@@ -1,0 +1,276 @@
+// Package metrics implements the comparison measures of §V-B — Kendall's
+// τ rank correlation, cosine similarity, recall and sim1% — plus the
+// summary statistics and CDFs used throughout the evaluation.
+package metrics
+
+import (
+	"math"
+	"sort"
+)
+
+// KendallTau computes the τ-b rank correlation between two paired value
+// vectors (ties corrected), in O(n log n) using Knight's algorithm. It
+// returns 0 for vectors shorter than 2 or when either vector is
+// constant (τ undefined); the paper's use compares the weights of a
+// tag's arc set in the original and approximated graphs.
+func KendallTau(x, y []float64) float64 {
+	n := len(x)
+	if n != len(y) {
+		panic("metrics: KendallTau needs paired vectors of equal length")
+	}
+	if n < 2 {
+		return 0
+	}
+
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		ia, ib := idx[a], idx[b]
+		if x[ia] != x[ib] {
+			return x[ia] < x[ib]
+		}
+		return y[ia] < y[ib]
+	})
+
+	yOrd := make([]float64, n)
+	xOrd := make([]float64, n)
+	for i, id := range idx {
+		xOrd[i] = x[id]
+		yOrd[i] = y[id]
+	}
+
+	n0 := float64(n) * float64(n-1) / 2
+
+	// Ties in x, and joint ties in (x, y): scan the x-sorted order.
+	var n1, n3 float64
+	for i := 0; i < n; {
+		j := i
+		for j < n && xOrd[j] == xOrd[i] {
+			j++
+		}
+		g := float64(j - i)
+		n1 += g * (g - 1) / 2
+		for a := i; a < j; {
+			b := a
+			for b < j && yOrd[b] == yOrd[a] {
+				b++
+			}
+			jg := float64(b - a)
+			n3 += jg * (jg - 1) / 2
+			a = b
+		}
+		i = j
+	}
+
+	// Ties in y overall.
+	ySorted := append([]float64(nil), y...)
+	sort.Float64s(ySorted)
+	var n2 float64
+	for i := 0; i < n; {
+		j := i
+		for j < n && ySorted[j] == ySorted[i] {
+			j++
+		}
+		g := float64(j - i)
+		n2 += g * (g - 1) / 2
+		i = j
+	}
+
+	swaps := float64(countInversions(yOrd))
+	concMinusDisc := n0 - n1 - n2 + n3 - 2*swaps
+
+	denom := math.Sqrt((n0 - n1) * (n0 - n2))
+	if denom == 0 {
+		return 0
+	}
+	return concMinusDisc / denom
+}
+
+// countInversions counts pairs i < j with v[i] > v[j] (strictly), by
+// merge sort; v is modified.
+func countInversions(v []float64) int64 {
+	buf := make([]float64, len(v))
+	return mergeCount(v, buf)
+}
+
+func mergeCount(v, buf []float64) int64 {
+	n := len(v)
+	if n < 2 {
+		return 0
+	}
+	mid := n / 2
+	inv := mergeCount(v[:mid], buf[:mid]) + mergeCount(v[mid:], buf[mid:])
+	i, j, k := 0, mid, 0
+	for i < mid && j < n {
+		if v[i] <= v[j] {
+			buf[k] = v[i]
+			i++
+		} else {
+			buf[k] = v[j]
+			j++
+			inv += int64(mid - i)
+		}
+		k++
+	}
+	copy(buf[k:], v[i:mid])
+	copy(buf[k+(mid-i):], v[j:])
+	copy(v, buf[:n])
+	return inv
+}
+
+// Cosine returns the cosine similarity of two paired vectors: 1 when
+// they are perfectly scaled copies (the paper's example:
+// θ([1,2,3],[100,200,300]) = 1), 0 when either vector is all-zero.
+func Cosine(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic("metrics: Cosine needs paired vectors of equal length")
+	}
+	var dot, nx, ny float64
+	for i := range x {
+		dot += x[i] * y[i]
+		nx += x[i] * x[i]
+		ny += y[i] * y[i]
+	}
+	if nx == 0 || ny == 0 {
+		return 0
+	}
+	return dot / (math.Sqrt(nx) * math.Sqrt(ny))
+}
+
+// Recall returns |kept| / |reference|: the fraction of reference arcs
+// present in the approximated graph. It returns 1 for an empty
+// reference (nothing to lose).
+func Recall(kept, reference int) float64 {
+	if reference == 0 {
+		return 1
+	}
+	return float64(kept) / float64(reference)
+}
+
+// Summary aggregates a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	Std    float64 // sample standard deviation (n-1)
+	Median float64
+	Min    float64
+	Max    float64
+}
+
+// Summarize computes summary statistics; a nil/empty sample yields a
+// zero Summary.
+func Summarize(v []float64) Summary {
+	if len(v) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(v), Min: v[0], Max: v[0]}
+	var sum float64
+	for _, x := range v {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(v))
+	if len(v) > 1 {
+		var ss float64
+		for _, x := range v {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.Std = math.Sqrt(ss / float64(len(v)-1))
+	}
+	sorted := append([]float64(nil), v...)
+	sort.Float64s(sorted)
+	mid := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		s.Median = sorted[mid]
+	} else {
+		s.Median = (sorted[mid-1] + sorted[mid]) / 2
+	}
+	return s
+}
+
+// CDFPoint is one point of an empirical cumulative distribution:
+// P(X <= Value) = Prob.
+type CDFPoint struct {
+	Value float64
+	Prob  float64
+}
+
+// CDF builds the empirical CDF of a sample, one point per distinct
+// value.
+func CDF(v []float64) []CDFPoint {
+	if len(v) == 0 {
+		return nil
+	}
+	sorted := append([]float64(nil), v...)
+	sort.Float64s(sorted)
+	var out []CDFPoint
+	n := float64(len(sorted))
+	for i := 0; i < len(sorted); {
+		j := i
+		for j < len(sorted) && sorted[j] == sorted[i] {
+			j++
+		}
+		out = append(out, CDFPoint{Value: sorted[i], Prob: float64(j) / n})
+		i = j
+	}
+	return out
+}
+
+// CDFAt evaluates an empirical CDF at x.
+func CDFAt(cdf []CDFPoint, x float64) float64 {
+	p := 0.0
+	for _, pt := range cdf {
+		if pt.Value > x {
+			break
+		}
+		p = pt.Prob
+	}
+	return p
+}
+
+// SlopeThroughOrigin fits y = a·x by least squares. Figure 6's claim —
+// simulated degrees align on a line whose slope is close to the
+// diagonal — is quantified by this estimator.
+func SlopeThroughOrigin(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic("metrics: SlopeThroughOrigin needs paired vectors")
+	}
+	var xy, xx float64
+	for i := range x {
+		xy += x[i] * y[i]
+		xx += x[i] * x[i]
+	}
+	if xx == 0 {
+		return 0
+	}
+	return xy / xx
+}
+
+// Gini computes the Gini coefficient of a non-negative sample — the
+// load-imbalance measure used by the hotspot experiment (0 = perfectly
+// even, →1 = concentrated on one node).
+func Gini(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), v...)
+	sort.Float64s(sorted)
+	var cum, total float64
+	for i, x := range sorted {
+		cum += float64(i+1) * x
+		total += x
+	}
+	if total == 0 {
+		return 0
+	}
+	n := float64(len(sorted))
+	return (2*cum)/(n*total) - (n+1)/n
+}

@@ -1,0 +1,253 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+// naiveTauB is the O(n²) reference implementation of Kendall τ-b.
+func naiveTauB(x, y []float64) float64 {
+	n := len(x)
+	var conc, disc, tieX, tieY float64
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			dx := x[i] - x[j]
+			dy := y[i] - y[j]
+			switch {
+			case dx == 0 && dy == 0:
+				tieX++
+				tieY++
+			case dx == 0:
+				tieX++
+			case dy == 0:
+				tieY++
+			case dx*dy > 0:
+				conc++
+			default:
+				disc++
+			}
+		}
+	}
+	n0 := float64(n) * float64(n-1) / 2
+	denom := math.Sqrt((n0 - tieX) * (n0 - tieY))
+	if denom == 0 {
+		return 0
+	}
+	return (conc - disc) / denom
+}
+
+func TestKendallTauPerfectAgreement(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	if got := KendallTau(x, x); !almost(got, 1) {
+		t.Fatalf("tau(x,x) = %v, want 1", got)
+	}
+	y := []float64{10, 20, 30, 40, 50} // same ranking, different scale
+	if got := KendallTau(x, y); !almost(got, 1) {
+		t.Fatalf("tau same ranking = %v, want 1", got)
+	}
+}
+
+func TestKendallTauReversed(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{5, 4, 3, 2, 1}
+	if got := KendallTau(x, y); !almost(got, -1) {
+		t.Fatalf("tau reversed = %v, want -1", got)
+	}
+}
+
+func TestKendallTauKnownValue(t *testing.T) {
+	// Hand-checked example: x=[1,2,3,4,5], y=[3,1,2,5,4]
+	// pairs: C=7, D=3, no ties -> tau = (7-3)/10 = 0.4.
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{3, 1, 2, 5, 4}
+	if got := KendallTau(x, y); !almost(got, 0.4) {
+		t.Fatalf("tau = %v, want 0.4", got)
+	}
+}
+
+func TestKendallTauDegenerate(t *testing.T) {
+	if got := KendallTau(nil, nil); got != 0 {
+		t.Fatalf("empty: %v", got)
+	}
+	if got := KendallTau([]float64{1}, []float64{2}); got != 0 {
+		t.Fatalf("singleton: %v", got)
+	}
+	if got := KendallTau([]float64{1, 1, 1}, []float64{1, 2, 3}); got != 0 {
+		t.Fatalf("constant x: %v", got)
+	}
+}
+
+func TestKendallTauMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(60)
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			// Small integer ranges force plenty of ties.
+			x[i] = float64(r.Intn(8))
+			y[i] = float64(r.Intn(8))
+		}
+		return almost(KendallTau(x, y), naiveTauB(x, y))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKendallTauRange(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(40)
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = r.Float64()
+			y[i] = r.Float64()
+		}
+		tau := KendallTau(x, y)
+		return tau >= -1-1e-9 && tau <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(6))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCosine(t *testing.T) {
+	// The paper's example: θ([1,2,3],[100,200,300]) = 1.
+	if got := Cosine([]float64{1, 2, 3}, []float64{100, 200, 300}); !almost(got, 1) {
+		t.Fatalf("scaled vectors: %v, want 1", got)
+	}
+	if got := Cosine([]float64{1, 0}, []float64{0, 1}); !almost(got, 0) {
+		t.Fatalf("orthogonal: %v, want 0", got)
+	}
+	if got := Cosine([]float64{0, 0}, []float64{1, 2}); got != 0 {
+		t.Fatalf("zero vector: %v, want 0", got)
+	}
+	if got := Cosine([]float64{1, 2}, []float64{-1, -2}); !almost(got, -1) {
+		t.Fatalf("opposite: %v, want -1", got)
+	}
+}
+
+func TestRecall(t *testing.T) {
+	if got := Recall(3, 4); !almost(got, 0.75) {
+		t.Fatalf("Recall(3,4) = %v", got)
+	}
+	if got := Recall(0, 0); got != 1 {
+		t.Fatalf("Recall(0,0) = %v, want 1", got)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 || !almost(s.Mean, 5) {
+		t.Fatalf("mean = %v", s.Mean)
+	}
+	// Sample std of this classic dataset is sqrt(32/7).
+	if !almost(s.Std, math.Sqrt(32.0/7.0)) {
+		t.Fatalf("std = %v", s.Std)
+	}
+	if !almost(s.Median, 4.5) {
+		t.Fatalf("median = %v", s.Median)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Fatalf("min/max = %v/%v", s.Min, s.Max)
+	}
+
+	odd := Summarize([]float64{3, 1, 2})
+	if !almost(odd.Median, 2) {
+		t.Fatalf("odd median = %v", odd.Median)
+	}
+	empty := Summarize(nil)
+	if empty.N != 0 || empty.Mean != 0 {
+		t.Fatal("empty sample must be zero")
+	}
+	single := Summarize([]float64{7})
+	if single.Std != 0 || single.Median != 7 {
+		t.Fatalf("single = %+v", single)
+	}
+}
+
+func TestCDF(t *testing.T) {
+	cdf := CDF([]float64{1, 1, 2, 5})
+	if len(cdf) != 3 {
+		t.Fatalf("points = %d, want 3", len(cdf))
+	}
+	if !almost(cdf[0].Prob, 0.5) || cdf[0].Value != 1 {
+		t.Fatalf("P(X<=1) = %+v", cdf[0])
+	}
+	if !almost(cdf[2].Prob, 1) {
+		t.Fatal("CDF must end at 1")
+	}
+	// Monotone non-decreasing.
+	for i := 1; i < len(cdf); i++ {
+		if cdf[i].Prob < cdf[i-1].Prob || cdf[i].Value <= cdf[i-1].Value {
+			t.Fatal("CDF not monotone")
+		}
+	}
+	if got := CDFAt(cdf, 1.5); !almost(got, 0.5) {
+		t.Fatalf("CDFAt(1.5) = %v", got)
+	}
+	if got := CDFAt(cdf, 0); got != 0 {
+		t.Fatalf("CDFAt below min = %v", got)
+	}
+	if got := CDFAt(cdf, 99); !almost(got, 1) {
+		t.Fatalf("CDFAt above max = %v", got)
+	}
+	if CDF(nil) != nil {
+		t.Fatal("empty CDF must be nil")
+	}
+}
+
+func TestSlopeThroughOrigin(t *testing.T) {
+	x := []float64{1, 2, 3}
+	y := []float64{2, 4, 6}
+	if got := SlopeThroughOrigin(x, y); !almost(got, 2) {
+		t.Fatalf("slope = %v, want 2", got)
+	}
+	if got := SlopeThroughOrigin([]float64{0, 0}, []float64{1, 2}); got != 0 {
+		t.Fatalf("degenerate slope = %v, want 0", got)
+	}
+}
+
+func TestGini(t *testing.T) {
+	if got := Gini([]float64{1, 1, 1, 1}); !almost(got, 0) {
+		t.Fatalf("uniform Gini = %v, want 0", got)
+	}
+	// All mass on one of many: approaches (n-1)/n.
+	v := make([]float64, 10)
+	v[0] = 100
+	if got := Gini(v); !almost(got, 0.9) {
+		t.Fatalf("concentrated Gini = %v, want 0.9", got)
+	}
+	if got := Gini(nil); got != 0 {
+		t.Fatalf("empty Gini = %v", got)
+	}
+	if got := Gini([]float64{0, 0}); got != 0 {
+		t.Fatalf("zero-mass Gini = %v", got)
+	}
+}
+
+func TestCountInversions(t *testing.T) {
+	v := []float64{3, 1, 2}
+	if got := countInversions(append([]float64(nil), v...)); got != 2 {
+		t.Fatalf("inversions = %d, want 2", got)
+	}
+	sortedv := []float64{1, 2, 3, 4}
+	if got := countInversions(append([]float64(nil), sortedv...)); got != 0 {
+		t.Fatalf("sorted inversions = %d", got)
+	}
+	rev := []float64{4, 3, 2, 1}
+	if got := countInversions(append([]float64(nil), rev...)); got != 6 {
+		t.Fatalf("reversed inversions = %d, want 6", got)
+	}
+	ties := []float64{2, 2, 2}
+	if got := countInversions(append([]float64(nil), ties...)); got != 0 {
+		t.Fatalf("tied inversions = %d, want 0 (strict)", got)
+	}
+}

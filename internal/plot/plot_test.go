@@ -1,0 +1,71 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderBasics(t *testing.T) {
+	out := Render([]Series{
+		{Name: "a", Points: [][2]float64{{0, 0}, {1, 1}, {2, 4}}},
+		{Name: "b", Points: [][2]float64{{0, 4}, {2, 0}}},
+	}, Options{Width: 30, Height: 10, Title: "demo", XLabel: "x", YLabel: "y"})
+
+	if !strings.Contains(out, "demo") {
+		t.Fatal("title missing")
+	}
+	if !strings.Contains(out, "* a") || !strings.Contains(out, "o b") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatal("marks missing")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + legend + 10 rows + axis + x labels + xy label line
+	if len(lines) != 2+10+1+1+1 {
+		t.Fatalf("unexpected line count %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(out, "x: x   y: y") {
+		t.Fatal("axis labels missing")
+	}
+}
+
+func TestRenderDiagonal(t *testing.T) {
+	out := Render([]Series{
+		{Name: "pts", Points: [][2]float64{{1, 1}, {50, 48}, {100, 95}}},
+	}, Options{Width: 40, Height: 12, Diagonal: true})
+	if !strings.Contains(out, ".") {
+		t.Fatal("diagonal reference line missing")
+	}
+}
+
+func TestRenderLogAxes(t *testing.T) {
+	out := Render([]Series{
+		{Name: "cdf", Points: [][2]float64{{1, 0.1}, {10, 0.5}, {10000, 1}}},
+	}, Options{Width: 40, Height: 8, LogX: true})
+	// The x axis labels must show the de-logged bounds.
+	if !strings.Contains(out, "1e+04") && !strings.Contains(out, "10000") {
+		t.Fatalf("log axis label missing:\n%s", out)
+	}
+}
+
+func TestRenderEmptySeries(t *testing.T) {
+	out := Render(nil, Options{})
+	if out == "" {
+		t.Fatal("empty render must still draw a frame")
+	}
+	out = Render([]Series{{Name: "empty"}}, Options{Width: 10, Height: 4})
+	if !strings.Contains(out, "empty") {
+		t.Fatal("legend for empty series missing")
+	}
+}
+
+func TestRenderConstantValues(t *testing.T) {
+	// Degenerate ranges (all points equal) must not divide by zero.
+	out := Render([]Series{
+		{Name: "flat", Points: [][2]float64{{5, 5}, {5, 5}}},
+	}, Options{Width: 10, Height: 4})
+	if !strings.Contains(out, "*") {
+		t.Fatalf("flat series not drawn:\n%s", out)
+	}
+}

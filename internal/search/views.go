@@ -1,0 +1,177 @@
+package search
+
+import (
+	"sync"
+
+	"dharma/internal/core"
+	"dharma/internal/folksonomy"
+)
+
+// FolkView navigates the in-memory theoretic model. Sorted adjacency
+// lists are cached: the convergence experiments run hundreds of walks
+// over the same graph.
+type FolkView struct {
+	G *folksonomy.Graph
+
+	mu    sync.Mutex
+	cache map[string][]folksonomy.Weighted
+}
+
+// NewFolkView wraps g.
+func NewFolkView(g *folksonomy.Graph) *FolkView {
+	return &FolkView{G: g, cache: make(map[string][]folksonomy.Weighted)}
+}
+
+// RelatedTags implements View.
+func (v *FolkView) RelatedTags(t string) []folksonomy.Weighted {
+	v.mu.Lock()
+	ws, ok := v.cache[t]
+	v.mu.Unlock()
+	if ok {
+		return ws
+	}
+	ws = v.G.Neighbors(t)
+	folksonomy.SortWeighted(ws)
+	v.mu.Lock()
+	v.cache[t] = ws
+	v.mu.Unlock()
+	return ws
+}
+
+// Resources implements View.
+func (v *FolkView) Resources(t string) []folksonomy.Weighted {
+	return v.G.Res(t)
+}
+
+// FGSource supplies the (possibly approximated) Folksonomy Graph
+// adjacency of a tag, unsorted. Both the evolution simulator's result
+// and plain adjacency maps implement it.
+type FGSource interface {
+	Neighbors(t string) []folksonomy.Weighted
+}
+
+// MapFG adapts a plain adjacency map to FGSource.
+type MapFG map[string]map[string]int
+
+// Neighbors implements FGSource.
+func (m MapFG) Neighbors(t string) []folksonomy.Weighted {
+	adj := m[t]
+	out := make([]folksonomy.Weighted, 0, len(adj))
+	for name, w := range adj {
+		out = append(out, folksonomy.Weighted{Name: name, Weight: w})
+	}
+	return out
+}
+
+// CompositeView navigates an approximated FG (typically the result of
+// the evolution simulation) while reading resources from the original
+// TRG — the paper notes that "only the FG is affected by the
+// approximation, while the TRG graph remains the same".
+type CompositeView struct {
+	FG  FGSource
+	TRG *folksonomy.Graph
+
+	mu    sync.Mutex
+	cache map[string][]folksonomy.Weighted
+}
+
+// NewCompositeView pairs an approximated FG with the original TRG.
+func NewCompositeView(fg FGSource, trg *folksonomy.Graph) *CompositeView {
+	return &CompositeView{FG: fg, TRG: trg, cache: make(map[string][]folksonomy.Weighted)}
+}
+
+// RelatedTags implements View.
+func (v *CompositeView) RelatedTags(t string) []folksonomy.Weighted {
+	v.mu.Lock()
+	ws, ok := v.cache[t]
+	v.mu.Unlock()
+	if ok {
+		return ws
+	}
+	ws = v.FG.Neighbors(t)
+	folksonomy.SortWeighted(ws)
+	v.mu.Lock()
+	v.cache[t] = ws
+	v.mu.Unlock()
+	return ws
+}
+
+// Resources implements View.
+func (v *CompositeView) Resources(t string) []folksonomy.Weighted {
+	return v.TRG.Res(t)
+}
+
+// EngineView navigates a live DHARMA engine: every step's data comes
+// from the DHT via SearchStep (2 overlay lookups). The last step is
+// memoised because Run always asks for the tags and then the resources
+// of the same tag.
+type EngineView struct {
+	E *core.Engine
+
+	mu      sync.Mutex
+	lastTag string
+	related []folksonomy.Weighted
+	res     []folksonomy.Weighted
+	ok      bool
+}
+
+// NewEngineView wraps e.
+func NewEngineView(e *core.Engine) *EngineView { return &EngineView{E: e} }
+
+func (v *EngineView) load(t string) {
+	if v.ok && v.lastTag == t {
+		return
+	}
+	related, res, err := v.E.SearchStep(t)
+	if err != nil {
+		related, res = nil, nil
+	}
+	folksonomy.SortWeighted(related)
+	v.lastTag, v.related, v.res, v.ok = t, related, res, true
+}
+
+// RelatedTags implements View.
+func (v *EngineView) RelatedTags(t string) []folksonomy.Weighted {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.load(t)
+	return v.related
+}
+
+// Resources implements View.
+func (v *EngineView) Resources(t string) []folksonomy.Weighted {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.load(t)
+	return v.res
+}
+
+// ResourceTagger is the optional view capability behind resource-pivot
+// navigation: listing Tags(r).
+type ResourceTagger interface {
+	TagsOf(r string) []folksonomy.Weighted
+}
+
+// TagsOf implements ResourceTagger.
+func (v *FolkView) TagsOf(r string) []folksonomy.Weighted { return v.G.Tags(r) }
+
+// TagsOf implements ResourceTagger.
+func (v *CompositeView) TagsOf(r string) []folksonomy.Weighted { return v.TRG.Tags(r) }
+
+// TagsOf implements ResourceTagger (one overlay lookup of r̄).
+func (v *EngineView) TagsOf(r string) []folksonomy.Weighted {
+	ws, err := v.E.TagsOf(r)
+	if err != nil {
+		return nil
+	}
+	return ws
+}
+
+var (
+	_ View           = (*FolkView)(nil)
+	_ View           = (*CompositeView)(nil)
+	_ View           = (*EngineView)(nil)
+	_ ResourceTagger = (*FolkView)(nil)
+	_ ResourceTagger = (*CompositeView)(nil)
+	_ ResourceTagger = (*EngineView)(nil)
+)

@@ -1,0 +1,246 @@
+// Package sim implements the paper's evaluation machinery: the
+// approximated-graph evolution of §V-B (replay a tagging schedule under
+// Approximations A and B and compare the resulting Folksonomy Graph with
+// the theoretic one) and the faceted-search convergence experiment of
+// §V-C.
+//
+// The evolution loop reproduces the DHARMA engine's update semantics
+// bit-for-bit — same candidate ordering, same random-subset procedure,
+// same Approximation B weights — but runs on interned integer adjacency
+// instead of DHT blocks, which makes full-dataset replays hundreds of
+// times faster. A cross-validation test asserts that, seeded alike, the
+// simulator and the real engine produce identical graphs.
+package sim
+
+import (
+	"math/rand"
+
+	"dharma/internal/dataset"
+	"dharma/internal/folksonomy"
+)
+
+// EvolutionConfig parameterises a §V-B replay.
+type EvolutionConfig struct {
+	// K is the connection parameter of Approximation A: at most K
+	// reverse arcs are updated per tagging operation. K <= 0 disables
+	// Approximation A (every reverse arc is updated).
+	K int
+	// ApproxB, when true, applies Approximation B: a forward arc that
+	// does not exist yet is created at weight 1 instead of u(τ,r)
+	// (existing arcs still grow by the theoretic increment).
+	ApproxB bool
+	// Seed drives the random subset selection of Approximation A.
+	Seed int64
+}
+
+// Result is the FG produced by an evolution replay.
+type Result struct {
+	tagID   map[string]int32
+	tagName []string
+	sim     []map[int32]int32
+
+	// Ops is the number of tagging operations replayed.
+	Ops int
+	// ReverseUpdates counts reverse-arc block updates — the component
+	// of the lookup cost that Approximation A bounds.
+	ReverseUpdates int64
+}
+
+// Neighbors returns the approximated N_FG(t) with weights, unsorted.
+// It implements search.FGSource.
+func (r *Result) Neighbors(t string) []folksonomy.Weighted {
+	id, ok := r.tagID[t]
+	if !ok {
+		return nil
+	}
+	m := r.sim[id]
+	out := make([]folksonomy.Weighted, 0, len(m))
+	for t2, w := range m {
+		out = append(out, folksonomy.Weighted{Name: r.tagName[t2], Weight: int(w)})
+	}
+	return out
+}
+
+// NeighborDegree returns |N_FG(t)| in the approximated graph.
+func (r *Result) NeighborDegree(t string) int {
+	id, ok := r.tagID[t]
+	if !ok {
+		return 0
+	}
+	return len(r.sim[id])
+}
+
+// Sim returns the approximated sim(t1,t2), 0 when absent.
+func (r *Result) Sim(t1, t2 string) int {
+	id1, ok := r.tagID[t1]
+	if !ok {
+		return 0
+	}
+	id2, ok := r.tagID[t2]
+	if !ok {
+		return 0
+	}
+	return int(r.sim[id1][id2])
+}
+
+// NumArcs returns the number of directed arcs in the approximated FG.
+func (r *Result) NumArcs() int {
+	n := 0
+	for _, m := range r.sim {
+		n += len(m)
+	}
+	return n
+}
+
+// TagNames lists the tags seen during the replay, in first-use order.
+// The returned slice is shared; callers must not modify it.
+func (r *Result) TagNames() []string { return r.tagName }
+
+// cell mirrors one r̄ entry: a tag and its u(τ,r) weight. Each
+// resource's cell list is kept sorted exactly like a DHT block read:
+// count descending, name ascending.
+type cell struct {
+	id int32
+	w  int32
+}
+
+// Evolver replays tagging operations one at a time, maintaining the
+// approximated FG incrementally. It exists so experiments can inspect
+// the graph at checkpoints mid-replay (e.g. the trend-emergence
+// extension); Evolve is the whole-schedule convenience wrapper.
+type Evolver struct {
+	cfg    EvolutionConfig
+	rng    *rand.Rand
+	res    *Result
+	resID  map[string]int32
+	tagsOf [][]cell
+	sample []cell // scratch for Approximation A
+}
+
+// NewEvolver starts a replay from the paper's "fully disconnected
+// graph": resources exist but carry no tags.
+func NewEvolver(cfg EvolutionConfig) *Evolver {
+	return &Evolver{
+		cfg:   cfg,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		res:   &Result{tagID: make(map[string]int32)},
+		resID: make(map[string]int32),
+	}
+}
+
+// Result returns the live graph; it reflects every operation applied so
+// far and keeps updating as more are applied.
+func (e *Evolver) Result() *Result { return e.res }
+
+func (e *Evolver) internTag(t string) int32 {
+	if id, ok := e.res.tagID[t]; ok {
+		return id
+	}
+	id := int32(len(e.res.tagName))
+	e.res.tagID[t] = id
+	e.res.tagName = append(e.res.tagName, t)
+	e.res.sim = append(e.res.sim, make(map[int32]int32))
+	return id
+}
+
+func (e *Evolver) internRes(r string) int32 {
+	if id, ok := e.resID[r]; ok {
+		return id
+	}
+	id := int32(len(e.tagsOf))
+	e.resID[r] = id
+	e.tagsOf = append(e.tagsOf, nil)
+	return id
+}
+
+// less replicates the DHT read order: count desc, then name asc.
+func (e *Evolver) less(a, b cell) bool {
+	if a.w != b.w {
+		return a.w > b.w
+	}
+	return e.res.tagName[a.id] < e.res.tagName[b.id]
+}
+
+// Apply performs one tagging operation under the configured
+// approximations, mirroring the DHARMA engine's update semantics.
+func (e *Evolver) Apply(a dataset.Annotation) {
+	res := e.res
+	rid := e.internRes(a.Resource)
+	tid := e.internTag(a.Tag)
+	adj := e.tagsOf[rid]
+
+	// Locate t and collect the "others" in sorted order (adj is
+	// maintained sorted, so a linear pass preserves it).
+	tIdx := -1
+	for i := range adj {
+		if adj[i].id == tid {
+			tIdx = i
+			break
+		}
+	}
+	wasTagged := tIdx >= 0
+
+	// Forward arcs (t,τ): only when t is new on r, incremented by
+	// u(τ,r). Approximation B dampens creation: an absent arc starts at
+	// 1 instead of u(τ,r).
+	if !wasTagged {
+		simT := res.sim[tid]
+		for _, c := range adj {
+			if _, exists := simT[c.id]; !exists && e.cfg.ApproxB {
+				simT[c.id] = 1
+			} else {
+				simT[c.id] += c.w
+			}
+		}
+	}
+
+	// Reverse arcs (τ,t): Approximation A bounds the fan-out to a
+	// random subset of size K, drawn by the same partial Fisher-Yates
+	// the engine uses on the same sorted candidates.
+	others := adj
+	if wasTagged {
+		others = make([]cell, 0, len(adj)-1)
+		others = append(others, adj[:tIdx]...)
+		others = append(others, adj[tIdx+1:]...)
+	}
+	reverse := others
+	if e.cfg.K > 0 && len(others) > e.cfg.K {
+		e.sample = append(e.sample[:0], others...)
+		for i := 0; i < e.cfg.K; i++ {
+			j := i + e.rng.Intn(len(e.sample)-i)
+			e.sample[i], e.sample[j] = e.sample[j], e.sample[i]
+		}
+		reverse = e.sample[:e.cfg.K]
+	}
+	for _, c := range reverse {
+		res.sim[c.id][tid]++
+	}
+	res.ReverseUpdates += int64(len(reverse))
+
+	// u(t,r) += 1, keeping the adjacency sorted.
+	if wasTagged {
+		adj[tIdx].w++
+		for tIdx > 0 && e.less(adj[tIdx], adj[tIdx-1]) {
+			adj[tIdx], adj[tIdx-1] = adj[tIdx-1], adj[tIdx]
+			tIdx--
+		}
+	} else {
+		adj = append(adj, cell{id: tid, w: 1})
+		for i := len(adj) - 1; i > 0 && e.less(adj[i], adj[i-1]); i-- {
+			adj[i], adj[i-1] = adj[i-1], adj[i]
+		}
+		e.tagsOf[rid] = adj
+	}
+	res.Ops++
+}
+
+// Evolve replays schedule (the §V-B tagging schedule: a random
+// permutation of the dataset's annotation instances, see
+// dataset.Shuffled) under cfg and returns the approximated FG.
+func Evolve(schedule []dataset.Annotation, cfg EvolutionConfig) *Result {
+	ev := NewEvolver(cfg)
+	for _, a := range schedule {
+		ev.Apply(a)
+	}
+	return ev.Result()
+}

@@ -1,0 +1,54 @@
+package sim
+
+import (
+	"math/rand"
+
+	"dharma/internal/search"
+)
+
+// SearchConfig parameterises the §V-C convergence experiment.
+type SearchConfig struct {
+	// Seeds are the starting tags (the paper: 100 most popular).
+	Seeds []string
+	// RandomRuns is how many random-strategy walks run per seed tag
+	// (the paper: 100). First and Last are deterministic and run once.
+	RandomRuns int
+	// Options configures the navigator (display cap 100, resource
+	// threshold 10 in the paper; zero values select those defaults).
+	Options search.Options
+	// Seed drives the random strategy.
+	Seed int64
+}
+
+// SearchOutcome collects path lengths per strategy.
+type SearchOutcome struct {
+	// Steps maps each strategy to the observed path lengths (the
+	// paper's "search steps": tags selected, t0 included).
+	Steps map[search.Strategy][]float64
+}
+
+// RunSearches executes the experiment on a view of one graph: for every
+// seed tag, one "first" walk, one "last" walk and RandomRuns random
+// walks.
+func RunSearches(v search.View, cfg SearchConfig) SearchOutcome {
+	if cfg.RandomRuns <= 0 {
+		cfg.RandomRuns = 100
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	out := SearchOutcome{Steps: map[search.Strategy][]float64{}}
+	for _, seed := range cfg.Seeds {
+		for _, strat := range []search.Strategy{search.First, search.Last} {
+			opt := cfg.Options
+			res := search.Run(v, seed, strat, opt)
+			out.Steps[strat] = append(out.Steps[strat], float64(res.Steps()))
+		}
+		for i := 0; i < cfg.RandomRuns; i++ {
+			opt := cfg.Options
+			opt.Rng = rng
+			res := search.Run(v, seed, search.Random, opt)
+			out.Steps[search.Random] = append(out.Steps[search.Random], float64(res.Steps()))
+		}
+	}
+	return out
+}

@@ -1,0 +1,289 @@
+// Package simnet provides an in-memory message-passing network used to
+// run overlay protocols deterministically on one machine.
+//
+// The unit of communication is a blocking RPC carrying an opaque byte
+// payload, mirroring a UDP request/response exchange. The network can
+// inject packet loss, enforce a maximum payload size (the paper notes
+// that overlay messages travel in UDP packets with a limited payload,
+// which motivates DHARMA's index-side filtering), take nodes down, and
+// partition pairs of endpoints. All randomness is seeded, so failures
+// are reproducible.
+//
+// Wall-clock time is never consumed: simulated latency is accumulated in
+// counters instead of slept, which keeps large experiments fast while
+// still reporting how much network time a protocol would have spent.
+package simnet
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Addr identifies an endpoint on the network.
+type Addr string
+
+// Handler processes one inbound RPC and returns the response payload.
+// Handlers are invoked concurrently and must be safe for concurrent use.
+type Handler interface {
+	HandleRPC(from Addr, payload []byte) ([]byte, error)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(from Addr, payload []byte) ([]byte, error)
+
+// HandleRPC calls f.
+func (f HandlerFunc) HandleRPC(from Addr, payload []byte) ([]byte, error) {
+	return f(from, payload)
+}
+
+// Transport is the sender side of an endpoint. The kademlia package
+// depends only on this interface, so the same protocol code runs over
+// simnet and over real UDP (internal/wire).
+type Transport interface {
+	// Call sends payload to the endpoint at `to` and blocks until the
+	// response arrives or the exchange fails.
+	Call(to Addr, payload []byte) ([]byte, error)
+	// Addr returns the local address of this endpoint.
+	Addr() Addr
+	// Close detaches the endpoint; subsequent calls fail.
+	Close() error
+}
+
+// Errors returned by the simulated network. ErrTimeout stands in for
+// every silent failure a UDP exchange can suffer (loss, dead peer,
+// partition); protocols cannot distinguish those cases in reality
+// either.
+var (
+	ErrTimeout  = errors.New("simnet: request timed out")
+	ErrTooLarge = errors.New("simnet: payload exceeds MTU")
+	ErrClosed   = errors.New("simnet: endpoint closed")
+)
+
+// Config controls fault injection and accounting.
+type Config struct {
+	// DropRate is the probability in [0,1) that a request/response
+	// exchange is lost. Loss is decided once per exchange.
+	DropRate float64
+	// MTU is the maximum payload size in bytes; 0 means unlimited.
+	MTU int
+	// LatencyMin and LatencyMax bound the simulated one-way latency,
+	// sampled uniformly. Latency is accounted, not slept.
+	LatencyMin, LatencyMax time.Duration
+	// Seed drives the network's private random source.
+	Seed int64
+}
+
+// Counters aggregates network-wide accounting. All fields are totals
+// since the network was created.
+type Counters struct {
+	Calls        int64         // RPC exchanges attempted
+	Drops        int64         // exchanges lost to injected faults
+	BytesOut     int64         // request payload bytes
+	BytesIn      int64         // response payload bytes
+	SimulatedRTT time.Duration // accumulated round-trip latency
+}
+
+// Network connects endpoints. The zero value is not usable; call New.
+type Network struct {
+	cfg Config
+
+	mu       sync.RWMutex
+	nodes    map[Addr]*endpoint
+	down     map[Addr]bool
+	cut      map[[2]Addr]bool
+	rng      *rand.Rand
+	rngMu    sync.Mutex
+	perNode  map[Addr]*NodeStats
+	counters struct {
+		calls, drops, bytesOut, bytesIn, rttNanos atomic.Int64
+	}
+}
+
+// NodeStats counts traffic observed at a single endpoint.
+type NodeStats struct {
+	Sent     atomic.Int64 // requests originated
+	Received atomic.Int64 // requests served
+}
+
+type endpoint struct {
+	net     *Network
+	addr    Addr
+	handler Handler
+	closed  atomic.Bool
+}
+
+// New creates an empty network with the given configuration.
+func New(cfg Config) *Network {
+	if cfg.LatencyMax < cfg.LatencyMin {
+		cfg.LatencyMax = cfg.LatencyMin
+	}
+	return &Network{
+		cfg:     cfg,
+		nodes:   make(map[Addr]*endpoint),
+		down:    make(map[Addr]bool),
+		cut:     make(map[[2]Addr]bool),
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		perNode: make(map[Addr]*NodeStats),
+	}
+}
+
+// Attach registers a handler under addr and returns its Transport.
+// Attaching an address twice replaces the previous endpoint.
+func (n *Network) Attach(addr Addr, h Handler) Transport {
+	ep := &endpoint{net: n, addr: addr, handler: h}
+	n.mu.Lock()
+	n.nodes[addr] = ep
+	if _, ok := n.perNode[addr]; !ok {
+		n.perNode[addr] = &NodeStats{}
+	}
+	n.mu.Unlock()
+	return ep
+}
+
+// Detach removes the endpoint at addr, if any.
+func (n *Network) Detach(addr Addr) {
+	n.mu.Lock()
+	delete(n.nodes, addr)
+	n.mu.Unlock()
+}
+
+// SetDown marks addr unreachable (true) or reachable (false) without
+// detaching it, simulating a crashed-but-rejoining node.
+func (n *Network) SetDown(addr Addr, down bool) {
+	n.mu.Lock()
+	if down {
+		n.down[addr] = true
+	} else {
+		delete(n.down, addr)
+	}
+	n.mu.Unlock()
+}
+
+// Partition cuts (or heals) the link between a and b in both directions.
+func (n *Network) Partition(a, b Addr, cut bool) {
+	k1 := [2]Addr{a, b}
+	k2 := [2]Addr{b, a}
+	n.mu.Lock()
+	if cut {
+		n.cut[k1], n.cut[k2] = true, true
+	} else {
+		delete(n.cut, k1)
+		delete(n.cut, k2)
+	}
+	n.mu.Unlock()
+}
+
+// Counters returns a snapshot of network-wide accounting.
+func (n *Network) Counters() Counters {
+	return Counters{
+		Calls:        n.counters.calls.Load(),
+		Drops:        n.counters.drops.Load(),
+		BytesOut:     n.counters.bytesOut.Load(),
+		BytesIn:      n.counters.bytesIn.Load(),
+		SimulatedRTT: time.Duration(n.counters.rttNanos.Load()),
+	}
+}
+
+// Stats returns the per-node counters for addr, creating them if needed
+// so that callers can query nodes that have not sent traffic yet.
+func (n *Network) Stats(addr Addr) *NodeStats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	st, ok := n.perNode[addr]
+	if !ok {
+		st = &NodeStats{}
+		n.perNode[addr] = st
+	}
+	return st
+}
+
+// BusiestNodes returns addresses sorted by requests served, descending.
+// It is used by the hotspot experiment (A3).
+func (n *Network) BusiestNodes() []Addr {
+	n.mu.RLock()
+	addrs := make([]Addr, 0, len(n.perNode))
+	for a := range n.perNode {
+		addrs = append(addrs, a)
+	}
+	n.mu.RUnlock()
+	sort.Slice(addrs, func(i, j int) bool {
+		ri := n.Stats(addrs[i]).Received.Load()
+		rj := n.Stats(addrs[j]).Received.Load()
+		if ri != rj {
+			return ri > rj
+		}
+		return addrs[i] < addrs[j]
+	})
+	return addrs
+}
+
+func (n *Network) roll() (drop bool, rtt time.Duration) {
+	n.rngMu.Lock()
+	defer n.rngMu.Unlock()
+	drop = n.cfg.DropRate > 0 && n.rng.Float64() < n.cfg.DropRate
+	rtt = 2 * n.cfg.LatencyMin
+	if span := n.cfg.LatencyMax - n.cfg.LatencyMin; span > 0 {
+		rtt = 2 * (n.cfg.LatencyMin + time.Duration(n.rng.Int63n(int64(span))))
+	}
+	return drop, rtt
+}
+
+// Call implements Transport.
+func (ep *endpoint) Call(to Addr, payload []byte) ([]byte, error) {
+	if ep.closed.Load() {
+		return nil, ErrClosed
+	}
+	n := ep.net
+	n.counters.calls.Add(1)
+	if n.cfg.MTU > 0 && len(payload) > n.cfg.MTU {
+		return nil, fmt.Errorf("%w: %d > %d", ErrTooLarge, len(payload), n.cfg.MTU)
+	}
+
+	n.mu.RLock()
+	target, ok := n.nodes[to]
+	downSrc := n.down[ep.addr]
+	downDst := n.down[to]
+	cut := n.cut[[2]Addr{ep.addr, to}]
+	n.mu.RUnlock()
+
+	drop, rtt := n.roll()
+	if !ok || downSrc || downDst || cut || drop || target.closed.Load() {
+		n.counters.drops.Add(1)
+		return nil, ErrTimeout
+	}
+
+	n.counters.bytesOut.Add(int64(len(payload)))
+	n.counters.rttNanos.Add(int64(rtt))
+	n.Stats(ep.addr).Sent.Add(1)
+	n.Stats(to).Received.Add(1)
+
+	resp, err := target.handler.HandleRPC(ep.addr, payload)
+	if err != nil {
+		// A handler error is delivered as a timeout: over UDP the caller
+		// would simply never hear back.
+		n.counters.drops.Add(1)
+		return nil, ErrTimeout
+	}
+	if n.cfg.MTU > 0 && len(resp) > n.cfg.MTU {
+		n.counters.drops.Add(1)
+		return nil, fmt.Errorf("%w: response %d > %d", ErrTooLarge, len(resp), n.cfg.MTU)
+	}
+	n.counters.bytesIn.Add(int64(len(resp)))
+	return resp, nil
+}
+
+// Addr implements Transport.
+func (ep *endpoint) Addr() Addr { return ep.addr }
+
+// Close implements Transport.
+func (ep *endpoint) Close() error {
+	if ep.closed.CompareAndSwap(false, true) {
+		ep.net.Detach(ep.addr)
+	}
+	return nil
+}

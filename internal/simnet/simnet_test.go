@@ -1,0 +1,223 @@
+package simnet
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func echo() Handler {
+	return HandlerFunc(func(from Addr, p []byte) ([]byte, error) {
+		return append([]byte("echo:"), p...), nil
+	})
+}
+
+func TestCallDelivers(t *testing.T) {
+	n := New(Config{})
+	a := n.Attach("a", echo())
+	n.Attach("b", echo())
+
+	resp, err := a.Call("b", []byte("hi"))
+	if err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	if !bytes.Equal(resp, []byte("echo:hi")) {
+		t.Fatalf("resp = %q", resp)
+	}
+}
+
+func TestCallUnknownAddr(t *testing.T) {
+	n := New(Config{})
+	a := n.Attach("a", echo())
+	if _, err := a.Call("ghost", []byte("x")); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("want ErrTimeout, got %v", err)
+	}
+}
+
+func TestHandlerErrorBecomesTimeout(t *testing.T) {
+	n := New(Config{})
+	a := n.Attach("a", echo())
+	n.Attach("bad", HandlerFunc(func(Addr, []byte) ([]byte, error) {
+		return nil, errors.New("boom")
+	}))
+	if _, err := a.Call("bad", nil); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("want ErrTimeout, got %v", err)
+	}
+}
+
+func TestMTUEnforced(t *testing.T) {
+	n := New(Config{MTU: 8})
+	a := n.Attach("a", echo())
+	n.Attach("b", echo())
+
+	if _, err := a.Call("b", make([]byte, 9)); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("request over MTU: want ErrTooLarge, got %v", err)
+	}
+	// "echo:" + 4 bytes = 9 > 8: the response violates the MTU.
+	if _, err := a.Call("b", make([]byte, 4)); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("response over MTU: want ErrTooLarge, got %v", err)
+	}
+	// 3-byte request gives an 8-byte response: fits.
+	if _, err := a.Call("b", make([]byte, 3)); err != nil {
+		t.Fatalf("within MTU: %v", err)
+	}
+}
+
+func TestDropRateDeterministic(t *testing.T) {
+	run := func() (drops int64) {
+		n := New(Config{DropRate: 0.3, Seed: 42})
+		a := n.Attach("a", echo())
+		n.Attach("b", echo())
+		for i := 0; i < 1000; i++ {
+			a.Call("b", []byte("x")) //nolint:errcheck // counting drops below
+		}
+		return n.Counters().Drops
+	}
+	d1, d2 := run(), run()
+	if d1 != d2 {
+		t.Fatalf("same seed produced different drop counts: %d vs %d", d1, d2)
+	}
+	if d1 < 200 || d1 > 400 {
+		t.Fatalf("drop count %d far from expected ~300", d1)
+	}
+}
+
+func TestSetDownAndRecover(t *testing.T) {
+	n := New(Config{})
+	a := n.Attach("a", echo())
+	n.Attach("b", echo())
+
+	n.SetDown("b", true)
+	if _, err := a.Call("b", nil); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("down node reachable: %v", err)
+	}
+	n.SetDown("b", false)
+	if _, err := a.Call("b", nil); err != nil {
+		t.Fatalf("recovered node unreachable: %v", err)
+	}
+}
+
+func TestPartition(t *testing.T) {
+	n := New(Config{})
+	a := n.Attach("a", echo())
+	b := n.Attach("b", echo())
+	n.Attach("c", echo())
+
+	n.Partition("a", "b", true)
+	if _, err := a.Call("b", nil); !errors.Is(err, ErrTimeout) {
+		t.Fatal("partition a->b not enforced")
+	}
+	if _, err := b.Call("a", nil); !errors.Is(err, ErrTimeout) {
+		t.Fatal("partition b->a not enforced")
+	}
+	if _, err := a.Call("c", nil); err != nil {
+		t.Fatalf("unrelated link affected: %v", err)
+	}
+	n.Partition("a", "b", false)
+	if _, err := a.Call("b", nil); err != nil {
+		t.Fatalf("healed link still cut: %v", err)
+	}
+}
+
+func TestClose(t *testing.T) {
+	n := New(Config{})
+	a := n.Attach("a", echo())
+	b := n.Attach("b", echo())
+	if err := b.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := a.Call("b", nil); !errors.Is(err, ErrTimeout) {
+		t.Fatal("closed endpoint still reachable")
+	}
+	if _, err := b.Call("a", nil); !errors.Is(err, ErrClosed) {
+		t.Fatal("closed endpoint can still send")
+	}
+}
+
+func TestCountersAndStats(t *testing.T) {
+	n := New(Config{LatencyMin: time.Millisecond, LatencyMax: 2 * time.Millisecond})
+	a := n.Attach("a", echo())
+	n.Attach("b", echo())
+
+	const calls = 10
+	for i := 0; i < calls; i++ {
+		if _, err := a.Call("b", []byte("1234")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := n.Counters()
+	if c.Calls != calls {
+		t.Fatalf("Calls = %d, want %d", c.Calls, calls)
+	}
+	if c.BytesOut != 4*calls {
+		t.Fatalf("BytesOut = %d, want %d", c.BytesOut, 4*calls)
+	}
+	if c.BytesIn != int64((4+5)*calls) {
+		t.Fatalf("BytesIn = %d, want %d", c.BytesIn, (4+5)*calls)
+	}
+	// Accumulated RTT must be within [2*min, 2*max] per call.
+	if c.SimulatedRTT < 2*time.Millisecond*calls || c.SimulatedRTT > 4*time.Millisecond*calls {
+		t.Fatalf("SimulatedRTT = %v out of range", c.SimulatedRTT)
+	}
+	if got := n.Stats("a").Sent.Load(); got != calls {
+		t.Fatalf("a.Sent = %d, want %d", got, calls)
+	}
+	if got := n.Stats("b").Received.Load(); got != calls {
+		t.Fatalf("b.Received = %d, want %d", got, calls)
+	}
+}
+
+func TestBusiestNodes(t *testing.T) {
+	n := New(Config{})
+	a := n.Attach("a", echo())
+	n.Attach("b", echo())
+	n.Attach("c", echo())
+	for i := 0; i < 5; i++ {
+		a.Call("b", nil) //nolint:errcheck
+	}
+	for i := 0; i < 2; i++ {
+		a.Call("c", nil) //nolint:errcheck
+	}
+	order := n.BusiestNodes()
+	if len(order) != 3 || order[0] != "b" || order[1] != "c" {
+		t.Fatalf("BusiestNodes = %v", order)
+	}
+}
+
+func TestConcurrentCalls(t *testing.T) {
+	n := New(Config{})
+	var served sync.Map
+	for i := 0; i < 8; i++ {
+		addr := Addr(fmt.Sprintf("srv-%d", i))
+		n.Attach(addr, HandlerFunc(func(from Addr, p []byte) ([]byte, error) {
+			served.Store(string(p), true)
+			return p, nil
+		}))
+	}
+	client := n.Attach("client", echo())
+
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				to := Addr(fmt.Sprintf("srv-%d", (g+i)%8))
+				msg := fmt.Sprintf("g%d-i%d", g, i)
+				if _, err := client.Call(to, []byte(msg)); err != nil {
+					t.Errorf("Call: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	count := 0
+	served.Range(func(_, _ any) bool { count++; return true })
+	if count != 16*50 {
+		t.Fatalf("served %d distinct messages, want %d", count, 16*50)
+	}
+}

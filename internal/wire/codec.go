@@ -1,0 +1,216 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"dharma/internal/kadid"
+)
+
+// Codec limits. They bound decode-time allocations so a malformed or
+// hostile packet cannot make a node allocate unbounded memory.
+const (
+	MaxStringLen = 1 << 12 // longest field/address/error string
+	MaxBlobLen   = 1 << 16 // longest Data/Author/Sig/Cred blob
+	MaxListLen   = 1 << 16 // most contacts or entries per message
+)
+
+const codecVersion = 1
+
+// ErrMalformed is wrapped by all decode errors.
+var ErrMalformed = errors.New("wire: malformed message")
+
+// Encode serialises m into a fresh byte slice.
+func Encode(m *Message) []byte {
+	w := &writer{buf: make([]byte, 0, 256)}
+	w.byte(codecVersion)
+	w.byte(byte(m.Kind))
+	w.id(m.From.ID)
+	w.str(m.From.Addr)
+	w.id(m.Target)
+	w.uvarint(uint64(m.TopN))
+	w.uvarint(uint64(len(m.Contacts)))
+	for _, c := range m.Contacts {
+		w.id(c.ID)
+		w.str(c.Addr)
+	}
+	w.uvarint(uint64(len(m.Entries)))
+	for _, e := range m.Entries {
+		w.str(e.Field)
+		w.uvarint(e.Count)
+		w.uvarint(e.Init)
+		w.blob(e.Data)
+		w.blob(e.Author)
+		w.blob(e.Sig)
+	}
+	w.str(m.Err)
+	w.blob(m.Cred)
+	return w.buf
+}
+
+// Decode parses a message previously produced by Encode.
+func Decode(b []byte) (*Message, error) {
+	r := &reader{buf: b}
+	if v := r.byte(); v != codecVersion {
+		return nil, fmt.Errorf("%w: version %d", ErrMalformed, v)
+	}
+	m := &Message{}
+	m.Kind = Kind(r.byte())
+	m.From.ID = r.id()
+	m.From.Addr = r.str()
+	m.Target = r.id()
+	m.TopN = uint32(r.uvarint())
+
+	nc := r.uvarint()
+	if nc > MaxListLen {
+		return nil, fmt.Errorf("%w: %d contacts", ErrMalformed, nc)
+	}
+	if nc > 0 && r.err == nil {
+		m.Contacts = make([]Contact, 0, min(nc, 256))
+		for i := uint64(0); i < nc && r.err == nil; i++ {
+			m.Contacts = append(m.Contacts, Contact{ID: r.id(), Addr: r.str()})
+		}
+	}
+
+	ne := r.uvarint()
+	if ne > MaxListLen {
+		return nil, fmt.Errorf("%w: %d entries", ErrMalformed, ne)
+	}
+	if ne > 0 && r.err == nil {
+		m.Entries = make([]Entry, 0, min(ne, 256))
+		for i := uint64(0); i < ne && r.err == nil; i++ {
+			m.Entries = append(m.Entries, Entry{
+				Field:  r.str(),
+				Count:  r.uvarint(),
+				Init:   r.uvarint(),
+				Data:   r.blob(),
+				Author: r.blob(),
+				Sig:    r.blob(),
+			})
+		}
+	}
+
+	m.Err = r.str()
+	m.Cred = r.blob()
+	if r.err != nil {
+		return nil, r.err
+	}
+	if len(r.buf) != r.off {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrMalformed, len(r.buf)-r.off)
+	}
+	return m, nil
+}
+
+type writer struct {
+	buf []byte
+}
+
+func (w *writer) byte(b byte) { w.buf = append(w.buf, b) }
+
+func (w *writer) id(id kadid.ID) { w.buf = append(w.buf, id[:]...) }
+
+func (w *writer) uvarint(v uint64) {
+	w.buf = binary.AppendUvarint(w.buf, v)
+}
+
+func (w *writer) str(s string) {
+	w.uvarint(uint64(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+func (w *writer) blob(b []byte) {
+	w.uvarint(uint64(len(b)))
+	w.buf = append(w.buf, b...)
+}
+
+type reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *reader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("%w: "+format, append([]any{ErrMalformed}, args...)...)
+	}
+}
+
+func (r *reader) byte() byte {
+	if r.err != nil {
+		return 0
+	}
+	if r.off >= len(r.buf) {
+		r.fail("truncated byte")
+		return 0
+	}
+	b := r.buf[r.off]
+	r.off++
+	return b
+}
+
+func (r *reader) id() kadid.ID {
+	var id kadid.ID
+	if r.err != nil {
+		return id
+	}
+	if r.off+kadid.Size > len(r.buf) {
+		r.fail("truncated id")
+		return id
+	}
+	copy(id[:], r.buf[r.off:])
+	r.off += kadid.Size
+	return id
+}
+
+func (r *reader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		r.fail("bad uvarint")
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *reader) str() string {
+	n := r.uvarint()
+	if r.err != nil {
+		return ""
+	}
+	if n > MaxStringLen {
+		r.fail("string of %d bytes", n)
+		return ""
+	}
+	if r.off+int(n) > len(r.buf) {
+		r.fail("truncated string")
+		return ""
+	}
+	s := string(r.buf[r.off : r.off+int(n)])
+	r.off += int(n)
+	return s
+}
+
+func (r *reader) blob() []byte {
+	n := r.uvarint()
+	if r.err != nil {
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	if n > MaxBlobLen {
+		r.fail("blob of %d bytes", n)
+		return nil
+	}
+	if r.off+int(n) > len(r.buf) {
+		r.fail("truncated blob")
+		return nil
+	}
+	b := append([]byte(nil), r.buf[r.off:r.off+int(n)]...)
+	r.off += int(n)
+	return b
+}

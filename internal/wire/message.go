@@ -1,0 +1,115 @@
+// Package wire defines the overlay RPC message vocabulary shared by the
+// Kademlia protocol logic (internal/kademlia), the storage layer
+// (internal/dht) and both transports (internal/simnet in-memory, and the
+// UDP transport in this package). Messages are encoded with a compact
+// hand-rolled binary codec so that payload sizes — and therefore the
+// UDP-MTU pressure the paper discusses — are realistic.
+package wire
+
+import (
+	"dharma/internal/kadid"
+)
+
+// Kind discriminates the RPC message types of the overlay protocol.
+type Kind uint8
+
+// Protocol message kinds. The first four RPCs are Kademlia's; STORE is
+// extended with append ("one-bit token") semantics and FIND_VALUE with
+// index-side filtering, per DHARMA's requirements.
+const (
+	KindPing Kind = iota + 1
+	KindPong
+	KindStore     // append entries to the block stored under Target
+	KindStoreAck  // acknowledgement for KindStore and KindReplicate
+	KindFindNode  // request the k closest contacts to Target
+	KindFindValue // request the block under Target (or closest contacts)
+	KindNodes     // response carrying contacts
+	KindValue     // response carrying block entries
+	KindError     // response carrying an error string
+	KindReplicate // max-merge a replica of the block under Target
+)
+
+// String returns a human-readable name for the message kind.
+func (k Kind) String() string {
+	switch k {
+	case KindPing:
+		return "PING"
+	case KindPong:
+		return "PONG"
+	case KindStore:
+		return "STORE"
+	case KindStoreAck:
+		return "STORE_ACK"
+	case KindFindNode:
+		return "FIND_NODE"
+	case KindFindValue:
+		return "FIND_VALUE"
+	case KindNodes:
+		return "NODES"
+	case KindValue:
+		return "VALUE"
+	case KindError:
+		return "ERROR"
+	case KindReplicate:
+		return "REPLICATE"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// Contact is the (identifier, address) pair by which overlay nodes refer
+// to each other.
+type Contact struct {
+	ID   kadid.ID
+	Addr string
+}
+
+// Entry is one element of a stored block. DHARMA blocks are weighted
+// adjacency lists: Field names the neighbour (a tag or resource name),
+// Count is the accumulated arc weight (the number of "+1 tokens"
+// appended), and Data carries optional opaque bytes (the URI for type-4
+// blocks). Author and Sig are filled by the Likir identity layer; they
+// authenticate (block key, Field, Data) and are empty when the overlay
+// runs without identities.
+//
+// Init implements DHARMA's Approximation B: when Init > 0 and the field
+// does not yet exist in the block, the storage node creates it with
+// weight Init instead of adding Count. The conditional is evaluated at
+// the storing node, so the writer needs no extra lookup to learn
+// whether the arc exists, and two writers racing on the same new arc
+// produce a bounded 2·Init instead of 2·u(τ,r).
+type Entry struct {
+	Field  string
+	Count  uint64
+	Init   uint64 // create-value when the field is absent (0 = plain add)
+	Data   []byte
+	Author []byte // Ed25519 public key of the writer (optional)
+	Sig    []byte // signature over the entry (optional)
+}
+
+// Clone returns a deep copy of the entry.
+func (e Entry) Clone() Entry {
+	c := e
+	if e.Data != nil {
+		c.Data = append([]byte(nil), e.Data...)
+	}
+	if e.Author != nil {
+		c.Author = append([]byte(nil), e.Author...)
+	}
+	if e.Sig != nil {
+		c.Sig = append([]byte(nil), e.Sig...)
+	}
+	return c
+}
+
+// Message is a single overlay RPC request or response.
+type Message struct {
+	Kind     Kind
+	From     Contact  // the sender, so receivers can refresh routing state
+	Target   kadid.ID // lookup target or block key
+	TopN     uint32   // FIND_VALUE: return at most this many entries (0 = all)
+	Contacts []Contact
+	Entries  []Entry
+	Err      string
+	Cred     []byte // Likir credential blob of the sender (optional)
+}

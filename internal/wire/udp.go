@@ -1,0 +1,186 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dharma/internal/simnet"
+)
+
+// UDP framing: 1-byte frame kind + 8-byte request id + payload.
+const (
+	frameRequest  = 0x01
+	frameResponse = 0x02
+	frameHeader   = 1 + 8
+	maxDatagram   = 64 << 10
+)
+
+// DefaultUDPTimeout is how long a Call waits for a response before it
+// reports simnet.ErrTimeout.
+const DefaultUDPTimeout = 2 * time.Second
+
+// UDPTransport carries overlay RPCs over real UDP datagrams. It
+// implements the same Transport interface as the in-memory simnet, so
+// the Kademlia node code is identical in simulation and deployment.
+type UDPTransport struct {
+	conn    *net.UDPConn
+	handler simnet.Handler
+	timeout time.Duration
+
+	nextID  atomic.Uint64
+	mu      sync.Mutex
+	pending map[uint64]chan []byte
+
+	closeOnce sync.Once
+	closed    chan struct{}
+	wg        sync.WaitGroup
+}
+
+// ListenUDP binds a UDP socket on bind (e.g. "127.0.0.1:0") and serves
+// inbound RPCs with h. A zero timeout selects DefaultUDPTimeout.
+func ListenUDP(bind string, h simnet.Handler, timeout time.Duration) (*UDPTransport, error) {
+	addr, err := net.ResolveUDPAddr("udp", bind)
+	if err != nil {
+		return nil, fmt.Errorf("wire: resolve %q: %w", bind, err)
+	}
+	conn, err := net.ListenUDP("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("wire: listen: %w", err)
+	}
+	if timeout <= 0 {
+		timeout = DefaultUDPTimeout
+	}
+	t := &UDPTransport{
+		conn:    conn,
+		handler: h,
+		timeout: timeout,
+		pending: make(map[uint64]chan []byte),
+		closed:  make(chan struct{}),
+	}
+	t.wg.Add(1)
+	go t.readLoop()
+	return t, nil
+}
+
+// Addr implements simnet.Transport; the address is the bound UDP
+// endpoint, so it can be handed to peers as a contact address.
+func (t *UDPTransport) Addr() simnet.Addr {
+	return simnet.Addr(t.conn.LocalAddr().String())
+}
+
+// Call implements simnet.Transport.
+func (t *UDPTransport) Call(to simnet.Addr, payload []byte) ([]byte, error) {
+	select {
+	case <-t.closed:
+		return nil, simnet.ErrClosed
+	default:
+	}
+	dst, err := net.ResolveUDPAddr("udp", string(to))
+	if err != nil {
+		return nil, fmt.Errorf("wire: resolve %q: %w", to, err)
+	}
+	if len(payload)+frameHeader > maxDatagram {
+		return nil, fmt.Errorf("%w: %d bytes", simnet.ErrTooLarge, len(payload))
+	}
+
+	id := t.nextID.Add(1)
+	ch := make(chan []byte, 1)
+	t.mu.Lock()
+	t.pending[id] = ch
+	t.mu.Unlock()
+	defer func() {
+		t.mu.Lock()
+		delete(t.pending, id)
+		t.mu.Unlock()
+	}()
+
+	frame := make([]byte, frameHeader+len(payload))
+	frame[0] = frameRequest
+	binary.BigEndian.PutUint64(frame[1:9], id)
+	copy(frame[frameHeader:], payload)
+	if _, err := t.conn.WriteToUDP(frame, dst); err != nil {
+		return nil, fmt.Errorf("wire: send: %w", err)
+	}
+
+	select {
+	case resp := <-ch:
+		return resp, nil
+	case <-time.After(t.timeout):
+		return nil, simnet.ErrTimeout
+	case <-t.closed:
+		return nil, simnet.ErrClosed
+	}
+}
+
+// Close implements simnet.Transport. It stops the read loop and waits
+// for in-flight handlers to finish.
+func (t *UDPTransport) Close() error {
+	var err error
+	t.closeOnce.Do(func() {
+		close(t.closed)
+		err = t.conn.Close()
+		t.wg.Wait()
+	})
+	return err
+}
+
+func (t *UDPTransport) readLoop() {
+	defer t.wg.Done()
+	buf := make([]byte, maxDatagram)
+	for {
+		n, from, err := t.conn.ReadFromUDP(buf)
+		if err != nil {
+			select {
+			case <-t.closed:
+				return
+			default:
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			continue // transient read error: drop the datagram
+		}
+		if n < frameHeader {
+			continue
+		}
+		kind := buf[0]
+		id := binary.BigEndian.Uint64(buf[1:9])
+		payload := append([]byte(nil), buf[frameHeader:n]...)
+
+		switch kind {
+		case frameRequest:
+			t.wg.Add(1)
+			go t.serve(from, id, payload)
+		case frameResponse:
+			t.mu.Lock()
+			ch, ok := t.pending[id]
+			t.mu.Unlock()
+			if ok {
+				select {
+				case ch <- payload:
+				default: // duplicate response; first one wins
+				}
+			}
+		}
+	}
+}
+
+func (t *UDPTransport) serve(from *net.UDPAddr, id uint64, payload []byte) {
+	defer t.wg.Done()
+	resp, err := t.handler.HandleRPC(simnet.Addr(from.String()), payload)
+	if err != nil {
+		return // silence, as over real UDP: the caller times out
+	}
+	frame := make([]byte, frameHeader+len(resp))
+	frame[0] = frameResponse
+	binary.BigEndian.PutUint64(frame[1:9], id)
+	copy(frame[frameHeader:], resp)
+	t.conn.WriteToUDP(frame, from) //nolint:errcheck // best-effort reply
+}
+
+var _ simnet.Transport = (*UDPTransport)(nil)
