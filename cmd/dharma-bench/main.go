@@ -5,6 +5,13 @@
 //
 //	dharma-bench -scale small            # quick pass (~seconds)
 //	dharma-bench -scale lastfm -out csv  # full benchmark preset + CSVs
+//
+// The load subcommand instead drives a live deployment with parallel
+// workload mixes and reports throughput and latency percentiles:
+//
+//	dharma-bench load                                  # all mixes, overlay target
+//	dharma-bench load -mix tag-heavy -workers 16 -ops 20000
+//	dharma-bench load -target local -out csv           # in-process store + CSVs
 package main
 
 import (
@@ -13,15 +20,24 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"time"
 
+	"dharma"
+	"dharma/internal/core"
 	"dharma/internal/dataset"
+	"dharma/internal/dht"
 	"dharma/internal/exp"
+	"dharma/internal/loadgen"
 )
 
 type csvWriter interface{ WriteCSV(w io.Writer) error }
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "load" {
+		runLoad(os.Args[2:])
+		return
+	}
 	scale := flag.String("scale", "small", "workload scale: tiny, small or lastfm")
 	seed := flag.Int64("seed", 1, "generator seed")
 	out := flag.String("out", "", "directory for figure CSVs (omit to skip)")
@@ -146,6 +162,116 @@ func writeCSV(dir, name string, r csvWriter) {
 		fail(err)
 	}
 	fmt.Printf("(wrote %s)\n", path)
+}
+
+// runLoad is the `dharma-bench load` mode: parallel load generation
+// against a live System (or an in-process store), one report per
+// workload mix.
+func runLoad(args []string) {
+	fs := flag.NewFlagSet("load", flag.ExitOnError)
+	mixes := fs.String("mix", "all", `workload mixes, comma-separated ("insert-heavy,tag-heavy,...") or "all"`)
+	target := fs.String("target", "overlay", "what to drive: overlay (live Kademlia cluster) or local (in-process store)")
+	nodes := fs.Int("nodes", 16, "overlay size (overlay target)")
+	workers := fs.Int("workers", 8, "concurrent load workers")
+	ops := fs.Int("ops", 5000, "measured operations per mix")
+	seed := fs.Int64("seed", 1, "run seed")
+	k := fs.Int("k", 5, "connection parameter of Approximation A")
+	naive := fs.Bool("naive", false, "drive the naive (unapproximated) engine")
+	drop := fs.Float64("drop", 0, "inject network loss in [0,1) (overlay target): failed ops count and the run exits nonzero")
+	resources := fs.Int("resources", 128, "seeded resource universe")
+	tags := fs.Int("tags", 48, "tag vocabulary size (Zipf-popular)")
+	vocab := fs.String("vocab", "", "draw vocabulary from a generated dataset: tiny, small or lastfm (default synthetic names)")
+	out := fs.String("out", "", "directory for per-mix CSVs (omit to skip)")
+	if err := fs.Parse(args); err != nil {
+		fail(err)
+	}
+
+	mode := dharma.Approximated
+	if *naive {
+		mode = dharma.Naive
+	}
+
+	var ds *dataset.Dataset
+	switch *vocab {
+	case "":
+	case "tiny":
+		ds = dataset.Generate(dataset.Tiny(*seed))
+	case "small":
+		ds = dataset.Generate(dataset.Small(*seed))
+	case "lastfm":
+		ds = dataset.Generate(dataset.LastFMScaled(*seed))
+	default:
+		fail(fmt.Errorf("unknown vocab %q", *vocab))
+	}
+
+	var engines []*core.Engine
+	switch *target {
+	case "overlay":
+		sys, err := dharma.NewSystem(dharma.Config{Nodes: *nodes, Mode: mode, K: *k, Seed: *seed, DropRate: *drop})
+		if err != nil {
+			fail(err)
+		}
+		for _, p := range sys.Peers() {
+			engines = append(engines, p.Engine)
+		}
+		fmt.Printf("target: %d-node overlay, %s mode, k=%d, drop=%.2f\n", sys.Size(), mode, *k, *drop)
+	case "local":
+		store := dht.NewLocal()
+		for i := 0; i < *workers; i++ {
+			e, err := core.NewEngine(store, core.Config{Mode: mode, K: *k, Seed: *seed + int64(i)})
+			if err != nil {
+				fail(err)
+			}
+			engines = append(engines, e)
+		}
+		fmt.Printf("target: in-process store, %s mode, k=%d\n", mode, *k)
+	default:
+		fail(fmt.Errorf("unknown target %q (want overlay or local)", *target))
+	}
+
+	var selected []loadgen.Mix
+	if *mixes == "all" {
+		selected = loadgen.Mixes()
+	} else {
+		for _, name := range strings.Split(*mixes, ",") {
+			m, err := loadgen.MixByName(strings.TrimSpace(name))
+			if err != nil {
+				fail(err)
+			}
+			selected = append(selected, m)
+		}
+	}
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fail(err)
+		}
+	}
+
+	totalErrs := 0
+	for i, mix := range selected {
+		rep, err := loadgen.Run(loadgen.Config{
+			Mix:       mix,
+			Workers:   *workers,
+			Ops:       *ops,
+			Seed:      *seed + int64(i),
+			Resources: *resources,
+			Tags:      *tags,
+			Dataset:   ds,
+		}, engines)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println()
+		fmt.Print(rep)
+		if rep.FirstError != nil {
+			fmt.Printf("  first error: %v\n", rep.FirstError)
+		}
+		totalErrs += rep.Errors
+		writeCSV(*out, "load-"+mix.Name+".csv", rep)
+	}
+	if totalErrs > 0 {
+		fail(fmt.Errorf("load: %d operations failed", totalErrs))
+	}
 }
 
 func fail(err error) {

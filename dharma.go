@@ -24,6 +24,13 @@
 //	res := p.Navigate("rock", dharma.First, dharma.NavOptions{})
 //	fmt.Println(res.Path, res.FinalResources)
 //
+// A System and its Peers are safe for concurrent use: any number of
+// goroutines may insert, tag and navigate against the same deployment
+// simultaneously (block updates are commutative token appends, so
+// concurrent tagging is also semantically race-free — §IV-B). The
+// internal/loadgen package and `dharma-bench load` drive a System this
+// way to measure throughput and latency.
+//
 // See the examples/ directory for complete programs.
 package dharma
 

@@ -1,0 +1,3 @@
+module dharma
+
+go 1.24

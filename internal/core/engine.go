@@ -61,12 +61,16 @@ var ErrNoSuchTag = errors.New("core: unknown tag")
 
 // Engine is a DHARMA endpoint: it executes tagging-system primitives
 // against a block store. An Engine is what a peer embeds; any number of
-// engines may operate on the same overlay concurrently.
+// engines may operate on the same overlay concurrently, and a single
+// Engine is itself safe for concurrent use — all mutable state is the
+// subset-sampling source of Approximation A, guarded by rngMu.
 type Engine struct {
 	store dht.Store
 	cfg   Config
-	rng   *rand.Rand
 	topN  int
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
 }
 
 // NewEngine creates an engine over store.
@@ -306,10 +310,12 @@ func (e *Engine) Neighbors(t string) ([]folksonomy.Weighted, error) {
 // caller).
 func (e *Engine) sampleEntries(in []wire.Entry, k int) []wire.Entry {
 	cp := append([]wire.Entry(nil), in...)
+	e.rngMu.Lock()
 	for i := 0; i < k; i++ {
 		j := i + e.rng.Intn(len(cp)-i)
 		cp[i], cp[j] = cp[j], cp[i]
 	}
+	e.rngMu.Unlock()
 	return cp[:k]
 }
 

@@ -1,0 +1,92 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV checks that no input — malformed rows, stray quoting,
+// huge fields, binary garbage — can panic the CSV loader, and that every
+// accepted dataset round-trips through WriteCSV/ReadCSV preserving the
+// annotation triples.
+func FuzzReadCSV(f *testing.F) {
+	f.Add([]byte(""))
+	f.Add([]byte("user,item,tag\n"))
+	f.Add([]byte("user,item,tag\nu1,r1,t1\nu2,r2,t2\n"))
+	f.Add([]byte("user,item,tag\nu1,r1\n"))                     // short row
+	f.Add([]byte("user,item,tag\nu1,r1,t1,extra\n"))            // long row
+	f.Add([]byte("user,item,tag\n\"u1\",r1,t1\n"))              // quoting is not special
+	f.Add([]byte("user,item,tag\nu1,,t1\n"))                    // empty item
+	f.Add([]byte("wrong,header,here\nu1,r1,t1\n"))              // bad header
+	f.Add([]byte("user,item,tag\nu1,r1," + bigField(8192)))     // huge field
+	f.Add(bytes.Repeat([]byte{0x00, 0xFF, ',', '\n'}, 64))      // binary noise
+	f.Add([]byte("user,item,tag\r\nu1,r1,t1\r\n"))              // CRLF
+	f.Add([]byte("user,item,tag\n" + bigField(1<<20) + ",r,t")) // line past default scanner buffer
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := ReadCSV(bytes.NewReader(data))
+		if err != nil {
+			return // rejected inputs just need to not panic
+		}
+		if len(d.Annotations) == 0 {
+			t.Fatal("accepted dataset with no annotations")
+		}
+		// Vocabulary slices must be consistent with the triples.
+		seenRes := make(map[string]bool, len(d.ResourceNames))
+		for _, r := range d.ResourceNames {
+			seenRes[r] = true
+		}
+		seenTag := make(map[string]bool, len(d.TagNames))
+		for _, tg := range d.TagNames {
+			seenTag[tg] = true
+		}
+		for _, a := range d.Annotations {
+			if a.Resource == "" || a.Tag == "" {
+				t.Fatalf("accepted empty item/tag: %+v", a)
+			}
+			if !seenRes[a.Resource] || !seenTag[a.Tag] {
+				t.Fatalf("annotation %+v not in vocabulary", a)
+			}
+		}
+
+		// Round trip: anything accepted must re-emit and re-load equal,
+		// unless a name carries whitespace the writer cannot protect
+		// (ReadCSV trims lines; WriteCSV writes names verbatim).
+		if hasFragileName(d) {
+			return
+		}
+		var buf bytes.Buffer
+		if err := d.WriteCSV(&buf); err != nil {
+			t.Fatalf("WriteCSV of accepted dataset: %v", err)
+		}
+		d2, err := ReadCSV(&buf)
+		if err != nil {
+			t.Fatalf("re-read of written dataset: %v", err)
+		}
+		if len(d2.Annotations) != len(d.Annotations) {
+			t.Fatalf("round trip changed annotation count: %d != %d",
+				len(d2.Annotations), len(d.Annotations))
+		}
+		for i := range d.Annotations {
+			if d.Annotations[i] != d2.Annotations[i] {
+				t.Fatalf("round trip changed annotation %d: %+v != %+v",
+					i, d.Annotations[i], d2.Annotations[i])
+			}
+		}
+	})
+}
+
+func hasFragileName(d *Dataset) bool {
+	fragile := func(s string) bool {
+		return strings.TrimSpace(s) != s || strings.ContainsAny(s, "\r\n")
+	}
+	for _, a := range d.Annotations {
+		if fragile(a.User) || fragile(a.Resource) || fragile(a.Tag) {
+			return true
+		}
+	}
+	return false
+}
+
+func bigField(n int) string { return strings.Repeat("x", n) }

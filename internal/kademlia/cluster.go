@@ -3,6 +3,7 @@ package kademlia
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"dharma/internal/kadid"
 	"dharma/internal/likir"
@@ -31,9 +32,17 @@ type ClusterConfig struct {
 
 // Cluster is a set of overlay nodes wired through one simulated
 // network. Node 0 acts as the bootstrap seed.
+//
+// Direct access to Nodes is safe while membership is static (the common
+// case: build the cluster, then drive it). When nodes churn in while
+// other goroutines run — a load generator against a growing overlay —
+// use AddNode together with NodeAt/Len/Snapshot, which share a lock.
 type Cluster struct {
 	Net   *simnet.Network
 	Nodes []*Node
+
+	mu     sync.RWMutex // guards Nodes and minted against concurrent AddNode
+	minted int          // addresses handed out; never reused, so concurrent AddNode calls cannot collide
 }
 
 // NewCluster builds and joins an N-node overlay. Every node bootstraps
@@ -81,23 +90,59 @@ func NewCluster(cc ClusterConfig) (*Cluster, error) {
 }
 
 // AddNode joins one more node to a running cluster (churn-in). The new
-// node bootstraps through the given existing member.
+// node bootstraps through the given existing member. AddNode is safe to
+// call while other goroutines read membership through NodeAt/Len/
+// Snapshot.
 func (c *Cluster) AddNode(cfg Config, seed int64, via int) (*Node, error) {
 	rng := rand.New(rand.NewSource(seed))
 	node := NewNode(kadid.Random(rng), cfg)
-	addr := simnet.Addr(fmt.Sprintf("node-%d", len(c.Nodes)))
+
+	c.mu.Lock()
+	if c.minted < len(c.Nodes) {
+		c.minted = len(c.Nodes)
+	}
+	addr := simnet.Addr(fmt.Sprintf("node-%d", c.minted))
+	c.minted++
+	seedContact := c.Nodes[via].Self()
+	c.mu.Unlock()
+
 	node.Attach(c.Net.Attach(addr, node))
-	if err := node.Bootstrap([]wire.Contact{c.Nodes[via].Self()}); err != nil {
+	if err := node.Bootstrap([]wire.Contact{seedContact}); err != nil {
 		return nil, err
 	}
+	c.mu.Lock()
 	c.Nodes = append(c.Nodes, node)
+	c.mu.Unlock()
 	return node, nil
+}
+
+// NodeAt returns the i-th member under the membership lock.
+func (c *Cluster) NodeAt(i int) *Node {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.Nodes[i]
+}
+
+// Len returns the current membership size under the lock.
+func (c *Cluster) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.Nodes)
+}
+
+// Snapshot returns a copy of the current membership slice; the copy is
+// safe to range over while nodes keep joining.
+func (c *Cluster) Snapshot() []*Node {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return append([]*Node(nil), c.Nodes...)
 }
 
 // Contacts returns the contact of every cluster node.
 func (c *Cluster) Contacts() []wire.Contact {
-	out := make([]wire.Contact, len(c.Nodes))
-	for i, n := range c.Nodes {
+	nodes := c.Snapshot()
+	out := make([]wire.Contact, len(nodes))
+	for i, n := range nodes {
 		out[i] = n.Self()
 	}
 	return out

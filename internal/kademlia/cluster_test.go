@@ -1,0 +1,47 @@
+package kademlia
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestAddNodeConcurrent joins nodes from many goroutines and checks
+// that every member got a distinct address and is reachable — a
+// duplicate address would silently shadow an earlier endpoint on the
+// simulated network.
+func TestAddNodeConcurrent(t *testing.T) {
+	cl, err := NewCluster(ClusterConfig{N: 8, Node: Config{K: 4, Alpha: 2}, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const extra = 8
+	var wg sync.WaitGroup
+	for i := 0; i < extra; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := cl.AddNode(Config{K: 4, Alpha: 2}, int64(100+i), i%8); err != nil {
+				t.Errorf("AddNode %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	if got := cl.Len(); got != 8+extra {
+		t.Fatalf("Len = %d, want %d", got, 8+extra)
+	}
+	seen := make(map[string]bool)
+	for _, n := range cl.Snapshot() {
+		addr := n.Self().Addr
+		if seen[addr] {
+			t.Fatalf("duplicate address %q", addr)
+		}
+		seen[addr] = true
+	}
+	for _, n := range cl.Snapshot()[1:] {
+		if !cl.NodeAt(0).Ping(n.Self()) {
+			t.Errorf("node %s unreachable after concurrent join", n.Self().Addr)
+		}
+	}
+}

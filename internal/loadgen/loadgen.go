@@ -1,0 +1,103 @@
+// Package loadgen drives a DHARMA deployment with configurable parallel
+// workloads and reports per-operation latency and throughput. It is the
+// measurement harness behind `dharma-bench load`: you cannot optimise a
+// hot path you cannot drive concurrently, so every scaling PR
+// (sharding, batching, caching) is evaluated against these workloads.
+//
+// A workload is a weighted mix of the paper's primitives — resource
+// insertion, tagging, faceted navigation and single search steps — run
+// by a pool of workers against a set of engines (one engine per
+// simulated client). Tag popularity follows a Zipf law, mirroring the
+// heavy-tailed vocabularies of §V-A, so concurrent workers naturally
+// collide on the same hot blocks; that contention is exactly what the
+// harness exists to measure.
+package loadgen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// OpKind identifies one primitive of the workload.
+type OpKind int
+
+// The four operations a workload mixes.
+const (
+	OpInsert   OpKind = iota // InsertResource: 2+2m lookups
+	OpTag                    // Tag: the 4+k hot path
+	OpNavigate               // full faceted walk: 2 lookups per step
+	OpSearch                 // single SearchStep: 2 lookups
+	numOpKinds
+)
+
+// String names the operation.
+func (k OpKind) String() string {
+	switch k {
+	case OpInsert:
+		return "insert"
+	case OpTag:
+		return "tag"
+	case OpNavigate:
+		return "navigate"
+	case OpSearch:
+		return "search"
+	default:
+		return fmt.Sprintf("op-%d", int(k))
+	}
+}
+
+// Mix is a weighted blend of operations. Weights are relative; they
+// need not sum to anything particular.
+type Mix struct {
+	Name                          string
+	Insert, Tag, Navigate, Search int
+}
+
+// The standard workload mixes.
+var (
+	// InsertHeavy models a bootstrap phase: mostly new resources.
+	InsertHeavy = Mix{Name: "insert-heavy", Insert: 70, Tag: 15, Navigate: 10, Search: 5}
+	// TagHeavy models a mature folksonomy: users annotate existing
+	// resources — the 4+k path the approximations exist for.
+	TagHeavy = Mix{Name: "tag-heavy", Insert: 5, Tag: 75, Navigate: 10, Search: 10}
+	// NavigateHeavy models a read-mostly audience browsing the graph.
+	NavigateHeavy = Mix{Name: "navigate-heavy", Insert: 5, Tag: 15, Navigate: 60, Search: 20}
+	// Mixed is the balanced default.
+	Mixed = Mix{Name: "mixed", Insert: 15, Tag: 45, Navigate: 25, Search: 15}
+)
+
+// Mixes returns the standard mixes in presentation order.
+func Mixes() []Mix { return []Mix{InsertHeavy, TagHeavy, NavigateHeavy, Mixed} }
+
+// MixByName resolves a standard mix by its Name.
+func MixByName(name string) (Mix, error) {
+	for _, m := range Mixes() {
+		if m.Name == name {
+			return m, nil
+		}
+	}
+	known := make([]string, 0, len(Mixes()))
+	for _, m := range Mixes() {
+		known = append(known, m.Name)
+	}
+	return Mix{}, fmt.Errorf("loadgen: unknown mix %q (known: %s)", name, strings.Join(known, ", "))
+}
+
+// total returns the weight sum; a Mix with no positive weight is invalid.
+func (m Mix) total() int { return m.Insert + m.Tag + m.Navigate + m.Search }
+
+// pick draws one operation kind proportionally to the weights.
+func (m Mix) pick(rng *rand.Rand) OpKind {
+	n := rng.Intn(m.total())
+	switch {
+	case n < m.Insert:
+		return OpInsert
+	case n < m.Insert+m.Tag:
+		return OpTag
+	case n < m.Insert+m.Tag+m.Navigate:
+		return OpNavigate
+	default:
+		return OpSearch
+	}
+}

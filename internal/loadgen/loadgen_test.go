@@ -1,0 +1,191 @@
+package loadgen
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"dharma/internal/core"
+	"dharma/internal/dataset"
+	"dharma/internal/dht"
+	"dharma/internal/kadid"
+	"dharma/internal/wire"
+)
+
+// localEngines builds n engines sharing one in-process block store —
+// the cheapest target that still exercises cross-engine contention.
+func localEngines(t *testing.T, n int) []*core.Engine {
+	t.Helper()
+	store := dht.NewLocal()
+	engines := make([]*core.Engine, n)
+	for i := range engines {
+		e, err := core.NewEngine(store, core.Config{Mode: core.Approximated, K: 3, Seed: int64(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		engines[i] = e
+	}
+	return engines
+}
+
+func TestMixByName(t *testing.T) {
+	for _, m := range Mixes() {
+		got, err := MixByName(m.Name)
+		if err != nil {
+			t.Fatalf("MixByName(%q): %v", m.Name, err)
+		}
+		if got != m {
+			t.Fatalf("MixByName(%q) = %+v, want %+v", m.Name, got, m)
+		}
+	}
+	if _, err := MixByName("nope"); err == nil {
+		t.Fatal("MixByName accepted an unknown mix")
+	}
+}
+
+func TestMixPickRespectsWeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var counts [numOpKinds]int
+	const draws = 20000
+	for i := 0; i < draws; i++ {
+		counts[TagHeavy.pick(rng)]++
+	}
+	// TagHeavy is 5/75/10/10: tagging must dominate and every kind
+	// must appear.
+	if counts[OpTag] < draws/2 {
+		t.Fatalf("tag drawn %d of %d times, want a majority", counts[OpTag], draws)
+	}
+	for k, c := range counts {
+		if c == 0 {
+			t.Fatalf("operation %v never drawn", OpKind(k))
+		}
+	}
+}
+
+func TestRunReportsEveryMix(t *testing.T) {
+	engines := localEngines(t, 3)
+	for _, mix := range Mixes() {
+		mix := mix
+		t.Run(mix.Name, func(t *testing.T) {
+			cfg := Config{Mix: mix, Workers: 4, Ops: 400, Seed: 11, Resources: 32, Tags: 16}
+			rep, err := Run(cfg, engines)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Ops != cfg.Ops {
+				t.Fatalf("Ops = %d, want %d", rep.Ops, cfg.Ops)
+			}
+			if rep.Errors != 0 || rep.FirstError != nil {
+				t.Fatalf("errors: %d (first: %v)", rep.Errors, rep.FirstError)
+			}
+			if rep.Throughput <= 0 {
+				t.Fatalf("throughput = %f", rep.Throughput)
+			}
+			if rep.Overall.N != cfg.Ops {
+				t.Fatalf("latency sample N = %d, want %d", rep.Overall.N, cfg.Ops)
+			}
+			if rep.Overall.P50 > rep.Overall.P99 || rep.Overall.P99 > rep.Overall.Max {
+				t.Fatalf("percentiles out of order: %+v", rep.Overall)
+			}
+			perOp := 0
+			for _, op := range rep.PerOp {
+				perOp += op.Count
+			}
+			if perOp != cfg.Ops {
+				t.Fatalf("per-op counts sum to %d, want %d", perOp, cfg.Ops)
+			}
+			out := rep.String()
+			for _, want := range []string{mix.Name, "ops/sec", "p50=", "p99="} {
+				if !strings.Contains(out, want) {
+					t.Fatalf("report missing %q:\n%s", want, out)
+				}
+			}
+		})
+	}
+}
+
+func TestRunWithDatasetVocabulary(t *testing.T) {
+	d := dataset.Generate(dataset.Tiny(3))
+	cfg := Config{Mix: NavigateHeavy, Workers: 4, Ops: 300, Seed: 5,
+		Resources: 40, Tags: 24, Dataset: d}
+	rep, err := Run(cfg, localEngines(t, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("errors: %d (first: %v)", rep.Errors, rep.FirstError)
+	}
+	var b bytes.Buffer
+	if err := rep.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	// Header, overall, and one row per op kind that ran.
+	if len(lines) < 2+len(rep.PerOp)-1 {
+		t.Fatalf("csv too short:\n%s", b.String())
+	}
+	if !strings.HasPrefix(lines[1], "navigate-heavy,overall,") {
+		t.Fatalf("unexpected overall row: %q", lines[1])
+	}
+}
+
+// failingGetStore accepts writes but fails every read — a stand-in for
+// an overlay whose lookups started failing under load.
+type failingGetStore struct{}
+
+func (failingGetStore) Append(kadid.ID, []wire.Entry) error { return nil }
+func (failingGetStore) Get(kadid.ID, int) ([]wire.Entry, error) {
+	return nil, errors.New("store down")
+}
+
+func TestNavigateFailuresAreCounted(t *testing.T) {
+	e, err := core.NewEngine(failingGetStore{}, core.Config{Mode: core.Approximated, K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Resources ≥ Tags so seeding stays on the (append-only) insert
+	// path; the measured phase is pure navigation.
+	rep, err := Run(Config{
+		Mix:     Mix{Name: "nav-only", Navigate: 1},
+		Workers: 2, Ops: 50, Seed: 1, Resources: 8, Tags: 4,
+	}, []*core.Engine{e})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != rep.Ops {
+		t.Fatalf("Errors = %d of %d ops — navigate lookup failures went uncounted", rep.Errors, rep.Ops)
+	}
+	if rep.FirstError == nil {
+		t.Fatal("FirstError not retained")
+	}
+}
+
+func TestRunRejectsEmptyEngineSet(t *testing.T) {
+	if _, err := Run(Config{}, nil); err == nil {
+		t.Fatal("Run accepted an empty engine set")
+	}
+}
+
+func TestRunDeterministicOpCounts(t *testing.T) {
+	// Same seed, same mix → the same multiset of operations must run
+	// (latencies differ; counts must not).
+	a, err := Run(Config{Mix: Mixed, Workers: 1, Ops: 200, Seed: 9}, localEngines(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(Config{Mix: Mixed, Workers: 1, Ops: 200, Seed: 9}, localEngines(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.PerOp) != len(b.PerOp) {
+		t.Fatalf("per-op shapes differ: %d vs %d", len(a.PerOp), len(b.PerOp))
+	}
+	for i := range a.PerOp {
+		if a.PerOp[i].Kind != b.PerOp[i].Kind || a.PerOp[i].Count != b.PerOp[i].Count {
+			t.Fatalf("op %d: %v×%d vs %v×%d", i,
+				a.PerOp[i].Kind, a.PerOp[i].Count, b.PerOp[i].Kind, b.PerOp[i].Count)
+		}
+	}
+}

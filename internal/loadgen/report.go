@@ -1,0 +1,125 @@
+package loadgen
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"dharma/internal/metrics"
+)
+
+// OpReport is the per-operation slice of a load report.
+type OpReport struct {
+	Kind    OpKind
+	Count   int
+	Errors  int
+	Latency metrics.LatencySummary
+}
+
+// Report is the outcome of one load run.
+type Report struct {
+	Mix     Mix
+	Workers int
+	Seed    int64
+
+	// SeedTime is the (unmeasured) vocabulary seeding phase; Elapsed is
+	// the measured run.
+	SeedTime, Elapsed time.Duration
+
+	// Ops and Errors total the measured operations.
+	Ops    int
+	Errors int
+	// FirstError is the first operation error observed, nil on a clean
+	// run (counts in Errors/per-op Errors cover the rest).
+	FirstError error
+
+	// Throughput is Ops divided by Elapsed, in operations per second.
+	Throughput float64
+	// Overall summarises latency across every operation kind.
+	Overall metrics.LatencySummary
+	// PerOp holds one entry per operation kind that ran, in OpKind
+	// order.
+	PerOp []OpReport
+}
+
+// aggregate merges the workers' private accounting into the report.
+func (r *Report) aggregate(workers []*workerState) {
+	overall := &metrics.LatencyRecorder{}
+	for kind := OpKind(0); kind < numOpKinds; kind++ {
+		merged := &metrics.LatencyRecorder{}
+		count, errs := 0, 0
+		for _, ws := range workers {
+			merged.Merge(ws.lat[kind])
+			count += ws.count[kind]
+			errs += ws.errs[kind]
+		}
+		r.Ops += count
+		r.Errors += errs
+		overall.Merge(merged)
+		if count > 0 {
+			r.PerOp = append(r.PerOp, OpReport{
+				Kind:    kind,
+				Count:   count,
+				Errors:  errs,
+				Latency: merged.Summary(),
+			})
+		}
+	}
+	r.Overall = overall.Summary()
+	if r.Elapsed > 0 {
+		r.Throughput = float64(r.Ops) / r.Elapsed.Seconds()
+	}
+}
+
+// String renders the report as the table `dharma-bench load` prints.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "workload %-14s  workers=%d  ops=%d  errors=%d  elapsed=%s  seed-phase=%s\n",
+		r.Mix.Name, r.Workers, r.Ops, r.Errors, round(r.Elapsed), round(r.SeedTime))
+	fmt.Fprintf(&b, "  throughput %.0f ops/sec   latency p50=%s p90=%s p99=%s max=%s\n",
+		r.Throughput, round(r.Overall.P50), round(r.Overall.P90), round(r.Overall.P99), round(r.Overall.Max))
+	for _, op := range r.PerOp {
+		fmt.Fprintf(&b, "  %-9s %7d ops  %3d errs   p50=%-9s p90=%-9s p99=%-9s mean=%s\n",
+			op.Kind, op.Count, op.Errors,
+			round(op.Latency.P50), round(op.Latency.P90), round(op.Latency.P99), round(op.Latency.Mean))
+	}
+	return b.String()
+}
+
+// WriteCSV emits one row per operation kind plus an "overall" row, with
+// latencies in microseconds.
+func (r *Report) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "workload,op,count,errors,ops_per_sec,p50_us,p90_us,p99_us,mean_us,max_us"); err != nil {
+		return err
+	}
+	row := func(op string, count, errs int, tput float64, s metrics.LatencySummary) error {
+		_, err := fmt.Fprintf(w, "%s,%s,%d,%d,%.1f,%.1f,%.1f,%.1f,%.1f,%.1f\n",
+			r.Mix.Name, op, count, errs, tput,
+			us(s.P50), us(s.P90), us(s.P99), us(s.Mean), us(s.Max))
+		return err
+	}
+	if err := row("overall", r.Ops, r.Errors, r.Throughput, r.Overall); err != nil {
+		return err
+	}
+	for _, op := range r.PerOp {
+		if err := row(op.Kind.String(), op.Count, op.Errors, 0, op.Latency); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func us(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
+
+// round trims a duration to a display-friendly precision.
+func round(d time.Duration) time.Duration {
+	switch {
+	case d >= time.Second:
+		return d.Round(10 * time.Millisecond)
+	case d >= time.Millisecond:
+		return d.Round(10 * time.Microsecond)
+	default:
+		return d.Round(10 * time.Nanosecond)
+	}
+}

@@ -1,0 +1,252 @@
+package loadgen
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dharma/internal/core"
+	"dharma/internal/dataset"
+	"dharma/internal/metrics"
+	"dharma/internal/search"
+)
+
+// Config parameterises one load run.
+type Config struct {
+	// Mix is the operation blend (default Mixed).
+	Mix Mix
+	// Workers is the goroutine pool size (default 8).
+	Workers int
+	// Ops is the total number of measured operations across all workers
+	// (default 4096).
+	Ops int
+	// Seed drives every random choice of the run.
+	Seed int64
+
+	// Resources is the size of the pre-seeded resource universe
+	// (default 128). Tag and navigate operations target these.
+	Resources int
+	// Tags is the vocabulary size (default 48). Popularity is Zipf:
+	// low-indexed tags are hot, so workers contend on their blocks.
+	Tags int
+	// TagZipfS is the Zipf exponent over the vocabulary (>1; default
+	// 1.2), TagZipfV the offset (≥1; default 2). Larger V flattens the
+	// head.
+	TagZipfS, TagZipfV float64
+	// TagsPerInsert is how many tags a fresh resource is born with
+	// (default 3).
+	TagsPerInsert int
+	// NavigateSteps bounds each faceted walk (default 6).
+	NavigateSteps int
+
+	// Dataset, when set, replaces the synthetic vocabulary: resource
+	// and tag names are drawn from the generated workload (§V-A
+	// shapes), capped at Resources and Tags respectively. Name order in
+	// a Dataset is first-use order, which correlates with popularity,
+	// so the Zipf draw still lands on genuinely popular tags.
+	Dataset *dataset.Dataset
+}
+
+func (c Config) withDefaults() Config {
+	if c.Mix.total() <= 0 {
+		c.Mix = Mixed
+	}
+	if c.Workers <= 0 {
+		c.Workers = 8
+	}
+	if c.Ops <= 0 {
+		c.Ops = 4096
+	}
+	if c.Resources <= 0 {
+		c.Resources = 128
+	}
+	if c.Tags <= 0 {
+		c.Tags = 48
+	}
+	if c.TagZipfS <= 1 {
+		c.TagZipfS = 1.2
+	}
+	if c.TagZipfV < 1 {
+		c.TagZipfV = 2
+	}
+	if c.TagsPerInsert <= 0 {
+		c.TagsPerInsert = 3
+	}
+	if c.NavigateSteps <= 0 {
+		c.NavigateSteps = 6
+	}
+	return c
+}
+
+// vocabulary is the shared name universe of one run.
+type vocabulary struct {
+	resources []string
+	tags      []string
+}
+
+func buildVocabulary(cfg Config) vocabulary {
+	var v vocabulary
+	if d := cfg.Dataset; d != nil {
+		v.resources = capped(d.ResourceNames, cfg.Resources)
+		v.tags = capped(d.TagNames, cfg.Tags)
+	}
+	for i := len(v.resources); i < cfg.Resources; i++ {
+		v.resources = append(v.resources, fmt.Sprintf("lr%d", i))
+	}
+	for i := len(v.tags); i < cfg.Tags; i++ {
+		v.tags = append(v.tags, fmt.Sprintf("lt%d", i))
+	}
+	return v
+}
+
+func capped(names []string, n int) []string {
+	if len(names) > n {
+		names = names[:n]
+	}
+	return append([]string(nil), names...)
+}
+
+// Run seeds the vocabulary and then drives engines with cfg.Workers
+// goroutines until cfg.Ops operations have completed, measuring each
+// operation's wall-clock latency. Engines are assigned to workers
+// round-robin (worker w drives engines[w % len(engines)]), matching the
+// one-client-per-peer model of the paper's evaluation.
+func Run(cfg Config, engines []*core.Engine) (*Report, error) {
+	if len(engines) == 0 {
+		return nil, fmt.Errorf("loadgen: no engines to drive")
+	}
+	cfg = cfg.withDefaults()
+	vocab := buildVocabulary(cfg)
+
+	rep := &Report{
+		Mix:     cfg.Mix,
+		Workers: cfg.Workers,
+		Seed:    cfg.Seed,
+	}
+
+	// Seeding: every resource is inserted with its deterministic tag
+	// (tag i lives on resource i mod R, so each tag's blocks exist
+	// before a navigate can start from it) plus Zipf-drawn extras.
+	seedStart := time.Now()
+	seedRng := rand.New(rand.NewSource(cfg.Seed))
+	seedZipf := rand.NewZipf(seedRng, cfg.TagZipfS, cfg.TagZipfV, uint64(len(vocab.tags)-1))
+	for i, r := range vocab.resources {
+		tags := []string{vocab.tags[i%len(vocab.tags)]}
+		for len(tags) < cfg.TagsPerInsert {
+			tags = append(tags, vocab.tags[seedZipf.Uint64()])
+		}
+		if err := engines[i%len(engines)].InsertResource(r, "uri:"+r, tags...); err != nil {
+			return nil, fmt.Errorf("loadgen: seed %q: %w", r, err)
+		}
+	}
+	// Tags beyond the resource count still need their blocks: attach
+	// them to existing resources.
+	for i := len(vocab.resources); i < len(vocab.tags); i++ {
+		r := vocab.resources[i%len(vocab.resources)]
+		if err := engines[i%len(engines)].Tag(r, vocab.tags[i]); err != nil {
+			return nil, fmt.Errorf("loadgen: seed tag %q: %w", vocab.tags[i], err)
+		}
+	}
+	rep.SeedTime = time.Since(seedStart)
+
+	var (
+		issued   atomic.Int64 // operations handed out
+		inserted atomic.Int64 // fresh-resource name sequence
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	workers := make([]*workerState, cfg.Workers)
+
+	start := time.Now()
+	for w := 0; w < cfg.Workers; w++ {
+		ws := newWorkerState(cfg, int64(w))
+		workers[w] = ws
+		engine := engines[w%len(engines)]
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				n := issued.Add(1)
+				if n > int64(cfg.Ops) {
+					return
+				}
+				kind := cfg.Mix.pick(ws.rng)
+				opStart := time.Now()
+				err := ws.runOp(kind, engine, vocab, &inserted)
+				ws.lat[kind].Observe(time.Since(opStart))
+				ws.count[kind]++
+				if err != nil {
+					ws.errs[kind]++
+					errOnce.Do(func() { firstErr = err })
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	rep.Elapsed = time.Since(start)
+
+	rep.aggregate(workers)
+	rep.FirstError = firstErr
+	return rep, nil
+}
+
+// workerState is the per-goroutine slice of the run: private randomness
+// and private accounting, merged after the pool drains, so the measured
+// path shares nothing but the system under test.
+type workerState struct {
+	rng        *rand.Rand
+	zipf       *rand.Zipf
+	steps      int
+	insertTags int
+	lat        [numOpKinds]*metrics.LatencyRecorder
+	count      [numOpKinds]int
+	errs       [numOpKinds]int
+}
+
+func newWorkerState(cfg Config, w int64) *workerState {
+	rng := rand.New(rand.NewSource(cfg.Seed ^ (w+1)*0x9e3779b97f4a7c)) // per-worker seed mix
+	ws := &workerState{
+		rng:        rng,
+		zipf:       rand.NewZipf(rng, cfg.TagZipfS, cfg.TagZipfV, uint64(cfg.Tags-1)),
+		steps:      cfg.NavigateSteps,
+		insertTags: cfg.TagsPerInsert,
+	}
+	for k := range ws.lat {
+		ws.lat[k] = &metrics.LatencyRecorder{}
+	}
+	return ws
+}
+
+func (ws *workerState) hotTag(vocab vocabulary) string {
+	return vocab.tags[int(ws.zipf.Uint64())%len(vocab.tags)]
+}
+
+func (ws *workerState) runOp(kind OpKind, e *core.Engine, vocab vocabulary, inserted *atomic.Int64) error {
+	switch kind {
+	case OpInsert:
+		name := fmt.Sprintf("ins%d", inserted.Add(1))
+		tags := make([]string, 0, ws.insertTags)
+		for len(tags) < cap(tags) {
+			tags = append(tags, ws.hotTag(vocab))
+		}
+		return e.InsertResource(name, "uri:"+name, tags...)
+	case OpTag:
+		r := vocab.resources[ws.rng.Intn(len(vocab.resources))]
+		return e.Tag(r, ws.hotTag(vocab))
+	case OpNavigate:
+		view := search.NewEngineView(e)
+		search.Run(view, ws.hotTag(vocab), search.Random, search.Options{
+			MaxSteps: ws.steps,
+			Rng:      ws.rng,
+		})
+		// search.Run never errors; the view retains any lookup failure
+		// it had to swallow mid-walk.
+		return view.Err()
+	default: // OpSearch
+		_, _, err := e.SearchStep(ws.hotTag(vocab))
+		return err
+	}
+}

@@ -113,6 +113,7 @@ type EngineView struct {
 	related []folksonomy.Weighted
 	res     []folksonomy.Weighted
 	ok      bool
+	err     error
 }
 
 // NewEngineView wraps e.
@@ -124,10 +125,30 @@ func (v *EngineView) load(t string) {
 	}
 	related, res, err := v.E.SearchStep(t)
 	if err != nil {
+		// The View interface cannot propagate errors mid-walk, so the
+		// step degrades to "nothing displayed" (the walk converges) and
+		// the first failure is retained for Err. ErrNoSuchTag is
+		// retained too: on an overlay, a dropped lookup of an existing
+		// tag is indistinguishable from an unknown tag, and callers
+		// that navigate a known vocabulary (the load harness) must see
+		// it — callers starting from arbitrary user input can filter
+		// with errors.Is(err, core.ErrNoSuchTag).
+		if v.err == nil {
+			v.err = err
+		}
 		related, res = nil, nil
 	}
 	folksonomy.SortWeighted(related)
 	v.lastTag, v.related, v.res, v.ok = t, related, res, true
+}
+
+// Err returns the first lookup error a walk through this view
+// swallowed, nil on a clean walk. Load harnesses check it after
+// search.Run, which itself never errors.
+func (v *EngineView) Err() error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.err
 }
 
 // RelatedTags implements View.
@@ -158,10 +179,16 @@ func (v *FolkView) TagsOf(r string) []folksonomy.Weighted { return v.G.Tags(r) }
 // TagsOf implements ResourceTagger.
 func (v *CompositeView) TagsOf(r string) []folksonomy.Weighted { return v.TRG.Tags(r) }
 
-// TagsOf implements ResourceTagger (one overlay lookup of r̄).
+// TagsOf implements ResourceTagger (one overlay lookup of r̄). A failed
+// lookup degrades to "no tags" and is retained for Err.
 func (v *EngineView) TagsOf(r string) []folksonomy.Weighted {
 	ws, err := v.E.TagsOf(r)
 	if err != nil {
+		v.mu.Lock()
+		if v.err == nil {
+			v.err = err
+		}
+		v.mu.Unlock()
 		return nil
 	}
 	return ws

@@ -1,0 +1,144 @@
+package dharma
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentSoak drives one System from many goroutines with a mixed
+// Tag / InsertResource / Navigate / SearchStep workload. It asserts
+// nothing beyond "no data race and no unexpected error" — its job is to
+// fail under `go test -race` if any layer (engine, dht, kademlia,
+// simnet) loses its synchronization.
+func TestConcurrentSoak(t *testing.T) {
+	for _, mode := range []Mode{Naive, Approximated} {
+		mode := mode
+		t.Run(mode.String(), func(t *testing.T) {
+			t.Parallel()
+			sys, err := NewSystem(Config{Nodes: 8, Mode: mode, K: 3, Seed: 42})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Seed a shared vocabulary so concurrent taggers collide on
+			// the same blocks (the interesting case for races).
+			resources := make([]string, 12)
+			tags := make([]string, 8)
+			for i := range tags {
+				tags[i] = fmt.Sprintf("tag%d", i)
+			}
+			for i := range resources {
+				resources[i] = fmt.Sprintf("res%d", i)
+				if err := sys.Peer(0).InsertResource(resources[i], "uri:"+resources[i], tags[i%len(tags)]); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			const (
+				workers    = 16
+				opsPerGoro = 60
+			)
+			var wg sync.WaitGroup
+			errc := make(chan error, workers)
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(int64(w)))
+					peer := sys.Peer(w % sys.Size())
+					for i := 0; i < opsPerGoro; i++ {
+						r := resources[rng.Intn(len(resources))]
+						tg := tags[rng.Intn(len(tags))]
+						switch rng.Intn(10) {
+						case 0: // insert a fresh resource
+							name := fmt.Sprintf("res-w%d-%d", w, i)
+							if err := peer.InsertResource(name, "uri:"+name, tg, tags[rng.Intn(len(tags))]); err != nil {
+								errc <- fmt.Errorf("insert: %w", err)
+								return
+							}
+						case 1, 2: // navigate
+							res := peer.Navigate(tg, Random, NavOptions{
+								MaxSteps: 5, Rng: rand.New(rand.NewSource(int64(i))),
+							})
+							if len(res.Path) == 0 {
+								errc <- fmt.Errorf("navigate from %q: empty path", tg)
+								return
+							}
+						case 3: // point reads
+							if _, err := peer.ResolveURI(r); err != nil {
+								errc <- fmt.Errorf("resolve %q: %w", r, err)
+								return
+							}
+							if _, err := peer.TagsOf(r); err != nil {
+								errc <- fmt.Errorf("tags of %q: %w", r, err)
+								return
+							}
+						default: // tag (the 4+k hot path)
+							if err := peer.Tag(r, tg); err != nil {
+								errc <- fmt.Errorf("tag: %w", err)
+								return
+							}
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			close(errc)
+			for err := range errc {
+				t.Error(err)
+			}
+
+			// The system must still be coherent: every seeded resource
+			// resolves and every seeded tag is navigable.
+			for _, r := range resources {
+				if _, err := sys.Peer(1).ResolveURI(r); err != nil {
+					t.Errorf("post-soak resolve %q: %v", r, err)
+				}
+			}
+			for _, tg := range tags {
+				if _, _, err := sys.Peer(2).SearchStep(tg); err != nil {
+					t.Errorf("post-soak search %q: %v", tg, err)
+				}
+			}
+		})
+	}
+}
+
+// TestConcurrentSoakLocalEngine exercises the embedding mode: one
+// engine over one Local store shared by many goroutines.
+func TestConcurrentSoakLocalEngine(t *testing.T) {
+	t.Parallel()
+	engine, store, err := NewLocalEngine(Config{Mode: Approximated, K: 3, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := engine.InsertResource("shared", "uri:shared", "a", "b", "c", "d", "e", "f"); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < 12; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				tag := fmt.Sprintf("t%d", i%9)
+				if err := engine.Tag("shared", tag); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := engine.TagsOf("shared"); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got := store.Lookups(); got == 0 {
+		t.Fatal("no lookups recorded")
+	}
+}
