@@ -180,6 +180,8 @@ func runLoad(args []string) {
 	drop := fs.Float64("drop", 0, "inject network loss in [0,1) (overlay target): failed ops count and the run exits nonzero")
 	resources := fs.Int("resources", 128, "seeded resource universe")
 	tags := fs.Int("tags", 48, "tag vocabulary size (Zipf-popular)")
+	prefill := fs.Int("prefill", 0, "pre-fill the hottest tags' blocks with this many arcs each (hot-tag regime)")
+	batch := fs.Duration("batch", 0, "coalesce appends to the same key within this window (0 disables batching)")
 	vocab := fs.String("vocab", "", "draw vocabulary from a generated dataset: tiny, small or lastfm (default synthetic names)")
 	out := fs.String("out", "", "directory for per-mix CSVs (omit to skip)")
 	if err := fs.Parse(args); err != nil {
@@ -205,18 +207,40 @@ func runLoad(args []string) {
 	}
 
 	var engines []*core.Engine
+	var batchers []*dht.Batching
+	wrap := func(s dht.Store) dht.Store {
+		if *batch <= 0 {
+			return s
+		}
+		b := dht.NewBatching(s, *batch)
+		batchers = append(batchers, b)
+		return b
+	}
 	switch *target {
 	case "overlay":
 		sys, err := dharma.NewSystem(dharma.Config{Nodes: *nodes, Mode: mode, K: *k, Seed: *seed, DropRate: *drop})
 		if err != nil {
 			fail(err)
 		}
-		for _, p := range sys.Peers() {
-			engines = append(engines, p.Engine)
+		if *batch > 0 {
+			// Rebuild each peer's engine over a coalescing store so
+			// same-key appends within the window collapse into one
+			// overlay store operation.
+			for i, p := range sys.Peers() {
+				e, err := core.NewEngine(wrap(dht.NewOverlay(p.Node, nil)), core.Config{Mode: mode, K: *k, Seed: *seed + int64(i)})
+				if err != nil {
+					fail(err)
+				}
+				engines = append(engines, e)
+			}
+		} else {
+			for _, p := range sys.Peers() {
+				engines = append(engines, p.Engine)
+			}
 		}
-		fmt.Printf("target: %d-node overlay, %s mode, k=%d, drop=%.2f\n", sys.Size(), mode, *k, *drop)
+		fmt.Printf("target: %d-node overlay, %s mode, k=%d, drop=%.2f, batch=%s\n", sys.Size(), mode, *k, *drop, *batch)
 	case "local":
-		store := dht.NewLocal()
+		store := wrap(dht.NewLocal())
 		for i := 0; i < *workers; i++ {
 			e, err := core.NewEngine(store, core.Config{Mode: mode, K: *k, Seed: *seed + int64(i)})
 			if err != nil {
@@ -224,7 +248,7 @@ func runLoad(args []string) {
 			}
 			engines = append(engines, e)
 		}
-		fmt.Printf("target: in-process store, %s mode, k=%d\n", mode, *k)
+		fmt.Printf("target: in-process store, %s mode, k=%d, batch=%s\n", mode, *k, *batch)
 	default:
 		fail(fmt.Errorf("unknown target %q (want overlay or local)", *target))
 	}
@@ -248,15 +272,17 @@ func runLoad(args []string) {
 	}
 
 	totalErrs := 0
+	var prevEnq, prevCoal, prevFlushed int64
 	for i, mix := range selected {
 		rep, err := loadgen.Run(loadgen.Config{
-			Mix:       mix,
-			Workers:   *workers,
-			Ops:       *ops,
-			Seed:      *seed + int64(i),
-			Resources: *resources,
-			Tags:      *tags,
-			Dataset:   ds,
+			Mix:        mix,
+			Workers:    *workers,
+			Ops:        *ops,
+			Seed:       *seed + int64(i),
+			Resources:  *resources,
+			Tags:       *tags,
+			HotPrefill: *prefill,
+			Dataset:    ds,
 		}, engines)
 		if err != nil {
 			fail(err)
@@ -265,6 +291,18 @@ func runLoad(args []string) {
 		fmt.Print(rep)
 		if rep.FirstError != nil {
 			fmt.Printf("  first error: %v\n", rep.FirstError)
+		}
+		if len(batchers) > 0 {
+			// The batchers live across mixes; print per-mix deltas.
+			var enq, coal, flushed int64
+			for _, b := range batchers {
+				enq += b.Enqueued()
+				coal += b.Coalesced()
+				flushed += b.Flushes()
+			}
+			fmt.Printf("  batching: %d logical appends, %d coalesced away, %d physical flushes\n",
+				enq-prevEnq, coal-prevCoal, flushed-prevFlushed)
+			prevEnq, prevCoal, prevFlushed = enq, coal, flushed
 		}
 		totalErrs += rep.Errors
 		writeCSV(*out, "load-"+mix.Name+".csv", rep)

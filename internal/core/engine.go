@@ -128,12 +128,17 @@ func (e *Engine) InsertResource(r, uri string, tags ...string) error {
 		return fmt.Errorf("core: insert %q (r̄): %w", r, err)
 	}
 
+	// The 2m per-tag appends (t̄_i and t̂_i) target distinct keys and
+	// commute, so they go out as one batch: still 2m Table-I lookups,
+	// but one grouped store call instead of 2m sequential round-trips.
+	// An empty t̂ arc set (single-tag insert) stays in the batch for the
+	// lookup count, but materializes no block at the storage node.
+	batch := make([]dht.BatchItem, 0, 2*len(tags))
 	for _, t := range tags {
-		if err := e.store.Append(BlockKey(t, BlockTagResources), []wire.Entry{
-			{Field: r, Count: 1},
-		}); err != nil {
-			return fmt.Errorf("core: insert %q (t̄ of %q): %w", r, t, err)
-		}
+		batch = append(batch, dht.BatchItem{
+			Key:     BlockKey(t, BlockTagResources),
+			Entries: []wire.Entry{{Field: r, Count: 1}},
+		})
 	}
 	for _, t := range tags {
 		arcs := make([]wire.Entry, 0, len(tags)-1)
@@ -142,9 +147,10 @@ func (e *Engine) InsertResource(r, uri string, tags ...string) error {
 				arcs = append(arcs, wire.Entry{Field: other, Count: 1})
 			}
 		}
-		if err := e.store.Append(BlockKey(t, BlockTagNeighbors), arcs); err != nil {
-			return fmt.Errorf("core: insert %q (t̂ of %q): %w", r, t, err)
-		}
+		batch = append(batch, dht.BatchItem{Key: BlockKey(t, BlockTagNeighbors), Entries: arcs})
+	}
+	if err := e.store.AppendBatch(batch); err != nil {
+		return fmt.Errorf("core: insert %q (tag blocks): %w", r, err)
 	}
 	return nil
 }
@@ -191,6 +197,11 @@ func (e *Engine) Tag(r, t string) error {
 	// u(τ,r). The conditional travels with the entry (Init) and is
 	// evaluated by the storage node, so no extra lookup is needed and a
 	// racing double-creation is bounded at 2 rather than 2·u(τ,r).
+	//
+	// When t was already present, forward stays empty: the append is
+	// still issued (Table I charges the lookup either way), but the
+	// storage node materializes no block for it — re-tagging must not
+	// create a phantom empty t̂ that skews Has/EntryCount accounting.
 	forward := make([]wire.Entry, 0, len(others))
 	if !wasTagged {
 		for _, en := range others {
@@ -214,35 +225,46 @@ func (e *Engine) Tag(r, t string) error {
 	if e.cfg.Parallel && len(reverse) > 1 {
 		return e.reverseParallel(r, t, reverse)
 	}
-	for _, en := range reverse {
-		if err := e.store.Append(BlockKey(en.Field, BlockTagNeighbors), []wire.Entry{
-			{Field: t, Count: 1},
-		}); err != nil {
-			return fmt.Errorf("core: tag %q on %q (t̂ of %q): %w", t, r, en.Field, err)
+	// The reverse updates are independent single-entry appends to
+	// distinct t̂ blocks; one batched call covers them all while keeping
+	// the per-block lookup count (len(reverse) Table-I lookups).
+	if len(reverse) == 0 {
+		return nil
+	}
+	batch := make([]dht.BatchItem, len(reverse))
+	for i, en := range reverse {
+		batch[i] = dht.BatchItem{
+			Key:     BlockKey(en.Field, BlockTagNeighbors),
+			Entries: []wire.Entry{{Field: t, Count: 1}},
 		}
+	}
+	if err := e.store.AppendBatch(batch); err != nil {
+		return fmt.Errorf("core: tag %q on %q (reverse t̂ arcs): %w", t, r, err)
 	}
 	return nil
 }
 
 // reverseParallel issues the reverse-arc appends concurrently. Appends
-// are commutative, so ordering does not matter; the first error wins.
+// are commutative, so ordering does not matter. Every failure is
+// reported — the joined error carries one branch per failed arc, so a
+// load test counting failed appends sees all of them, not just the
+// first.
 func (e *Engine) reverseParallel(r, t string, reverse []wire.Entry) error {
 	var wg sync.WaitGroup
-	errs := make(chan error, len(reverse))
-	for _, en := range reverse {
+	errs := make([]error, len(reverse))
+	for i, en := range reverse {
 		wg.Add(1)
-		go func(field string) {
+		go func(i int, field string) {
 			defer wg.Done()
 			if err := e.store.Append(BlockKey(field, BlockTagNeighbors), []wire.Entry{
 				{Field: t, Count: 1},
 			}); err != nil {
-				errs <- fmt.Errorf("core: tag %q on %q (t̂ of %q): %w", t, r, field, err)
+				errs[i] = fmt.Errorf("core: tag %q on %q (t̂ of %q): %w", t, r, field, err)
 			}
-		}(en.Field)
+		}(i, en.Field)
 	}
 	wg.Wait()
-	close(errs)
-	return <-errs
+	return errors.Join(errs...)
 }
 
 // SearchStep retrieves the navigation data for tag t: its FG neighbours

@@ -4,12 +4,15 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"dharma/internal/core"
 	"dharma/internal/dht"
 	"dharma/internal/folksonomy"
 	"dharma/internal/kademlia"
+	"dharma/internal/kadid"
+	"dharma/internal/wire"
 )
 
 func newLocalEngine(t *testing.T, cfg core.Config) (*core.Engine, *dht.Local) {
@@ -659,5 +662,129 @@ func TestEngineOverRealOverlay(t *testing.T) {
 	uri, err := over.ResolveURI("r2")
 	if err != nil || uri != "uri:r2" {
 		t.Fatalf("overlay ResolveURI = %q, %v", uri, err)
+	}
+}
+
+func TestTagOnExistingTagCreatesNoPhantomBlock(t *testing.T) {
+	// Re-tagging a resource whose tag set is {t} produces an empty
+	// forward-arc append. The lookup is still charged (Table I), but no
+	// empty t̂ block may materialize: Has flipping true and EntryCount
+	// moving would skew the hotspot accounting.
+	e, store := newLocalEngine(t, core.Config{Mode: core.Approximated, K: 5})
+	if err := e.InsertResource("r", "uri:r", "solo"); err != nil {
+		t.Fatal(err)
+	}
+	tHat := core.BlockKey("solo", core.BlockTagNeighbors)
+	if store.Raw().Has(tHat) {
+		t.Fatal("single-tag insert materialized an empty t̂ block")
+	}
+	blocks, entries := store.Raw().Len(), store.Raw().EntryCount()
+
+	before := store.Lookups()
+	if err := e.Tag("r", "solo"); err != nil {
+		t.Fatal(err)
+	}
+	// Cost stays 4+0: 1 get of r̄, appends of r̄/t̄/t̂, no reverse arcs.
+	if got := store.Lookups() - before; got != 4 {
+		t.Fatalf("re-tag cost %d lookups, want 4", got)
+	}
+	if store.Raw().Has(tHat) {
+		t.Fatal("re-tag materialized a phantom empty t̂ block")
+	}
+	if store.Raw().Len() != blocks || store.Raw().EntryCount() != entries {
+		t.Fatalf("storage accounting moved: blocks %d->%d entries %d->%d",
+			blocks, store.Raw().Len(), entries, store.Raw().EntryCount())
+	}
+}
+
+// selectiveFailStore serves a canned r̄ read and fails appends to a
+// chosen set of block keys — a stand-in for an overlay where some
+// replica sets are unreachable.
+type selectiveFailStore struct {
+	prior []wire.Entry        // served for every Get
+	fail  map[kadid.ID]string // failing keys -> name for the error
+}
+
+func (s *selectiveFailStore) failErr(key kadid.ID) error {
+	if name, ok := s.fail[key]; ok {
+		return fmt.Errorf("replica set for %s unreachable", name)
+	}
+	return nil
+}
+
+func (s *selectiveFailStore) Append(key kadid.ID, entries []wire.Entry) error {
+	return s.failErr(key)
+}
+
+func (s *selectiveFailStore) AppendBatch(items []dht.BatchItem) error {
+	errs := make([]error, len(items))
+	for i := range items {
+		errs[i] = s.failErr(items[i].Key)
+	}
+	return errors.Join(errs...)
+}
+
+func (s *selectiveFailStore) Get(kadid.ID, int) ([]wire.Entry, error) {
+	return s.prior, nil
+}
+
+func newSelectiveFailStore(tags []string, failing ...string) *selectiveFailStore {
+	s := &selectiveFailStore{fail: make(map[kadid.ID]string)}
+	for _, tag := range tags {
+		s.prior = append(s.prior, wire.Entry{Field: tag, Count: 1})
+	}
+	for _, tag := range failing {
+		s.fail[core.BlockKey(tag, core.BlockTagNeighbors)] = tag
+	}
+	return s
+}
+
+func TestReverseArcFailuresAllReported(t *testing.T) {
+	// Both reverse-arc paths — the parallel per-arc appends and the
+	// non-parallel batched append — must surface every failed arc, not
+	// just one: the load harness counts failures from what Tag returns.
+	for _, parallel := range []bool{true, false} {
+		name := "batched"
+		if parallel {
+			name = "parallel"
+		}
+		t.Run(name, func(t *testing.T) {
+			store := newSelectiveFailStore([]string{"a", "b", "c", "d"}, "a", "c")
+			e, err := core.NewEngine(store, core.Config{Mode: core.Naive, Parallel: parallel})
+			if err != nil {
+				t.Fatal(err)
+			}
+			err = e.Tag("r", "fresh")
+			if err == nil {
+				t.Fatal("Tag succeeded despite failing reverse arcs")
+			}
+			for _, want := range []string{"a", "c"} {
+				if !strings.Contains(err.Error(), "replica set for "+want) {
+					t.Fatalf("error dropped the %q failure:\n%v", want, err)
+				}
+			}
+		})
+	}
+}
+
+func TestInsertAndTagCostsSurviveBatching(t *testing.T) {
+	// The batched write path must not change Table-I accounting: every
+	// batch item is one block operation.
+	e, store := newLocalEngine(t, core.Config{Mode: core.Approximated, K: 2})
+
+	before := store.Lookups()
+	if err := e.InsertResource("r", "uri:r", "t0", "t1", "t2", "t3"); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := store.Lookups()-before, int64(2+2*4); got != want {
+		t.Fatalf("insert cost %d lookups, want %d", got, want)
+	}
+
+	before = store.Lookups()
+	if err := e.Tag("r", "fresh"); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := store.Lookups()-before, int64(4+2); got != want {
+		t.Fatalf("tag cost %d lookups, want 4+k=%d", got, want)
 	}
 }

@@ -1,0 +1,213 @@
+package dht
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dharma/internal/kadid"
+	"dharma/internal/wire"
+)
+
+// DefaultBatchWindow bounds how long a Batching store may hold an
+// append before flushing it.
+const DefaultBatchWindow = 2 * time.Millisecond
+
+// Batching wraps a Store and coalesces appends to the same key that
+// arrive within a short flush window into a single inner append. Block
+// updates are commutative merges, so concatenating the entry lists of
+// two appends and applying them once is indistinguishable from applying
+// them separately — which is what makes the coalescing safe.
+//
+// The win is cross-client: many engines hammering the same hot tag
+// (Zipf traffic) collapse their "+1 token" appends into one physical
+// block operation per window. Every logical append still blocks until
+// its window flushes and returns the flush's error, so caller-side
+// error accounting (the load harness counts failures per operation)
+// stays exact.
+//
+// Table-I accounting is preserved through the existing Counter
+// interface by delegation: Appends/Gets/Lookups report the physical
+// block operations the inner store actually performed — the real cost
+// after coalescing — while Enqueued and Coalesced expose how many
+// logical appends arrived and how many were absorbed into an earlier
+// pending flush.
+type Batching struct {
+	inner  Store
+	window time.Duration
+
+	mu      sync.Mutex
+	pending map[kadid.ID]*pendingAppend
+
+	enqueued  atomic.Int64
+	coalesced atomic.Int64
+	flushes   atomic.Int64
+}
+
+// pendingAppend collects the entries bound for one key during one
+// window. done is closed once the flush completed and err is set.
+type pendingAppend struct {
+	entries []wire.Entry
+	done    chan struct{}
+	err     error
+}
+
+// NewBatching wraps inner with a coalescing window (0 selects
+// DefaultBatchWindow).
+func NewBatching(inner Store, window time.Duration) *Batching {
+	if window <= 0 {
+		window = DefaultBatchWindow
+	}
+	return &Batching{
+		inner:   inner,
+		window:  window,
+		pending: make(map[kadid.ID]*pendingAppend),
+	}
+}
+
+// Append implements Store: the entries join the key's pending group
+// (creating it, and scheduling its flush, if none is open) and the call
+// blocks until that group is flushed, returning the flush result.
+func (b *Batching) Append(key kadid.ID, entries []wire.Entry) error {
+	if len(entries) == 0 {
+		// Nothing to coalesce; pass through so the inner counter still
+		// sees the Table-I lookup the operation costs.
+		return b.inner.Append(key, entries)
+	}
+	p := b.enqueue(key, entries)
+	<-p.done
+	return p.err
+}
+
+// AppendBatch implements Store: every item joins its key's pending
+// group, then the call waits for all involved flushes. Errors of the
+// individual flushes are joined.
+func (b *Batching) AppendBatch(items []BatchItem) error {
+	groups := make([]*pendingAppend, 0, len(items))
+	for _, it := range items {
+		if len(it.Entries) == 0 {
+			if err := b.inner.Append(it.Key, it.Entries); err != nil {
+				groups = append(groups, &pendingAppend{err: err, done: closedChan})
+			}
+			continue
+		}
+		groups = append(groups, b.enqueue(it.Key, it.Entries))
+	}
+	errs := make([]error, 0, len(groups))
+	for _, p := range groups {
+		<-p.done
+		if p.err != nil {
+			errs = append(errs, p.err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+var closedChan = func() chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}()
+
+func (b *Batching) enqueue(key kadid.ID, entries []wire.Entry) *pendingAppend {
+	b.mu.Lock()
+	// Count inside the critical section, after the group is reachable
+	// from b.pending: observers treating Enqueued() as "this many
+	// appends are pending or flushed" (the tests do) must never see the
+	// count run ahead of the map.
+	b.enqueued.Add(1)
+	p, ok := b.pending[key]
+	if !ok {
+		p = &pendingAppend{done: make(chan struct{})}
+		b.pending[key] = p
+		time.AfterFunc(b.window, func() { b.flushKey(key, p) })
+	} else {
+		b.coalesced.Add(1)
+	}
+	p.entries = append(p.entries, entries...)
+	b.mu.Unlock()
+	return p
+}
+
+// flushKey flushes the pending group for key if it is still the given
+// one; a group already claimed by another flusher is left alone (its
+// claimer closes done).
+func (b *Batching) flushKey(key kadid.ID, p *pendingAppend) {
+	b.mu.Lock()
+	cur := b.pending[key]
+	if cur != p {
+		b.mu.Unlock()
+		return
+	}
+	delete(b.pending, key)
+	b.mu.Unlock()
+
+	p.err = b.inner.Append(key, p.entries)
+	b.flushes.Add(1)
+	close(p.done)
+}
+
+// Get implements Store. Reads are not cached here, but a read of a key
+// with a pending append flushes it first, so a client always observes
+// its own writes (the engine's Tag reads r̄ right before appending it).
+func (b *Batching) Get(key kadid.ID, topN int) ([]wire.Entry, error) {
+	b.mu.Lock()
+	p := b.pending[key]
+	b.mu.Unlock()
+	if p != nil {
+		b.flushKey(key, p)
+		<-p.done
+	}
+	return b.inner.Get(key, topN)
+}
+
+// Flush forces out every pending group and waits for completion; it is
+// how a deployment drains the store before shutdown (and how tests make
+// the window deterministic).
+func (b *Batching) Flush() {
+	b.mu.Lock()
+	claimed := b.pending
+	b.pending = make(map[kadid.ID]*pendingAppend)
+	b.mu.Unlock()
+	for key, p := range claimed {
+		p.err = b.inner.Append(key, p.entries)
+		b.flushes.Add(1)
+		close(p.done)
+	}
+}
+
+// Enqueued returns how many logical appends entered the store.
+func (b *Batching) Enqueued() int64 { return b.enqueued.Load() }
+
+// Coalesced returns how many logical appends were absorbed into an
+// already-pending flush (physical appends saved).
+func (b *Batching) Coalesced() int64 { return b.coalesced.Load() }
+
+// Flushes returns how many physical appends were issued.
+func (b *Batching) Flushes() int64 { return b.flushes.Load() }
+
+// Inner returns the wrapped store.
+func (b *Batching) Inner() Store { return b.inner }
+
+// Appends implements Counter by delegation: the physical block
+// operations actually performed after coalescing.
+func (b *Batching) Appends() int64 { return b.counter().Appends() }
+
+// Gets implements Counter.
+func (b *Batching) Gets() int64 { return b.counter().Gets() }
+
+// Lookups implements Counter.
+func (b *Batching) Lookups() int64 { return b.counter().Lookups() }
+
+func (b *Batching) counter() Counter {
+	if ctr, ok := b.inner.(Counter); ok {
+		return ctr
+	}
+	return zeroCounter{}
+}
+
+var (
+	_ Store   = (*Batching)(nil)
+	_ Counter = (*Batching)(nil)
+)

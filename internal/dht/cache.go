@@ -27,6 +27,14 @@ type Cached struct {
 	ll    *list.List // front = most recently used
 	items map[cacheKey]*list.Element
 	byID  map[kadid.ID]map[int]*list.Element
+	// gens guards against the stale-reinsert race: a Get that read from
+	// inner before a concurrent Append invalidated the key must not
+	// insert its pre-write value after the invalidation. Every Append
+	// bumps the written key's generation; a Get only caches what it read
+	// if the generation it snapshotted is still current. One counter per
+	// ever-written key — a few bytes each, negligible next to the cached
+	// blocks themselves.
+	gens map[kadid.ID]uint64
 
 	hits, misses atomic.Int64
 }
@@ -68,11 +76,14 @@ func NewCached(inner Store, capacity int, ttl time.Duration, now func() time.Tim
 		ll:    list.New(),
 		items: make(map[cacheKey]*list.Element),
 		byID:  make(map[kadid.ID]map[int]*list.Element),
+		gens:  make(map[kadid.ID]uint64),
 	}
 }
 
 // Get implements Store. Hits are served locally and cost no overlay
-// lookup; misses go through and populate the cache.
+// lookup; misses go through and populate the cache. Results never alias
+// cache state: both hits and the populated copy are independent clones,
+// so a caller mutating what it got back cannot corrupt later reads.
 func (c *Cached) Get(key kadid.ID, topN int) ([]wire.Entry, error) {
 	ck := cacheKey{id: key, topN: topN}
 	c.mu.Lock()
@@ -80,13 +91,14 @@ func (c *Cached) Get(key kadid.ID, topN int) ([]wire.Entry, error) {
 		ce := el.Value.(*cacheEntry)
 		if c.now().Before(ce.expires) {
 			c.ll.MoveToFront(el)
-			out := ce.entries
+			out := wire.CloneEntries(ce.entries)
 			c.mu.Unlock()
 			c.hits.Add(1)
 			return out, nil
 		}
 		c.removeLocked(el)
 	}
+	gen := c.gens[key]
 	c.mu.Unlock()
 	c.misses.Add(1)
 
@@ -95,23 +107,45 @@ func (c *Cached) Get(key kadid.ID, topN int) ([]wire.Entry, error) {
 		return nil, err
 	}
 	c.mu.Lock()
-	c.insertLocked(ck, entries)
+	if c.gens[key] == gen {
+		// No Append invalidated the key while we were reading; the
+		// value is current and safe to cache.
+		c.insertLocked(ck, wire.CloneEntries(entries))
+	}
 	c.mu.Unlock()
 	return entries, nil
 }
 
 // Append implements Store: write-through plus invalidation of every
-// cached read of the written block.
+// cached read of the written block. The generation bump fences off
+// concurrent Gets that read the pre-write value from inner but have not
+// inserted it yet.
 func (c *Cached) Append(key kadid.ID, entries []wire.Entry) error {
 	if err := c.inner.Append(key, entries); err != nil {
 		return err
 	}
+	c.invalidate(key)
+	return nil
+}
+
+// AppendBatch implements Store: write-through, then invalidation of
+// every written key.
+func (c *Cached) AppendBatch(items []BatchItem) error {
+	err := c.inner.AppendBatch(items)
+	// Invalidate even on partial failure: some items may have landed.
+	for _, it := range items {
+		c.invalidate(it.Key)
+	}
+	return err
+}
+
+func (c *Cached) invalidate(key kadid.ID) {
 	c.mu.Lock()
 	for _, el := range c.byID[key] {
 		c.removeLocked(el)
 	}
+	c.gens[key]++
 	c.mu.Unlock()
-	return nil
 }
 
 // Hits returns how many reads were served from the cache.

@@ -176,3 +176,146 @@ func TestCacheConcurrent(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// scriptedStore lets a test interleave a slow inner Get with a
+// concurrent Append deterministically.
+type scriptedStore struct {
+	inner *Local
+	getFn func(key kadid.ID, topN int) ([]wire.Entry, error)
+}
+
+func (s *scriptedStore) Append(key kadid.ID, entries []wire.Entry) error {
+	return s.inner.Append(key, entries)
+}
+func (s *scriptedStore) AppendBatch(items []BatchItem) error { return s.inner.AppendBatch(items) }
+func (s *scriptedStore) Get(key kadid.ID, topN int) ([]wire.Entry, error) {
+	if s.getFn != nil {
+		return s.getFn(key, topN)
+	}
+	return s.inner.Get(key, topN)
+}
+
+func TestCacheStaleReinsertRace(t *testing.T) {
+	// The race: a Get reads the pre-write value from inner, a concurrent
+	// Append invalidates the key, then the Get inserts its stale value
+	// after the invalidation — serving old data until TTL. The per-key
+	// generation counter must fence the insert. The clock is pinned so
+	// TTL can never mask the bug.
+	fixed := time.Unix(1700000000, 0)
+	inner := &scriptedStore{inner: NewLocal()}
+	c := NewCached(inner, 8, time.Minute, func() time.Time { return fixed })
+
+	key := kadid.HashString("k")
+	if err := inner.inner.Append(key, []wire.Entry{{Field: "a", Count: 1}}); err != nil {
+		t.Fatal(err)
+	}
+
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	inner.getFn = func(k kadid.ID, topN int) ([]wire.Entry, error) {
+		// First read parks until the writer has gone through, then
+		// returns the value it read "before" the write.
+		once.Do(func() {
+			close(entered)
+			<-release
+		})
+		return []wire.Entry{{Field: "a", Count: 1}}, nil
+	}
+
+	got := make(chan uint64, 1)
+	go func() {
+		es, err := c.Get(key, 0)
+		if err != nil {
+			t.Error(err)
+			got <- 0
+			return
+		}
+		got <- es[0].Count
+	}()
+
+	<-entered
+	if err := c.Append(key, []wire.Entry{{Field: "a", Count: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	close(release)
+	if v := <-got; v != 1 {
+		t.Fatalf("racing Get returned %d, want the pre-write 1", v)
+	}
+
+	// The stale value must NOT have been cached: the next read goes to
+	// inner and sees the current count.
+	inner.getFn = nil
+	misses := c.Misses()
+	es, err := c.Get(key, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if es[0].Count != 2 {
+		t.Fatalf("read after race returned %d, want 2 — stale value was re-inserted", es[0].Count)
+	}
+	if c.Misses() != misses+1 {
+		t.Fatalf("read after race was served from cache (misses %d -> %d)", misses, c.Misses())
+	}
+}
+
+func TestCacheGetDoesNotAliasCacheState(t *testing.T) {
+	c, _ := newCachedLocal(t, 8, time.Minute, nil)
+	key := kadid.HashString("k")
+	if err := c.Append(key, []wire.Entry{{Field: "a", Count: 2, Data: []byte("uri")}}); err != nil {
+		t.Fatal(err)
+	}
+	// Miss populates the cache; mutating what the miss returned must
+	// not touch the cached copy.
+	es, err := c.Get(key, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	es[0].Count = 999
+	es[0].Data[0] = 'X'
+
+	hit, err := c.Get(key, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit[0].Count != 2 || string(hit[0].Data) != "uri" {
+		t.Fatalf("miss-result mutation leaked into cache: %+v", hit[0])
+	}
+	// And mutating a hit result must not corrupt later hits either.
+	hit[0].Count = 777
+	hit[0].Data[0] = 'Y'
+	hit2, err := c.Get(key, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit2[0].Count != 2 || string(hit2[0].Data) != "uri" {
+		t.Fatalf("hit-result mutation leaked into cache: %+v", hit2[0])
+	}
+}
+
+func TestCacheAppendBatchInvalidatesEveryKey(t *testing.T) {
+	c, l := newCachedLocal(t, 8, time.Minute, nil)
+	k1, k2 := kadid.HashString("k1"), kadid.HashString("k2")
+	for _, k := range []kadid.ID{k1, k2} {
+		if err := c.Append(k, []wire.Entry{{Field: "a", Count: 1}}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Get(k, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.AppendBatch([]BatchItem{
+		{Key: k1, Entries: []wire.Entry{{Field: "a", Count: 1}}},
+		{Key: k2, Entries: []wire.Entry{{Field: "a", Count: 4}}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if l.Appends() == 0 {
+		t.Fatal("batch did not reach inner store")
+	}
+	es1, _ := c.Get(k1, 0)
+	es2, _ := c.Get(k2, 0)
+	if es1[0].Count != 2 || es2[0].Count != 5 {
+		t.Fatalf("stale reads after batch: %d, %d (want 2, 5)", es1[0].Count, es2[0].Count)
+	}
+}

@@ -19,6 +19,7 @@ package dht
 
 import (
 	"errors"
+	"sync"
 	"sync/atomic"
 
 	"dharma/internal/kademlia"
@@ -30,12 +31,23 @@ import (
 // ErrNotFound is returned by Get when no block exists under a key.
 var ErrNotFound = errors.New("dht: block not found")
 
+// BatchItem is one (key, entries) pair of a multi-block append; it is
+// the storage layer's batch unit re-exported for engine use.
+type BatchItem = kademlia.BatchItem
+
 // Store is the PUT/GET interface DHARMA's engine runs on. Append merges
 // entries into the block under key ("one-bit token" semantics: counts
 // add up, data replaces); Get returns the block's entries sorted by
 // descending count, truncated to topN when topN > 0.
+//
+// AppendBatch applies a group of independent appends — distinct keys,
+// commutative merges — as one call. Each item still costs one Table-I
+// lookup (the paper's cost model counts block operations, and a batch
+// of n items is n block operations), but implementations are free to
+// execute the items with fewer lock acquisitions or in parallel.
 type Store interface {
 	Append(key kadid.ID, entries []wire.Entry) error
+	AppendBatch(items []BatchItem) error
 	Get(key kadid.ID, topN int) ([]wire.Entry, error)
 }
 
@@ -65,6 +77,16 @@ func NewLocal() *Local {
 func (l *Local) Append(key kadid.ID, entries []wire.Entry) error {
 	l.appends.Add(1)
 	l.store.Append(key, entries)
+	return nil
+}
+
+// AppendBatch implements Store: the items are applied in one pass over
+// the sharded store (each shard's lock taken once). The lookup counter
+// advances by one per item, keeping Table-I accounting identical to a
+// loop of Appends.
+func (l *Local) AppendBatch(items []BatchItem) error {
+	l.appends.Add(int64(len(items)))
+	l.store.AppendBatch(items)
 	return nil
 }
 
@@ -110,18 +132,49 @@ func NewOverlay(node *kademlia.Node, signer *likir.Identity) *Overlay {
 // then the entries are stored on the k closest nodes.
 func (o *Overlay) Append(key kadid.ID, entries []wire.Entry) error {
 	o.appends.Add(1)
-	if o.signer != nil {
-		signed := make([]wire.Entry, len(entries))
-		for i, e := range entries {
-			if len(e.Data) > 0 && len(e.Sig) == 0 {
-				o.signer.SignEntry(key, &e)
-			}
-			signed[i] = e
-		}
-		entries = signed
-	}
-	_, err := o.node.Store(key, entries)
+	_, err := o.node.Store(key, o.sign(key, entries))
 	return err
+}
+
+// AppendBatch implements Store. Each item is one overlay store (one
+// iterative lookup plus the replica RPCs, and one Table-I lookup on the
+// counter); the items target distinct keys and commute, so they are
+// issued concurrently — a batch costs the latency of the slowest item,
+// not the sum. All failures are reported, joined.
+func (o *Overlay) AppendBatch(items []BatchItem) error {
+	o.appends.Add(int64(len(items)))
+	if len(items) == 1 {
+		_, err := o.node.Store(items[0].Key, o.sign(items[0].Key, items[0].Entries))
+		return err
+	}
+	errs := make([]error, len(items))
+	var wg sync.WaitGroup
+	for i, it := range items {
+		wg.Add(1)
+		go func(i int, it BatchItem) {
+			defer wg.Done()
+			_, err := o.node.Store(it.Key, o.sign(it.Key, it.Entries))
+			errs[i] = err
+		}(i, it)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// sign signs entries that carry Data but no signature yet, when the
+// overlay has a Likir identity attached.
+func (o *Overlay) sign(key kadid.ID, entries []wire.Entry) []wire.Entry {
+	if o.signer == nil {
+		return entries
+	}
+	signed := make([]wire.Entry, len(entries))
+	for i, e := range entries {
+		if len(e.Data) > 0 && len(e.Sig) == 0 {
+			o.signer.SignEntry(key, &e)
+		}
+		signed[i] = e
+	}
+	return signed
 }
 
 // Get implements Store: one iterative value lookup.

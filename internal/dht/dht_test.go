@@ -161,3 +161,28 @@ func TestLocalAndOverlaySemanticsAgree(t *testing.T) {
 		}
 	}
 }
+
+func TestLocalAppendBatchAccounting(t *testing.T) {
+	// A batch of n items is n block operations in Table-I units — the
+	// counter must advance exactly n, including items whose entry list
+	// is empty (the lookup happens even when nothing is stored).
+	l := NewLocal()
+	k1, k2, k3 := kadid.HashString("k1"), kadid.HashString("k2"), kadid.HashString("k3")
+	if err := l.AppendBatch([]BatchItem{
+		{Key: k1, Entries: []wire.Entry{{Field: "a", Count: 1}}},
+		{Key: k2, Entries: []wire.Entry{{Field: "b", Count: 2}}},
+		{Key: k3}, // empty: charged, not materialized
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if l.Appends() != 3 {
+		t.Fatalf("Appends = %d, want 3", l.Appends())
+	}
+	es, err := l.Get(k2, 0)
+	if err != nil || len(es) != 1 || es[0].Count != 2 {
+		t.Fatalf("batch write missing: %+v, %v", es, err)
+	}
+	if l.Raw().Has(k3) {
+		t.Fatal("empty batch item materialized a block")
+	}
+}

@@ -21,30 +21,16 @@ import (
 
 // MergeMax merges entries into the block under key taking the maximum
 // count per field. Data and its signature envelope are adopted when the
-// local copy has none.
+// local copy has none. Like Append, an empty entries slice materializes
+// nothing.
 func (s *Store) MergeMax(key kadid.ID, entries []wire.Entry) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	blk, ok := s.blocks[key]
-	if !ok {
-		blk = make(map[string]*storedEntry, len(entries))
-		s.blocks[key] = blk
+	if len(entries) == 0 {
+		return
 	}
-	for _, e := range entries {
-		se, ok := blk[e.Field]
-		if !ok {
-			se = &storedEntry{}
-			blk[e.Field] = se
-		}
-		if e.Count > se.count {
-			se.count = e.Count
-		}
-		if len(se.data) == 0 && len(e.Data) > 0 {
-			se.data = append([]byte(nil), e.Data...)
-			se.author = append([]byte(nil), e.Author...)
-			se.sig = append([]byte(nil), e.Sig...)
-		}
-	}
+	sh := s.shard(key)
+	sh.mu.Lock()
+	sh.mergeMaxLocked(key, entries)
+	sh.mu.Unlock()
 }
 
 // RepublishOnce pushes every locally stored block to the k nodes

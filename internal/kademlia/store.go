@@ -12,50 +12,220 @@ import (
 // fields: DHARMA appends "+1 tokens" to a (block, field) pair, so the
 // only mutation is a commutative merge, which is what makes concurrent
 // tagging race-free (Approximation B relies on this).
+//
+// The store is built for the paper's access pattern at scale. Tag
+// popularity is heavily skewed, so a handful of hot blocks take most of
+// the traffic, and every SearchStep asks for the top-topN entries of
+// such a block (index-side filtering). Two structural choices follow:
+//
+//   - The block map is sharded by key prefix into storeShards stripes,
+//     each behind its own RWMutex, so appends to unrelated blocks never
+//     contend on a global lock.
+//   - Every block maintains its descending-count order incrementally: a
+//     bounded, exactly-sorted top index (topIndexCap entries) is updated
+//     on each append, so Get(key, topN) for topN ≤ topIndexCap is
+//     O(topN) instead of a full O(n log n) re-sort of a block that may
+//     hold tens of thousands of arcs. Counts only grow (Append adds,
+//     MergeMax takes the max), which keeps the maintenance cheap: a
+//     bumped entry can only move towards the front.
 type Store struct {
+	shards [storeShards]storeShard
+}
+
+// storeShards is the stripe count; a power of two so the key prefix
+// maps to a shard with a mask.
+const storeShards = 64
+
+// topIndexCap bounds the incrementally sorted head of each block. It
+// must cover the largest filter a search step asks for (the paper uses
+// top-100); reads beyond it fall back to a full sort.
+const topIndexCap = 128
+
+type storeShard struct {
 	mu     sync.RWMutex
-	blocks map[kadid.ID]map[string]*storedEntry
+	blocks map[kadid.ID]*block
+}
+
+// block is one stored weighted set plus its maintained head.
+type block struct {
+	fields map[string]*storedEntry
+	// top holds the min(len(fields), topIndexCap) greatest entries in
+	// exact (count desc, field asc) order.
+	top []*storedEntry
 }
 
 type storedEntry struct {
+	field  string
 	count  uint64
 	data   []byte
 	author []byte
 	sig    []byte
+	// pos is the entry's index in the block's top slice, -1 when the
+	// entry is not part of the maintained head.
+	pos int
+}
+
+// storedLess is the block order: descending count, ties broken by
+// ascending field name.
+func storedLess(a, b *storedEntry) bool {
+	if a.count != b.count {
+		return a.count > b.count
+	}
+	return a.field < b.field
+}
+
+// BatchItem is one (key, entries) pair of a multi-block append.
+type BatchItem struct {
+	Key     kadid.ID
+	Entries []wire.Entry
 }
 
 // NewStore creates an empty block store.
 func NewStore() *Store {
-	return &Store{blocks: make(map[kadid.ID]map[string]*storedEntry)}
+	s := &Store{}
+	for i := range s.shards {
+		s.shards[i].blocks = make(map[kadid.ID]*block)
+	}
+	return s
+}
+
+func (s *Store) shard(key kadid.ID) *storeShard {
+	return &s.shards[key[0]&(storeShards-1)]
 }
 
 // Append merges entries into the block stored under key. Counts add up;
 // an entry with Init > 0 whose field is absent is created at Init
 // instead (Approximation B's conditional create, evaluated here at the
 // storage node); non-empty Data (with its signature envelope) replaces
-// the stored copy.
+// the stored copy. An empty entries slice is a no-op: it must not
+// materialize an empty block (a tagging operation whose forward-arc set
+// is empty still costs its Table-I lookup, but the storage node keeps
+// nothing for it).
 func (s *Store) Append(key kadid.ID, entries []wire.Entry) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	blk, ok := s.blocks[key]
-	if !ok {
-		blk = make(map[string]*storedEntry, len(entries))
-		s.blocks[key] = blk
+	if len(entries) == 0 {
+		return
 	}
-	for _, e := range entries {
-		se, ok := blk[e.Field]
+	sh := s.shard(key)
+	sh.mu.Lock()
+	sh.appendLocked(key, entries)
+	sh.mu.Unlock()
+}
+
+// AppendBatch merges every item in one pass, taking each shard's lock
+// once. It is the storage half of the engine's batched write path: a
+// tagging operation's reverse-arc appends (and an insertion's t̄/t̂
+// appends) target distinct keys and commute, so they can be applied as
+// one grouped call.
+func (s *Store) AppendBatch(items []BatchItem) {
+	var groups [storeShards][]BatchItem
+	for _, it := range items {
+		if len(it.Entries) == 0 {
+			continue
+		}
+		si := it.Key[0] & (storeShards - 1)
+		groups[si] = append(groups[si], it)
+	}
+	for si := range groups {
+		if len(groups[si]) == 0 {
+			continue
+		}
+		sh := &s.shards[si]
+		sh.mu.Lock()
+		for _, it := range groups[si] {
+			sh.appendLocked(it.Key, it.Entries)
+		}
+		sh.mu.Unlock()
+	}
+}
+
+func (sh *storeShard) appendLocked(key kadid.ID, entries []wire.Entry) {
+	blk, ok := sh.blocks[key]
+	if !ok {
+		blk = &block{fields: make(map[string]*storedEntry, len(entries))}
+		sh.blocks[key] = blk
+	}
+	for i := range entries {
+		e := &entries[i]
+		se, ok := blk.fields[e.Field]
 		if !ok {
-			se = &storedEntry{}
-			blk[e.Field] = se
+			se = &storedEntry{field: e.Field, pos: -1}
+			blk.fields[e.Field] = se
 			if e.Init > 0 {
 				se.count = e.Init
 			} else {
 				se.count = e.Count
 			}
-		} else {
+			blk.indexEnter(se)
+		} else if e.Count > 0 {
 			se.count += e.Count
+			blk.indexBump(se)
 		}
 		if len(e.Data) > 0 {
+			se.data = append([]byte(nil), e.Data...)
+			se.author = append([]byte(nil), e.Author...)
+			se.sig = append([]byte(nil), e.Sig...)
+		}
+	}
+}
+
+// indexBump restores the top-index invariant after se's count grew.
+// Counts never shrink, so the entry can only move towards the front.
+func (b *block) indexBump(se *storedEntry) {
+	if se.pos < 0 {
+		b.indexEnter(se)
+		return
+	}
+	for se.pos > 0 && storedLess(se, b.top[se.pos-1]) {
+		prev := b.top[se.pos-1]
+		b.top[se.pos-1], b.top[se.pos] = se, prev
+		prev.pos = se.pos
+		se.pos--
+	}
+}
+
+// indexEnter considers an entry that is not part of the head (fresh, or
+// previously evicted and now bumped) for inclusion.
+func (b *block) indexEnter(se *storedEntry) {
+	if len(b.top) >= topIndexCap {
+		tail := b.top[len(b.top)-1]
+		if !storedLess(se, tail) {
+			return // does not beat the current head
+		}
+		tail.pos = -1
+		b.top = b.top[:len(b.top)-1]
+	}
+	// Binary search for the insertion point, then shift the tail right.
+	i := sort.Search(len(b.top), func(i int) bool { return storedLess(se, b.top[i]) })
+	b.top = append(b.top, nil)
+	copy(b.top[i+1:], b.top[i:])
+	b.top[i] = se
+	se.pos = i
+	for j := i + 1; j < len(b.top); j++ {
+		b.top[j].pos = j
+	}
+}
+
+// mergeMaxLocked applies the replica-maintenance merge rule: per-field
+// maximum instead of addition (see maintain.go). It shares the index
+// maintenance with appendLocked because counts still only grow.
+func (sh *storeShard) mergeMaxLocked(key kadid.ID, entries []wire.Entry) {
+	blk, ok := sh.blocks[key]
+	if !ok {
+		blk = &block{fields: make(map[string]*storedEntry, len(entries))}
+		sh.blocks[key] = blk
+	}
+	for i := range entries {
+		e := &entries[i]
+		se, ok := blk.fields[e.Field]
+		if !ok {
+			se = &storedEntry{field: e.Field, count: e.Count, pos: -1}
+			blk.fields[e.Field] = se
+			blk.indexEnter(se)
+		} else if e.Count > se.count {
+			se.count = e.Count
+			blk.indexBump(se)
+		}
+		if len(se.data) == 0 && len(e.Data) > 0 {
 			se.data = append([]byte(nil), e.Data...)
 			se.author = append([]byte(nil), e.Author...)
 			se.sig = append([]byte(nil), e.Sig...)
@@ -69,24 +239,38 @@ func (s *Store) Append(key kadid.ID, entries []wire.Entry) {
 // hold tens of thousands of arcs, far more than fits a UDP payload, so
 // the storing node returns only the most relevant ones. The second
 // result reports whether the block exists.
+//
+// A filtered read with topN ≤ topIndexCap is served from the block's
+// maintained head in O(topN); only unfiltered reads (and filters wider
+// than the head) scan and sort the full block. Returned entries never
+// alias internal storage — Data/Author/Sig are copied on the way out.
 func (s *Store) Get(key kadid.ID, topN int) ([]wire.Entry, bool) {
-	s.mu.RLock()
-	blk, ok := s.blocks[key]
+	sh := s.shard(key)
+	sh.mu.RLock()
+	blk, ok := sh.blocks[key]
 	if !ok {
-		s.mu.RUnlock()
+		sh.mu.RUnlock()
 		return nil, false
 	}
-	out := make([]wire.Entry, 0, len(blk))
-	for f, se := range blk {
-		out = append(out, wire.Entry{
-			Field:  f,
-			Count:  se.count,
-			Data:   se.data,
-			Author: se.author,
-			Sig:    se.sig,
-		})
+
+	if topN > 0 && topN <= topIndexCap {
+		n := topN
+		if n > len(blk.top) {
+			n = len(blk.top)
+		}
+		out := make([]wire.Entry, n)
+		for i, se := range blk.top[:n] {
+			out[i] = se.entry()
+		}
+		sh.mu.RUnlock()
+		return out, true
 	}
-	s.mu.RUnlock()
+
+	out := make([]wire.Entry, 0, len(blk.fields))
+	for _, se := range blk.fields {
+		out = append(out, se.entry())
+	}
+	sh.mu.RUnlock()
 
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Count != out[j].Count {
@@ -100,40 +284,68 @@ func (s *Store) Get(key kadid.ID, topN int) ([]wire.Entry, bool) {
 	return out, true
 }
 
+// entry materializes a wire entry with copied byte slices, so callers
+// can never mutate stored state through a Get result.
+func (se *storedEntry) entry() wire.Entry {
+	e := wire.Entry{Field: se.field, Count: se.count}
+	if se.data != nil {
+		e.Data = append([]byte(nil), se.data...)
+	}
+	if se.author != nil {
+		e.Author = append([]byte(nil), se.author...)
+	}
+	if se.sig != nil {
+		e.Sig = append([]byte(nil), se.sig...)
+	}
+	return e
+}
+
 // Has reports whether a block exists under key.
 func (s *Store) Has(key kadid.ID) bool {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	_, ok := s.blocks[key]
+	sh := s.shard(key)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	_, ok := sh.blocks[key]
 	return ok
 }
 
 // Keys returns the identifiers of all stored blocks.
 func (s *Store) Keys() []kadid.ID {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]kadid.ID, 0, len(s.blocks))
-	for k := range s.blocks {
-		out = append(out, k)
+	out := make([]kadid.ID, 0, 64)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for k := range sh.blocks {
+			out = append(out, k)
+		}
+		sh.mu.RUnlock()
 	}
 	return out
 }
 
 // Len returns the number of stored blocks.
 func (s *Store) Len() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.blocks)
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		n += len(sh.blocks)
+		sh.mu.RUnlock()
+	}
+	return n
 }
 
 // EntryCount returns the total number of fields across all blocks; it
 // approximates the node's storage load for the hotspot experiment.
 func (s *Store) EntryCount() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	n := 0
-	for _, blk := range s.blocks {
-		n += len(blk)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for _, blk := range sh.blocks {
+			n += len(blk.fields)
+		}
+		sh.mu.RUnlock()
 	}
 	return n
 }

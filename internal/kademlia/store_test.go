@@ -1,6 +1,9 @@
 package kademlia
 
 import (
+	"fmt"
+	"math/rand"
+	"sort"
 	"sync"
 	"testing"
 
@@ -139,5 +142,205 @@ func TestStoreGetDoesNotAliasInternalState(t *testing.T) {
 	es2, _ := s.Get(key, 0)
 	if es2[0].Count != 1 {
 		t.Fatal("caller mutation leaked into store")
+	}
+}
+
+func TestStoreEmptyAppendCreatesNoBlock(t *testing.T) {
+	// A tagging operation whose forward-arc set is empty still costs a
+	// lookup, but the storage node must not materialize a phantom empty
+	// block for it — Has would flip true and hotspot accounting skew.
+	s := NewStore()
+	key := kadid.HashString("phantom")
+	s.Append(key, nil)
+	s.Append(key, []wire.Entry{})
+	s.MergeMax(key, nil)
+	if s.Has(key) {
+		t.Fatal("empty append materialized a block")
+	}
+	if s.Len() != 0 || s.EntryCount() != 0 {
+		t.Fatalf("Len=%d EntryCount=%d after empty appends, want 0/0", s.Len(), s.EntryCount())
+	}
+	s.AppendBatch([]BatchItem{{Key: key}, {Key: kadid.HashString("p2")}})
+	if s.Len() != 0 {
+		t.Fatal("empty batch items materialized blocks")
+	}
+}
+
+func TestStoreGetCopiesByteSlices(t *testing.T) {
+	// Data/Author/Sig of a Get result must not alias internal storage:
+	// a caller scribbling over what it got back must not corrupt the
+	// stored copy.
+	s := NewStore()
+	key := kadid.HashString("k")
+	s.Append(key, []wire.Entry{{Field: "a", Count: 1, Data: []byte("uri-v1"), Author: []byte("au"), Sig: []byte("sig")}})
+
+	for _, topN := range []int{0, 1} { // filtered (index) and full-scan paths
+		es, _ := s.Get(key, topN)
+		es[0].Data[0] = 'X'
+		es[0].Author[0] = 'X'
+		es[0].Sig[0] = 'X'
+		es2, _ := s.Get(key, topN)
+		if string(es2[0].Data) != "uri-v1" || string(es2[0].Author) != "au" || string(es2[0].Sig) != "sig" {
+			t.Fatalf("topN=%d: caller mutation leaked into store: %+v", topN, es2[0])
+		}
+	}
+}
+
+func TestStoreAppendBatchMergesEveryItem(t *testing.T) {
+	s := NewStore()
+	k1, k2 := kadid.HashString("b1"), kadid.HashString("b2")
+	s.Append(k1, []wire.Entry{{Field: "x", Count: 1}})
+	s.AppendBatch([]BatchItem{
+		{Key: k1, Entries: []wire.Entry{{Field: "x", Count: 2}, {Field: "y", Count: 1}}},
+		{Key: k2, Entries: []wire.Entry{{Field: "z", Count: 5}}},
+	})
+	es, _ := s.Get(k1, 0)
+	if len(es) != 2 || es[0].Field != "x" || es[0].Count != 3 {
+		t.Fatalf("k1 after batch: %+v", es)
+	}
+	es, _ = s.Get(k2, 0)
+	if len(es) != 1 || es[0].Count != 5 {
+		t.Fatalf("k2 after batch: %+v", es)
+	}
+}
+
+// TestStoreIncrementalOrderMatchesFullSort drives one block through a
+// random schedule of Append and MergeMax calls — enough distinct fields
+// to overflow the maintained head several times — and checks after every
+// step that filtered reads served from the incremental index agree with
+// a from-scratch sort of a reference model.
+func TestStoreIncrementalOrderMatchesFullSort(t *testing.T) {
+	s := NewStore()
+	key := kadid.HashString("fuzzy")
+	rng := rand.New(rand.NewSource(23))
+	ref := make(map[string]uint64)
+
+	check := func(step int) {
+		want := make([]wire.Entry, 0, len(ref))
+		for f, c := range ref {
+			want = append(want, wire.Entry{Field: f, Count: c})
+		}
+		sort.Slice(want, func(i, j int) bool {
+			if want[i].Count != want[j].Count {
+				return want[i].Count > want[j].Count
+			}
+			return want[i].Field < want[j].Field
+		})
+		for _, topN := range []int{1, 7, topIndexCap, topIndexCap + 5, 0} {
+			got, ok := s.Get(key, topN)
+			if !ok {
+				t.Fatalf("step %d: block missing", step)
+			}
+			wantN := want
+			if topN > 0 && len(wantN) > topN {
+				wantN = wantN[:topN]
+			}
+			if len(got) != len(wantN) {
+				t.Fatalf("step %d topN=%d: %d entries, want %d", step, topN, len(got), len(wantN))
+			}
+			for i := range got {
+				if got[i].Field != wantN[i].Field || got[i].Count != wantN[i].Count {
+					t.Fatalf("step %d topN=%d order[%d] = %s/%d, want %s/%d",
+						step, topN, i, got[i].Field, got[i].Count, wantN[i].Field, wantN[i].Count)
+				}
+			}
+		}
+	}
+
+	const fields = 3 * topIndexCap
+	for step := 0; step < 1500; step++ {
+		f := fmt.Sprintf("f%03d", rng.Intn(fields))
+		switch rng.Intn(3) {
+		case 0: // plain token append
+			c := uint64(rng.Intn(4))
+			ref[f] += c
+			s.Append(key, []wire.Entry{{Field: f, Count: c}})
+		case 1: // Approximation B conditional create
+			if _, ok := ref[f]; !ok {
+				ref[f] = 1
+			} else {
+				ref[f] += 2
+			}
+			s.Append(key, []wire.Entry{{Field: f, Count: 2, Init: 1}})
+		default: // replica anti-entropy
+			c := uint64(rng.Intn(2000))
+			if c > ref[f] {
+				ref[f] = c
+			} else if _, ok := ref[f]; !ok {
+				ref[f] = c
+			}
+			s.MergeMax(key, []wire.Entry{{Field: f, Count: c}})
+		}
+		if step%97 == 0 || step == 1499 {
+			check(step)
+		}
+	}
+}
+
+// TestStoreConcurrentMixedOps hammers every public method from many
+// goroutines; run under -race this is the sharding regression test.
+func TestStoreConcurrentMixedOps(t *testing.T) {
+	s := NewStore()
+	keys := make([]kadid.ID, 32)
+	for i := range keys {
+		keys[i] = kadid.HashString(fmt.Sprintf("ck%d", i))
+	}
+	const goroutines, perG = 12, 200
+
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				key := keys[(g+i)%len(keys)]
+				switch i % 6 {
+				case 0, 1:
+					s.Append(key, []wire.Entry{{Field: fmt.Sprintf("f%d", i%50), Count: 1}})
+				case 2:
+					s.AppendBatch([]BatchItem{
+						{Key: key, Entries: []wire.Entry{{Field: "b", Count: 1}}},
+						{Key: keys[(g+i+7)%len(keys)], Entries: []wire.Entry{{Field: "b2", Count: 2}}},
+					})
+				case 3:
+					s.Get(key, 10)
+					s.Get(key, 0)
+				case 4:
+					s.MergeMax(key, []wire.Entry{{Field: "m", Count: uint64(i)}})
+				default:
+					s.Keys()
+					s.Len()
+					s.EntryCount()
+					s.Has(key)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	// Token conservation: the "f*" appends from case 0/1 must all be
+	// accounted for across the key set.
+	var total uint64
+	for _, key := range keys {
+		es, ok := s.Get(key, 0)
+		if !ok {
+			continue
+		}
+		for _, e := range es {
+			if len(e.Field) > 0 && e.Field[0] == 'f' {
+				total += e.Count
+			}
+		}
+	}
+	var want uint64
+	for g := 0; g < goroutines; g++ {
+		for i := 0; i < perG; i++ {
+			if i%6 == 0 || i%6 == 1 {
+				want++
+			}
+		}
+	}
+	if total != want {
+		t.Fatalf("lost tokens under concurrency: got %d, want %d", total, want)
 	}
 }

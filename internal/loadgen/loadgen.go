@@ -65,10 +65,17 @@ var (
 	NavigateHeavy = Mix{Name: "navigate-heavy", Insert: 5, Tag: 15, Navigate: 60, Search: 20}
 	// Mixed is the balanced default.
 	Mixed = Mix{Name: "mixed", Insert: 15, Tag: 45, Navigate: 25, Search: 15}
+	// HotTag concentrates the run on the skew the store is built for:
+	// no fresh resources, heavy tagging and top-N reads of the same
+	// Zipf-popular vocabulary. Combined with Config.HotPrefill it keeps
+	// the hottest blocks tens of thousands of entries large, so every
+	// search step exercises the storage node's index-side filtering on a
+	// big block rather than a toy one.
+	HotTag = Mix{Name: "hot-tag", Insert: 0, Tag: 40, Navigate: 20, Search: 40}
 )
 
 // Mixes returns the standard mixes in presentation order.
-func Mixes() []Mix { return []Mix{InsertHeavy, TagHeavy, NavigateHeavy, Mixed} }
+func Mixes() []Mix { return []Mix{InsertHeavy, TagHeavy, NavigateHeavy, Mixed, HotTag} }
 
 // MixByName resolves a standard mix by its Name.
 func MixByName(name string) (Mix, error) {

@@ -136,6 +136,7 @@ func TestRunWithDatasetVocabulary(t *testing.T) {
 type failingGetStore struct{}
 
 func (failingGetStore) Append(kadid.ID, []wire.Entry) error { return nil }
+func (failingGetStore) AppendBatch([]dht.BatchItem) error   { return nil }
 func (failingGetStore) Get(kadid.ID, int) ([]wire.Entry, error) {
 	return nil, errors.New("store down")
 }

@@ -11,6 +11,7 @@ import (
 	"dharma/internal/dataset"
 	"dharma/internal/metrics"
 	"dharma/internal/search"
+	"dharma/internal/wire"
 )
 
 // Config parameterises one load run.
@@ -40,6 +41,14 @@ type Config struct {
 	TagsPerInsert int
 	// NavigateSteps bounds each faceted walk (default 6).
 	NavigateSteps int
+
+	// HotPrefill, when positive, pre-fills the t̄ blocks of the Zipf
+	// head (the hotPrefillTags hottest tags) with this many synthetic
+	// resource arcs each before measuring. Real hot tags accumulate
+	// blocks of tens of thousands of entries; prefilling reproduces
+	// that regime so the measured phase exercises index-side filtering
+	// on large blocks instead of freshly seeded small ones.
+	HotPrefill int
 
 	// Dataset, when set, replaces the synthetic vocabulary: resource
 	// and tag names are drawn from the generated workload (§V-A
@@ -149,6 +158,11 @@ func Run(cfg Config, engines []*core.Engine) (*Report, error) {
 			return nil, fmt.Errorf("loadgen: seed tag %q: %w", vocab.tags[i], err)
 		}
 	}
+	if cfg.HotPrefill > 0 {
+		if err := prefillHotBlocks(cfg, vocab, engines[0]); err != nil {
+			return nil, err
+		}
+	}
 	rep.SeedTime = time.Since(seedStart)
 
 	var (
@@ -191,6 +205,54 @@ func Run(cfg Config, engines []*core.Engine) (*Report, error) {
 	rep.aggregate(workers)
 	rep.FirstError = firstErr
 	return rep, nil
+}
+
+// hotPrefillTags is how many head-of-Zipf tags HotPrefill inflates.
+const hotPrefillTags = 4
+
+// prefillChunk bounds one prefill append; large blocks are built in
+// chunks so overlay targets never push a single oversized RPC through
+// an MTU-limited transport.
+const prefillChunk = 256
+
+// prefillHotBlocks appends cfg.HotPrefill synthetic resource arcs to
+// the t̄ blocks of the hottest tags, writing through the engine's store
+// so the entries land wherever a deployment would put them (local shard
+// or replica set). Every SearchStep on a hot tag then runs its
+// index-side top-N filter against a block of tens of thousands of
+// entries — the regime the store's incremental index exists for. Only
+// t̄ (tag→resources) is inflated: its entries are resource names, which
+// navigation intersects but never looks up, whereas synthetic entries
+// in t̂ would be walked into as phantom tags and fail the run. Counts
+// are varied so descending-count order is non-degenerate.
+func prefillHotBlocks(cfg Config, vocab vocabulary, engine *core.Engine) error {
+	st := engine.Store()
+	nTags := hotPrefillTags
+	if nTags > len(vocab.tags) {
+		nTags = len(vocab.tags)
+	}
+	for ti := 0; ti < nTags; ti++ {
+		tag := vocab.tags[ti]
+		key := core.BlockKey(tag, core.BlockTagResources)
+		for base := 0; base < cfg.HotPrefill; base += prefillChunk {
+			n := cfg.HotPrefill - base
+			if n > prefillChunk {
+				n = prefillChunk
+			}
+			entries := make([]wire.Entry, n)
+			for i := range entries {
+				f := base + i
+				entries[i] = wire.Entry{
+					Field: fmt.Sprintf("hp%d", f),
+					Count: uint64(f%9973 + 1),
+				}
+			}
+			if err := st.Append(key, entries); err != nil {
+				return fmt.Errorf("loadgen: prefill %q: %w", tag, err)
+			}
+		}
+	}
+	return nil
 }
 
 // workerState is the per-goroutine slice of the run: private randomness

@@ -102,6 +102,21 @@ func (e Entry) Clone() Entry {
 	return c
 }
 
+// CloneEntries returns a deep copy of an entry list (nil stays nil).
+// Callers that hand entries across an ownership boundary — a cache
+// storing what it read, a store returning internal state — clone so
+// that neither side can mutate the other's copy.
+func CloneEntries(es []Entry) []Entry {
+	if es == nil {
+		return nil
+	}
+	out := make([]Entry, len(es))
+	for i := range es {
+		out[i] = es[i].Clone()
+	}
+	return out
+}
+
 // Message is a single overlay RPC request or response.
 type Message struct {
 	Kind     Kind
