@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -24,10 +25,13 @@ import (
 	"time"
 
 	"dharma"
+	"dharma/internal/chaos"
 	"dharma/internal/core"
 	"dharma/internal/dataset"
 	"dharma/internal/dht"
 	"dharma/internal/exp"
+	"dharma/internal/kademlia"
+	"dharma/internal/kadid"
 	"dharma/internal/loadgen"
 )
 
@@ -178,6 +182,7 @@ func runLoad(args []string) {
 	k := fs.Int("k", 5, "connection parameter of Approximation A")
 	naive := fs.Bool("naive", false, "drive the naive (unapproximated) engine")
 	drop := fs.Float64("drop", 0, "inject network loss in [0,1) (overlay target): failed ops count and the run exits nonzero")
+	churnSpec := fs.String("churn", "", `membership churn during the measured phase: "rate,kill-fraction" (overlay target), e.g. -churn 20,0.25; enables read-repair + background maintenance, verifies every acknowledged write after a repair pass, and exits nonzero on lost writes`)
 	resources := fs.Int("resources", 128, "seeded resource universe")
 	tags := fs.Int("tags", 48, "tag vocabulary size (Zipf-popular)")
 	prefill := fs.Int("prefill", 0, "pre-fill the hottest tags' blocks with this many arcs each (hot-tag regime)")
@@ -206,8 +211,23 @@ func runLoad(args []string) {
 		fail(fmt.Errorf("unknown vocab %q", *vocab))
 	}
 
+	var churnCfg *loadgen.ChurnConfig
+	if *churnSpec != "" {
+		cc, err := loadgen.ParseChurnSpec(*churnSpec)
+		if err != nil {
+			fail(err)
+		}
+		if *target != "overlay" {
+			fail(fmt.Errorf("-churn needs a live overlay (target %q has no membership)", *target))
+		}
+		churnCfg = &cc
+	}
+
 	var engines []*core.Engine
 	var batchers []*dht.Batching
+	var sys *dharma.System
+	var ledger *chaos.Ledger
+	churnClients := 0
 	wrap := func(s dht.Store) dht.Store {
 		if *batch <= 0 {
 			return s
@@ -218,11 +238,44 @@ func runLoad(args []string) {
 	}
 	switch *target {
 	case "overlay":
-		sys, err := dharma.NewSystem(dharma.Config{Nodes: *nodes, Mode: mode, K: *k, Seed: *seed, DropRate: *drop})
+		// Under churn, writes need a 2-replica quorum: an acknowledged
+		// write then survives the crash of either acker even before any
+		// repair round spreads the block further.
+		writeQuorum := 0
+		if churnCfg != nil {
+			writeQuorum = 2
+		}
+		var err error
+		sys, err = dharma.NewSystem(dharma.Config{
+			Nodes: *nodes, Mode: mode, K: *k, Seed: *seed,
+			DropRate: *drop, ReadRepair: churnCfg != nil, WriteQuorum: writeQuorum,
+		})
 		if err != nil {
 			fail(err)
 		}
-		if *batch > 0 {
+		if churnCfg != nil {
+			// Clients (the nodes workers drive) are protected from
+			// churn; the rest of the overlay is fair game. Every
+			// client's store records acknowledged writes in one shared
+			// ledger, which the post-mix repair pass is checked against.
+			churnClients = *nodes / 4
+			if churnClients < 2 {
+				churnClients = 2
+			}
+			if *nodes < churnClients+4 {
+				fail(fmt.Errorf("-churn needs at least %d nodes (%d clients + 4 churnable), got %d", churnClients+4, churnClients, *nodes))
+			}
+			ledger = chaos.NewLedger()
+			for i := 0; i < churnClients; i++ {
+				p := sys.Peer(i)
+				st := chaos.NewRecording(wrap(dht.NewOverlay(p.Node, nil)), ledger)
+				e, err := core.NewEngine(st, core.Config{Mode: mode, K: *k, Seed: *seed + int64(i)})
+				if err != nil {
+					fail(err)
+				}
+				engines = append(engines, e)
+			}
+		} else if *batch > 0 {
 			// Rebuild each peer's engine over a coalescing store so
 			// same-key appends within the window collapse into one
 			// overlay store operation.
@@ -271,10 +324,34 @@ func runLoad(args []string) {
 		}
 	}
 
+	// Under churn, every live node runs background maintenance for the
+	// whole session (republish + bucket refresh + dead-contact sweeps).
+	var maintSet *kademlia.MaintainerSet
+	var maintCancel context.CancelFunc
+	if churnCfg != nil {
+		var maintCtx context.Context
+		maintCtx, maintCancel = context.WithCancel(context.Background())
+		defer maintCancel()
+		maintSet = sys.Cluster().StartMaintenance(maintCtx, kademlia.MaintainerConfig{
+			Interval: 500 * time.Millisecond,
+			Seed:     *seed,
+		})
+		fmt.Printf("churn: rate=%.1f events/sec, kill-fraction=%.2f, %d protected clients, read-repair + maintenance on\n",
+			churnCfg.Rate, churnCfg.KillFraction, churnClients)
+	}
+
+	// Lost obligations are deduplicated by (block, field): the ledger is
+	// cumulative across mixes, so a write lost permanently in mix 1
+	// resurfaces in every later mix's check and must not be re-counted.
+	type lostKey struct {
+		key   kadid.ID
+		field string
+	}
+	lost := make(map[lostKey]bool)
 	totalErrs := 0
 	var prevEnq, prevCoal, prevFlushed int64
 	for i, mix := range selected {
-		rep, err := loadgen.Run(loadgen.Config{
+		lcfg := loadgen.Config{
 			Mix:        mix,
 			Workers:    *workers,
 			Ops:        *ops,
@@ -283,12 +360,64 @@ func runLoad(args []string) {
 			Tags:       *tags,
 			HotPrefill: *prefill,
 			Dataset:    ds,
-		}, engines)
+		}
+
+		// The churner starts once seeding is done (AfterSeed) and stops
+		// when the mix's measured phase ends.
+		var churner *loadgen.Churner
+		var churnCancel context.CancelFunc
+		churnDone := make(chan struct{})
+		if churnCfg != nil {
+			cc := *churnCfg
+			cc.Protected = churnClients
+			cc.Seed = *seed + int64(i)*101
+			// Joiners run what the existing members run (replication,
+			// alpha, read-repair, write quorum).
+			cc.Node = sys.Peer(0).Node.Config()
+			var err error
+			churner, err = loadgen.NewChurner(sys.Cluster(), cc)
+			if err != nil {
+				fail(err)
+			}
+			var churnCtx context.Context
+			churnCtx, churnCancel = context.WithCancel(context.Background())
+			defer churnCancel()
+			lcfg.AfterSeed = func() {
+				go func() {
+					defer close(churnDone)
+					churner.Run(churnCtx)
+				}()
+			}
+		}
+
+		rep, err := loadgen.Run(lcfg, engines)
 		if err != nil {
 			fail(err)
 		}
 		fmt.Println()
 		fmt.Print(rep)
+		if churner != nil {
+			churnCancel()
+			<-churnDone
+			fmt.Printf("  churn: %s (%d still dead at mix end)\n", churner.Stats(), churner.DeadCount())
+			violations := chaos.RepairAndCheck(sys.Cluster(), ledger, 2)
+			if len(violations) > 0 {
+				fmt.Printf("  LOST WRITES: %d of %d acknowledged (block,field) obligations\n", len(violations), ledger.Fields())
+				for vi, v := range violations {
+					if vi >= 10 {
+						fmt.Printf("    ... and %d more\n", len(violations)-vi)
+						break
+					}
+					fmt.Printf("    %s\n", v)
+				}
+			} else {
+				fmt.Printf("  invariant: all %d acknowledged (block,field) obligations readable after repair\n", ledger.Fields())
+			}
+			for _, v := range violations {
+				lost[lostKey{key: v.Key, field: v.Field}] = true
+			}
+			churner.ReviveAll() // next mix starts against a whole overlay
+		}
 		if rep.FirstError != nil {
 			fmt.Printf("  first error: %v\n", rep.FirstError)
 		}
@@ -306,6 +435,25 @@ func runLoad(args []string) {
 		}
 		totalErrs += rep.Errors
 		writeCSV(*out, "load-"+mix.Name+".csv", rep)
+	}
+	if maintSet != nil {
+		maintCancel()
+		maintSet.Wait()
+		ms := maintSet.Stats()
+		fmt.Printf("\nmaintenance: %d rounds, %d dead contacts evicted, %d buckets refreshed, %d blocks republished\n",
+			ms.Rounds, ms.Evicted, ms.Refreshed, ms.Blocks)
+	}
+	if churnCfg != nil {
+		// Churn mode verifies durability, not per-op success: transient
+		// failures while nodes are down are expected, lost acknowledged
+		// writes are not.
+		if len(lost) > 0 {
+			fail(fmt.Errorf("load: %d acknowledged writes lost under churn", len(lost)))
+		}
+		if totalErrs > 0 {
+			fmt.Printf("note: %d operations failed transiently under churn (tolerated; every acknowledged write survived)\n", totalErrs)
+		}
+		return
 	}
 	if totalErrs > 0 {
 		fail(fmt.Errorf("load: %d operations failed", totalErrs))

@@ -97,6 +97,16 @@ type Config struct {
 	// issues every node an identity; peers reject uncertified traffic
 	// and URI entries are signed.
 	WithIdentity bool
+	// ReadRepair enables repair on unfiltered overlay reads: stale or
+	// empty replicas observed during a value lookup are written back to
+	// the merged state. Free in steady state; under churn it heals
+	// blocks on the read path between republish rounds.
+	ReadRepair bool
+	// WriteQuorum is the minimum replica acknowledgements a write needs
+	// to succeed (default 1). An acknowledged write survives crashes of
+	// up to WriteQuorum-1 of its ackers even before any repair runs, so
+	// churn deployments want at least 2.
+	WriteQuorum int
 	// Seed makes the deployment reproducible (node IDs, approximation
 	// subsets).
 	Seed int64
@@ -175,8 +185,11 @@ func NewSystem(cfg Config) (*System, error) {
 	}
 
 	cluster, err := kademlia.NewCluster(kademlia.ClusterConfig{
-		N:         cfg.Nodes,
-		Node:      kademlia.Config{K: cfg.Replication, Alpha: cfg.Alpha},
+		N: cfg.Nodes,
+		Node: kademlia.Config{
+			K: cfg.Replication, Alpha: cfg.Alpha,
+			ReadRepair: cfg.ReadRepair, MinStoreAcks: cfg.WriteQuorum,
+		},
 		Net:       simnet.Config{DropRate: cfg.DropRate, MTU: cfg.MTU, Seed: cfg.Seed},
 		Seed:      cfg.Seed,
 		Authority: authority,
@@ -218,6 +231,12 @@ func (s *System) Size() int { return len(s.peers) }
 // Network exposes the simulated network for fault injection and
 // traffic accounting.
 func (s *System) Network() *simnet.Network { return s.cluster.Net }
+
+// Cluster exposes the overlay cluster for churn operations (RemoveNode,
+// Crash, Revive, StartMaintenance) and membership inspection. Peers are
+// bound to the nodes the System was built with; drive load only through
+// peers whose nodes churn does not touch.
+func (s *System) Cluster() *kademlia.Cluster { return s.cluster }
 
 // SetDown crashes (or revives) the i-th node: its endpoint stops
 // answering until revived.

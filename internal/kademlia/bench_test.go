@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"dharma/internal/kadid"
+	"dharma/internal/simnet"
 	"dharma/internal/wire"
 )
 
@@ -91,6 +92,73 @@ func BenchmarkLocalStoreAppend(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s.Append(keys[i%len(keys)], e)
+	}
+}
+
+// BenchmarkRepublishOnce measures one full republish round of a node
+// holding a realistic block population (the core of a maintenance
+// round: one iterative lookup plus up to k REPLICATEs per block).
+func BenchmarkRepublishOnce(b *testing.B) {
+	for _, blocks := range []int{16, 64} {
+		b.Run(fmt.Sprintf("blocks=%d", blocks), func(b *testing.B) {
+			cl := benchCluster(b, 32)
+			republisher := cl.Nodes[1]
+			entries := []wire.Entry{{Field: "f", Count: 3}, {Field: "g", Count: 1}}
+			for i := 0; i < blocks; i++ {
+				republisher.LocalStore().Append(kadid.HashString(fmt.Sprintf("rep%d", i)), entries)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if blk, _ := republisher.RepublishOnce(); blk != blocks {
+					b.Fatalf("republished %d blocks, want %d", blk, blocks)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkChurnRecovery measures the acceptance path end to end: with
+// a block replicated on k nodes, crash k-1 holders (SetDown, so the
+// cluster is reusable across iterations) and time how long the
+// survivor's maintenance round plus a verifying read take to restore
+// full readability.
+func BenchmarkChurnRecovery(b *testing.B) {
+	cl := benchCluster(b, 32) // K = 8, so each recovery survives 7 crashes
+	reader := cl.Nodes[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		key := kadid.HashString(fmt.Sprintf("recover%d", i))
+		if _, err := cl.Nodes[2].Store(key, []wire.Entry{{Field: "f", Count: 5}}); err != nil {
+			b.Fatal(err)
+		}
+		var holders []*Node
+		for _, n := range cl.Snapshot() {
+			if n != reader && n.LocalStore().Has(key) {
+				holders = append(holders, n)
+			}
+		}
+		if len(holders) < 2 {
+			continue
+		}
+		survivor := holders[len(holders)-1]
+		downed := holders[:len(holders)-1]
+		for _, h := range downed {
+			cl.Net.SetDown(simnet.Addr(h.Self().Addr), true)
+		}
+		m := NewMaintainer(survivor, MaintainerConfig{Seed: int64(i)})
+
+		b.StartTimer()
+		m.RunOnce()
+		if _, err := reader.FindValue(key, 0); err != nil {
+			b.Fatalf("block unreadable after recovery: %v", err)
+		}
+		b.StopTimer()
+
+		for _, h := range downed {
+			cl.Net.SetDown(simnet.Addr(h.Self().Addr), false)
+		}
+		b.StartTimer()
 	}
 }
 

@@ -1,0 +1,119 @@
+package kademlia
+
+import (
+	"fmt"
+
+	"dharma/internal/simnet"
+	"dharma/internal/wire"
+)
+
+// Churn operations on a running cluster. A deployment loses nodes two
+// ways — a graceful leave, where the departing node hands its blocks to
+// the nodes that will be responsible for them, and a crash, where the
+// node simply stops answering — and regains them through joins
+// (AddNode) and recoveries (Revive). Together with the background
+// Maintainer and read-repair these keep every block's replica set
+// populated while membership moves underneath it.
+
+// Handoff pushes every locally stored block to the k closest live nodes
+// excluding the node itself — the departing half of a graceful leave.
+// Replicas merge with max semantics, so a handoff of blocks the targets
+// already hold is idempotent. It returns how many blocks were offered
+// and how many replica stores were acknowledged.
+func (n *Node) Handoff() (blocks, acks int) {
+	return n.pushBlocks(false)
+}
+
+// Close detaches the node from its transport; subsequent RPCs in either
+// direction fail. It is safe to call on a node that was never attached.
+func (n *Node) Close() error {
+	n.detached.Store(true)
+	n.selfMu.RLock()
+	tr := n.transport
+	n.selfMu.RUnlock()
+	if tr == nil {
+		return nil
+	}
+	return tr.Close()
+}
+
+// remove unlinks the i-th member under the lock and returns it. The
+// minted address counter is deliberately untouched: addresses are never
+// reissued after a removal, so a later AddNode cannot shadow a departed
+// (or crashed-and-reviving) endpoint on the simulated network.
+func (c *Cluster) remove(i int) (*Node, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if i < 0 || i >= len(c.Nodes) {
+		return nil, fmt.Errorf("kademlia: no node at index %d (membership %d)", i, len(c.Nodes))
+	}
+	n := c.Nodes[i]
+	c.Nodes = append(c.Nodes[:i], c.Nodes[i+1:]...)
+	return n, nil
+}
+
+// RemoveNode gracefully removes the i-th member (churn-out): the node is
+// dropped from the membership, hands its blocks off to the nodes now
+// closest to their keys, and detaches from the network. The returned
+// node is dead for overlay purposes; its address is never reused.
+//
+// Indices shift left past i, so concurrent callers that pick indices
+// must tolerate the error returned for a stale out-of-range index.
+func (c *Cluster) RemoveNode(i int) (*Node, error) {
+	n, err := c.remove(i)
+	if err != nil {
+		return nil, err
+	}
+	// Hand off while still attached, so the departing node can reach
+	// the replicas that take over its blocks; then disappear.
+	n.Handoff()
+	n.Close()
+	return n, nil
+}
+
+// Crash abruptly kills the i-th member: no handoff, no goodbye — the
+// endpoint is marked down and detached, exactly as if the process died.
+// The node object (with its routing table and block store intact, the
+// way a disk survives a crash) is returned so the caller can Revive it
+// later.
+func (c *Cluster) Crash(i int) (*Node, error) {
+	n, err := c.remove(i)
+	if err != nil {
+		return nil, err
+	}
+	addr := simnet.Addr(n.Self().Addr)
+	c.Net.SetDown(addr, true)
+	// Close the node's own endpoint too (which detaches it): a crashed
+	// process sends nothing, and must not mistake its own send failures
+	// for every peer being dead — the routing table has to survive the
+	// crash alongside the store.
+	n.Close()
+	return n, nil
+}
+
+// Revive rejoins a previously crashed node at its original address: the
+// endpoint is reattached and marked up, the node re-bootstraps through
+// the via-th current member, and it rejoins the membership. Its
+// pre-crash blocks come back with it and converge with the live
+// replicas through republish max-merges.
+func (c *Cluster) Revive(n *Node, via int) error {
+	c.mu.RLock()
+	if via < 0 || via >= len(c.Nodes) {
+		c.mu.RUnlock()
+		return fmt.Errorf("kademlia: no bootstrap node at index %d", via)
+	}
+	seed := c.Nodes[via].Self()
+	c.mu.RUnlock()
+
+	addr := simnet.Addr(n.Self().Addr)
+	n.Attach(c.Net.Attach(addr, n))
+	c.Net.SetDown(addr, false)
+	if err := n.Bootstrap([]wire.Contact{seed}); err != nil {
+		n.Close()
+		return fmt.Errorf("kademlia: revive %s: %w", addr, err)
+	}
+	c.mu.Lock()
+	c.Nodes = append(c.Nodes, n)
+	c.mu.Unlock()
+	return nil
+}

@@ -41,8 +41,8 @@ type Cluster struct {
 	Net   *simnet.Network
 	Nodes []*Node
 
-	mu     sync.RWMutex // guards Nodes and minted against concurrent AddNode
-	minted int          // addresses handed out; never reused, so concurrent AddNode calls cannot collide
+	mu     sync.RWMutex // guards Nodes and minted against concurrent membership changes
+	minted int          // addresses handed out; never reused (even across RemoveNode/Crash), so joins cannot shadow a dead endpoint
 }
 
 // NewCluster builds and joins an N-node overlay. Every node bootstraps
@@ -54,7 +54,7 @@ func NewCluster(cc ClusterConfig) (*Cluster, error) {
 	}
 	rng := rand.New(rand.NewSource(cc.Seed))
 	net := simnet.New(cc.Net)
-	cl := &Cluster{Net: net, Nodes: make([]*Node, cc.N)}
+	cl := &Cluster{Net: net, Nodes: make([]*Node, cc.N), minted: cc.N}
 
 	for i := 0; i < cc.N; i++ {
 		cfg := cc.Node
@@ -98,9 +98,6 @@ func (c *Cluster) AddNode(cfg Config, seed int64, via int) (*Node, error) {
 	node := NewNode(kadid.Random(rng), cfg)
 
 	c.mu.Lock()
-	if c.minted < len(c.Nodes) {
-		c.minted = len(c.Nodes)
-	}
 	addr := simnet.Addr(fmt.Sprintf("node-%d", c.minted))
 	c.minted++
 	seedContact := c.Nodes[via].Self()
@@ -116,10 +113,16 @@ func (c *Cluster) AddNode(cfg Config, seed int64, via int) (*Node, error) {
 	return node, nil
 }
 
-// NodeAt returns the i-th member under the membership lock.
+// NodeAt returns the i-th member under the membership lock, or nil when
+// the index is out of range — membership shrinks under RemoveNode and
+// Crash, so an index observed through Len may be stale by the time it
+// is dereferenced.
 func (c *Cluster) NodeAt(i int) *Node {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
+	if i < 0 || i >= len(c.Nodes) {
+		return nil
+	}
 	return c.Nodes[i]
 }
 

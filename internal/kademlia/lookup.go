@@ -43,7 +43,7 @@ func (n *Node) iterativeLookup(target kadid.ID, wantValue bool, topN int) ([]wir
 	var order []*candidate // kept sorted by distance to target
 
 	insert := func(c wire.Contact) {
-		if c.ID == n.self.ID || c.ID.IsZero() || c.Addr == "" {
+		if c.ID == n.id || c.ID.IsZero() || c.Addr == "" {
 			return
 		}
 		if _, ok := seen[c.ID]; ok {
@@ -67,6 +67,15 @@ func (n *Node) iterativeLookup(target kadid.ID, wantValue bool, topN int) ([]wir
 	var merged map[string]wire.Entry
 	foundValue := false
 	var valueHolders map[kadid.ID]bool
+	// In repair mode (unfiltered value lookup on a ReadRepair node) the
+	// per-holder counts are kept so stale replicas can be detected after
+	// the merge. A filtered response is truncated by design and proves
+	// nothing about the holder's state, so repair stays off for topN > 0.
+	repairing := wantValue && n.cfg.ReadRepair && topN == 0
+	var holderCounts map[kadid.ID]map[string]uint64
+	if repairing {
+		holderCounts = make(map[kadid.ID]map[string]uint64)
+	}
 
 	for {
 		// Pick the α closest unqueried candidates among the k closest
@@ -139,6 +148,13 @@ func (n *Node) iterativeLookup(target kadid.ID, wantValue bool, topN int) ([]wir
 					valueHolders = make(map[kadid.ID]bool)
 				}
 				valueHolders[res.from.ID] = true
+				if repairing {
+					counts := make(map[string]uint64, len(res.entries))
+					for _, e := range res.entries {
+						counts[e.Field] = e.Count
+					}
+					holderCounts[res.from.ID] = counts
+				}
 				for _, e := range res.entries {
 					if cur, ok := merged[e.Field]; !ok || e.Count > cur.Count {
 						merged[e.Field] = e
@@ -150,7 +166,15 @@ func (n *Node) iterativeLookup(target kadid.ID, wantValue bool, topN int) ([]wir
 				insert(c)
 			}
 		}
-		if foundValue {
+		// A found value normally short-circuits the lookup. In repair
+		// mode the lookup keeps going until the whole k-closest window
+		// has answered: read-repair needs to observe every replica —
+		// including the stale and the empty ones — to know what to heal,
+		// exactly the quorum-read shape Dynamo-style systems use. That
+		// makes an unfiltered ReadRepair read cost a full lookup, which
+		// is the price of the durability guarantee and is why the mode
+		// is opt-in.
+		if foundValue && !repairing {
 			break
 		}
 	}
@@ -176,6 +200,14 @@ func (n *Node) iterativeLookup(target kadid.ID, wantValue bool, topN int) ([]wir
 	}
 	sortEntries(out)
 
+	// Read-repair: write the merged block back to every stale member of
+	// the k-closest set (synchronously, so a Get's repair is visible to
+	// the next read). This subsumes the §4.1 cache push below when both
+	// are enabled.
+	if repairing {
+		n.readRepair(target, out, closest, holderCounts)
+	}
+
 	// Kademlia §4.1: replicate the found value onto the closest node
 	// observed during the lookup that does not hold it, so hot blocks
 	// migrate towards their readers. Max-merge keeps this idempotent.
@@ -183,7 +215,7 @@ func (n *Node) iterativeLookup(target kadid.ID, wantValue bool, topN int) ([]wir
 	// a partial block, and caching it would let it shadow full replicas
 	// for later readers. (Cached copies can still serve stale counts —
 	// acceptable for DHARMA, whose weights are approximate by design.)
-	if n.cfg.CacheOnLookup && topN == 0 {
+	if n.cfg.CacheOnLookup && topN == 0 && !repairing {
 		for _, c := range closest {
 			if !valueHolders[c.ID] {
 				go n.call(c, &wire.Message{ //nolint:errcheck // best effort
@@ -198,6 +230,47 @@ func (n *Node) iterativeLookup(target kadid.ID, wantValue bool, topN int) ([]wir
 		out = out[:topN]
 	}
 	return out, true, closest
+}
+
+// readRepair pushes merged — the field-wise maximum over every replica
+// response — to the members of the k-closest set whose response was
+// stale: non-holders get the block they should be storing, holders with
+// any lower count get raised to the merged state. REPLICATE max-merges
+// on arrival, so concurrent repairs and appends commute.
+func (n *Node) readRepair(key kadid.ID, merged []wire.Entry, closest []wire.Contact, holderCounts map[kadid.ID]map[string]uint64) {
+	var stale []wire.Contact
+	for _, c := range closest {
+		counts, isHolder := holderCounts[c.ID]
+		if !isHolder {
+			stale = append(stale, c)
+			continue
+		}
+		for _, e := range merged {
+			if counts[e.Field] < e.Count {
+				stale = append(stale, c)
+				break
+			}
+		}
+	}
+	if len(stale) == 0 {
+		return
+	}
+	var wg sync.WaitGroup
+	for _, c := range stale {
+		wg.Add(1)
+		go func(c wire.Contact) {
+			defer wg.Done()
+			resp, err := n.call(c, &wire.Message{
+				Kind:    wire.KindReplicate,
+				Target:  key,
+				Entries: merged,
+			})
+			if err == nil && resp.Kind == wire.KindStoreAck {
+				n.repairs.Add(1)
+			}
+		}(c)
+	}
+	wg.Wait()
 }
 
 func sortEntries(es []wire.Entry) {

@@ -39,36 +39,53 @@ func (s *Store) MergeMax(key kadid.ID, entries []wire.Entry) {
 // Deployments call this periodically; tests and the churn experiment
 // call it directly.
 func (n *Node) RepublishOnce() (blocks int, acks int) {
+	return n.pushBlocks(true)
+}
+
+// pushBlocks is the replicate fan-out shared by RepublishOnce (the
+// node stays a replica: its own contact counts towards the k targets)
+// and Handoff (the node is leaving: all k targets are other nodes).
+func (n *Node) pushBlocks(includeSelf bool) (blocks, acks int) {
 	for _, key := range n.store.Keys() {
 		entries, ok := n.store.Get(key, 0)
 		if !ok {
 			continue // deleted concurrently
 		}
-		targets := n.insertSelf(n.IterativeFindNode(key), key)
-		blocks++
-
-		var wg sync.WaitGroup
-		var mu sync.Mutex
-		for _, c := range targets {
-			if c.ID == n.self.ID {
-				continue // we already hold it
-			}
-			wg.Add(1)
-			go func(c wire.Contact) {
-				defer wg.Done()
-				resp, err := n.call(c, &wire.Message{
-					Kind:    wire.KindReplicate,
-					Target:  key,
-					Entries: entries,
-				})
-				if err == nil && resp.Kind == wire.KindStoreAck {
-					mu.Lock()
-					acks++
-					mu.Unlock()
-				}
-			}(c)
+		targets := n.IterativeFindNode(key)
+		if includeSelf {
+			targets = n.insertSelf(targets, key)
 		}
-		wg.Wait()
+		blocks++
+		acks += n.replicateTo(key, entries, targets)
 	}
 	return blocks, acks
+}
+
+// replicateTo sends one block to every target but the node itself (in
+// parallel) and returns how many acknowledged.
+func (n *Node) replicateTo(key kadid.ID, entries []wire.Entry, targets []wire.Contact) int {
+	acks := 0
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	for _, c := range targets {
+		if c.ID == n.id {
+			continue // we already hold it
+		}
+		wg.Add(1)
+		go func(c wire.Contact) {
+			defer wg.Done()
+			resp, err := n.call(c, &wire.Message{
+				Kind:    wire.KindReplicate,
+				Target:  key,
+				Entries: entries,
+			})
+			if err == nil && resp.Kind == wire.KindStoreAck {
+				mu.Lock()
+				acks++
+				mu.Unlock()
+			}
+		}(c)
+	}
+	wg.Wait()
+	return acks
 }

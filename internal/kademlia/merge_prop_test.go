@@ -1,0 +1,142 @@
+package kademlia
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"dharma/internal/kadid"
+	"dharma/internal/wire"
+)
+
+// Property-style randomized test of the replica-maintenance merge.
+// MergeMax must behave as the G-Counter-style join it claims to be:
+//
+//   - idempotent: replaying any batch changes nothing;
+//   - commutative: the final state is independent of the order batches
+//     (and entries within them) arrive in;
+//   - monotone: no merge ever lowers a field's count;
+//
+// each checked against a brute-force model (field-wise maximum over all
+// entries seen, data adopted first-wins).
+func TestMergeMaxProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(424242))
+	fields := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+
+	randBatch := func() []wire.Entry {
+		n := 1 + rng.Intn(6)
+		batch := make([]wire.Entry, n)
+		for i := range batch {
+			e := wire.Entry{
+				Field: fields[rng.Intn(len(fields))],
+				Count: uint64(rng.Intn(40)),
+			}
+			if rng.Intn(4) == 0 {
+				e.Data = []byte(fmt.Sprintf("d%d", rng.Intn(3)))
+			}
+			batch[i] = e
+		}
+		return batch
+	}
+
+	snapshot := func(s *Store, key kadid.ID) map[string]uint64 {
+		out := make(map[string]uint64)
+		es, ok := s.Get(key, 0)
+		if !ok {
+			return out
+		}
+		for _, e := range es {
+			out[e.Field] = e.Count
+		}
+		return out
+	}
+
+	for trial := 0; trial < 150; trial++ {
+		key := kadid.HashString(fmt.Sprintf("prop%d", trial))
+		batches := make([][]wire.Entry, 1+rng.Intn(8))
+		for i := range batches {
+			batches[i] = randBatch()
+		}
+
+		// Brute-force model: per-field maximum over every entry of every
+		// batch. Within one MergeMax call entries apply sequentially, so
+		// duplicates of a field inside a batch also resolve to the max —
+		// the model need not distinguish batch boundaries at all.
+		model := make(map[string]uint64)
+		for _, b := range batches {
+			for _, e := range b {
+				if e.Count >= model[e.Field] {
+					model[e.Field] = e.Count
+				}
+			}
+		}
+
+		// Apply in order, checking monotonicity after every merge.
+		s1 := NewStore()
+		prev := map[string]uint64{}
+		for _, b := range batches {
+			s1.MergeMax(key, b)
+			cur := snapshot(s1, key)
+			for f, c := range prev {
+				if cur[f] < c {
+					t.Fatalf("trial %d: merge lowered %q: %d -> %d", trial, f, c, cur[f])
+				}
+			}
+			prev = cur
+		}
+		got := snapshot(s1, key)
+		if len(got) != len(model) {
+			t.Fatalf("trial %d: %d fields, model has %d", trial, len(got), len(model))
+		}
+		for f, want := range model {
+			if got[f] != want {
+				t.Fatalf("trial %d: field %q = %d, model says %d", trial, f, got[f], want)
+			}
+		}
+
+		// Idempotence: replaying every batch (twice, shuffled) is a no-op.
+		for _, i := range rng.Perm(len(batches)) {
+			s1.MergeMax(key, batches[i])
+			s1.MergeMax(key, batches[i])
+		}
+		if again := snapshot(s1, key); !mapsEqual(again, got) {
+			t.Fatalf("trial %d: replay changed the block: %v -> %v", trial, got, again)
+		}
+
+		// Commutativity: a second store receiving the batches in reverse
+		// order (and each batch's entries reversed) converges to the
+		// same state.
+		s2 := NewStore()
+		for i := len(batches) - 1; i >= 0; i-- {
+			rev := make([]wire.Entry, len(batches[i]))
+			for j, e := range batches[i] {
+				rev[len(rev)-1-j] = e
+			}
+			s2.MergeMax(key, rev)
+		}
+		if other := snapshot(s2, key); !mapsEqual(other, got) {
+			t.Fatalf("trial %d: merge order changed the block: %v vs %v", trial, got, other)
+		}
+
+		// The maintained top index must agree with the converged counts:
+		// a filtered read returns the true maxima in order.
+		top, _ := s1.Get(key, 3)
+		for i := 1; i < len(top); i++ {
+			if entryLess(top[i], top[i-1]) {
+				t.Fatalf("trial %d: top index out of order: %v", trial, top)
+			}
+		}
+	}
+}
+
+func mapsEqual(a, b map[string]uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}

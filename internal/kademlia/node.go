@@ -36,6 +36,10 @@ const (
 var (
 	ErrNotFound   = errors.New("kademlia: value not found")
 	ErrNoContacts = errors.New("kademlia: routing table is empty")
+
+	// errDetached is returned by outbound calls of a node that has no
+	// live endpoint (crashed or departed).
+	errDetached = errors.New("kademlia: node is detached")
 )
 
 // Config parameterises a node.
@@ -60,6 +64,23 @@ type Config struct {
 	// the closest observed node that did not have it. Popular blocks —
 	// DHARMA's hotspot concern — thereby spread towards their readers.
 	CacheOnLookup bool
+	// ReadRepair enables repair on unfiltered value lookups: the merged
+	// (field-wise maximum) block is written back, via REPLICATE, to
+	// every node of the k-closest set whose response was stale — missing
+	// the block entirely, or holding lower counts for any field. Under
+	// churn this heals replica sets on the read path, between republish
+	// rounds; in steady state every replica is fresh and it costs
+	// nothing. Filtered (top-N) lookups never repair: a truncated
+	// response is not evidence of staleness.
+	ReadRepair bool
+	// MinStoreAcks is how many replica acknowledgements a Store needs
+	// before reporting success (default 1). The churn invariant —
+	// acknowledged writes survive replica crashes — is only as strong
+	// as the acknowledgement: a write acked by a single replica dies
+	// with that replica if it crashes before any repair round spreads
+	// the block. Raising the quorum trades write availability under
+	// faults for durability.
+	MinStoreAcks int
 	// Now is the clock used for credential validation (default time.Now).
 	Now func() time.Time
 }
@@ -71,6 +92,9 @@ func (c Config) withDefaults() Config {
 	if c.Alpha <= 0 {
 		c.Alpha = DefaultAlpha
 	}
+	if c.MinStoreAcks <= 0 {
+		c.MinStoreAcks = 1
+	}
 	if c.Now == nil {
 		c.Now = time.Now
 	}
@@ -79,12 +103,25 @@ func (c Config) withDefaults() Config {
 
 // Node is one overlay participant.
 type Node struct {
-	cfg       Config
+	cfg   Config
+	id    kadid.ID // immutable
+	table *Table
+	store *Store
+
+	// selfMu guards the attachable state: the transport and the
+	// contact's address. Both change when a crashed node is revived at
+	// a new endpoint, which can race with a stray in-flight RPC still
+	// executing this node's handler.
+	selfMu    sync.RWMutex
 	self      wire.Contact
 	transport simnet.Transport
-	table     *Table
-	store     *Store
-	credBlob  []byte
+	// detached is true while the node has no live endpoint (never
+	// attached, gracefully departed, or crashed). A detached node must
+	// not interpret its own send failures as peers being dead — its
+	// routing table has to survive a crash the way its store does.
+	detached atomic.Bool
+
+	credBlob []byte
 
 	// credCache remembers peers whose credential already verified, so
 	// the Ed25519 check runs once per peer rather than once per message.
@@ -92,6 +129,7 @@ type Node struct {
 	credSeen  map[kadid.ID]bool
 	lookups   atomic.Int64
 	rpcServed atomic.Int64
+	repairs   atomic.Int64
 }
 
 // NewNode creates a node with identifier self. Attach must be called
@@ -103,10 +141,12 @@ func NewNode(self kadid.ID, cfg Config) *Node {
 	}
 	n := &Node{
 		cfg:      cfg,
+		id:       self,
 		self:     wire.Contact{ID: self},
 		store:    NewStore(),
 		credSeen: make(map[kadid.ID]bool),
 	}
+	n.detached.Store(true) // until Attach
 	n.table = NewTable(self, cfg.K, n.pingContact)
 	if cfg.Identity != nil {
 		n.credBlob = cfg.Identity.Credential.Marshal()
@@ -114,18 +154,40 @@ func NewNode(self kadid.ID, cfg Config) *Node {
 	return n
 }
 
+// Detached reports whether the node currently has no live endpoint.
+func (n *Node) Detached() bool { return n.detached.Load() }
+
 // Attach binds the node to a transport endpoint. The typical sequence
 // is: node := NewNode(...); tr := net.Attach(addr, node); node.Attach(tr).
+// Re-attaching (a crashed node reviving) is safe while RPCs are in
+// flight.
 func (n *Node) Attach(tr simnet.Transport) {
+	n.selfMu.Lock()
 	n.transport = tr
 	n.self.Addr = string(tr.Addr())
+	n.selfMu.Unlock()
+	n.detached.Store(false)
 }
 
 // Self returns the node's own contact.
-func (n *Node) Self() wire.Contact { return n.self }
+func (n *Node) Self() wire.Contact {
+	n.selfMu.RLock()
+	defer n.selfMu.RUnlock()
+	return n.self
+}
 
 // Identity returns the node's Likir identity, nil on an open overlay.
 func (n *Node) Identity() *likir.Identity { return n.cfg.Identity }
+
+// Config returns the node's configuration with defaults applied —
+// what a peer wanting to join as an equal member should run with. The
+// per-node Identity is stripped (a joiner must bring its own); the
+// shared CA key and every protocol parameter carry over.
+func (n *Node) Config() Config {
+	cfg := n.cfg
+	cfg.Identity = nil
+	return cfg
+}
 
 // Table exposes the routing table (read-mostly; used by tests and the
 // hotspot experiment).
@@ -141,6 +203,10 @@ func (n *Node) Lookups() int64 { return n.lookups.Load() }
 // RPCServed returns how many RPC requests this node has answered.
 func (n *Node) RPCServed() int64 { return n.rpcServed.Load() }
 
+// Repairs returns how many stale or empty replicas this node has
+// written back through read-repair (requires Config.ReadRepair).
+func (n *Node) Repairs() int64 { return n.repairs.Load() }
+
 // HandleRPC implements simnet.Handler: it decodes one request, updates
 // the routing table with the caller, and dispatches.
 func (n *Node) HandleRPC(from simnet.Addr, payload []byte) ([]byte, error) {
@@ -151,7 +217,7 @@ func (n *Node) HandleRPC(from simnet.Addr, payload []byte) ([]byte, error) {
 	n.rpcServed.Add(1)
 
 	if err := n.admit(msg); err != nil {
-		return wire.Encode(&wire.Message{Kind: wire.KindError, From: n.self, Err: err.Error()}), nil
+		return wire.Encode(&wire.Message{Kind: wire.KindError, From: n.Self(), Err: err.Error()}), nil
 	}
 	if msg.From.ID != (kadid.ID{}) && msg.From.Addr != "" {
 		n.table.Update(msg.From)
@@ -198,7 +264,7 @@ func (n *Node) HandleRPC(from simnet.Addr, payload []byte) ([]byte, error) {
 	default:
 		resp = &wire.Message{Kind: wire.KindError, Err: fmt.Sprintf("unexpected %v", msg.Kind)}
 	}
-	resp.From = n.self
+	resp.From = n.Self()
 	return wire.Encode(resp), nil
 }
 
@@ -243,11 +309,21 @@ func (n *Node) admit(msg *wire.Message) error {
 // call sends one RPC and maintains the routing table on success and
 // failure.
 func (n *Node) call(to wire.Contact, msg *wire.Message) (*wire.Message, error) {
+	if n.detached.Load() {
+		return nil, errDetached
+	}
+	n.selfMu.RLock()
 	msg.From = n.self
+	tr := n.transport
+	n.selfMu.RUnlock()
 	msg.Cred = n.credBlob
-	raw, err := n.transport.Call(simnet.Addr(to.Addr), wire.Encode(msg))
+	raw, err := tr.Call(simnet.Addr(to.Addr), wire.Encode(msg))
 	if err != nil {
-		n.table.Remove(to.ID)
+		// A local send failure (endpoint closed under us) says nothing
+		// about the peer; only a timed-out exchange does.
+		if !errors.Is(err, simnet.ErrClosed) {
+			n.table.Remove(to.ID)
+		}
 		return nil, err
 	}
 	resp, err := wire.Decode(raw)
@@ -290,21 +366,21 @@ func (n *Node) Discover(addr string) (wire.Contact, error) {
 // own identifier, which populates the buckets closest to the node.
 func (n *Node) Bootstrap(seeds []wire.Contact) error {
 	for _, s := range seeds {
-		if s.ID != n.self.ID {
+		if s.ID != n.id {
 			n.table.Update(s)
 		}
 	}
 	if n.table.Len() == 0 {
 		return ErrNoContacts
 	}
-	n.IterativeFindNode(n.self.ID)
+	n.IterativeFindNode(n.id)
 	return nil
 }
 
 // RefreshBucket performs the Kademlia bucket-refresh procedure for one
 // bucket index: it looks up a random identifier falling in that bucket.
 func (n *Node) RefreshBucket(bucket int, seed int64) {
-	id := kadid.RandomInBucket(n.self.ID, bucket, newRand(seed))
+	id := kadid.RandomInBucket(n.id, bucket, newRand(seed))
 	n.IterativeFindNode(id)
 }
 
@@ -322,7 +398,7 @@ func (n *Node) Store(key kadid.ID, entries []wire.Entry) (int, error) {
 	var mu sync.Mutex
 	var wg sync.WaitGroup
 	for _, c := range targets {
-		if c.ID == n.self.ID {
+		if c.ID == n.id {
 			n.store.Append(key, entries)
 			mu.Lock()
 			acks++
@@ -344,16 +420,20 @@ func (n *Node) Store(key kadid.ID, entries []wire.Entry) (int, error) {
 	if acks == 0 {
 		return 0, fmt.Errorf("kademlia: no replica acknowledged store of %s", key.Short())
 	}
+	if acks < n.cfg.MinStoreAcks {
+		return acks, fmt.Errorf("kademlia: store of %s reached only %d of %d required replica acks",
+			key.Short(), acks, n.cfg.MinStoreAcks)
+	}
 	return acks, nil
 }
 
 // insertSelf adds the node's own contact to a distance-sorted contact
 // list when it belongs among the k closest to key.
 func (n *Node) insertSelf(sorted []wire.Contact, key kadid.ID) []wire.Contact {
-	if len(sorted) >= n.cfg.K && !kadid.Closer(n.self.ID, sorted[n.cfg.K-1].ID, key) {
+	if len(sorted) >= n.cfg.K && !kadid.Closer(n.id, sorted[n.cfg.K-1].ID, key) {
 		return sorted
 	}
-	out := append(sorted, n.self)
+	out := append(sorted, n.Self())
 	for i := len(out) - 1; i > 0 && kadid.Closer(out[i].ID, out[i-1].ID, key); i-- {
 		out[i], out[i-1] = out[i-1], out[i]
 	}
@@ -373,6 +453,11 @@ func (n *Node) FindValue(key kadid.ID, topN int) ([]wire.Entry, error) {
 		// keeping the larger count (counts only grow).
 		entries = mergeEntriesMax(entries, local)
 		found = true
+		if n.cfg.ReadRepair && topN == 0 {
+			// Self-repair: a replica that reads the block and discovers
+			// it was stale adopts the merged state it just computed.
+			n.store.MergeMax(key, entries)
+		}
 		if topN > 0 && len(entries) > topN {
 			entries = entries[:topN]
 		}

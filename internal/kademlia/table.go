@@ -148,6 +148,18 @@ func (t *Table) Contains(id kadid.ID) bool {
 	return false
 }
 
+// Contacts returns every contact currently in the table, in bucket
+// order. The maintainer's dead-contact sweep pings this list.
+func (t *Table) Contacts() []wire.Contact {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []wire.Contact
+	for i := range t.buckets {
+		out = append(out, t.buckets[i]...)
+	}
+	return out
+}
+
 // NonEmptyBuckets returns the indices of buckets that hold at least one
 // contact; used by bucket refresh.
 func (t *Table) NonEmptyBuckets() []int {

@@ -56,6 +56,12 @@ type Config struct {
 	// a Dataset is first-use order, which correlates with popularity,
 	// so the Zipf draw still lands on genuinely popular tags.
 	Dataset *dataset.Dataset
+
+	// AfterSeed, when set, runs after the vocabulary is seeded (and the
+	// hot blocks prefilled) but before the measured phase starts. The
+	// churn scenario uses it to hold membership steady through seeding
+	// and start killing nodes only once the workload is live.
+	AfterSeed func()
 }
 
 func (c Config) withDefaults() Config {
@@ -164,6 +170,9 @@ func Run(cfg Config, engines []*core.Engine) (*Report, error) {
 		}
 	}
 	rep.SeedTime = time.Since(seedStart)
+	if cfg.AfterSeed != nil {
+		cfg.AfterSeed()
+	}
 
 	var (
 		issued   atomic.Int64 // operations handed out
