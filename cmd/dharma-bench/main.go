@@ -186,6 +186,8 @@ func runLoad(args []string) {
 	resources := fs.Int("resources", 128, "seeded resource universe")
 	tags := fs.Int("tags", 48, "tag vocabulary size (Zipf-popular)")
 	prefill := fs.Int("prefill", 0, "pre-fill the hottest tags' blocks with this many arcs each (hot-tag regime)")
+	dataDir := fs.String("data-dir", "", "give overlay nodes durable stores (WAL + snapshots) under this directory; churn revivals then recover from disk")
+	noFsync := fs.Bool("no-fsync", false, "with -data-dir: skip fsync (survives process kill, not power loss)")
 	batch := fs.Duration("batch", 0, "coalesce appends to the same key within this window (0 disables batching)")
 	vocab := fs.String("vocab", "", "draw vocabulary from a generated dataset: tiny, small or lastfm (default synthetic names)")
 	out := fs.String("out", "", "directory for per-mix CSVs (omit to skip)")
@@ -222,6 +224,9 @@ func runLoad(args []string) {
 		}
 		churnCfg = &cc
 	}
+	if *dataDir != "" && *target != "overlay" {
+		fail(fmt.Errorf("-data-dir needs a live overlay (target %q has no node stores)", *target))
+	}
 
 	var engines []*core.Engine
 	var batchers []*dht.Batching
@@ -249,9 +254,14 @@ func runLoad(args []string) {
 		sys, err = dharma.NewSystem(dharma.Config{
 			Nodes: *nodes, Mode: mode, K: *k, Seed: *seed,
 			DropRate: *drop, ReadRepair: churnCfg != nil, WriteQuorum: writeQuorum,
+			DataDir: *dataDir, NoFsync: *noFsync,
 		})
 		if err != nil {
 			fail(err)
+		}
+		if *dataDir != "" {
+			defer sys.Shutdown()
+			fmt.Printf("durable: per-node WAL under %s (fsync %v)\n", *dataDir, !*noFsync)
 		}
 		if churnCfg != nil {
 			// Clients (the nodes workers drive) are protected from

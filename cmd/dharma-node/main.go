@@ -25,12 +25,14 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"dharma/internal/core"
 	"dharma/internal/dht"
 	"dharma/internal/kademlia"
 	"dharma/internal/kadid"
+	"dharma/internal/persist"
 	"dharma/internal/wire"
 )
 
@@ -59,6 +61,7 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   dharma-node serve   -listen host:port [-bootstrap host:port] [-k n] [-alpha n]
+                      [-data-dir path] [-fsync group|each|none]
   dharma-node insert  -bootstrap host:port -r name -uri uri [-tags a,b,c]
   dharma-node tag     -bootstrap host:port -r name -t tag
   dharma-node search  -bootstrap host:port -t tag [-top n]
@@ -66,9 +69,27 @@ func usage() {
 }
 
 // startNode binds a UDP node and optionally joins through bootstrap.
-func startNode(listen, bootstrap string, k, alpha int) (*kademlia.Node, error) {
+// With a data directory the node is durable: its identifier is loaded
+// from (or minted into) the directory so a restart re-enters the
+// overlay as the same member, and its block store recovers from the
+// write-ahead log before serving.
+func startNode(listen, bootstrap, dataDir string, popts persist.Options, k, alpha int) (*kademlia.Node, error) {
 	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
-	node := kademlia.NewNode(kadid.Random(rng), kademlia.Config{K: k, Alpha: alpha})
+	cfg := kademlia.Config{K: k, Alpha: alpha}
+	id := kadid.Random(rng)
+	if dataDir != "" {
+		var err error
+		if id, err = persist.LoadOrCreateIdentity(dataDir, id); err != nil {
+			return nil, err
+		}
+		store, stats, err := kademlia.OpenDurableStore(dataDir, popts)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Store = store
+		fmt.Printf("recovered %d blocks from %s (%s)\n", store.Len(), dataDir, stats)
+	}
+	node := kademlia.NewNode(id, cfg)
 	tr, err := wire.ListenUDP(listen, node, 0)
 	if err != nil {
 		return nil, err
@@ -86,6 +107,20 @@ func startNode(listen, bootstrap string, k, alpha int) (*kademlia.Node, error) {
 	return node, nil
 }
 
+// parseSyncMode maps the -fsync flag onto a persist.SyncMode.
+func parseSyncMode(s string) (persist.SyncMode, error) {
+	switch s {
+	case "group":
+		return persist.SyncGroup, nil
+	case "each":
+		return persist.SyncEach, nil
+	case "none":
+		return persist.SyncNone, nil
+	default:
+		return 0, fmt.Errorf("unknown -fsync mode %q (want group, each or none)", s)
+	}
+}
+
 func serve(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	listen := fs.String("listen", "127.0.0.1:9000", "UDP address to bind")
@@ -94,9 +129,18 @@ func serve(args []string) error {
 	alpha := fs.Int("alpha", 3, "lookup parallelism")
 	maintain := fs.Duration("maintain", 10*time.Minute,
 		"interval between maintenance rounds (republish + bucket refresh); 0 disables")
+	dataDir := fs.String("data-dir", "",
+		"directory for durable storage (WAL + snapshots + identity); restart resumes identity and blocks")
+	fsync := fs.String("fsync", "group",
+		"durability policy with -data-dir: group (one fsync per commit window), each (fsync per append), none (survives kill, not power loss)")
 	fs.Parse(args) //nolint:errcheck // ExitOnError
 
-	node, err := startNode(*listen, *bootstrap, *k, *alpha)
+	var popts persist.Options
+	var err error
+	if popts.Sync, err = parseSyncMode(*fsync); err != nil {
+		return err
+	}
+	node, err := startNode(*listen, *bootstrap, *dataDir, popts, *k, *alpha)
 	if err != nil {
 		return err
 	}
@@ -128,9 +172,15 @@ func serve(args []string) error {
 	}
 
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	close(stop)
+	// Clean stop: flush and close the durable store (no-op in-memory).
+	// A SIGKILL skips this path entirely — that is what the WAL's
+	// torn-tail recovery is for.
+	if err := node.Shutdown(); err != nil {
+		fmt.Fprintf(os.Stderr, "dharma-node: shutdown: %v\n", err)
+	}
 	fmt.Printf("stopping; served %d RPCs, stored %d blocks\n",
 		node.RPCServed(), node.LocalStore().Len())
 	return nil
@@ -148,7 +198,7 @@ func client(cmd string, args []string) error {
 	k := fs.Int("k", 5, "connection parameter (approx mode)")
 	fs.Parse(args) //nolint:errcheck // ExitOnError
 
-	node, err := startNode("127.0.0.1:0", *bootstrap, 20, 3)
+	node, err := startNode("127.0.0.1:0", *bootstrap, "", persist.Options{}, 20, 3)
 	if err != nil {
 		return err
 	}

@@ -42,6 +42,7 @@ import (
 	"dharma/internal/dht"
 	"dharma/internal/kademlia"
 	"dharma/internal/likir"
+	"dharma/internal/persist"
 	"dharma/internal/search"
 	"dharma/internal/simnet"
 )
@@ -107,6 +108,18 @@ type Config struct {
 	// up to WriteQuorum-1 of its ackers even before any repair runs, so
 	// churn deployments want at least 2.
 	WriteQuorum int
+	// DataDir, when set, makes every node's block store durable: writes
+	// are logged (write-ahead, group-commit fsync) under
+	// DataDir/<node-address> before they are acknowledged, Cluster's
+	// Crash models a process kill, and Revive recovers the node's
+	// blocks from disk instead of reusing the retained in-memory store.
+	// A System rebuilt over the same DataDir (and Seed) serves every
+	// previously acknowledged write.
+	DataDir string
+	// NoFsync trades power-loss durability for speed in a durable
+	// deployment: acknowledged writes are handed to the OS (surviving a
+	// process kill) but not fsynced. Ignored when DataDir is empty.
+	NoFsync bool
 	// Seed makes the deployment reproducible (node IDs, approximation
 	// subsets).
 	Seed int64
@@ -184,6 +197,10 @@ func NewSystem(cfg Config) (*System, error) {
 		}
 	}
 
+	var popts persist.Options
+	if cfg.NoFsync {
+		popts.Sync = persist.SyncNone
+	}
 	cluster, err := kademlia.NewCluster(kademlia.ClusterConfig{
 		N: cfg.Nodes,
 		Node: kademlia.Config{
@@ -193,6 +210,8 @@ func NewSystem(cfg Config) (*System, error) {
 		Net:       simnet.Config{DropRate: cfg.DropRate, MTU: cfg.MTU, Seed: cfg.Seed},
 		Seed:      cfg.Seed,
 		Authority: authority,
+		DataDir:   cfg.DataDir,
+		Persist:   popts,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("dharma: boot overlay: %w", err)
@@ -242,6 +261,13 @@ func (s *System) Cluster() *kademlia.Cluster { return s.cluster }
 // answering until revived.
 func (s *System) SetDown(i int, down bool) {
 	s.cluster.Net.SetDown(simnet.Addr(s.peers[i].Node.Self().Addr), down)
+}
+
+// Shutdown cleanly stops every member: a durable deployment flushes and
+// closes its write-ahead logs, so a later NewSystem over the same
+// DataDir recovers the full state. A no-op for in-memory systems.
+func (s *System) Shutdown() {
+	s.cluster.Shutdown()
 }
 
 // NewLocalEngine creates a DHARMA engine over an in-process block store

@@ -76,8 +76,7 @@ func NewLocal() *Local {
 // Append implements Store.
 func (l *Local) Append(key kadid.ID, entries []wire.Entry) error {
 	l.appends.Add(1)
-	l.store.Append(key, entries)
-	return nil
+	return l.store.Append(key, entries)
 }
 
 // AppendBatch implements Store: the items are applied in one pass over
@@ -86,8 +85,7 @@ func (l *Local) Append(key kadid.ID, entries []wire.Entry) error {
 // loop of Appends.
 func (l *Local) AppendBatch(items []BatchItem) error {
 	l.appends.Add(int64(len(items)))
-	l.store.AppendBatch(items)
-	return nil
+	return l.store.AppendBatch(items)
 }
 
 // Get implements Store.

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"dharma/internal/kadid"
+	"dharma/internal/persist"
 	"dharma/internal/simnet"
 	"dharma/internal/wire"
 )
@@ -247,12 +248,94 @@ func fillHotBlock(append func(kadid.ID, []wire.Entry), key kadid.ID) {
 	}
 }
 
+// fillHotBlockStore adapts fillHotBlock to the error-returning Store
+// mutator (the in-memory store never fails).
+func fillHotBlockStore(s *Store, key kadid.ID) {
+	fillHotBlock(func(k kadid.ID, es []wire.Entry) { s.Append(k, es) }, key) //nolint:errcheck
+}
+
+// BenchmarkRecovery measures a full durable-store recovery of the
+// ISSUE's reference state — one 50k-entry hot block — in both layouts:
+// a raw WAL tail (every append replayed record by record) and the
+// compacted snapshot the background compaction converges to.
+//
+//	go test ./internal/kademlia/ -run xxx -bench Recovery
+func BenchmarkRecovery(b *testing.B) {
+	build := func(b *testing.B, compact bool) string {
+		b.Helper()
+		dir := b.TempDir()
+		s, _, err := OpenDurableStore(dir, persist.Options{
+			Sync: persist.SyncNone, SegmentBytes: 1 << 30, CompactBytes: -1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		fillHotBlockStore(s, kadid.HashString("hot"))
+		if compact {
+			if err := s.Compact(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := s.Close(); err != nil {
+			b.Fatal(err)
+		}
+		return dir
+	}
+	for _, layout := range []struct {
+		name    string
+		compact bool
+	}{
+		{"wal-tail", false},
+		{"snapshot", true},
+	} {
+		b.Run(layout.name, func(b *testing.B) {
+			dir := build(b, layout.compact)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s, _, err := OpenDurableStore(dir, persist.Options{Sync: persist.SyncNone, CompactBytes: -1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if es, ok := s.Get(kadid.HashString("hot"), 100); !ok || len(es) != 100 {
+					b.Fatalf("recovered store broken: ok=%v len=%d", ok, len(es))
+				}
+				b.StopTimer()
+				s.Close()
+				b.StartTimer()
+			}
+		})
+	}
+}
+
+// BenchmarkDurableAppend is the store-level view of the WAL cost: the
+// same hot append as BenchmarkStoreAppendHot, but logged and flushed
+// (no fsync, isolating the logging overhead from disk latency).
+func BenchmarkDurableAppend(b *testing.B) {
+	dir := b.TempDir()
+	s, _, err := OpenDurableStore(dir, persist.Options{
+		Sync: persist.SyncNone, SegmentBytes: 1 << 30, CompactBytes: -1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	key := kadid.HashString("hot")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Append(key, []wire.Entry{{Field: fmt.Sprintf("arc%05d", i%hotBlockSize), Count: 1}}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkStoreGetHot measures the paper's hot read — Get(key, 100) on
 // a 50k-entry block — against the incrementally maintained index.
 func BenchmarkStoreGetHot(b *testing.B) {
 	s := NewStore()
 	key := kadid.HashString("hot")
-	fillHotBlock(s.Append, key)
+	fillHotBlockStore(s, key)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -282,7 +365,7 @@ func BenchmarkStoreGetHotBaseline(b *testing.B) {
 func BenchmarkStoreAppendHot(b *testing.B) {
 	s := NewStore()
 	key := kadid.HashString("hot")
-	fillHotBlock(s.Append, key)
+	fillHotBlockStore(s, key)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -296,7 +379,7 @@ func BenchmarkStoreAppendHot(b *testing.B) {
 func BenchmarkStoreHotMixedParallel(b *testing.B) {
 	s := NewStore()
 	hot := kadid.HashString("hot")
-	fillHotBlock(s.Append, hot)
+	fillHotBlockStore(s, hot)
 	cold := make([]kadid.ID, 256)
 	for i := range cold {
 		cold[i] = kadid.HashString(fmt.Sprintf("cold%d", i))

@@ -1,7 +1,9 @@
 package kademlia
 
 import (
+	"errors"
 	"fmt"
+	"strings"
 
 	"dharma/internal/simnet"
 	"dharma/internal/wire"
@@ -14,18 +16,48 @@ import (
 // (AddNode) and recoveries (Revive). Together with the background
 // Maintainer and read-repair these keep every block's replica set
 // populated while membership moves underneath it.
+//
+// On a durable cluster (ClusterConfig.DataDir) the crash/revive pair
+// models a real process death: Crash kills the node's write-ahead log
+// the way SIGKILL would, and Revive builds a fresh node that recovers
+// identity and blocks from disk — nothing of the crashed object's
+// memory is reused.
+
+// ErrHandoffIncomplete is wrapped by Handoff (and surfaced by
+// RemoveNode) when some blocks could not be placed on any replica even
+// after the bounded retry. The departure still completes; the blocks
+// named in the error are only healed once other replicas republish.
+var ErrHandoffIncomplete = errors.New("kademlia: handoff incomplete")
 
 // Handoff pushes every locally stored block to the k closest live nodes
 // excluding the node itself — the departing half of a graceful leave.
 // Replicas merge with max semantics, so a handoff of blocks the targets
-// already hold is idempotent. It returns how many blocks were offered
-// and how many replica stores were acknowledged.
-func (n *Node) Handoff() (blocks, acks int) {
-	return n.pushBlocks(false)
+// already hold is idempotent. A block no replica acknowledges is retried
+// once against a fresh lookup; if it still lands nowhere it is named in
+// the returned ErrHandoffIncomplete so the caller can see the leave was
+// lossy-unless-republished. It returns how many blocks were offered and
+// how many replica stores were acknowledged.
+func (n *Node) Handoff() (blocks, acks int, err error) {
+	blocks, acks, unacked := n.pushBlocks(false, true)
+	if len(unacked) > 0 {
+		short := make([]string, 0, 4)
+		for i, k := range unacked {
+			if i == 4 {
+				short = append(short, fmt.Sprintf("+%d more", len(unacked)-i))
+				break
+			}
+			short = append(short, k.Short())
+		}
+		err = fmt.Errorf("%w: %d of %d blocks unacknowledged (%s)",
+			ErrHandoffIncomplete, len(unacked), blocks, strings.Join(short, ", "))
+	}
+	return blocks, acks, err
 }
 
 // Close detaches the node from its transport; subsequent RPCs in either
 // direction fail. It is safe to call on a node that was never attached.
+// The block store is left untouched — use Shutdown for a clean stop
+// that also closes a durable store.
 func (n *Node) Close() error {
 	n.detached.Store(true)
 	n.selfMu.RLock()
@@ -35,6 +67,18 @@ func (n *Node) Close() error {
 		return nil
 	}
 	return tr.Close()
+}
+
+// Shutdown is the clean stop: detach from the network, then flush and
+// close the block store's write-ahead log (a no-op for in-memory
+// stores). This is what a deployment runs on SIGINT/SIGTERM.
+func (n *Node) Shutdown() error {
+	cerr := n.Close()
+	serr := n.store.Close()
+	if cerr != nil {
+		return cerr
+	}
+	return serr
 }
 
 // remove unlinks the i-th member under the lock and returns it. The
@@ -54,33 +98,43 @@ func (c *Cluster) remove(i int) (*Node, error) {
 
 // RemoveNode gracefully removes the i-th member (churn-out): the node is
 // dropped from the membership, hands its blocks off to the nodes now
-// closest to their keys, and detaches from the network. The returned
-// node is dead for overlay purposes; its address is never reused.
+// closest to their keys, and detaches from the network (closing its
+// durable store cleanly, if it has one). The returned node is dead for
+// overlay purposes; its address is never reused. A non-nil error
+// alongside a non-nil node is the handoff report: the removal happened,
+// but the named blocks were not acknowledged by any replica
+// (ErrHandoffIncomplete) — callers that must not lose sole-copy blocks
+// should check it.
 //
 // Indices shift left past i, so concurrent callers that pick indices
-// must tolerate the error returned for a stale out-of-range index.
+// must tolerate the (nil, error) returned for a stale out-of-range
+// index.
 func (c *Cluster) RemoveNode(i int) (*Node, error) {
 	n, err := c.remove(i)
 	if err != nil {
 		return nil, err
 	}
+	c.notifyLeave(n)
 	// Hand off while still attached, so the departing node can reach
 	// the replicas that take over its blocks; then disappear.
-	n.Handoff()
-	n.Close()
-	return n, nil
+	_, _, herr := n.Handoff()
+	n.Shutdown() //nolint:errcheck // departing node; store close errors have no recipient
+	return n, herr
 }
 
 // Crash abruptly kills the i-th member: no handoff, no goodbye — the
 // endpoint is marked down and detached, exactly as if the process died.
-// The node object (with its routing table and block store intact, the
-// way a disk survives a crash) is returned so the caller can Revive it
-// later.
+// On a durable cluster the node's write-ahead log is killed the same
+// way (staged unacknowledged writes drop, acknowledged ones stay on
+// disk). The node object is returned so the caller can Revive it later;
+// on a durable cluster it is only a handle (identity + address) — its
+// in-memory state is abandoned, and revival reads the disk.
 func (c *Cluster) Crash(i int) (*Node, error) {
 	n, err := c.remove(i)
 	if err != nil {
 		return nil, err
 	}
+	c.notifyLeave(n)
 	addr := simnet.Addr(n.Self().Addr)
 	c.Net.SetDown(addr, true)
 	// Close the node's own endpoint too (which detaches it): a crashed
@@ -88,32 +142,50 @@ func (c *Cluster) Crash(i int) (*Node, error) {
 	// for every peer being dead — the routing table has to survive the
 	// crash alongside the store.
 	n.Close()
+	if c.dataDir != "" {
+		n.store.SimulateCrash()
+	}
 	return n, nil
 }
 
-// Revive rejoins a previously crashed node at its original address: the
-// endpoint is reattached and marked up, the node re-bootstraps through
-// the via-th current member, and it rejoins the membership. Its
-// pre-crash blocks come back with it and converge with the live
+// Revive rejoins a previously crashed node at its original address and
+// returns the live member. On an in-memory cluster that is the same
+// object (its routing table and store survived in the retained node,
+// the way a warm standby would); on a durable cluster revival is a
+// process restart: a fresh node with the same identity recovers its
+// blocks from the data directory — acknowledged writes and nothing
+// else — and re-bootstraps through the via-th current member. Either
+// way the revived node's pre-crash blocks converge with the live
 // replicas through republish max-merges.
-func (c *Cluster) Revive(n *Node, via int) error {
+func (c *Cluster) Revive(n *Node, via int) (*Node, error) {
 	c.mu.RLock()
 	if via < 0 || via >= len(c.Nodes) {
 		c.mu.RUnlock()
-		return fmt.Errorf("kademlia: no bootstrap node at index %d", via)
+		return nil, fmt.Errorf("kademlia: no bootstrap node at index %d", via)
 	}
 	seed := c.Nodes[via].Self()
 	c.mu.RUnlock()
 
 	addr := simnet.Addr(n.Self().Addr)
-	n.Attach(c.Net.Attach(addr, n))
+	node := n
+	if c.dataDir != "" {
+		store, _, err := OpenDurableStore(c.nodeDir(string(addr)), c.persistOpts)
+		if err != nil {
+			return nil, fmt.Errorf("kademlia: revive %s: %w", addr, err)
+		}
+		cfg := n.cfg
+		cfg.Store = store
+		node = NewNode(n.id, cfg)
+	}
+	node.Attach(c.Net.Attach(addr, node))
 	c.Net.SetDown(addr, false)
-	if err := n.Bootstrap([]wire.Contact{seed}); err != nil {
-		n.Close()
-		return fmt.Errorf("kademlia: revive %s: %w", addr, err)
+	if err := node.Bootstrap([]wire.Contact{seed}); err != nil {
+		node.Shutdown() //nolint:errcheck // disk state stays intact for the next attempt
+		return nil, fmt.Errorf("kademlia: revive %s: %w", addr, err)
 	}
 	c.mu.Lock()
-	c.Nodes = append(c.Nodes, n)
+	c.Nodes = append(c.Nodes, node)
 	c.mu.Unlock()
-	return nil
+	c.notifyJoin(node)
+	return node, nil
 }

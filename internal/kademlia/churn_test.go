@@ -126,7 +126,7 @@ func TestCrashIsAbruptAndReviveRejoins(t *testing.T) {
 		t.Fatalf("crashed node's maintenance mutated its table: %d -> %d", tableBefore, got)
 	}
 
-	if err := cl.Revive(victim, 0); err != nil {
+	if _, err := cl.Revive(victim, 0); err != nil {
 		t.Fatalf("Revive: %v", err)
 	}
 	if !cl.NodeAt(0).Ping(victim.Self()) {
@@ -430,7 +430,7 @@ func TestCrashedKMinusOneHoldersStayReadableAfterRepair(t *testing.T) {
 			t.Fatalf("round %d: count corrupted: %d", round, es[0].Count)
 		}
 		for _, n := range revive {
-			if err := cl.Revive(n, 0); err != nil {
+			if _, err := cl.Revive(n, 0); err != nil {
 				t.Fatalf("round %d: revive: %v", round, err)
 			}
 		}

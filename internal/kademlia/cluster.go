@@ -3,10 +3,12 @@ package kademlia
 import (
 	"fmt"
 	"math/rand"
+	"path/filepath"
 	"sync"
 
 	"dharma/internal/kadid"
 	"dharma/internal/likir"
+	"dharma/internal/persist"
 	"dharma/internal/simnet"
 	"dharma/internal/wire"
 )
@@ -28,6 +30,16 @@ type ClusterConfig struct {
 	// RefreshRounds runs extra random lookups per node after joining to
 	// densify routing tables. 0 keeps plain bootstrap.
 	RefreshRounds int
+	// DataDir, when set, gives every node a durable block store under
+	// DataDir/<node-address>: writes are logged before they are
+	// acknowledged, Crash models a process kill, and Revive recovers
+	// the node's blocks from disk instead of reusing the retained
+	// in-memory store.
+	DataDir string
+	// Persist configures the per-node write-ahead logs (zero value:
+	// defaults; simulated clusters usually set Sync: persist.SyncNone,
+	// which still survives the simulated process kill).
+	Persist persist.Options
 }
 
 // Cluster is a set of overlay nodes wired through one simulated
@@ -41,8 +53,12 @@ type Cluster struct {
 	Net   *simnet.Network
 	Nodes []*Node
 
-	mu     sync.RWMutex // guards Nodes and minted against concurrent membership changes
-	minted int          // addresses handed out; never reused (even across RemoveNode/Crash), so joins cannot shadow a dead endpoint
+	dataDir     string          // root of per-node durable stores ("" = in-memory)
+	persistOpts persist.Options // write-ahead-log options for durable stores
+
+	mu     sync.RWMutex   // guards Nodes, minted and maint against concurrent membership changes
+	minted int            // addresses handed out; never reused (even across RemoveNode/Crash), so joins cannot shadow a dead endpoint
+	maint  *MaintainerSet // active maintenance pool, if any; membership changes keep it in sync
 }
 
 // NewCluster builds and joins an N-node overlay. Every node bootstraps
@@ -54,7 +70,10 @@ func NewCluster(cc ClusterConfig) (*Cluster, error) {
 	}
 	rng := rand.New(rand.NewSource(cc.Seed))
 	net := simnet.New(cc.Net)
-	cl := &Cluster{Net: net, Nodes: make([]*Node, cc.N), minted: cc.N}
+	cl := &Cluster{
+		Net: net, Nodes: make([]*Node, cc.N), minted: cc.N,
+		dataDir: cc.DataDir, persistOpts: cc.Persist,
+	}
 
 	for i := 0; i < cc.N; i++ {
 		cfg := cc.Node
@@ -69,8 +88,16 @@ func NewCluster(cc ClusterConfig) (*Cluster, error) {
 		} else {
 			id = kadid.Random(rng)
 		}
+		addr := fmt.Sprintf("node-%d", i)
+		if cl.dataDir != "" {
+			store, _, err := OpenDurableStore(cl.nodeDir(addr), cl.persistOpts)
+			if err != nil {
+				return nil, fmt.Errorf("kademlia: node %d: %w", i, err)
+			}
+			cfg.Store = store
+		}
 		node := NewNode(id, cfg)
-		tr := net.Attach(simnet.Addr(fmt.Sprintf("node-%d", i)), node)
+		tr := net.Attach(simnet.Addr(addr), node)
 		node.Attach(tr)
 		cl.Nodes[i] = node
 	}
@@ -95,7 +122,6 @@ func NewCluster(cc ClusterConfig) (*Cluster, error) {
 // Snapshot.
 func (c *Cluster) AddNode(cfg Config, seed int64, via int) (*Node, error) {
 	rng := rand.New(rand.NewSource(seed))
-	node := NewNode(kadid.Random(rng), cfg)
 
 	c.mu.Lock()
 	addr := simnet.Addr(fmt.Sprintf("node-%d", c.minted))
@@ -103,14 +129,64 @@ func (c *Cluster) AddNode(cfg Config, seed int64, via int) (*Node, error) {
 	seedContact := c.Nodes[via].Self()
 	c.mu.Unlock()
 
+	if c.dataDir != "" {
+		store, _, err := OpenDurableStore(c.nodeDir(string(addr)), c.persistOpts)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Store = store
+	}
+	node := NewNode(kadid.Random(rng), cfg)
+
 	node.Attach(c.Net.Attach(addr, node))
 	if err := node.Bootstrap([]wire.Contact{seedContact}); err != nil {
+		node.Shutdown() //nolint:errcheck // join failed; leave disk state for a later retry
 		return nil, err
 	}
 	c.mu.Lock()
 	c.Nodes = append(c.Nodes, node)
 	c.mu.Unlock()
+	c.notifyJoin(node)
 	return node, nil
+}
+
+// nodeDir is where a node's durable store lives; addresses are unique
+// for the life of the cluster (minted, never reused), so the mapping is
+// stable across crashes and revivals.
+func (c *Cluster) nodeDir(addr string) string {
+	return filepath.Join(c.dataDir, addr)
+}
+
+// Durable reports whether the cluster's nodes persist their stores.
+func (c *Cluster) Durable() bool { return c.dataDir != "" }
+
+// Shutdown cleanly stops every current member: detach, flush and close
+// durable stores. Crashed (removed-from-membership) nodes are not
+// touched — their logs already ended, cleanly or not.
+func (c *Cluster) Shutdown() {
+	for _, n := range c.Snapshot() {
+		n.Shutdown() //nolint:errcheck // best-effort teardown
+	}
+}
+
+// notifyJoin and notifyLeave keep the active maintenance pool aligned
+// with membership (see StartMaintenance).
+func (c *Cluster) notifyJoin(n *Node) {
+	c.mu.RLock()
+	set := c.maint
+	c.mu.RUnlock()
+	if set != nil {
+		set.add(n)
+	}
+}
+
+func (c *Cluster) notifyLeave(n *Node) {
+	c.mu.RLock()
+	set := c.maint
+	c.mu.RUnlock()
+	if set != nil {
+		set.remove(n)
+	}
 }
 
 // NodeAt returns the i-th member under the membership lock, or nil when

@@ -158,7 +158,7 @@ func TestClusterChurnConcurrent(t *testing.T) {
 					}
 					crashMu.Unlock()
 					if node != nil {
-						if err := cl.Revive(node, 0); err != nil {
+						if _, err := cl.Revive(node, 0); err != nil {
 							t.Errorf("Revive: %v", err)
 						}
 					}

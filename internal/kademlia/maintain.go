@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"dharma/internal/kadid"
+	"dharma/internal/persist"
 	"dharma/internal/wire"
 )
 
@@ -22,11 +23,23 @@ import (
 // MergeMax merges entries into the block under key taking the maximum
 // count per field. Data and its signature envelope are adopted when the
 // local copy has none. Like Append, an empty entries slice materializes
-// nothing.
-func (s *Store) MergeMax(key kadid.ID, entries []wire.Entry) {
+// nothing, and a durable store logs the merge before acknowledging —
+// a node is a replica, so replicated state must survive its restarts
+// exactly like state it stored first-hand.
+func (s *Store) MergeMax(key kadid.ID, entries []wire.Entry) error {
 	if len(entries) == 0 {
-		return
+		return nil
 	}
+	if s.dur != nil {
+		return s.dur.commit(persist.Record{Op: persist.OpMergeMax, Key: key, Entries: entries},
+			func() { s.applyMergeMax(key, entries) })
+	}
+	s.applyMergeMax(key, entries)
+	return nil
+}
+
+// applyMergeMax is the in-memory half of MergeMax.
+func (s *Store) applyMergeMax(key kadid.ID, entries []wire.Entry) {
 	sh := s.shard(key)
 	sh.mu.Lock()
 	sh.mergeMaxLocked(key, entries)
@@ -39,13 +52,17 @@ func (s *Store) MergeMax(key kadid.ID, entries []wire.Entry) {
 // Deployments call this periodically; tests and the churn experiment
 // call it directly.
 func (n *Node) RepublishOnce() (blocks int, acks int) {
-	return n.pushBlocks(true)
+	blocks, acks, _ = n.pushBlocks(true, false)
+	return blocks, acks
 }
 
 // pushBlocks is the replicate fan-out shared by RepublishOnce (the
 // node stays a replica: its own contact counts towards the k targets)
 // and Handoff (the node is leaving: all k targets are other nodes).
-func (n *Node) pushBlocks(includeSelf bool) (blocks, acks int) {
+// With retryUnacked, a block no replica acknowledged gets one more
+// attempt against a fresh lookup; blocks that still land nowhere are
+// returned so the caller can report the incomplete leave.
+func (n *Node) pushBlocks(includeSelf, retryUnacked bool) (blocks, acks int, unacked []kadid.ID) {
 	for _, key := range n.store.Keys() {
 		entries, ok := n.store.Get(key, 0)
 		if !ok {
@@ -56,9 +73,19 @@ func (n *Node) pushBlocks(includeSelf bool) (blocks, acks int) {
 			targets = n.insertSelf(targets, key)
 		}
 		blocks++
-		acks += n.replicateTo(key, entries, targets)
+		got := n.replicateTo(key, entries, targets)
+		if got == 0 && retryUnacked {
+			// The first target set may have been stale under churn; one
+			// bounded retry against a fresh lookup, then give up and
+			// report rather than block the departure indefinitely.
+			got = n.replicateTo(key, entries, n.IterativeFindNode(key))
+		}
+		if got == 0 && retryUnacked {
+			unacked = append(unacked, key)
+		}
+		acks += got
 	}
-	return blocks, acks
+	return blocks, acks, unacked
 }
 
 // replicateTo sends one block to every target but the node itself (in

@@ -181,41 +181,109 @@ func (n *Node) EvictDead() int {
 	return evicted
 }
 
-// MaintainerSet is a group of maintainers started together over a
-// cluster's membership.
+// MaintainerSet is the cluster's membership-aware maintenance pool:
+// one background Maintainer per live member, started and stopped as
+// membership moves. A node joining after StartMaintenance (AddNode, a
+// churn joiner, a revived crasher) gets its own maintainer immediately
+// — it republishes its blocks itself instead of depending on the
+// original members' sweeps — and a node that crashes or leaves has its
+// loop cancelled rather than left pinging the dead.
 type MaintainerSet struct {
-	ms []*Maintainer
-	wg sync.WaitGroup
+	ctx context.Context
+	cfg MaintainerConfig
+
+	mu   sync.Mutex
+	all  []*Maintainer                // every maintainer ever started (stats survive member departure)
+	live map[*Node]context.CancelFunc // currently running loops
+	next int64                        // seed counter, so late joiners decorrelate too
+	wg   sync.WaitGroup
 }
 
 // StartMaintenance launches one background Maintainer per current
-// member, each seeded distinctly so their jitter decorrelates. Nodes
-// joining after the call are not covered (their blocks still converge
-// through the existing members' republishes and through read-repair).
-// Cancel ctx to stop, then Wait for the loops to exit.
+// member, each seeded distinctly so their jitter decorrelates, and
+// registers the pool with the cluster: every later AddNode/Revive
+// starts a maintainer for the new member, every RemoveNode/Crash stops
+// the departing member's. Cancel ctx to stop the whole pool, then Wait
+// for the loops to exit; membership changes after cancellation are
+// ignored.
 func (c *Cluster) StartMaintenance(ctx context.Context, cfg MaintainerConfig) *MaintainerSet {
-	set := &MaintainerSet{}
-	for i, n := range c.Snapshot() {
-		mcfg := cfg
-		mcfg.Seed = cfg.Seed + int64(i+1)*0x9e3779b9
-		m := NewMaintainer(n, mcfg)
-		set.ms = append(set.ms, m)
-		set.wg.Add(1)
-		go func() {
-			defer set.wg.Done()
-			m.Run(ctx)
-		}()
+	set := &MaintainerSet{
+		ctx:  ctx,
+		cfg:  cfg,
+		live: make(map[*Node]context.CancelFunc),
+	}
+	c.mu.Lock()
+	c.maint = set
+	nodes := append([]*Node(nil), c.Nodes...)
+	c.mu.Unlock()
+	for _, n := range nodes {
+		set.add(n)
 	}
 	return set
+}
+
+// add starts a maintainer for n (idempotent; no-op after the pool's
+// context ended).
+func (s *MaintainerSet) add(n *Node) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ctx.Err() != nil {
+		return
+	}
+	if _, ok := s.live[n]; ok {
+		return
+	}
+	s.next++
+	mcfg := s.cfg
+	mcfg.Seed = s.cfg.Seed + s.next*0x9e3779b9
+	m := NewMaintainer(n, mcfg)
+	ctx, cancel := context.WithCancel(s.ctx)
+	s.all = append(s.all, m)
+	s.live[n] = cancel
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		m.Run(ctx)
+	}()
+}
+
+// remove stops n's maintainer, if it has one.
+func (s *MaintainerSet) remove(n *Node) {
+	s.mu.Lock()
+	cancel := s.live[n]
+	delete(s.live, n)
+	s.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+}
+
+// Len reports how many maintainer loops are currently live.
+func (s *MaintainerSet) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.live)
+}
+
+// Covers reports whether n currently has a live maintainer.
+func (s *MaintainerSet) Covers(n *Node) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.live[n]
+	return ok
 }
 
 // Wait blocks until every maintainer loop has observed cancellation.
 func (s *MaintainerSet) Wait() { s.wg.Wait() }
 
-// Stats aggregates the counters of every maintainer in the set.
+// Stats aggregates the counters of every maintainer the pool ever
+// started, including those of members that have since departed.
 func (s *MaintainerSet) Stats() MaintenanceStats {
+	s.mu.Lock()
+	ms := append([]*Maintainer(nil), s.all...)
+	s.mu.Unlock()
 	var out MaintenanceStats
-	for _, m := range s.ms {
+	for _, m := range ms {
 		out.add(m.Stats())
 	}
 	return out

@@ -1,0 +1,172 @@
+package kademlia
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"dharma/internal/kadid"
+	"dharma/internal/simnet"
+	"dharma/internal/wire"
+)
+
+func testCluster(t *testing.T, n int, cfg Config) *Cluster {
+	t.Helper()
+	cl, err := NewCluster(ClusterConfig{N: n, Node: cfg, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cl
+}
+
+// TestMaintainerPoolTracksMembership: the pool covers exactly the live
+// membership through AddNode/Crash/Revive/RemoveNode.
+func TestMaintainerPoolTracksMembership(t *testing.T) {
+	cl := testCluster(t, 6, Config{K: 4, Alpha: 2})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	// A huge interval: loops exist but never fire; this test is about
+	// coverage bookkeeping, not behavior.
+	set := cl.StartMaintenance(ctx, MaintainerConfig{Interval: time.Hour, Seed: 9})
+	if set.Len() != 6 {
+		t.Fatalf("pool covers %d members, want 6", set.Len())
+	}
+
+	joiner, err := cl.AddNode(Config{K: 4, Alpha: 2}, 77, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !set.Covers(joiner) || set.Len() != 7 {
+		t.Fatalf("late joiner not covered (len %d)", set.Len())
+	}
+
+	crashed, err := cl.Crash(cl.Len() - 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Covers(crashed) || set.Len() != 6 {
+		t.Fatalf("crashed member still covered (len %d)", set.Len())
+	}
+
+	revived, err := cl.Revive(crashed, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !set.Covers(revived) || set.Len() != 7 {
+		t.Fatalf("revived member not covered (len %d)", set.Len())
+	}
+
+	if _, err := cl.RemoveNode(cl.Len() - 1); err != nil && !errors.Is(err, ErrHandoffIncomplete) {
+		t.Fatal(err)
+	}
+	if set.Len() != 6 {
+		t.Fatalf("pool covers %d after graceful leave, want 6", set.Len())
+	}
+
+	// After cancellation the pool ignores joins.
+	cancel()
+	set.Wait()
+	late, err := cl.AddNode(Config{K: 4, Alpha: 2}, 78, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Covers(late) {
+		t.Fatal("pool added a maintainer after its context ended")
+	}
+}
+
+// TestMaintainerPoolCoversLateJoiner is the behavioral half: a block
+// held ONLY by a node that joined after StartMaintenance must still get
+// republished onto its replica set — only the joiner's own maintainer
+// can do that.
+func TestMaintainerPoolCoversLateJoiner(t *testing.T) {
+	cl := testCluster(t, 8, Config{K: 3, Alpha: 2})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	set := cl.StartMaintenance(ctx, MaintainerConfig{Interval: 20 * time.Millisecond, Seed: 5})
+	defer set.Wait()
+	defer cancel()
+
+	joiner, err := cl.AddNode(Config{K: 3, Alpha: 2}, 99, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := kadid.HashString("late-joiner-block")
+	if err := joiner.LocalStore().Append(key, []wire.Entry{{Field: "f", Count: 5}}); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.After(5 * time.Second)
+	for {
+		holders := 0
+		for _, n := range cl.Snapshot() {
+			if n != joiner && n.LocalStore().Has(key) {
+				holders++
+			}
+		}
+		if holders > 0 {
+			return // the joiner's maintainer republished
+		}
+		select {
+		case <-deadline:
+			t.Fatal("late joiner's block never republished — joiner has no maintainer")
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+}
+
+// TestHandoffReportsUnacked: a departing node whose peers are all
+// unreachable reports every block as unacknowledged instead of
+// silently dropping them.
+func TestHandoffReportsUnacked(t *testing.T) {
+	cl := testCluster(t, 5, Config{K: 3, Alpha: 2})
+	leaver := cl.Nodes[4]
+	keys := []kadid.ID{kadid.HashString("h1"), kadid.HashString("h2"), kadid.HashString("h3")}
+	for _, k := range keys {
+		if err := leaver.LocalStore().Append(k, []wire.Entry{{Field: "f", Count: 1}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Healthy overlay: the handoff lands and reports nothing.
+	blocks, acks, err := leaver.Handoff()
+	if err != nil || blocks != len(keys) || acks == 0 {
+		t.Fatalf("healthy handoff: blocks=%d acks=%d err=%v", blocks, acks, err)
+	}
+
+	// Kill every peer: nothing can ack, the report must name the loss.
+	for _, n := range cl.Nodes[:4] {
+		cl.Net.SetDown(simnet.Addr(n.Self().Addr), true)
+	}
+	blocks, acks, err = leaver.Handoff()
+	if !errors.Is(err, ErrHandoffIncomplete) {
+		t.Fatalf("handoff into a dead overlay: err=%v, want ErrHandoffIncomplete", err)
+	}
+	if blocks != len(keys) || acks != 0 {
+		t.Fatalf("handoff into a dead overlay: blocks=%d acks=%d", blocks, acks)
+	}
+
+	// RemoveNode surfaces the same report while still removing.
+	for _, n := range cl.Nodes[:4] {
+		cl.Net.SetDown(simnet.Addr(n.Self().Addr), false)
+	}
+	cl2 := testCluster(t, 4, Config{K: 3, Alpha: 2})
+	victim := cl2.Nodes[3]
+	if err := victim.LocalStore().Append(kadid.HashString("solo"), []wire.Entry{{Field: "f", Count: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range cl2.Nodes[:3] {
+		cl2.Net.SetDown(simnet.Addr(n.Self().Addr), true)
+	}
+	n, err := cl2.RemoveNode(3)
+	if n == nil {
+		t.Fatalf("RemoveNode failed outright: %v", err)
+	}
+	if !errors.Is(err, ErrHandoffIncomplete) {
+		t.Fatalf("RemoveNode error = %v, want ErrHandoffIncomplete", err)
+	}
+	if cl2.Len() != 3 {
+		t.Fatalf("membership %d after leave, want 3", cl2.Len())
+	}
+}

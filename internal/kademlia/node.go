@@ -73,6 +73,10 @@ type Config struct {
 	// nothing. Filtered (top-N) lookups never repair: a truncated
 	// response is not evidence of staleness.
 	ReadRepair bool
+	// Store, when set, is the node's block storage — typically a
+	// durable store from OpenDurableStore, so the node's blocks outlive
+	// its process. Nil creates a fresh in-memory store.
+	Store *Store
 	// MinStoreAcks is how many replica acknowledgements a Store needs
 	// before reporting success (default 1). The churn invariant —
 	// acknowledged writes survive replica crashes — is only as strong
@@ -139,11 +143,15 @@ func NewNode(self kadid.ID, cfg Config) *Node {
 	if cfg.Identity != nil {
 		self = cfg.Identity.NodeID // Likir: the identity fixes the ID
 	}
+	store := cfg.Store
+	if store == nil {
+		store = NewStore()
+	}
 	n := &Node{
 		cfg:      cfg,
 		id:       self,
 		self:     wire.Contact{ID: self},
-		store:    NewStore(),
+		store:    store,
 		credSeen: make(map[kadid.ID]bool),
 	}
 	n.detached.Store(true) // until Attach
@@ -181,11 +189,12 @@ func (n *Node) Identity() *likir.Identity { return n.cfg.Identity }
 
 // Config returns the node's configuration with defaults applied —
 // what a peer wanting to join as an equal member should run with. The
-// per-node Identity is stripped (a joiner must bring its own); the
-// shared CA key and every protocol parameter carry over.
+// per-node Identity and Store are stripped (a joiner must bring its
+// own); the shared CA key and every protocol parameter carry over.
 func (n *Node) Config() Config {
 	cfg := n.cfg
 	cfg.Identity = nil
+	cfg.Store = nil
 	return cfg
 }
 
@@ -254,12 +263,20 @@ func (n *Node) HandleRPC(from simnet.Addr, payload []byte) ([]byte, error) {
 				}
 			}
 		}
+		var serr error
 		if msg.Kind == wire.KindStore {
-			n.store.Append(msg.Target, kept)
+			serr = n.store.Append(msg.Target, kept)
 		} else {
-			n.store.MergeMax(msg.Target, kept)
+			serr = n.store.MergeMax(msg.Target, kept)
 		}
-		resp = &wire.Message{Kind: wire.KindStoreAck}
+		if serr != nil {
+			// A durable store that could not log the write must not ack
+			// it: the sender sees a failure and withholds its own ack,
+			// which is the whole durability contract.
+			resp = &wire.Message{Kind: wire.KindError, Err: serr.Error()}
+		} else {
+			resp = &wire.Message{Kind: wire.KindStoreAck}
+		}
 
 	default:
 		resp = &wire.Message{Kind: wire.KindError, Err: fmt.Sprintf("unexpected %v", msg.Kind)}
@@ -399,10 +416,11 @@ func (n *Node) Store(key kadid.ID, entries []wire.Entry) (int, error) {
 	var wg sync.WaitGroup
 	for _, c := range targets {
 		if c.ID == n.id {
-			n.store.Append(key, entries)
-			mu.Lock()
-			acks++
-			mu.Unlock()
+			if n.store.Append(key, entries) == nil {
+				mu.Lock()
+				acks++
+				mu.Unlock()
+			}
 			continue
 		}
 		wg.Add(1)
@@ -456,7 +474,9 @@ func (n *Node) FindValue(key kadid.ID, topN int) ([]wire.Entry, error) {
 		if n.cfg.ReadRepair && topN == 0 {
 			// Self-repair: a replica that reads the block and discovers
 			// it was stale adopts the merged state it just computed.
-			n.store.MergeMax(key, entries)
+			// Best-effort — a repair the durable store cannot log is
+			// simply skipped (the read itself already succeeded).
+			n.store.MergeMax(key, entries) //nolint:errcheck
 		}
 		if topN > 0 && len(entries) > topN {
 			entries = entries[:topN]

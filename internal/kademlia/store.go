@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"dharma/internal/kadid"
+	"dharma/internal/persist"
 	"dharma/internal/wire"
 )
 
@@ -28,8 +29,17 @@ import (
 //     hold tens of thousands of arcs. Counts only grow (Append adds,
 //     MergeMax takes the max), which keeps the maintenance cheap: a
 //     bumped entry can only move towards the front.
+//
+// Mutations (Append, AppendBatch, MergeMax) return an error so that a
+// durable backend can refuse to acknowledge a write it could not log;
+// the in-memory store never fails.
 type Store struct {
 	shards [storeShards]storeShard
+
+	// dur, when set, write-ahead-logs every mutation before it is
+	// acknowledged (see OpenDurableStore); nil keeps the store purely
+	// in-memory.
+	dur *durability
 }
 
 // storeShards is the stripe count; a power of two so the key prefix
@@ -101,10 +111,23 @@ func (s *Store) shard(key kadid.ID) *storeShard {
 // materialize an empty block (a tagging operation whose forward-arc set
 // is empty still costs its Table-I lookup, but the storage node keeps
 // nothing for it).
-func (s *Store) Append(key kadid.ID, entries []wire.Entry) {
+// A durable store logs the append before acknowledging; a non-nil
+// error means the write must not be acked (the entries may or may not
+// have reached memory, but they were never promised to survive).
+func (s *Store) Append(key kadid.ID, entries []wire.Entry) error {
 	if len(entries) == 0 {
-		return
+		return nil
 	}
+	if s.dur != nil {
+		return s.dur.commit(persist.Record{Op: persist.OpAppend, Key: key, Entries: entries},
+			func() { s.applyAppend(key, entries) })
+	}
+	s.applyAppend(key, entries)
+	return nil
+}
+
+// applyAppend is the in-memory half of Append.
+func (s *Store) applyAppend(key kadid.ID, entries []wire.Entry) {
 	sh := s.shard(key)
 	sh.mu.Lock()
 	sh.appendLocked(key, entries)
@@ -116,7 +139,29 @@ func (s *Store) Append(key kadid.ID, entries []wire.Entry) {
 // tagging operation's reverse-arc appends (and an insertion's t̄/t̂
 // appends) target distinct keys and commute, so they can be applied as
 // one grouped call.
-func (s *Store) AppendBatch(items []BatchItem) {
+// On a durable store the whole batch is logged as one commit — one
+// group-commit flush covers every item.
+func (s *Store) AppendBatch(items []BatchItem) error {
+	if s.dur != nil {
+		recs := make([]persist.Record, 0, len(items))
+		for _, it := range items {
+			if len(it.Entries) == 0 {
+				continue
+			}
+			recs = append(recs, persist.Record{Op: persist.OpAppend, Key: it.Key, Entries: it.Entries})
+		}
+		if len(recs) == 0 {
+			return nil
+		}
+		return s.dur.commitAll(recs, func() { s.applyAppendBatch(items) })
+	}
+	s.applyAppendBatch(items)
+	return nil
+}
+
+// applyAppendBatch is the in-memory half of AppendBatch: one pass, each
+// shard's lock taken once.
+func (s *Store) applyAppendBatch(items []BatchItem) {
 	var groups [storeShards][]BatchItem
 	for _, it := range items {
 		if len(it.Entries) == 0 {

@@ -1,0 +1,358 @@
+package kademlia
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+
+	"dharma/internal/kadid"
+	"dharma/internal/persist"
+	"dharma/internal/wire"
+)
+
+// storeImage captures a store's observable contents: every block,
+// fully sorted, plus the filtered head — so equality also proves the
+// incremental top-N index was rebuilt correctly.
+func storeImage(t *testing.T, s *Store) map[kadid.ID][]wire.Entry {
+	t.Helper()
+	img := make(map[kadid.ID][]wire.Entry)
+	for _, key := range s.Keys() {
+		full, ok := s.Get(key, 0)
+		if !ok {
+			t.Fatalf("key %s vanished", key.Short())
+		}
+		head, _ := s.Get(key, 10)
+		want := full
+		if len(want) > 10 {
+			want = want[:10]
+		}
+		if !reflect.DeepEqual(head, want) {
+			t.Fatalf("key %s: top index disagrees with full sort", key.Short())
+		}
+		img[key] = full
+	}
+	return img
+}
+
+func imagesEqual(t *testing.T, got, want map[kadid.ID][]wire.Entry) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("store holds %d blocks, want %d", len(got), len(want))
+	}
+	for k, w := range want {
+		if !reflect.DeepEqual(got[k], w) {
+			t.Fatalf("block %s differs:\n got %+v\nwant %+v", k.Short(), got[k], w)
+		}
+	}
+}
+
+// populateDurable applies a randomized mutation mix through every write
+// path (single appends, batches, merges).
+func populateDurable(t *testing.T, s *Store) {
+	t.Helper()
+	for i := 0; i < 40; i++ {
+		key := kadid.HashString(fmt.Sprintf("blk%d", i%7))
+		if err := s.Append(key, []wire.Entry{
+			{Field: fmt.Sprintf("f%d", i%13), Count: uint64(i%5 + 1)},
+			{Field: fmt.Sprintf("g%d", i%3), Count: 1, Init: 2},
+		}); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := s.AppendBatch([]BatchItem{
+		{Key: kadid.HashString("batch1"), Entries: []wire.Entry{{Field: "a", Count: 3}}},
+		{Key: kadid.HashString("batch2"), Entries: []wire.Entry{{Field: "b", Count: 4, Data: []byte("uri")}}},
+		{Key: kadid.HashString("blk0"), Entries: []wire.Entry{{Field: "f0", Count: 9}}},
+	}); err != nil {
+		t.Fatalf("AppendBatch: %v", err)
+	}
+	if err := s.MergeMax(kadid.HashString("blk1"), []wire.Entry{{Field: "f1", Count: 100}}); err != nil {
+		t.Fatalf("MergeMax: %v", err)
+	}
+}
+
+func TestDurableStoreRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s, stats, err := OpenDurableStore(dir, persist.Options{Sync: persist.SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Records != 0 || stats.SnapshotSeq != 0 {
+		t.Fatalf("fresh dir recovered state: %+v", stats)
+	}
+	populateDurable(t, s)
+	want := storeImage(t, s)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	for round := 0; round < 2; round++ {
+		s2, stats, err := OpenDurableStore(dir, persist.Options{Sync: persist.SyncNone})
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if stats.Records == 0 && stats.SnapshotRecords == 0 {
+			t.Fatalf("round %d: nothing replayed", round)
+		}
+		imagesEqual(t, storeImage(t, s2), want)
+		if round == 0 {
+			// Compact between rounds: the second recovery reads the
+			// snapshot path instead of the raw WAL.
+			if err := s2.Compact(); err != nil {
+				t.Fatalf("Compact: %v", err)
+			}
+		}
+		if err := s2.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// After the explicit Compact the recovery must come from a snapshot.
+	s3, stats, err := OpenDurableStore(dir, persist.Options{Sync: persist.SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.SnapshotSeq == 0 || stats.SnapshotRecords == 0 {
+		t.Fatalf("expected snapshot recovery, got %+v", stats)
+	}
+	imagesEqual(t, storeImage(t, s3), want)
+	s3.Close()
+}
+
+// TestDurableStoreCrash: acknowledged mutations survive a simulated
+// SIGKILL; the store object refuses new writes afterwards.
+func TestDurableStoreCrash(t *testing.T) {
+	dir := t.TempDir()
+	s, _, err := OpenDurableStore(dir, persist.Options{Sync: persist.SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	populateDurable(t, s)
+	want := storeImage(t, s)
+	s.SimulateCrash()
+
+	if err := s.Append(kadid.HashString("late"), []wire.Entry{{Field: "x", Count: 1}}); !errors.Is(err, persist.ErrCrashed) {
+		t.Fatalf("append after crash: %v, want ErrCrashed", err)
+	}
+
+	s2, _, err := OpenDurableStore(dir, persist.Options{Sync: persist.SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	imagesEqual(t, storeImage(t, s2), want)
+}
+
+// TestDurableStoreAutoCompact crosses the CompactBytes threshold and
+// checks a snapshot appears in the background without losing state.
+func TestDurableStoreAutoCompact(t *testing.T) {
+	dir := t.TempDir()
+	s, _, err := OpenDurableStore(dir, persist.Options{
+		Sync: persist.SyncNone, SegmentBytes: 1 << 12, CompactBytes: 1 << 13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		key := kadid.HashString(fmt.Sprintf("k%d", i%11))
+		if err := s.Append(key, []wire.Entry{{Field: fmt.Sprintf("f%d", i%97), Count: 1}}); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	want := storeImage(t, s)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	snaps, err := filepath.Glob(filepath.Join(dir, "snap", "*.snap"))
+	if err != nil || len(snaps) == 0 {
+		t.Fatalf("no snapshot written by auto-compaction (err=%v)", err)
+	}
+
+	s2, _, err := OpenDurableStore(dir, persist.Options{Sync: persist.SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	imagesEqual(t, storeImage(t, s2), want)
+}
+
+// TestDurableStoreConcurrent hammers a durable store from many
+// goroutines (run under -race) and then verifies a full recovery.
+func TestDurableStoreConcurrent(t *testing.T) {
+	dir := t.TempDir()
+	s, _, err := OpenDurableStore(dir, persist.Options{
+		Sync: persist.SyncNone, SegmentBytes: 1 << 14, CompactBytes: 1 << 15,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers, each = 8, 120
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			key := kadid.HashString(fmt.Sprintf("w%d", w%3))
+			for i := 0; i < each; i++ {
+				switch i % 3 {
+				case 0:
+					if err := s.Append(key, []wire.Entry{{Field: fmt.Sprintf("f%d", i), Count: 1}}); err != nil {
+						t.Errorf("append: %v", err)
+						return
+					}
+				case 1:
+					if err := s.AppendBatch([]BatchItem{
+						{Key: key, Entries: []wire.Entry{{Field: "hot", Count: 1}}},
+						{Key: kadid.HashString(fmt.Sprintf("w%d-b", w)), Entries: []wire.Entry{{Field: "c", Count: 2}}},
+					}); err != nil {
+						t.Errorf("batch: %v", err)
+						return
+					}
+				default:
+					if err := s.MergeMax(key, []wire.Entry{{Field: "hot", Count: uint64(i)}}); err != nil {
+						t.Errorf("merge: %v", err)
+						return
+					}
+				}
+				if i%10 == 0 {
+					s.Get(key, 5)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	want := storeImage(t, s)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, _, err := OpenDurableStore(dir, persist.Options{Sync: persist.SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	imagesEqual(t, storeImage(t, s2), want)
+}
+
+// durableCluster builds a cluster whose nodes persist under a temp dir.
+func durableCluster(t *testing.T, n int, nodeCfg Config) *Cluster {
+	t.Helper()
+	cl, err := NewCluster(ClusterConfig{
+		N:       n,
+		Node:    nodeCfg,
+		Seed:    1,
+		DataDir: t.TempDir(),
+		Persist: persist.Options{Sync: persist.SyncNone},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Shutdown)
+	return cl
+}
+
+// TestClusterReviveRecoversFromDisk is the wipe-and-recover path: a
+// crashed node of a durable cluster comes back as a fresh process that
+// reads its blocks from its data directory, not from the dead object's
+// memory.
+func TestClusterReviveRecoversFromDisk(t *testing.T) {
+	cl := durableCluster(t, 12, Config{K: 4, Alpha: 3})
+
+	key := kadid.HashString("durable-block")
+	if _, err := cl.Nodes[0].Store(key, []wire.Entry{{Field: "f", Count: 7}}); err != nil {
+		t.Fatal(err)
+	}
+	var victim *Node
+	var idx int
+	for i, n := range cl.Snapshot() {
+		if i != 0 && n.LocalStore().Has(key) {
+			victim, idx = n, i
+			break
+		}
+	}
+	if victim == nil {
+		t.Fatal("no replica holder besides the writer")
+	}
+
+	crashed, err := cl.Crash(idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	revived, err := cl.Revive(crashed, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if revived == crashed {
+		t.Fatal("durable revive returned the retained in-memory node; want a fresh process-style node")
+	}
+	if revived.Self() != crashed.Self() {
+		t.Fatalf("revived node changed identity: %+v != %+v", revived.Self(), crashed.Self())
+	}
+	es, ok := revived.LocalStore().Get(key, 0)
+	if !ok || len(es) != 1 || es[0].Count != 7 {
+		t.Fatalf("revived store lost the block: ok=%v entries=%+v", ok, es)
+	}
+	if !cl.Nodes[0].Ping(revived.Self()) {
+		t.Fatal("revived node does not answer")
+	}
+
+	// The acknowledged write is still readable through the overlay.
+	got, err := cl.Nodes[0].FindValue(key, 0)
+	if err != nil || len(got) == 0 || got[0].Count < 7 {
+		t.Fatalf("overlay read after revive: %+v, %v", got, err)
+	}
+}
+
+// TestClusterCrashDropsUnacknowledged: with every replica of a key
+// crashed process-style and revived from disk, acknowledged writes
+// survive — and the revived node refuses nothing it acked.
+func TestClusterWipeRecoverAllReplicas(t *testing.T) {
+	cl := durableCluster(t, 10, Config{K: 3, Alpha: 3})
+
+	key := kadid.HashString("all-replicas-die")
+	if _, err := cl.Nodes[0].Store(key, []wire.Entry{{Field: "f", Count: 11}}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash every holder (possibly including the writer).
+	var crashed []*Node
+	for {
+		holder := -1
+		for i, n := range cl.Snapshot() {
+			if n.LocalStore().Has(key) {
+				holder = i
+				break
+			}
+		}
+		if holder == -1 {
+			break
+		}
+		n, err := cl.Crash(holder)
+		if err != nil {
+			t.Fatal(err)
+		}
+		crashed = append(crashed, n)
+	}
+	if len(crashed) == 0 {
+		t.Fatal("no holders found")
+	}
+	if reader := cl.NodeAt(0); reader != nil {
+		if _, err := reader.FindValue(key, 0); err == nil {
+			t.Fatal("block readable while every holder is dead")
+		}
+	}
+
+	for _, n := range crashed {
+		if _, err := cl.Revive(n, 0); err != nil {
+			t.Fatalf("revive: %v", err)
+		}
+	}
+	got, err := cl.NodeAt(0).FindValue(key, 0)
+	if err != nil || len(got) == 0 || got[0].Count < 11 {
+		t.Fatalf("acknowledged write lost across full wipe-and-recover: %+v, %v", got, err)
+	}
+}

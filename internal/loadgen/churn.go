@@ -195,7 +195,10 @@ func (c *Churner) leave(rng *rand.Rand) {
 	if !ok {
 		return
 	}
-	if _, err := c.cl.RemoveNode(i); err == nil {
+	// A non-nil node means the member left, even when the handoff
+	// report (ErrHandoffIncomplete) is non-nil — under churn an
+	// unacked handoff is expected and healed by republish.
+	if n, _ := c.cl.RemoveNode(i); n != nil {
 		c.leaves.Add(1)
 	}
 }
@@ -210,9 +213,11 @@ func (c *Churner) revive(rng *rand.Rand) {
 	n := c.crashed[i]
 	c.crashed = append(c.crashed[:i], c.crashed[i+1:]...)
 	c.mu.Unlock()
-	if err := c.cl.Revive(n, 0); err != nil {
+	if _, err := c.cl.Revive(n, 0); err != nil {
 		// Bootstrap through node 0 failed; put the node back in the
-		// crashed pool rather than losing track of it.
+		// crashed pool rather than losing track of it. On a durable
+		// cluster the node's disk state is untouched, so the retry
+		// recovers the same blocks.
 		c.mu.Lock()
 		c.crashed = append(c.crashed, n)
 		c.mu.Unlock()
@@ -236,7 +241,7 @@ func (c *Churner) ReviveAll() {
 	c.crashed = nil
 	c.mu.Unlock()
 	for _, n := range pending {
-		if err := c.cl.Revive(n, 0); err != nil {
+		if _, err := c.cl.Revive(n, 0); err != nil {
 			c.mu.Lock()
 			c.crashed = append(c.crashed, n)
 			c.mu.Unlock()

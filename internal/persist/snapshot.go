@@ -1,0 +1,146 @@
+package persist
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Compact snapshots the embedding store's full state and truncates the
+// WAL to the segments logged after the cut.
+//
+// The protocol freezes commits (the commit lock) for the duration:
+//
+//  1. flush whatever is staged to the active segment,
+//  2. roll to a fresh segment — the cut: every mutation so far lives in
+//     segments below the new number, every later one above,
+//  3. stream the store's state (via dump, one Record per block, chunked
+//     as needed) into snap/<cut>.snap.tmp, fsync, rename — atomic,
+//  4. delete the covered segments and superseded snapshots.
+//
+// Because Commit applies mutations to memory under the same lock, the
+// state dump corresponds exactly to the covered segments: recovery
+// never applies a record twice (append counts are sums — replaying a
+// "+1 token" twice would double it) and never misses one.
+//
+// dump is called with an add function that appends one record to the
+// snapshot; dump must not call back into the log.
+func (l *Log) Compact(dump func(add func(Record) error) error) error {
+	l.fileMu.Lock()
+	defer l.fileMu.Unlock()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+
+	if l.closed || l.err != nil {
+		if l.err != nil {
+			return l.err
+		}
+		return ErrClosed
+	}
+
+	// (1) Flush the staged buffer ourselves — the flusher would need
+	// fileMu, which we hold.
+	buf, b := l.buf, l.batch
+	l.buf, l.batch = nil, nil
+	if b != nil {
+		err := l.writeOut(l.seg, buf)
+		if err != nil && l.err == nil {
+			l.err = err
+		}
+		b.err = err
+		close(b.done)
+		if err != nil {
+			return err
+		}
+	}
+
+	// (2) Roll: the new segment's number is the cut.
+	next, err := createSegment(l.dir, l.segSeq+1)
+	if err != nil {
+		return err
+	}
+	old := l.seg
+	l.seg = next
+	l.segSeq++
+	l.segWritten = 0
+	if err := old.Close(); err != nil {
+		return err
+	}
+	cut := l.segSeq
+
+	// (3) Write the snapshot atomically.
+	if err := l.writeSnapshot(cut, dump); err != nil {
+		return err
+	}
+
+	// (4) Drop everything the snapshot covers. Removals are best-effort:
+	// recovery re-deletes leftovers below the snapshot's number.
+	if seqs, err := listSeqFiles(filepath.Join(l.dir, walDirName), ".wal"); err == nil {
+		for _, seq := range seqs {
+			if seq < cut {
+				os.Remove(segPath(l.dir, seq)) //nolint:errcheck
+			}
+		}
+	}
+	if seqs, err := listSeqFiles(filepath.Join(l.dir, snapDirName), ".snap"); err == nil {
+		for _, seq := range seqs {
+			if seq < cut {
+				os.Remove(snapPath(l.dir, seq)) //nolint:errcheck
+			}
+		}
+	}
+	syncDir(filepath.Join(l.dir, walDirName))
+	syncDir(filepath.Join(l.dir, snapDirName))
+
+	l.sinceCompact.Store(0)
+	return nil
+}
+
+// writeSnapshot streams dump's records into snap/<cut>.snap via a
+// temporary file and an atomic rename.
+func (l *Log) writeSnapshot(cut uint64, dump func(add func(Record) error) error) error {
+	final := snapPath(l.dir, cut)
+	tmp := final + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	defer os.Remove(tmp) //nolint:errcheck // no-op after the rename succeeds
+
+	// Buffered: the dump runs with the commit lock held (writers are
+	// frozen), so one syscall per block would multiply the stall by the
+	// block count.
+	w := bufio.NewWriterSize(f, 1<<20)
+	var scratch []byte
+	add := func(rec Record) error {
+		scratch = scratch[:0]
+		var err error
+		if scratch, err = appendFrames(scratch, &rec); err != nil {
+			return err
+		}
+		_, err = w.Write(scratch)
+		return err
+	}
+	if err := dump(add); err != nil {
+		f.Close()
+		return fmt.Errorf("persist: snapshot dump: %w", err)
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("persist: %w", err)
+	}
+	if l.opts.Sync != SyncNone {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return fmt.Errorf("persist: %w", err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	return nil
+}
