@@ -9,6 +9,7 @@
 package dharma_test
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"sync"
@@ -187,13 +188,13 @@ func benchTag(b *testing.B, mode core.Mode, k int) {
 	for i := range tags {
 		tags[i] = fmt.Sprintf("t%02d", i)
 	}
-	if err := eng.InsertResource("r", "", tags...); err != nil {
+	if err := eng.InsertResource(context.Background(), "r", "", tags...); err != nil {
 		b.Fatal(err)
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := eng.Tag("r", fmt.Sprintf("fresh%d", i%64)); err != nil {
+		if err := eng.Tag(context.Background(), "r", fmt.Sprintf("fresh%d", i%64)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -210,7 +211,7 @@ func BenchmarkInsertResource(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := eng.InsertResource(fmt.Sprintf("r%d", i), "uri", "a", "b", "c", "d", "e"); err != nil {
+		if err := eng.InsertResource(context.Background(), fmt.Sprintf("r%d", i), "uri", "a", "b", "c", "d", "e"); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -224,14 +225,14 @@ func BenchmarkSearchStep(b *testing.B) {
 		b.Fatal(err)
 	}
 	for i := 0; i < 50; i++ {
-		if err := eng.InsertResource(fmt.Sprintf("r%d", i), "", "hub", fmt.Sprintf("t%d", i%17)); err != nil {
+		if err := eng.InsertResource(context.Background(), fmt.Sprintf("r%d", i), "", "hub", fmt.Sprintf("t%d", i%17)); err != nil {
 			b.Fatal(err)
 		}
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := eng.SearchStep("hub"); err != nil {
+		if _, _, err := eng.SearchStep(context.Background(), "hub"); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -250,7 +251,7 @@ func BenchmarkOverlayLookup(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		cl.Nodes[i%len(cl.Nodes)].IterativeFindNode(kadid.HashString(fmt.Sprintf("key%d", i)))
+		cl.Nodes[i%len(cl.Nodes)].IterativeFindNode(context.Background(), kadid.HashString(fmt.Sprintf("key%d", i)))
 	}
 }
 
@@ -269,10 +270,10 @@ func BenchmarkOverlayStoreGet(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		key := kadid.HashString(fmt.Sprintf("blk%d", i%128))
-		if err := store.Append(key, []wire.Entry{{Field: "f", Count: 1}}); err != nil {
+		if err := store.Append(context.Background(), key, []wire.Entry{{Field: "f", Count: 1}}); err != nil {
 			b.Fatal(err)
 		}
-		if _, err := store.Get(key, 10); err != nil {
+		if _, err := store.Get(context.Background(), key, 10); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -287,6 +288,6 @@ func BenchmarkFacetedNavigation(b *testing.B) {
 	view := search.NewFolkView(g)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		search.Run(view, seeds[0], search.First, search.Options{})
+		search.Run(context.Background(), view, seeds[0], search.First, search.Options{}) //nolint:errcheck
 	}
 }

@@ -16,12 +16,15 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"dharma"
@@ -38,10 +41,23 @@ import (
 type csvWriter interface{ WriteCSV(w io.Writer) error }
 
 func main() {
+	// Ctrl-C cancels the run: the load harness aborts its in-flight
+	// operations and the bench exits promptly instead of draining the
+	// full op budget.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	if len(os.Args) > 1 && os.Args[1] == "load" {
-		runLoad(os.Args[2:])
+		runLoad(ctx, os.Args[2:])
 		return
 	}
+	// The experiment path below is batch work that does not poll ctx;
+	// NotifyContext swallowed the signal's default-kill behavior, so
+	// restore it: first Ctrl-C exits promptly.
+	go func() {
+		<-ctx.Done()
+		fmt.Fprintln(os.Stderr, "dharma-bench: interrupted")
+		os.Exit(130)
+	}()
 	scale := flag.String("scale", "small", "workload scale: tiny, small or lastfm")
 	seed := flag.Int64("seed", 1, "generator seed")
 	out := flag.String("out", "", "directory for figure CSVs (omit to skip)")
@@ -171,7 +187,7 @@ func writeCSV(dir, name string, r csvWriter) {
 // runLoad is the `dharma-bench load` mode: parallel load generation
 // against a live System (or an in-process store), one report per
 // workload mix.
-func runLoad(args []string) {
+func runLoad(ctx context.Context, args []string) {
 	fs := flag.NewFlagSet("load", flag.ExitOnError)
 	mixes := fs.String("mix", "all", `workload mixes, comma-separated ("insert-heavy,tag-heavy,...") or "all"`)
 	target := fs.String("target", "overlay", "what to drive: overlay (live Kademlia cluster) or local (in-process store)")
@@ -298,7 +314,7 @@ func runLoad(args []string) {
 			}
 		} else {
 			for _, p := range sys.Peers() {
-				engines = append(engines, p.Engine)
+				engines = append(engines, p.Engine())
 			}
 		}
 		fmt.Printf("target: %d-node overlay, %s mode, k=%d, drop=%.2f, batch=%s\n", sys.Size(), mode, *k, *drop, *batch)
@@ -340,7 +356,7 @@ func runLoad(args []string) {
 	var maintCancel context.CancelFunc
 	if churnCfg != nil {
 		var maintCtx context.Context
-		maintCtx, maintCancel = context.WithCancel(context.Background())
+		maintCtx, maintCancel = context.WithCancel(ctx)
 		defer maintCancel()
 		maintSet = sys.Cluster().StartMaintenance(maintCtx, kademlia.MaintainerConfig{
 			Interval: 500 * time.Millisecond,
@@ -390,7 +406,7 @@ func runLoad(args []string) {
 				fail(err)
 			}
 			var churnCtx context.Context
-			churnCtx, churnCancel = context.WithCancel(context.Background())
+			churnCtx, churnCancel = context.WithCancel(ctx)
 			defer churnCancel()
 			lcfg.AfterSeed = func() {
 				go func() {
@@ -400,7 +416,11 @@ func runLoad(args []string) {
 			}
 		}
 
-		rep, err := loadgen.Run(lcfg, engines)
+		rep, err := loadgen.Run(ctx, lcfg, engines)
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "dharma-bench: interrupted; in-flight operations aborted")
+			os.Exit(130)
+		}
 		if err != nil {
 			fail(err)
 		}
@@ -410,7 +430,7 @@ func runLoad(args []string) {
 			churnCancel()
 			<-churnDone
 			fmt.Printf("  churn: %s (%d still dead at mix end)\n", churner.Stats(), churner.DeadCount())
-			violations := chaos.RepairAndCheck(sys.Cluster(), ledger, 2)
+			violations := chaos.RepairAndCheck(ctx, sys.Cluster(), ledger, 2)
 			if len(violations) > 0 {
 				fmt.Printf("  LOST WRITES: %d of %d acknowledged (block,field) obligations\n", len(violations), ledger.Fields())
 				for vi, v := range violations {

@@ -19,6 +19,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -41,13 +43,19 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+	// Ctrl-C (or SIGTERM) cancels this context; every operation below
+	// runs under it, so an interrupt aborts in-flight overlay RPCs
+	// instead of waiting out their retry timers.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	cmd, args := os.Args[1], os.Args[2:]
 	var err error
 	switch cmd {
 	case "serve":
-		err = serve(args)
+		err = serve(ctx, args)
 	case "insert", "tag", "search", "resolve":
-		err = client(cmd, args)
+		err = client(ctx, cmd, args)
 	default:
 		usage()
 		os.Exit(2)
@@ -62,10 +70,10 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   dharma-node serve   -listen host:port [-bootstrap host:port] [-k n] [-alpha n]
                       [-data-dir path] [-fsync group|each|none]
-  dharma-node insert  -bootstrap host:port -r name -uri uri [-tags a,b,c]
-  dharma-node tag     -bootstrap host:port -r name -t tag
-  dharma-node search  -bootstrap host:port -t tag [-top n]
-  dharma-node resolve -bootstrap host:port -r name`)
+  dharma-node insert  -bootstrap host:port -r name -uri uri [-tags a,b,c] [-timeout d]
+  dharma-node tag     -bootstrap host:port -r name -t tag [-timeout d]
+  dharma-node search  -bootstrap host:port -t tag [-top n] [-timeout d]
+  dharma-node resolve -bootstrap host:port -r name [-timeout d]`)
 }
 
 // startNode binds a UDP node and optionally joins through bootstrap.
@@ -73,7 +81,7 @@ func usage() {
 // from (or minted into) the directory so a restart re-enters the
 // overlay as the same member, and its block store recovers from the
 // write-ahead log before serving.
-func startNode(listen, bootstrap, dataDir string, popts persist.Options, k, alpha int) (*kademlia.Node, error) {
+func startNode(ctx context.Context, listen, bootstrap, dataDir string, popts persist.Options, k, alpha int) (*kademlia.Node, error) {
 	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
 	cfg := kademlia.Config{K: k, Alpha: alpha}
 	id := kadid.Random(rng)
@@ -96,11 +104,13 @@ func startNode(listen, bootstrap, dataDir string, popts persist.Options, k, alph
 	}
 	node.Attach(tr)
 	if bootstrap != "" {
-		seed, err := node.Discover(bootstrap)
+		seed, err := node.Discover(ctx, bootstrap)
 		if err != nil {
+			node.Shutdown() //nolint:errcheck // boot failed; nothing to flush
 			return nil, fmt.Errorf("discover %s: %w", bootstrap, err)
 		}
-		if err := node.Bootstrap([]wire.Contact{seed}); err != nil {
+		if err := node.Bootstrap(ctx, []wire.Contact{seed}); err != nil {
+			node.Shutdown() //nolint:errcheck // boot failed; nothing to flush
 			return nil, err
 		}
 	}
@@ -121,7 +131,7 @@ func parseSyncMode(s string) (persist.SyncMode, error) {
 	}
 }
 
-func serve(args []string) error {
+func serve(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	listen := fs.String("listen", "127.0.0.1:9000", "UDP address to bind")
 	bootstrap := fs.String("bootstrap", "", "address of an existing node (empty = first node)")
@@ -140,7 +150,7 @@ func serve(args []string) error {
 	if popts.Sync, err = parseSyncMode(*fsync); err != nil {
 		return err
 	}
-	node, err := startNode(*listen, *bootstrap, *dataDir, popts, *k, *alpha)
+	node, err := startNode(ctx, *listen, *bootstrap, *dataDir, popts, *k, *alpha)
 	if err != nil {
 		return err
 	}
@@ -148,7 +158,6 @@ func serve(args []string) error {
 		node.Self().ID.Short(), node.Self().Addr, node.Table().Len())
 	fmt.Println("press Ctrl-C to stop")
 
-	stop := make(chan struct{})
 	if *maintain > 0 {
 		go func() {
 			ticker := time.NewTicker(*maintain)
@@ -156,13 +165,16 @@ func serve(args []string) error {
 			seed := time.Now().UnixNano()
 			for {
 				select {
-				case <-stop:
+				case <-ctx.Done():
 					return
 				case <-ticker.C:
-					blocks, acks := node.RepublishOnce()
+					// The serve context bounds the maintenance RPCs too:
+					// Ctrl-C mid-republish aborts the sweep rather than
+					// letting it finish behind the shutdown.
+					blocks, acks := node.RepublishOnce(ctx)
 					for _, b := range node.Table().NonEmptyBuckets() {
 						seed++
-						node.RefreshBucket(b, seed)
+						node.RefreshBucket(ctx, b, seed)
 					}
 					fmt.Printf("maintenance: republished %d blocks (%d replica acks), table %d contacts\n",
 						blocks, acks, node.Table().Len())
@@ -171,10 +183,7 @@ func serve(args []string) error {
 		}()
 	}
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	<-sig
-	close(stop)
+	<-ctx.Done()
 	// Clean stop: flush and close the durable store (no-op in-memory).
 	// A SIGKILL skips this path entirely — that is what the WAL's
 	// torn-tail recovery is for.
@@ -186,7 +195,7 @@ func serve(args []string) error {
 	return nil
 }
 
-func client(cmd string, args []string) error {
+func client(ctx context.Context, cmd string, args []string) error {
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	bootstrap := fs.String("bootstrap", "127.0.0.1:9000", "address of a running node")
 	r := fs.String("r", "", "resource name")
@@ -196,12 +205,24 @@ func client(cmd string, args []string) error {
 	top := fs.Int("top", 10, "entries to display")
 	mode := fs.String("mode", "approx", "maintenance mode: naive or approx")
 	k := fs.Int("k", 5, "connection parameter (approx mode)")
+	timeout := fs.Duration("timeout", 0,
+		"overall deadline for the operation, bootstrap included (0 = none); on expiry in-flight RPCs are aborted and the command exits nonzero")
 	fs.Parse(args) //nolint:errcheck // ExitOnError
 
-	node, err := startNode("127.0.0.1:0", *bootstrap, "", persist.Options{}, 20, 3)
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	node, err := startNode(ctx, "127.0.0.1:0", *bootstrap, "", persist.Options{}, 20, 3)
 	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			return fmt.Errorf("deadline exceeded reaching bootstrap %s: %w", *bootstrap, err)
+		}
 		return err
 	}
+	defer node.Shutdown() //nolint:errcheck // short-lived client
 	engMode := core.Approximated
 	if *mode == "naive" {
 		engMode = core.Naive
@@ -222,7 +243,7 @@ func client(cmd string, args []string) error {
 		if *tags != "" {
 			tagList = strings.Split(*tags, ",")
 		}
-		if err := eng.InsertResource(*r, *uri, tagList...); err != nil {
+		if err := eng.InsertResource(ctx, *r, *uri, tagList...); err != nil {
 			return err
 		}
 		fmt.Printf("inserted %s with %d tags\n", *r, len(tagList))
@@ -231,7 +252,7 @@ func client(cmd string, args []string) error {
 		if *r == "" || *t == "" {
 			return fmt.Errorf("tag needs -r and -t")
 		}
-		if err := eng.Tag(*r, *t); err != nil {
+		if err := eng.Tag(ctx, *r, *t); err != nil {
 			return err
 		}
 		fmt.Printf("tagged %s with %s\n", *r, *t)
@@ -240,7 +261,7 @@ func client(cmd string, args []string) error {
 		if *t == "" {
 			return fmt.Errorf("search needs -t")
 		}
-		related, resources, err := eng.SearchStep(*t)
+		related, resources, err := eng.SearchStep(ctx, *t)
 		if err != nil {
 			return err
 		}
@@ -263,7 +284,7 @@ func client(cmd string, args []string) error {
 		if *r == "" {
 			return fmt.Errorf("resolve needs -r")
 		}
-		uri, err := eng.ResolveURI(*r)
+		uri, err := eng.ResolveURI(ctx, *r)
 		if err != nil {
 			return err
 		}

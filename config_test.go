@@ -1,6 +1,9 @@
 package dharma
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 func TestConfigWithDefaults(t *testing.T) {
 	cases := []struct {
@@ -55,44 +58,44 @@ func TestSetDownAndRevive(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := sys.Peer(0).InsertResource("r", "uri:r", "a", "b"); err != nil {
+	if err := sys.Peer(0).InsertResource(context.Background(), "r", "uri:r", []string{"a", "b"}); err != nil {
 		t.Fatal(err)
 	}
 
 	victim := 5
 	contact := sys.Peer(victim).Node.Self()
 
-	if !sys.Peer(1).Node.Ping(contact) {
+	if !sys.Peer(1).Node.Ping(context.Background(), contact) {
 		t.Fatal("victim unreachable before SetDown")
 	}
 	sys.SetDown(victim, true)
-	if sys.Peer(1).Node.Ping(contact) {
+	if sys.Peer(1).Node.Ping(context.Background(), contact) {
 		t.Fatal("victim still answering while down")
 	}
 	// The rest of the overlay keeps serving: replication covers the
 	// crashed node.
-	if _, err := sys.Peer(2).ResolveURI("r"); err != nil {
+	if _, err := sys.Peer(2).ResolveURI(context.Background(), "r"); err != nil {
 		t.Fatalf("ResolveURI with a node down: %v", err)
 	}
-	if err := sys.Peer(3).Tag("r", "c"); err != nil {
+	if err := sys.Peer(3).Tag(context.Background(), "r", "c"); err != nil {
 		t.Fatalf("Tag with a node down: %v", err)
 	}
 
 	// Revive: the node answers again and can itself operate.
 	sys.SetDown(victim, false)
-	if !sys.Peer(1).Node.Ping(contact) {
+	if !sys.Peer(1).Node.Ping(context.Background(), contact) {
 		t.Fatal("victim not answering after revive")
 	}
-	if _, err := sys.Peer(victim).ResolveURI("r"); err != nil {
+	if _, err := sys.Peer(victim).ResolveURI(context.Background(), "r"); err != nil {
 		t.Fatalf("revived node ResolveURI: %v", err)
 	}
-	if err := sys.Peer(victim).Tag("r", "d"); err != nil {
+	if err := sys.Peer(victim).Tag(context.Background(), "r", "d"); err != nil {
 		t.Fatalf("revived node Tag: %v", err)
 	}
 
 	// Down/revive must be idempotent.
 	sys.SetDown(victim, false)
-	if !sys.Peer(1).Node.Ping(contact) {
+	if !sys.Peer(1).Node.Ping(context.Background(), contact) {
 		t.Fatal("double revive broke the node")
 	}
 }

@@ -16,13 +16,40 @@
 //
 // # Quick start
 //
+//	ctx := context.Background()
 //	sys, err := dharma.NewSystem(dharma.Config{Nodes: 16, K: 5})
 //	if err != nil { ... }
+//	defer sys.Shutdown()
 //	p := sys.Peer(0)
-//	p.InsertResource("norwegian-wood", "magnet:?xt=...", "rock", "60s", "beatles")
-//	p.Tag("norwegian-wood", "folk-rock")
-//	res := p.Navigate("rock", dharma.First, dharma.NavOptions{})
+//	p.InsertResource(ctx, "norwegian-wood", "magnet:?xt=...", []string{"rock", "60s", "beatles"})
+//	p.Tag(ctx, "norwegian-wood", "folk-rock")
+//	res, err := p.Navigate(ctx, "rock", dharma.First, dharma.NavOptions{})
 //	fmt.Println(res.Path, res.FinalResources)
+//
+// # Contexts and per-operation options
+//
+// Every operation takes a context.Context as its first argument, and
+// the context is honored through the whole stack: cancelling it (or
+// letting its deadline expire) aborts the in-flight overlay RPC waiters
+// — not just the next hop — so a client stuck behind a slow or dead
+// replica gets its control back immediately instead of waiting out
+// internal retry timers. DHARMA's primitives are multi-hop operations
+// (a Tag is 4+k lookups, a Navigate an unbounded walk), which makes
+// per-call latency bounds the difference between a production overlay
+// and a science project.
+//
+// A context error means "outcome unknown", not "not written": an
+// abandoned write may still have landed on some replicas, exactly like
+// a write whose acknowledgement was lost on the wire. Block updates are
+// commutative token appends, so retrying is always safe.
+//
+// Per-operation options override deployment defaults for a single
+// call:
+//
+//	// bound one tag operation to 50ms, whatever Config says
+//	err := p.Tag(ctx, "norwegian-wood", "psychedelic", dharma.WithTimeout(50*time.Millisecond))
+//	// read a wider slice of the index for one navigation
+//	res, err := p.Navigate(ctx, "rock", dharma.First, dharma.NavOptions{}, dharma.WithTopN(500))
 //
 // A System and its Peers are safe for concurrent use: any number of
 // goroutines may insert, tag and navigate against the same deployment
@@ -35,11 +62,13 @@
 package dharma
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"dharma/internal/core"
 	"dharma/internal/dht"
+	"dharma/internal/folksonomy"
 	"dharma/internal/kademlia"
 	"dharma/internal/likir"
 	"dharma/internal/persist"
@@ -77,6 +106,10 @@ type NavOptions = search.Options
 // NavResult re-exports the navigation result.
 type NavResult = search.Result
 
+// Weighted re-exports the (name, weight) pair search steps and tag
+// listings are stated in.
+type Weighted = folksonomy.Weighted
+
 // Config describes a DHARMA deployment simulated in-process.
 type Config struct {
 	// Nodes is the overlay size (default 16).
@@ -87,7 +120,8 @@ type Config struct {
 	// K is the connection parameter of Approximation A (default 5).
 	K int
 	// TopN caps entries returned per block read (default 100, the
-	// paper's display bound; -1 disables filtering).
+	// paper's display bound; -1 disables filtering). WithTopN overrides
+	// it per operation.
 	TopN int
 	// Replication is the overlay's bucket size and replica count
 	// (default 8 for in-process clusters).
@@ -148,6 +182,55 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// Option tunes a single operation on a Peer, overriding the
+// deployment-wide defaults from Config for that call only.
+type Option func(*opSettings)
+
+// opSettings is the resolved per-operation configuration.
+type opSettings struct {
+	timeout time.Duration
+	topN    int
+}
+
+// WithTimeout bounds the operation: the call's context is wrapped in
+// context.WithTimeout, so when the budget runs out the in-flight
+// overlay RPCs are aborted and the operation returns
+// context.DeadlineExceeded (wrapped). A zero or negative d is ignored.
+func WithTimeout(d time.Duration) Option {
+	return func(s *opSettings) {
+		if d > 0 {
+			s.timeout = d
+		}
+	}
+}
+
+// WithTopN overrides the deployment's index-side filter cap
+// (Config.TopN) for one operation: n > 0 caps each block read at n
+// entries, n < 0 disables filtering entirely. It affects SearchStep,
+// Navigate and NavigateFromResource; operations without a filtered
+// read ignore it.
+func WithTopN(n int) Option {
+	return func(s *opSettings) {
+		if n != 0 {
+			s.topN = n
+		}
+	}
+}
+
+// apply resolves opts against ctx. The returned cancel must always be
+// called (it is a no-op when no timeout was requested).
+func applyOptions(ctx context.Context, opts []Option) (context.Context, context.CancelFunc, opSettings) {
+	var s opSettings
+	for _, o := range opts {
+		o(&s)
+	}
+	if s.timeout > 0 {
+		ctx, cancel := context.WithTimeout(ctx, s.timeout)
+		return ctx, cancel, s
+	}
+	return ctx, func() {}, s
+}
+
 // System is an in-process DHARMA deployment: an overlay cluster with
 // one tagging engine per node.
 type System struct {
@@ -157,34 +240,154 @@ type System struct {
 }
 
 // Peer is one participant: a DHARMA engine bound to an overlay node.
-// The engine's methods (InsertResource, Tag, SearchStep, ResolveURI,
-// TagsOf, Neighbors) are promoted.
+// Every operation takes a context as its first argument and accepts
+// per-operation Options; the context bounds the whole multi-hop
+// operation, down to the individual RPC waiters.
 type Peer struct {
-	*core.Engine
-	Node  *kademlia.Node
-	store *dht.Overlay
+	engine *core.Engine
+	Node   *kademlia.Node
+	store  *dht.Overlay
+	net    *simnet.NodeStats
+}
+
+// Engine exposes the peer's underlying DHARMA engine (the
+// option-less, context-first core API; the load harness drives
+// engines directly).
+func (p *Peer) Engine() *core.Engine { return p.engine }
+
+// Stats is a point-in-time snapshot of one peer's accounting,
+// consolidated across the three layers that used to be inspected
+// separately (engine store counters, overlay node counters, simulated
+// network traffic).
+type Stats struct {
+	// Appends and Gets are the block operations this peer issued — the
+	// paper's lookup unit; Lookups is their sum (the Table I cost).
+	Appends, Gets, Lookups int64
+	// NodeLookups counts iterative lookup procedures the overlay node
+	// ran (each block operation needs one, plus maintenance traffic).
+	NodeLookups int64
+	// RPCServed counts inbound RPC requests this peer answered.
+	RPCServed int64
+	// Repairs counts stale replicas this peer healed via read-repair.
+	Repairs int64
+	// NetSent and NetReceived count RPC exchanges originated and served
+	// at this peer's simulated endpoint (zero for real-UDP peers).
+	NetSent, NetReceived int64
+}
+
+// Stats returns the peer's consolidated accounting snapshot. The fields
+// are read from independent atomic counters — the snapshot is
+// internally consistent only on a quiescent peer.
+func (p *Peer) Stats() Stats {
+	st := Stats{
+		Appends:     p.store.Appends(),
+		Gets:        p.store.Gets(),
+		Lookups:     p.store.Lookups(),
+		NodeLookups: p.Node.Lookups(),
+		RPCServed:   p.Node.RPCServed(),
+		Repairs:     p.Node.Repairs(),
+	}
+	if p.net != nil {
+		st.NetSent = p.net.Sent.Load()
+		st.NetReceived = p.net.Received.Load()
+	}
+	return st
 }
 
 // Lookups returns the number of block operations (the paper's lookup
-// unit) this peer has issued.
+// unit) this peer has issued — shorthand for Stats().Lookups.
 func (p *Peer) Lookups() int64 { return p.store.Lookups() }
 
+// InsertResource publishes a new resource r with URI uri and the given
+// tag set; 2+2m lookups for m distinct tags (Table I). Tags are a
+// slice (not variadic) so the call can carry per-operation Options —
+// the insert is the facade's widest fan-out, exactly the operation a
+// caller wants to bound. The engine's InsertResource keeps the
+// variadic form.
+func (p *Peer) InsertResource(ctx context.Context, r, uri string, tags []string, opts ...Option) error {
+	ctx, cancel, _ := applyOptions(ctx, opts)
+	defer cancel()
+	return p.engine.InsertResource(ctx, r, uri, tags...)
+}
+
+// Tag adds tag t to the existing resource r; 4+k lookups in
+// Approximated mode (Table I).
+func (p *Peer) Tag(ctx context.Context, r, t string, opts ...Option) error {
+	ctx, cancel, _ := applyOptions(ctx, opts)
+	defer cancel()
+	return p.engine.Tag(ctx, r, t)
+}
+
+// SearchStep retrieves one navigation step for tag t: related tags by
+// descending similarity and resources by descending annotation count,
+// both capped index-side (Config.TopN, overridable per call with
+// WithTopN); 2 lookups.
+func (p *Peer) SearchStep(ctx context.Context, t string, opts ...Option) (related, resources []Weighted, err error) {
+	ctx, cancel, s := applyOptions(ctx, opts)
+	defer cancel()
+	return p.engine.SearchStepN(ctx, t, s.topN)
+}
+
+// ResolveURI fetches the URI published for resource r; one lookup.
+func (p *Peer) ResolveURI(ctx context.Context, r string, opts ...Option) (string, error) {
+	ctx, cancel, _ := applyOptions(ctx, opts)
+	defer cancel()
+	return p.engine.ResolveURI(ctx, r)
+}
+
+// TagsOf fetches Tags(r) with weights, sorted by descending weight;
+// one lookup.
+func (p *Peer) TagsOf(ctx context.Context, r string, opts ...Option) ([]Weighted, error) {
+	ctx, cancel, _ := applyOptions(ctx, opts)
+	defer cancel()
+	return p.engine.TagsOf(ctx, r)
+}
+
+// Neighbors fetches the full (unfiltered) FG adjacency of tag t; one
+// lookup.
+func (p *Peer) Neighbors(ctx context.Context, t string, opts ...Option) ([]Weighted, error) {
+	ctx, cancel, _ := applyOptions(ctx, opts)
+	defer cancel()
+	return p.engine.Neighbors(ctx, t)
+}
+
 // Navigate runs a faceted search over the live overlay starting from
-// tag start.
-func (p *Peer) Navigate(start string, strat Strategy, opt NavOptions) NavResult {
-	return search.Run(search.NewEngineView(p.Engine), start, strat, opt)
+// tag start. ctx (and WithTimeout) bound the whole walk: cancellation
+// is observed between steps and aborts the in-flight lookup RPCs, and
+// the walk returns the partial Result together with the context error.
+// A non-context lookup failure swallowed mid-walk is also reported as
+// the error, alongside the (still useful) partial result.
+func (p *Peer) Navigate(ctx context.Context, start string, strat Strategy, opt NavOptions, opts ...Option) (NavResult, error) {
+	ctx, cancel, s := applyOptions(ctx, opts)
+	defer cancel()
+	v := search.NewEngineView(ctx, p.engine)
+	v.TopN = s.topN
+	res, err := search.Run(ctx, v, start, strat, opt)
+	if err == nil {
+		err = v.Err()
+	}
+	return res, err
 }
 
 // NavigateFromResource runs a "more like this" search: the walk enters
 // the folksonomy through one of resource r's own tags (chosen by the
-// strategy) and refines from there.
-func (p *Peer) NavigateFromResource(r string, strat Strategy, opt NavOptions) NavResult {
-	v := search.NewEngineView(p.Engine)
-	return search.RunFromResource(v, v, r, strat, opt)
+// strategy) and refines from there. Context semantics match Navigate.
+func (p *Peer) NavigateFromResource(ctx context.Context, r string, strat Strategy, opt NavOptions, opts ...Option) (NavResult, error) {
+	ctx, cancel, s := applyOptions(ctx, opts)
+	defer cancel()
+	v := search.NewEngineView(ctx, p.engine)
+	v.TopN = s.topN
+	res, err := search.RunFromResource(ctx, v, v, r, strat, opt)
+	if err == nil {
+		err = v.Err()
+	}
+	return res, err
 }
 
 // NewSystem boots an overlay of cfg.Nodes nodes and attaches a DHARMA
-// engine to each.
+// engine to each. On any failure after the overlay booted, the cluster
+// is shut down before the error is returned — a failed NewSystem never
+// leaks live endpoints or open write-ahead logs under cfg.DataDir.
 func NewSystem(cfg Config) (*System, error) {
 	cfg = cfg.withDefaults()
 
@@ -231,9 +434,17 @@ func NewSystem(cfg Config) (*System, error) {
 			Seed: cfg.Seed + int64(i),
 		})
 		if err != nil {
+			// The cluster is already live: endpoints attached, durable
+			// WALs open. Tear it down, or a failed boot leaks them all.
+			cluster.Shutdown()
 			return nil, fmt.Errorf("dharma: engine %d: %w", i, err)
 		}
-		sys.peers = append(sys.peers, &Peer{Engine: engine, Node: node, store: store})
+		sys.peers = append(sys.peers, &Peer{
+			engine: engine,
+			Node:   node,
+			store:  store,
+			net:    cluster.Net.Stats(simnet.Addr(node.Self().Addr)),
+		})
 	}
 	return sys, nil
 }

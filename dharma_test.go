@@ -1,6 +1,7 @@
 package dharma_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -17,31 +18,34 @@ func TestSystemEndToEnd(t *testing.T) {
 	}
 
 	publisher := sys.Peer(3)
-	if err := publisher.InsertResource("norwegian-wood", "magnet:nw", "rock", "60s", "beatles"); err != nil {
+	if err := publisher.InsertResource(context.Background(), "norwegian-wood", "magnet:nw", []string{"rock", "60s", "beatles"}); err != nil {
 		t.Fatalf("InsertResource: %v", err)
 	}
-	if err := publisher.InsertResource("yesterday", "magnet:yd", "rock", "60s", "ballad"); err != nil {
+	if err := publisher.InsertResource(context.Background(), "yesterday", "magnet:yd", []string{"rock", "60s", "ballad"}); err != nil {
 		t.Fatal(err)
 	}
-	if err := publisher.Tag("norwegian-wood", "folk-rock"); err != nil {
+	if err := publisher.Tag(context.Background(), "norwegian-wood", "folk-rock"); err != nil {
 		t.Fatalf("Tag: %v", err)
 	}
 
 	// A different peer sees the published graph.
 	reader := sys.Peer(11)
-	related, resources, err := reader.SearchStep("rock")
+	related, resources, err := reader.SearchStep(context.Background(), "rock")
 	if err != nil {
 		t.Fatalf("SearchStep: %v", err)
 	}
 	if len(related) == 0 || len(resources) != 2 {
 		t.Fatalf("related=%v resources=%v", related, resources)
 	}
-	uri, err := reader.ResolveURI("yesterday")
+	uri, err := reader.ResolveURI(context.Background(), "yesterday")
 	if err != nil || uri != "magnet:yd" {
 		t.Fatalf("ResolveURI = %q, %v", uri, err)
 	}
 
-	res := reader.Navigate("rock", dharma.First, dharma.NavOptions{MinResources: 1})
+	res, err := reader.Navigate(context.Background(), "rock", dharma.First, dharma.NavOptions{MinResources: 1})
+	if err != nil {
+		t.Fatalf("navigate: %v", err)
+	}
 	if res.Steps() < 1 {
 		t.Fatal("navigation produced no path")
 	}
@@ -56,10 +60,10 @@ func TestSystemWithIdentity(t *testing.T) {
 		t.Fatalf("NewSystem: %v", err)
 	}
 	p := sys.Peer(0)
-	if err := p.InsertResource("song", "uri:song", "jazz"); err != nil {
+	if err := p.InsertResource(context.Background(), "song", "uri:song", []string{"jazz"}); err != nil {
 		t.Fatalf("InsertResource: %v", err)
 	}
-	uri, err := sys.Peer(7).ResolveURI("song")
+	uri, err := sys.Peer(7).ResolveURI(context.Background(), "song")
 	if err != nil || uri != "uri:song" {
 		t.Fatalf("ResolveURI over Likir overlay = %q, %v", uri, err)
 	}
@@ -71,11 +75,11 @@ func TestSystemNaiveMode(t *testing.T) {
 		t.Fatal(err)
 	}
 	p := sys.Peer(1)
-	if err := p.InsertResource("r", "", "a", "b"); err != nil {
+	if err := p.InsertResource(context.Background(), "r", "", []string{"a", "b"}); err != nil {
 		t.Fatal(err)
 	}
 	before := p.Lookups()
-	if err := p.Tag("r", "c"); err != nil {
+	if err := p.Tag(context.Background(), "r", "c"); err != nil {
 		t.Fatal(err)
 	}
 	if got := p.Lookups() - before; got != 4+2 {
@@ -89,11 +93,11 @@ func TestNewLocalEngine(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 5; i++ {
-		if err := eng.InsertResource(fmt.Sprintf("r%d", i), "", "x", "y"); err != nil {
+		if err := eng.InsertResource(context.Background(), fmt.Sprintf("r%d", i), "", "x", "y"); err != nil {
 			t.Fatal(err)
 		}
 	}
-	related, _, err := eng.SearchStep("x")
+	related, _, err := eng.SearchStep(context.Background(), "x")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,11 +116,14 @@ func TestNavigateFromResource(t *testing.T) {
 	}
 	p := sys.Peer(2)
 	for i := 0; i < 6; i++ {
-		if err := p.InsertResource(fmt.Sprintf("song%d", i), "", "rock", "live"); err != nil {
+		if err := p.InsertResource(context.Background(), fmt.Sprintf("song%d", i), "", []string{"rock", "live"}); err != nil {
 			t.Fatal(err)
 		}
 	}
-	res := sys.Peer(9).NavigateFromResource("song3", dharma.First, dharma.NavOptions{MinResources: 1})
+	res, err := sys.Peer(9).NavigateFromResource(context.Background(), "song3", dharma.First, dharma.NavOptions{MinResources: 1})
+	if err != nil {
+		t.Fatalf("navigate from resource: %v", err)
+	}
 	if res.Steps() < 1 {
 		t.Fatalf("pivot navigation empty: %+v", res)
 	}
@@ -124,7 +131,7 @@ func TestNavigateFromResource(t *testing.T) {
 		t.Fatalf("entry tag %q not on song3", res.Path[0])
 	}
 	// Unknown resource degrades gracefully.
-	empty := sys.Peer(9).NavigateFromResource("ghost", dharma.First, dharma.NavOptions{})
+	empty, _ := sys.Peer(9).NavigateFromResource(context.Background(), "ghost", dharma.First, dharma.NavOptions{})
 	if empty.Steps() != 0 {
 		t.Fatalf("ghost pivot produced a path: %+v", empty)
 	}
@@ -135,7 +142,7 @@ func TestSystemFaultInjection(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := sys.Peer(0).InsertResource("r", "uri:r", "tag"); err != nil {
+	if err := sys.Peer(0).InsertResource(context.Background(), "r", "uri:r", []string{"tag"}); err != nil {
 		t.Fatal(err)
 	}
 	// Take down a third of the overlay; the blocks must survive thanks
@@ -143,7 +150,7 @@ func TestSystemFaultInjection(t *testing.T) {
 	for i := 10; i < 18; i++ {
 		sys.SetDown(i, true)
 	}
-	if _, err := sys.Peer(2).ResolveURI("r"); err != nil {
+	if _, err := sys.Peer(2).ResolveURI(context.Background(), "r"); err != nil {
 		t.Fatalf("ResolveURI after failures: %v", err)
 	}
 }

@@ -1,6 +1,7 @@
 package dharma
 
 import (
+	"context"
 	"testing"
 )
 
@@ -17,10 +18,10 @@ func TestSystemDurableRestart(t *testing.T) {
 		t.Fatal(err)
 	}
 	p := sys.Peer(0)
-	if err := p.InsertResource("norwegian-wood", "magnet:?xt=nw", "rock", "60s"); err != nil {
+	if err := p.InsertResource(context.Background(), "norwegian-wood", "magnet:?xt=nw", []string{"rock", "60s"}); err != nil {
 		t.Fatal(err)
 	}
-	if err := p.Tag("norwegian-wood", "beatles"); err != nil {
+	if err := p.Tag(context.Background(), "norwegian-wood", "beatles"); err != nil {
 		t.Fatal(err)
 	}
 	sys.Shutdown()
@@ -33,11 +34,11 @@ func TestSystemDurableRestart(t *testing.T) {
 	}
 	defer sys2.Shutdown()
 	p2 := sys2.Peer(1)
-	uri, err := p2.ResolveURI("norwegian-wood")
+	uri, err := p2.ResolveURI(context.Background(), "norwegian-wood")
 	if err != nil || uri != "magnet:?xt=nw" {
 		t.Fatalf("resolve after restart: %q, %v", uri, err)
 	}
-	tags, err := p2.TagsOf("norwegian-wood")
+	tags, err := p2.TagsOf(context.Background(), "norwegian-wood")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,7 +51,10 @@ func TestSystemDurableRestart(t *testing.T) {
 			t.Fatalf("tag %q lost across restart (got %v)", want, tags)
 		}
 	}
-	res := p2.Navigate("rock", First, NavOptions{})
+	res, err := p2.Navigate(context.Background(), "rock", First, NavOptions{})
+	if err != nil {
+		t.Fatalf("navigate after recovery: %v", err)
+	}
 	if len(res.FinalResources) == 0 {
 		t.Fatalf("navigation after restart found nothing: %+v", res)
 	}

@@ -1,6 +1,7 @@
 package dharma_test
 
 import (
+	"context"
 	"fmt"
 
 	"dharma"
@@ -15,17 +16,17 @@ func ExampleNewSystem() {
 	}
 
 	alice := sys.Peer(2)
-	alice.InsertResource("norwegian-wood", "magnet:nw", "rock", "60s") //nolint:errcheck
-	alice.InsertResource("yesterday", "magnet:yd", "rock", "ballad")   //nolint:errcheck
+	alice.InsertResource(context.Background(), "norwegian-wood", "magnet:nw", []string{"rock", "60s"}) //nolint:errcheck
+	alice.InsertResource(context.Background(), "yesterday", "magnet:yd", []string{"rock", "ballad"})   //nolint:errcheck
 
 	bob := sys.Peer(7)
-	related, resources, err := bob.SearchStep("rock")
+	related, resources, err := bob.SearchStep(context.Background(), "rock")
 	if err != nil {
 		panic(err)
 	}
 	fmt.Printf("related tags: %d, resources: %d\n", len(related), len(resources))
 
-	uri, _ := bob.ResolveURI("yesterday")
+	uri, _ := bob.ResolveURI(context.Background(), "yesterday")
 	fmt.Println("yesterday ->", uri)
 	// Output:
 	// related tags: 2, resources: 2
@@ -39,11 +40,11 @@ func ExampleNewLocalEngine() {
 	if err != nil {
 		panic(err)
 	}
-	eng.InsertResource("song", "uri:song", "jazz", "bebop", "50s") //nolint:errcheck
+	eng.InsertResource(context.Background(), "song", "uri:song", "jazz", "bebop", "50s") //nolint:errcheck
 	fmt.Println("insert lookups (2+2m, m=3):", store.Lookups())
 
 	before := store.Lookups()
-	eng.Tag("song", "brubeck") //nolint:errcheck
+	eng.Tag(context.Background(), "song", "brubeck") //nolint:errcheck
 	fmt.Println("tag lookups (4+k, k=2):", store.Lookups()-before)
 	// Output:
 	// insert lookups (2+2m, m=3): 8
@@ -59,13 +60,16 @@ func ExamplePeer_Navigate() {
 	}
 	p := sys.Peer(0)
 	for i := 0; i < 4; i++ {
-		p.InsertResource(fmt.Sprintf("album%d", i), "", "music", "rock", "indie") //nolint:errcheck
+		p.InsertResource(context.Background(), fmt.Sprintf("album%d", i), "", []string{"music", "rock", "indie"}) //nolint:errcheck
 	}
 	for i := 0; i < 4; i++ {
-		p.InsertResource(fmt.Sprintf("track%d", i), "", "music", "jazz") //nolint:errcheck
+		p.InsertResource(context.Background(), fmt.Sprintf("track%d", i), "", []string{"music", "jazz"}) //nolint:errcheck
 	}
 
-	res := p.Navigate("music", dharma.First, dharma.NavOptions{MinResources: 1})
+	res, err := p.Navigate(context.Background(), "music", dharma.First, dharma.NavOptions{MinResources: 1})
+	if err != nil {
+		panic(err)
+	}
 	fmt.Println("path:", res.Path)
 	fmt.Println("stopped:", res.Reason)
 	// Output:

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -24,6 +25,7 @@ func main() {
 		schedule = schedule[:*annotations]
 	}
 
+	ctx := context.Background()
 	replay := func(mode dharma.Mode, k int) (lookups int64, maxTagCost int64) {
 		eng, store, err := dharma.NewLocalEngine(dharma.Config{Mode: mode, K: k, Seed: *seed})
 		if err != nil {
@@ -32,13 +34,13 @@ func main() {
 		inserted := map[string]bool{}
 		for _, a := range schedule {
 			if !inserted[a.Resource] {
-				if err := eng.InsertResource(a.Resource, ""); err != nil {
+				if err := eng.InsertResource(ctx, a.Resource, ""); err != nil {
 					log.Fatal(err)
 				}
 				inserted[a.Resource] = true
 			}
 			before := store.Lookups()
-			if err := eng.Tag(a.Resource, a.Tag); err != nil {
+			if err := eng.Tag(ctx, a.Resource, a.Tag); err != nil {
 				log.Fatal(err)
 			}
 			if c := store.Lookups() - before; c > maxTagCost {

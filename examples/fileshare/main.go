@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -25,7 +26,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer sys.Shutdown()
 	fmt.Printf("Likir overlay up: %d certified nodes\n\n", sys.Size())
+
+	ctx := context.Background()
 
 	type file struct {
 		name, magnet string
@@ -41,24 +45,30 @@ func main() {
 	}
 	for i, f := range files {
 		publisher := sys.Peer(i % sys.Size())
-		if err := publisher.InsertResource(f.name, f.magnet, f.tags...); err != nil {
+		if err := publisher.InsertResource(ctx, f.name, f.magnet, f.tags); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("node-%-2d published %-20s %v\n", i%sys.Size(), f.name, f.tags)
 	}
 
 	// Another user enriches the index.
-	if err := sys.Peer(7).Tag("sicp.pdf", "scheme"); err != nil {
+	if err := sys.Peer(7).Tag(ctx, "sicp.pdf", "scheme"); err != nil {
 		log.Fatal(err)
 	}
 
 	// Navigate: books about computer science, then refine.
 	seeker := sys.Peer(19)
-	nav := seeker.Navigate("book", dharma.First, dharma.NavOptions{MinResources: 1})
+	nav, err := seeker.Navigate(ctx, "book", dharma.First, dharma.NavOptions{MinResources: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("\nnavigation from 'book': path=%v -> %v\n", nav.Path, nav.FinalResources)
 
 	// "More like this": enter the folksonomy through a known file.
-	similar := seeker.NavigateFromResource("sicp.pdf", dharma.First, dharma.NavOptions{MinResources: 1})
+	similar, err := seeker.NavigateFromResource(ctx, "sicp.pdf", dharma.First, dharma.NavOptions{MinResources: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("more-like sicp.pdf: path=%v -> %v\n", similar.Path, similar.FinalResources)
 
 	// Crash a third of the network, including possibly some replica
@@ -68,7 +78,7 @@ func main() {
 	}
 	fmt.Println("\ncrashed nodes 0..7; retrieving through the survivors:")
 	for _, f := range files {
-		uri, err := seeker.ResolveURI(f.name)
+		uri, err := seeker.ResolveURI(ctx, f.name)
 		if err != nil {
 			fmt.Printf("  %-20s LOST (%v)\n", f.name, err)
 			continue
@@ -78,7 +88,7 @@ func main() {
 
 	// The Likir layer end-to-end: a search step still verifies content
 	// signatures on the survivors.
-	related, _, err := seeker.SearchStep("cs")
+	related, _, err := seeker.SearchStep(ctx, "cs")
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -26,6 +27,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer sys.Shutdown()
+	ctx := context.Background()
 
 	// Generate a workload shaped like the paper's crawl (power-law
 	// degrees, singleton periphery, popular core) and publish a slice.
@@ -42,12 +45,12 @@ func main() {
 	for i, a := range schedule {
 		peer := sys.Peer(i % sys.Size()) // tagging load spread over peers
 		if !inserted[a.Resource] {
-			if err := peer.InsertResource(a.Resource, "lastfm:"+a.Resource); err != nil {
+			if err := peer.InsertResource(ctx, a.Resource, "lastfm:"+a.Resource, nil); err != nil {
 				log.Fatal(err)
 			}
 			inserted[a.Resource] = true
 		}
-		if err := peer.Tag(a.Resource, a.Tag); err != nil {
+		if err := peer.Tag(ctx, a.Resource, a.Tag); err != nil {
 			log.Fatal(err)
 		}
 		popularity[a.Tag]++
@@ -73,7 +76,10 @@ func main() {
 
 	explorer := sys.Peer(0)
 	for _, strat := range []dharma.Strategy{dharma.Last, dharma.Random, dharma.First} {
-		nav := explorer.Navigate(start, strat, dharma.NavOptions{})
+		nav, err := explorer.Navigate(ctx, start, strat, dharma.NavOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("%-6s strategy: %2d steps  path=%v\n", strat, nav.Steps(), nav.Path)
 		fmt.Printf("        stopped: %s, %d resources remain\n", nav.Reason, len(nav.FinalResources))
 	}

@@ -4,8 +4,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"dharma"
 )
@@ -17,6 +19,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer sys.Shutdown()
+
+	// Every operation takes a context; cancel it (or let a deadline
+	// expire) and the in-flight overlay RPCs are aborted.
+	ctx := context.Background()
 	fmt.Printf("overlay up: %d nodes\n\n", sys.Size())
 
 	// Any peer can publish. Tags connect the resource into the
@@ -33,7 +40,7 @@ func main() {
 		{"take-five", "magnet:?xt=t5", []string{"jazz", "instrumental", "50s"}},
 	}
 	for _, r := range resources {
-		if err := alice.InsertResource(r.name, r.uri, r.tags...); err != nil {
+		if err := alice.InsertResource(ctx, r.name, r.uri, r.tags); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("published %-18s tags=%v\n", r.name, r.tags)
@@ -41,13 +48,14 @@ func main() {
 
 	// Collaborative tagging: another user refines an existing resource.
 	bob := sys.Peer(9)
-	if err := bob.Tag("take-five", "brubeck"); err != nil {
+	// Per-operation options: bound this tag to 100ms whatever happens.
+	if err := bob.Tag(ctx, "take-five", "brubeck", dharma.WithTimeout(100*time.Millisecond)); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("bob tagged take-five with 'brubeck'")
 
 	// One search step: what relates to "rock"? (2 overlay lookups)
-	related, res, err := bob.SearchStep("rock")
+	related, res, err := bob.SearchStep(ctx, "rock")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -60,13 +68,16 @@ func main() {
 	}
 
 	// Faceted navigation: refine until few resources remain.
-	nav := bob.Navigate("rock", dharma.First, dharma.NavOptions{MinResources: 1})
+	nav, err := bob.Navigate(ctx, "rock", dharma.First, dharma.NavOptions{MinResources: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("\nnavigation path: %v (%s)\n", nav.Path, nav.Reason)
 	fmt.Printf("resources satisfying the conjunction: %v\n", nav.FinalResources)
 
 	// Resolve a result to its URI (block type 4).
 	if len(nav.FinalResources) > 0 {
-		uri, err := bob.ResolveURI(nav.FinalResources[0])
+		uri, err := bob.ResolveURI(ctx, nav.FinalResources[0])
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package dharma_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -31,7 +32,7 @@ func TestPipelineOverlayMatchesModel(t *testing.T) {
 	for i, a := range schedule {
 		peer := sys.Peer(i % sys.Size())
 		if !inserted[a.Resource] {
-			if err := peer.InsertResource(a.Resource, "uri:"+a.Resource); err != nil {
+			if err := peer.InsertResource(context.Background(), a.Resource, "uri:"+a.Resource, nil); err != nil {
 				t.Fatal(err)
 			}
 			if err := model.InsertResource(a.Resource, "uri:"+a.Resource); err != nil {
@@ -39,7 +40,7 @@ func TestPipelineOverlayMatchesModel(t *testing.T) {
 			}
 			inserted[a.Resource] = true
 		}
-		if err := peer.Tag(a.Resource, a.Tag); err != nil {
+		if err := peer.Tag(context.Background(), a.Resource, a.Tag); err != nil {
 			t.Fatal(err)
 		}
 		if err := model.Tag(a.Resource, a.Tag); err != nil {
@@ -54,7 +55,7 @@ func TestPipelineOverlayMatchesModel(t *testing.T) {
 		for _, w := range model.Neighbors(tag) {
 			want[w.Name] = w.Weight
 		}
-		got, err := reader.Neighbors(tag)
+		got, err := reader.Neighbors(context.Background(), tag)
 		if err != nil {
 			t.Fatalf("Neighbors(%s): %v", tag, err)
 		}
@@ -75,8 +76,11 @@ func TestPipelineOverlayMatchesModel(t *testing.T) {
 
 	// Navigation agreement: same path over the overlay and the model.
 	start := dataset.PopularTags(model, 1)[0]
-	overlayNav := reader.Navigate(start, dharma.First, dharma.NavOptions{})
-	modelNav := search.Run(search.NewFolkView(model), start, search.First, search.Options{})
+	overlayNav, navErr := reader.Navigate(context.Background(), start, dharma.First, dharma.NavOptions{})
+	if navErr != nil {
+		t.Fatalf("overlay navigate: %v", navErr)
+	}
+	modelNav, _ := search.Run(context.Background(), search.NewFolkView(model), start, search.First, search.Options{})
 	if fmt.Sprint(overlayNav.Path) != fmt.Sprint(modelNav.Path) {
 		t.Fatalf("paths diverge:\noverlay %v\nmodel   %v", overlayNav.Path, modelNav.Path)
 	}
@@ -100,12 +104,12 @@ func TestPipelineSurvivesChurnWithMaintenance(t *testing.T) {
 	for i, a := range schedule {
 		peer := sys.Peer(i % sys.Size())
 		if !inserted[a.Resource] {
-			if err := peer.InsertResource(a.Resource, "uri:"+a.Resource); err != nil {
+			if err := peer.InsertResource(context.Background(), a.Resource, "uri:"+a.Resource, nil); err != nil {
 				t.Fatal(err)
 			}
 			inserted[a.Resource] = true
 		}
-		if err := peer.Tag(a.Resource, a.Tag); err != nil {
+		if err := peer.Tag(context.Background(), a.Resource, a.Tag); err != nil {
 			t.Fatal(err)
 		}
 		pop[a.Tag]++
@@ -119,7 +123,7 @@ func TestPipelineSurvivesChurnWithMaintenance(t *testing.T) {
 		if i >= 10 && i < 20 {
 			continue
 		}
-		p.Node.RepublishOnce()
+		p.Node.RepublishOnce(context.Background())
 	}
 
 	// The most popular tags must all still answer search steps.
@@ -129,7 +133,7 @@ func TestPipelineSurvivesChurnWithMaintenance(t *testing.T) {
 		if n < 5 {
 			continue
 		}
-		if _, _, err := reader.SearchStep(tag); err != nil {
+		if _, _, err := reader.SearchStep(context.Background(), tag); err != nil {
 			t.Fatalf("SearchStep(%s) after churn: %v", tag, err)
 		}
 		checked++
@@ -147,7 +151,7 @@ func TestConcurrentPeersPublishing(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := sys.Peer(0).InsertResource("hot", "uri:hot", "seed-tag"); err != nil {
+	if err := sys.Peer(0).InsertResource(context.Background(), "hot", "uri:hot", []string{"seed-tag"}); err != nil {
 		t.Fatal(err)
 	}
 
@@ -157,7 +161,7 @@ func TestConcurrentPeersPublishing(t *testing.T) {
 		go func(g int) {
 			peer := sys.Peer(g)
 			for i := 0; i < 5; i++ {
-				if err := peer.Tag("hot", fmt.Sprintf("tag-%d", g)); err != nil {
+				if err := peer.Tag(context.Background(), "hot", fmt.Sprintf("tag-%d", g)); err != nil {
 					errc <- err
 					return
 				}
@@ -171,7 +175,7 @@ func TestConcurrentPeersPublishing(t *testing.T) {
 		}
 	}
 
-	tags, err := sys.Peer(11).TagsOf("hot")
+	tags, err := sys.Peer(11).TagsOf(context.Background(), "hot")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -26,6 +26,7 @@ package chaos
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -135,8 +136,10 @@ func (v Violation) String() string {
 
 // Check reads every recorded block through get (an unfiltered read —
 // kademlia.Node.FindValue, dht.Store.Get with topN 0, ...) and returns
-// one Violation per lost obligation, ordered deterministically.
-func (l *Ledger) Check(get func(kadid.ID) ([]wire.Entry, error)) []Violation {
+// one Violation per lost obligation, ordered deterministically. ctx is
+// handed to every read; a cancelled check surfaces the remaining
+// obligations as unreadable.
+func (l *Ledger) Check(ctx context.Context, get func(context.Context, kadid.ID) ([]wire.Entry, error)) []Violation {
 	l.mu.Lock()
 	type obligation struct {
 		key    kadid.ID
@@ -157,7 +160,7 @@ func (l *Ledger) Check(get func(kadid.ID) ([]wire.Entry, error)) []Violation {
 
 	var out []Violation
 	for _, ob := range obligations {
-		entries, err := get(ob.key)
+		entries, err := get(ctx, ob.key)
 		if err != nil {
 			out = append(out, Violation{Key: ob.key, Missing: true, Err: err})
 			continue
@@ -202,8 +205,8 @@ func NewRecording(inner dht.Store, l *Ledger) *Recording {
 }
 
 // Append implements dht.Store.
-func (r *Recording) Append(key kadid.ID, entries []wire.Entry) error {
-	if err := r.inner.Append(key, entries); err != nil {
+func (r *Recording) Append(ctx context.Context, key kadid.ID, entries []wire.Entry) error {
+	if err := r.inner.Append(ctx, key, entries); err != nil {
 		return err
 	}
 	r.writes.Add(1)
@@ -212,8 +215,8 @@ func (r *Recording) Append(key kadid.ID, entries []wire.Entry) error {
 }
 
 // AppendBatch implements dht.Store.
-func (r *Recording) AppendBatch(items []dht.BatchItem) error {
-	if err := r.inner.AppendBatch(items); err != nil {
+func (r *Recording) AppendBatch(ctx context.Context, items []dht.BatchItem) error {
+	if err := r.inner.AppendBatch(ctx, items); err != nil {
 		return err
 	}
 	r.writes.Add(int64(len(items)))
@@ -224,8 +227,8 @@ func (r *Recording) AppendBatch(items []dht.BatchItem) error {
 }
 
 // Get implements dht.Store.
-func (r *Recording) Get(key kadid.ID, topN int) ([]wire.Entry, error) {
-	return r.inner.Get(key, topN)
+func (r *Recording) Get(ctx context.Context, key kadid.ID, topN int) ([]wire.Entry, error) {
+	return r.inner.Get(ctx, key, topN)
 }
 
 // Writes returns how many acknowledged append operations were recorded.
@@ -239,20 +242,20 @@ var _ dht.Store = (*Recording)(nil)
 // through the cluster's first member (which also triggers read-repair
 // when that node has it enabled). It returns the surviving violations:
 // an empty slice is the churn invariant holding.
-func RepairAndCheck(cl *kademlia.Cluster, l *Ledger, rounds int) []Violation {
+func RepairAndCheck(ctx context.Context, cl *kademlia.Cluster, l *Ledger, rounds int) []Violation {
 	if rounds <= 0 {
 		rounds = 2
 	}
 	for r := 0; r < rounds; r++ {
 		for _, n := range cl.Snapshot() {
-			n.RepublishOnce()
+			n.RepublishOnce(ctx)
 		}
 	}
 	reader := cl.NodeAt(0)
 	if reader == nil {
 		return []Violation{{Err: fmt.Errorf("chaos: cluster has no members left to read from")}}
 	}
-	return l.Check(func(key kadid.ID) ([]wire.Entry, error) {
-		return reader.FindValue(key, 0)
+	return l.Check(ctx, func(ctx context.Context, key kadid.ID) ([]wire.Entry, error) {
+		return reader.FindValue(ctx, key, 0)
 	})
 }

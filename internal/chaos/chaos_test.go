@@ -1,6 +1,7 @@
 package chaos
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"testing"
@@ -27,7 +28,7 @@ func TestLedgerFloors(t *testing.T) {
 	l.Record(key, []wire.Entry{{Field: "a", Count: 1}})
 
 	good := map[string]uint64{"a": 9, "b": 2, "c": 0}
-	viol := l.Check(func(k kadid.ID) ([]wire.Entry, error) {
+	viol := l.Check(context.Background(), func(_ context.Context, k kadid.ID) ([]wire.Entry, error) {
 		var out []wire.Entry
 		for f, c := range good {
 			out = append(out, wire.Entry{Field: f, Count: c})
@@ -38,7 +39,7 @@ func TestLedgerFloors(t *testing.T) {
 		t.Fatalf("exact floors flagged as violations: %v", viol)
 	}
 
-	viol = l.Check(func(k kadid.ID) ([]wire.Entry, error) {
+	viol = l.Check(context.Background(), func(_ context.Context, k kadid.ID) ([]wire.Entry, error) {
 		return []wire.Entry{{Field: "a", Count: 8}, {Field: "b", Count: 2}}, nil
 	})
 	// a below floor, c missing entirely.
@@ -59,7 +60,7 @@ func TestLedgerCheckReportsUnreadableBlocks(t *testing.T) {
 	l := NewLedger()
 	l.Record(kadid.HashString("k"), []wire.Entry{{Field: "f", Count: 1}})
 	boom := errors.New("boom")
-	viol := l.Check(func(kadid.ID) ([]wire.Entry, error) { return nil, boom })
+	viol := l.Check(context.Background(), func(context.Context, kadid.ID) ([]wire.Entry, error) { return nil, boom })
 	if len(viol) != 1 || !errors.Is(viol[0].Err, boom) {
 		t.Fatalf("viol = %v", viol)
 	}
@@ -71,13 +72,13 @@ func TestRecordingOnlyRecordsAcknowledged(t *testing.T) {
 	rec := NewRecording(failingStore{inner: inner, failKey: kadid.HashString("bad")}, l)
 
 	good := kadid.HashString("good")
-	if err := rec.Append(good, []wire.Entry{{Field: "f", Count: 2}}); err != nil {
+	if err := rec.Append(context.Background(), good, []wire.Entry{{Field: "f", Count: 2}}); err != nil {
 		t.Fatal(err)
 	}
-	if err := rec.Append(kadid.HashString("bad"), []wire.Entry{{Field: "f", Count: 2}}); err == nil {
+	if err := rec.Append(context.Background(), kadid.HashString("bad"), []wire.Entry{{Field: "f", Count: 2}}); err == nil {
 		t.Fatal("failing append did not error")
 	}
-	if err := rec.AppendBatch([]dht.BatchItem{
+	if err := rec.AppendBatch(context.Background(), []dht.BatchItem{
 		{Key: kadid.HashString("bad"), Entries: []wire.Entry{{Field: "x", Count: 1}}},
 		{Key: good, Entries: []wire.Entry{{Field: "y", Count: 1}}},
 	}); err == nil {
@@ -99,24 +100,24 @@ type failingStore struct {
 	failKey kadid.ID
 }
 
-func (s failingStore) Append(key kadid.ID, entries []wire.Entry) error {
+func (s failingStore) Append(ctx context.Context, key kadid.ID, entries []wire.Entry) error {
 	if key == s.failKey {
 		return errors.New("injected append failure")
 	}
-	return s.inner.Append(key, entries)
+	return s.inner.Append(ctx, key, entries)
 }
 
-func (s failingStore) AppendBatch(items []dht.BatchItem) error {
+func (s failingStore) AppendBatch(ctx context.Context, items []dht.BatchItem) error {
 	for _, it := range items {
 		if it.Key == s.failKey {
 			return errors.New("injected batch failure")
 		}
 	}
-	return s.inner.AppendBatch(items)
+	return s.inner.AppendBatch(ctx, items)
 }
 
-func (s failingStore) Get(key kadid.ID, topN int) ([]wire.Entry, error) {
-	return s.inner.Get(key, topN)
+func (s failingStore) Get(ctx context.Context, key kadid.ID, topN int) ([]wire.Entry, error) {
+	return s.inner.Get(ctx, key, topN)
 }
 
 func TestRepairAndCheckSurvivesKMinusOneCrashes(t *testing.T) {
@@ -133,7 +134,7 @@ func TestRepairAndCheckSurvivesKMinusOneCrashes(t *testing.T) {
 
 	for i := 0; i < 20; i++ {
 		key := kadid.HashString(fmt.Sprintf("blk%d", i))
-		if err := store.Append(key, []wire.Entry{{Field: "f", Count: uint64(i + 1)}}); err != nil {
+		if err := store.Append(context.Background(), key, []wire.Entry{{Field: "f", Count: uint64(i + 1)}}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -159,7 +160,7 @@ func TestRepairAndCheckSurvivesKMinusOneCrashes(t *testing.T) {
 		t.Skip("no crashable holders under this seed")
 	}
 
-	if viol := RepairAndCheck(cl, ledger, 2); len(viol) != 0 {
+	if viol := RepairAndCheck(context.Background(), cl, ledger, 2); len(viol) != 0 {
 		t.Fatalf("lost %d acknowledged writes after crashing %d holders: %v", len(viol), crashed, viol)
 	}
 }

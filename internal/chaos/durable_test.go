@@ -1,6 +1,7 @@
 package chaos
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -49,7 +50,7 @@ func TestDurableWipeRecover(t *testing.T) {
 		key := kadid.HashString(fmt.Sprintf("blk%d", rng.Intn(24)))
 		// Failures are fine (a quorum may be down mid-wave); only
 		// acknowledged writes enter the ledger, and only those are owed.
-		st.Append(key, []wire.Entry{ //nolint:errcheck
+		st.Append(context.Background(), key, []wire.Entry{ //nolint:errcheck
 			{Field: fmt.Sprintf("f%d", rng.Intn(6)), Count: uint64(1 + rng.Intn(5))},
 		})
 	}
@@ -85,7 +86,7 @@ func TestDurableWipeRecover(t *testing.T) {
 			}
 		}
 
-		if viol := RepairAndCheck(cl, ledger, 2); len(viol) != 0 {
+		if viol := RepairAndCheck(context.Background(), cl, ledger, 2); len(viol) != 0 {
 			t.Fatalf("round %d: %d of %d acknowledged (block,field) obligations lost after wipe-and-recover: %v",
 				round, len(viol), ledger.Fields(), viol[:min(len(viol), 5)])
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -111,10 +112,10 @@ func (e *Engine) Store() dht.Store { return e.store }
 // Inserting a name that already exists is not detected here (checking
 // would cost an extra lookup the paper does not account); higher layers
 // own name allocation.
-func (e *Engine) InsertResource(r, uri string, tags ...string) error {
+func (e *Engine) InsertResource(ctx context.Context, r, uri string, tags ...string) error {
 	tags = dedup(tags)
 
-	if err := e.store.Append(BlockKey(r, BlockResourceURI), []wire.Entry{
+	if err := e.store.Append(ctx, BlockKey(r, BlockResourceURI), []wire.Entry{
 		{Field: r, Count: 1, Data: []byte(uri)},
 	}); err != nil {
 		return fmt.Errorf("core: insert %q (r̃): %w", r, err)
@@ -124,7 +125,7 @@ func (e *Engine) InsertResource(r, uri string, tags ...string) error {
 	for i, t := range tags {
 		rBar[i] = wire.Entry{Field: t, Count: 1}
 	}
-	if err := e.store.Append(BlockKey(r, BlockResourceTags), rBar); err != nil {
+	if err := e.store.Append(ctx, BlockKey(r, BlockResourceTags), rBar); err != nil {
 		return fmt.Errorf("core: insert %q (r̄): %w", r, err)
 	}
 
@@ -149,7 +150,7 @@ func (e *Engine) InsertResource(r, uri string, tags ...string) error {
 		}
 		batch = append(batch, dht.BatchItem{Key: BlockKey(t, BlockTagNeighbors), Entries: arcs})
 	}
-	if err := e.store.AppendBatch(batch); err != nil {
+	if err := e.store.AppendBatch(ctx, batch); err != nil {
 		return fmt.Errorf("core: insert %q (tag blocks): %w", r, err)
 	}
 	return nil
@@ -164,8 +165,8 @@ func (e *Engine) InsertResource(r, uri string, tags ...string) error {
 //	1 append of t̄ (u(t,r) += 1, reverse orientation)
 //	1 append of t̂_t (forward arcs (t,τ); empty when t was present)
 //	+ one append of t̂_τ per updated reverse arc (τ,t).
-func (e *Engine) Tag(r, t string) error {
-	prior, err := e.store.Get(BlockKey(r, BlockResourceTags), 0)
+func (e *Engine) Tag(ctx context.Context, r, t string) error {
+	prior, err := e.store.Get(ctx, BlockKey(r, BlockResourceTags), 0)
 	if err != nil && !errors.Is(err, dht.ErrNotFound) {
 		return fmt.Errorf("core: tag %q on %q (read r̄): %w", t, r, err)
 	}
@@ -180,12 +181,12 @@ func (e *Engine) Tag(r, t string) error {
 		}
 	}
 
-	if err := e.store.Append(BlockKey(r, BlockResourceTags), []wire.Entry{
+	if err := e.store.Append(ctx, BlockKey(r, BlockResourceTags), []wire.Entry{
 		{Field: t, Count: 1},
 	}); err != nil {
 		return fmt.Errorf("core: tag %q on %q (r̄): %w", t, r, err)
 	}
-	if err := e.store.Append(BlockKey(t, BlockTagResources), []wire.Entry{
+	if err := e.store.Append(ctx, BlockKey(t, BlockTagResources), []wire.Entry{
 		{Field: r, Count: 1},
 	}); err != nil {
 		return fmt.Errorf("core: tag %q on %q (t̄): %w", t, r, err)
@@ -212,7 +213,7 @@ func (e *Engine) Tag(r, t string) error {
 			forward = append(forward, entry)
 		}
 	}
-	if err := e.store.Append(BlockKey(t, BlockTagNeighbors), forward); err != nil {
+	if err := e.store.Append(ctx, BlockKey(t, BlockTagNeighbors), forward); err != nil {
 		return fmt.Errorf("core: tag %q on %q (t̂): %w", t, r, err)
 	}
 
@@ -223,7 +224,7 @@ func (e *Engine) Tag(r, t string) error {
 		reverse = e.sampleEntries(reverse, e.cfg.K)
 	}
 	if e.cfg.Parallel && len(reverse) > 1 {
-		return e.reverseParallel(r, t, reverse)
+		return e.reverseParallel(ctx, r, t, reverse)
 	}
 	// The reverse updates are independent single-entry appends to
 	// distinct t̂ blocks; one batched call covers them all while keeping
@@ -238,7 +239,7 @@ func (e *Engine) Tag(r, t string) error {
 			Entries: []wire.Entry{{Field: t, Count: 1}},
 		}
 	}
-	if err := e.store.AppendBatch(batch); err != nil {
+	if err := e.store.AppendBatch(ctx, batch); err != nil {
 		return fmt.Errorf("core: tag %q on %q (reverse t̂ arcs): %w", t, r, err)
 	}
 	return nil
@@ -249,14 +250,14 @@ func (e *Engine) Tag(r, t string) error {
 // reported — the joined error carries one branch per failed arc, so a
 // load test counting failed appends sees all of them, not just the
 // first.
-func (e *Engine) reverseParallel(r, t string, reverse []wire.Entry) error {
+func (e *Engine) reverseParallel(ctx context.Context, r, t string, reverse []wire.Entry) error {
 	var wg sync.WaitGroup
 	errs := make([]error, len(reverse))
 	for i, en := range reverse {
 		wg.Add(1)
 		go func(i int, field string) {
 			defer wg.Done()
-			if err := e.store.Append(BlockKey(field, BlockTagNeighbors), []wire.Entry{
+			if err := e.store.Append(ctx, BlockKey(field, BlockTagNeighbors), []wire.Entry{
 				{Field: t, Count: 1},
 			}); err != nil {
 				errs[i] = fmt.Errorf("core: tag %q on %q (t̂ of %q): %w", t, r, field, err)
@@ -271,12 +272,27 @@ func (e *Engine) reverseParallel(r, t string, reverse []wire.Entry) error {
 // ordered by descending similarity and its resources ordered by
 // descending annotation count, both truncated to the engine's TopN
 // (index-side filtering). Per Table I it costs exactly 2 lookups.
-func (e *Engine) SearchStep(t string) (related, resources []folksonomy.Weighted, err error) {
-	neigh, errN := e.store.Get(BlockKey(t, BlockTagNeighbors), e.topN)
+func (e *Engine) SearchStep(ctx context.Context, t string) (related, resources []folksonomy.Weighted, err error) {
+	return e.SearchStepN(ctx, t, 0)
+}
+
+// SearchStepN is SearchStep with a per-call filter cap: topN overrides
+// the engine's configured TopN for this step only (0 keeps the engine
+// default, negative disables filtering). It is what per-operation
+// options on the facade resolve to.
+func (e *Engine) SearchStepN(ctx context.Context, t string, topN int) (related, resources []folksonomy.Weighted, err error) {
+	limit := e.topN
+	switch {
+	case topN > 0:
+		limit = topN
+	case topN < 0:
+		limit = 0 // disable filtering
+	}
+	neigh, errN := e.store.Get(ctx, BlockKey(t, BlockTagNeighbors), limit)
 	if errN != nil && !errors.Is(errN, dht.ErrNotFound) {
 		return nil, nil, fmt.Errorf("core: search %q (t̂): %w", t, errN)
 	}
-	res, errR := e.store.Get(BlockKey(t, BlockTagResources), e.topN)
+	res, errR := e.store.Get(ctx, BlockKey(t, BlockTagResources), limit)
 	if errR != nil && !errors.Is(errR, dht.ErrNotFound) {
 		return nil, nil, fmt.Errorf("core: search %q (t̄): %w", t, errR)
 	}
@@ -288,8 +304,8 @@ func (e *Engine) SearchStep(t string) (related, resources []folksonomy.Weighted,
 
 // ResolveURI fetches the URI published for resource r (block r̃); one
 // lookup.
-func (e *Engine) ResolveURI(r string) (string, error) {
-	es, err := e.store.Get(BlockKey(r, BlockResourceURI), 0)
+func (e *Engine) ResolveURI(ctx context.Context, r string) (string, error) {
+	es, err := e.store.Get(ctx, BlockKey(r, BlockResourceURI), 0)
 	if err != nil {
 		return "", fmt.Errorf("core: resolve %q: %w", r, err)
 	}
@@ -303,8 +319,8 @@ func (e *Engine) ResolveURI(r string) (string, error) {
 
 // TagsOf fetches Tags(r) with weights from r̄ (one lookup), sorted by
 // descending weight.
-func (e *Engine) TagsOf(r string) ([]folksonomy.Weighted, error) {
-	es, err := e.store.Get(BlockKey(r, BlockResourceTags), 0)
+func (e *Engine) TagsOf(ctx context.Context, r string) ([]folksonomy.Weighted, error) {
+	es, err := e.store.Get(ctx, BlockKey(r, BlockResourceTags), 0)
 	if err != nil {
 		if errors.Is(err, dht.ErrNotFound) {
 			return nil, nil
@@ -316,8 +332,8 @@ func (e *Engine) TagsOf(r string) ([]folksonomy.Weighted, error) {
 
 // Neighbors fetches the full (unfiltered) FG adjacency of t; used by
 // experiments that compare the mapped graph against the theoretic one.
-func (e *Engine) Neighbors(t string) ([]folksonomy.Weighted, error) {
-	es, err := e.store.Get(BlockKey(t, BlockTagNeighbors), 0)
+func (e *Engine) Neighbors(ctx context.Context, t string) ([]folksonomy.Weighted, error) {
+	es, err := e.store.Get(ctx, BlockKey(t, BlockTagNeighbors), 0)
 	if err != nil {
 		if errors.Is(err, dht.ErrNotFound) {
 			return nil, nil

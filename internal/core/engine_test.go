@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -64,7 +65,7 @@ func TestInsertResourceCost(t *testing.T) {
 				tags[i] = fmt.Sprintf("t%d", i)
 			}
 			before := store.Lookups()
-			if err := e.InsertResource("r", "uri:r", tags...); err != nil {
+			if err := e.InsertResource(context.Background(), "r", "uri:r", tags...); err != nil {
 				t.Fatal(err)
 			}
 			got := store.Lookups() - before
@@ -79,7 +80,7 @@ func TestInsertResourceCost(t *testing.T) {
 func TestInsertResourceDedupCost(t *testing.T) {
 	e, store := newLocalEngine(t, core.Config{})
 	before := store.Lookups()
-	if err := e.InsertResource("r", "", "a", "a", "b"); err != nil {
+	if err := e.InsertResource(context.Background(), "r", "", "a", "a", "b"); err != nil {
 		t.Fatal(err)
 	}
 	if got := store.Lookups() - before; got != 2+2*2 {
@@ -92,11 +93,11 @@ func TestTagCostNaive(t *testing.T) {
 	// counted without t itself).
 	e, store := newLocalEngine(t, core.Config{Mode: core.Naive})
 	tags := []string{"a", "b", "c", "d", "e"}
-	if err := e.InsertResource("r", "", tags...); err != nil {
+	if err := e.InsertResource(context.Background(), "r", "", tags...); err != nil {
 		t.Fatal(err)
 	}
 	before := store.Lookups()
-	if err := e.Tag("r", "fresh"); err != nil {
+	if err := e.Tag(context.Background(), "r", "fresh"); err != nil {
 		t.Fatal(err)
 	}
 	if got := store.Lookups() - before; got != 4+5 {
@@ -104,7 +105,7 @@ func TestTagCostNaive(t *testing.T) {
 	}
 
 	before = store.Lookups()
-	if err := e.Tag("r", "a"); err != nil { // re-tag: |Tags(r)\{a}| = 5
+	if err := e.Tag(context.Background(), "r", "a"); err != nil { // re-tag: |Tags(r)\{a}| = 5
 		t.Fatal(err)
 	}
 	if got := store.Lookups() - before; got != 4+5 {
@@ -121,11 +122,11 @@ func TestTagCostApproximated(t *testing.T) {
 	for i := 0; i < 40; i++ {
 		tags = append(tags, fmt.Sprintf("t%02d", i))
 	}
-	if err := e.InsertResource("r", "", tags...); err != nil {
+	if err := e.InsertResource(context.Background(), "r", "", tags...); err != nil {
 		t.Fatal(err)
 	}
 	before := store.Lookups()
-	if err := e.Tag("r", "fresh"); err != nil {
+	if err := e.Tag(context.Background(), "r", "fresh"); err != nil {
 		t.Fatal(err)
 	}
 	if got := store.Lookups() - before; got != 4+k {
@@ -134,11 +135,11 @@ func TestTagCostApproximated(t *testing.T) {
 
 	// With fewer than k other tags, the subset is everything.
 	e2, store2 := newLocalEngine(t, core.Config{Mode: core.Approximated, K: 10})
-	if err := e2.InsertResource("r", "", "x", "y"); err != nil {
+	if err := e2.InsertResource(context.Background(), "r", "", "x", "y"); err != nil {
 		t.Fatal(err)
 	}
 	before = store2.Lookups()
-	if err := e2.Tag("r", "z"); err != nil {
+	if err := e2.Tag(context.Background(), "r", "z"); err != nil {
 		t.Fatal(err)
 	}
 	if got := store2.Lookups() - before; got != 4+2 {
@@ -149,11 +150,11 @@ func TestTagCostApproximated(t *testing.T) {
 func TestSearchStepCost(t *testing.T) {
 	// Table I row 3: a search step costs exactly 2 lookups.
 	e, store := newLocalEngine(t, core.Config{})
-	if err := e.InsertResource("r", "", "rock", "pop"); err != nil {
+	if err := e.InsertResource(context.Background(), "r", "", "rock", "pop"); err != nil {
 		t.Fatal(err)
 	}
 	before := store.Lookups()
-	if _, _, err := e.SearchStep("rock"); err != nil {
+	if _, _, err := e.SearchStep(context.Background(), "rock"); err != nil {
 		t.Fatal(err)
 	}
 	if got := store.Lookups() - before; got != 2 {
@@ -193,7 +194,7 @@ func TestTagCostProperty(t *testing.T) {
 				}
 				r := fmt.Sprintf("r%d", nRes)
 				before := store.Lookups()
-				if err := e.InsertResource(r, "", tags...); err != nil {
+				if err := e.InsertResource(context.Background(), r, "", tags...); err != nil {
 					t.Fatal(err)
 				}
 				if got := store.Lookups() - before; got != int64(2+2*len(tags)) {
@@ -215,7 +216,7 @@ func TestTagCostProperty(t *testing.T) {
 					want = int64(4 + k)
 				}
 				before := store.Lookups()
-				if err := e.Tag(r, tg); err != nil {
+				if err := e.Tag(context.Background(), r, tg); err != nil {
 					t.Fatal(err)
 				}
 				if got := store.Lookups() - before; got != want {
@@ -249,7 +250,7 @@ func TestNaiveEngineMatchesTheoreticModel(t *testing.T) {
 				}
 			}
 			r := fmt.Sprintf("r%d", nRes)
-			if err := e.InsertResource(r, "uri:"+r, tags...); err != nil {
+			if err := e.InsertResource(context.Background(), r, "uri:"+r, tags...); err != nil {
 				t.Fatal(err)
 			}
 			if err := model.InsertResource(r, "uri:"+r, tags...); err != nil {
@@ -259,7 +260,7 @@ func TestNaiveEngineMatchesTheoreticModel(t *testing.T) {
 		} else {
 			r := fmt.Sprintf("r%d", rng.Intn(nRes))
 			tg := fmt.Sprintf("t%d", rng.Intn(12))
-			if err := e.Tag(r, tg); err != nil {
+			if err := e.Tag(context.Background(), r, tg); err != nil {
 				t.Fatal(err)
 			}
 			if err := model.Tag(r, tg); err != nil {
@@ -274,7 +275,7 @@ func TestNaiveEngineMatchesTheoreticModel(t *testing.T) {
 		for _, w := range model.Neighbors(tg) {
 			wantArcs[w.Name] = w.Weight
 		}
-		got, err := e.Neighbors(tg)
+		got, err := e.Neighbors(context.Background(), tg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -297,7 +298,7 @@ func TestNaiveEngineMatchesTheoreticModel(t *testing.T) {
 
 	// Compare TRG weights via r̄ blocks.
 	for _, r := range model.ResourceNames() {
-		got, err := e.TagsOf(r)
+		got, err := e.TagsOf(context.Background(), r)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -322,28 +323,28 @@ func TestApproximationBForwardArcWeight(t *testing.T) {
 	// engine writes weight 1 where the naive engine writes u(τ,r).
 	build := func(mode core.Mode) *core.Engine {
 		e, _ := newLocalEngine(t, core.Config{Mode: mode, K: 100})
-		if err := e.InsertResource("r", "", "a"); err != nil {
+		if err := e.InsertResource(context.Background(), "r", "", "a"); err != nil {
 			t.Fatal(err)
 		}
 		for i := 0; i < 4; i++ { // u(a,r) = 5
-			if err := e.Tag("r", "a"); err != nil {
+			if err := e.Tag(context.Background(), "r", "a"); err != nil {
 				t.Fatal(err)
 			}
 		}
-		if err := e.Tag("r", "fresh"); err != nil {
+		if err := e.Tag(context.Background(), "r", "fresh"); err != nil {
 			t.Fatal(err)
 		}
 		return e
 	}
 
 	naive := build(core.Naive)
-	ws, err := naive.Neighbors("fresh")
+	ws, err := naive.Neighbors(context.Background(), "fresh")
 	if err != nil || len(ws) != 1 || ws[0].Weight != 5 {
 		t.Fatalf("naive sim(fresh,a) = %v (err %v), want 5", ws, err)
 	}
 
 	approx := build(core.Approximated)
-	ws, err = approx.Neighbors("fresh")
+	ws, err = approx.Neighbors(context.Background(), "fresh")
 	if err != nil || len(ws) != 1 || ws[0].Weight != 1 {
 		t.Fatalf("approx sim(fresh,a) = %v (err %v), want 1 (Approximation B)", ws, err)
 	}
@@ -354,26 +355,26 @@ func TestApproximationBExistingArcGrowsTheoretically(t *testing.T) {
 	// exists still grows by the theoretic increment u(τ,r).
 	e, _ := newLocalEngine(t, core.Config{Mode: core.Approximated, K: 100})
 	// Create arc (fresh,a) with weight 1 on r1 (u(a,r1)=1 at creation).
-	if err := e.InsertResource("r1", "", "a"); err != nil {
+	if err := e.InsertResource(context.Background(), "r1", "", "a"); err != nil {
 		t.Fatal(err)
 	}
-	if err := e.Tag("r1", "fresh"); err != nil {
+	if err := e.Tag(context.Background(), "r1", "fresh"); err != nil {
 		t.Fatal(err)
 	}
 	// On r2, a carries weight 4; adding fresh (arc now exists) must add
 	// the full u(a,r2)=4.
-	if err := e.InsertResource("r2", "", "a"); err != nil {
+	if err := e.InsertResource(context.Background(), "r2", "", "a"); err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 3; i++ {
-		if err := e.Tag("r2", "a"); err != nil {
+		if err := e.Tag(context.Background(), "r2", "a"); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if err := e.Tag("r2", "fresh"); err != nil {
+	if err := e.Tag(context.Background(), "r2", "fresh"); err != nil {
 		t.Fatal(err)
 	}
-	ws, err := e.Neighbors("fresh")
+	ws, err := e.Neighbors(context.Background(), "fresh")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -398,26 +399,26 @@ func TestApproximatedGraphIsBoundedByNaive(t *testing.T) {
 	tags := []string{"a", "b", "c", "d", "e", "f", "g"}
 	for i := 0; i < 10; i++ {
 		r := fmt.Sprintf("r%d", i)
-		if err := naive.InsertResource(r, ""); err != nil {
+		if err := naive.InsertResource(context.Background(), r, ""); err != nil {
 			t.Fatal(err)
 		}
-		if err := approx.InsertResource(r, ""); err != nil {
+		if err := approx.InsertResource(context.Background(), r, ""); err != nil {
 			t.Fatal(err)
 		}
 	}
 	for op := 0; op < 300; op++ {
 		r := fmt.Sprintf("r%d", rng.Intn(10))
 		tg := tags[rng.Intn(len(tags))]
-		if err := naive.Tag(r, tg); err != nil {
+		if err := naive.Tag(context.Background(), r, tg); err != nil {
 			t.Fatal(err)
 		}
-		if err := approx.Tag(r, tg); err != nil {
+		if err := approx.Tag(context.Background(), r, tg); err != nil {
 			t.Fatal(err)
 		}
 	}
 
 	for _, tg := range tags {
-		nv, err := naive.Neighbors(tg)
+		nv, err := naive.Neighbors(context.Background(), tg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -425,7 +426,7 @@ func TestApproximatedGraphIsBoundedByNaive(t *testing.T) {
 		for _, w := range nv {
 			naiveW[w.Name] = w.Weight
 		}
-		av, err := approx.Neighbors(tg)
+		av, err := approx.Neighbors(context.Background(), tg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -453,14 +454,14 @@ func TestParallelReverseUpdatesEquivalent(t *testing.T) {
 		})
 		rng := rand.New(rand.NewSource(7))
 		for i := 0; i < 8; i++ {
-			if err := e.InsertResource(fmt.Sprintf("r%d", i), ""); err != nil {
+			if err := e.InsertResource(context.Background(), fmt.Sprintf("r%d", i), ""); err != nil {
 				t.Fatal(err)
 			}
 		}
 		for op := 0; op < 200; op++ {
 			r := fmt.Sprintf("r%d", rng.Intn(8))
 			tg := fmt.Sprintf("t%d", rng.Intn(10))
-			if err := e.Tag(r, tg); err != nil {
+			if err := e.Tag(context.Background(), r, tg); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -473,11 +474,11 @@ func TestParallelReverseUpdatesEquivalent(t *testing.T) {
 	}
 	for i := 0; i < 10; i++ {
 		tg := fmt.Sprintf("t%d", i)
-		a, err := seq.Neighbors(tg)
+		a, err := seq.Neighbors(context.Background(), tg)
 		if err != nil {
 			t.Fatal(err)
 		}
-		b, err := par.Neighbors(tg)
+		b, err := par.Neighbors(context.Background(), tg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -498,17 +499,17 @@ func TestSearchStepFilteringAndOrder(t *testing.T) {
 	for i := 0; i < 10; i++ {
 		tags = append(tags, fmt.Sprintf("t%d", i))
 	}
-	if err := e.InsertResource("r0", "", tags...); err != nil {
+	if err := e.InsertResource(context.Background(), "r0", "", tags...); err != nil {
 		t.Fatal(err)
 	}
 	// Make t1 strongly related to t0 (co-tag them on more resources).
 	for i := 1; i < 5; i++ {
 		r := fmt.Sprintf("rr%d", i)
-		if err := e.InsertResource(r, "", "t0", "t1"); err != nil {
+		if err := e.InsertResource(context.Background(), r, "", "t0", "t1"); err != nil {
 			t.Fatal(err)
 		}
 	}
-	related, resources, err := e.SearchStep("t0")
+	related, resources, err := e.SearchStep(context.Background(), "t0")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -530,24 +531,24 @@ func TestSearchStepFilteringAndOrder(t *testing.T) {
 
 func TestSearchStepUnknownTag(t *testing.T) {
 	e, _ := newLocalEngine(t, core.Config{})
-	if _, _, err := e.SearchStep("ghost"); !errors.Is(err, core.ErrNoSuchTag) {
+	if _, _, err := e.SearchStep(context.Background(), "ghost"); !errors.Is(err, core.ErrNoSuchTag) {
 		t.Fatalf("want ErrNoSuchTag, got %v", err)
 	}
 }
 
 func TestResolveURI(t *testing.T) {
 	e, _ := newLocalEngine(t, core.Config{})
-	if err := e.InsertResource("song", "http://example/song.ogg", "rock"); err != nil {
+	if err := e.InsertResource(context.Background(), "song", "http://example/song.ogg", "rock"); err != nil {
 		t.Fatal(err)
 	}
-	uri, err := e.ResolveURI("song")
+	uri, err := e.ResolveURI(context.Background(), "song")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if uri != "http://example/song.ogg" {
 		t.Fatalf("URI = %q", uri)
 	}
-	if _, err := e.ResolveURI("ghost"); err == nil {
+	if _, err := e.ResolveURI(context.Background(), "ghost"); err == nil {
 		t.Fatal("ResolveURI on missing resource succeeded")
 	}
 }
@@ -555,15 +556,15 @@ func TestResolveURI(t *testing.T) {
 func TestApproximationADeterministicUnderSeed(t *testing.T) {
 	run := func() []folksonomy.Weighted {
 		e, _ := newLocalEngine(t, core.Config{Mode: core.Approximated, K: 2, Seed: 77})
-		if err := e.InsertResource("r", "", "a", "b", "c", "d", "e", "f"); err != nil {
+		if err := e.InsertResource(context.Background(), "r", "", "a", "b", "c", "d", "e", "f"); err != nil {
 			t.Fatal(err)
 		}
-		if err := e.Tag("r", "x"); err != nil {
+		if err := e.Tag(context.Background(), "r", "x"); err != nil {
 			t.Fatal(err)
 		}
 		var out []folksonomy.Weighted
 		for _, tg := range []string{"a", "b", "c", "d", "e", "f"} {
-			ws, err := e.Neighbors(tg)
+			ws, err := e.Neighbors(context.Background(), tg)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -625,28 +626,28 @@ func TestEngineOverRealOverlay(t *testing.T) {
 	}
 	for _, o := range ops {
 		if o.insert {
-			if err := over.InsertResource(o.r, "uri:"+o.r, o.tags...); err != nil {
+			if err := over.InsertResource(context.Background(), o.r, "uri:"+o.r, o.tags...); err != nil {
 				t.Fatal(err)
 			}
-			if err := local.InsertResource(o.r, "uri:"+o.r, o.tags...); err != nil {
+			if err := local.InsertResource(context.Background(), o.r, "uri:"+o.r, o.tags...); err != nil {
 				t.Fatal(err)
 			}
 		} else {
-			if err := over.Tag(o.r, o.t); err != nil {
+			if err := over.Tag(context.Background(), o.r, o.t); err != nil {
 				t.Fatal(err)
 			}
-			if err := local.Tag(o.r, o.t); err != nil {
+			if err := local.Tag(context.Background(), o.r, o.t); err != nil {
 				t.Fatal(err)
 			}
 		}
 	}
 
 	for _, tg := range []string{"rock", "pop", "indie", "live"} {
-		a, err := over.Neighbors(tg)
+		a, err := over.Neighbors(context.Background(), tg)
 		if err != nil {
 			t.Fatal(err)
 		}
-		b, err := local.Neighbors(tg)
+		b, err := local.Neighbors(context.Background(), tg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -659,7 +660,7 @@ func TestEngineOverRealOverlay(t *testing.T) {
 			}
 		}
 	}
-	uri, err := over.ResolveURI("r2")
+	uri, err := over.ResolveURI(context.Background(), "r2")
 	if err != nil || uri != "uri:r2" {
 		t.Fatalf("overlay ResolveURI = %q, %v", uri, err)
 	}
@@ -671,7 +672,7 @@ func TestTagOnExistingTagCreatesNoPhantomBlock(t *testing.T) {
 	// empty t̂ block may materialize: Has flipping true and EntryCount
 	// moving would skew the hotspot accounting.
 	e, store := newLocalEngine(t, core.Config{Mode: core.Approximated, K: 5})
-	if err := e.InsertResource("r", "uri:r", "solo"); err != nil {
+	if err := e.InsertResource(context.Background(), "r", "uri:r", "solo"); err != nil {
 		t.Fatal(err)
 	}
 	tHat := core.BlockKey("solo", core.BlockTagNeighbors)
@@ -681,7 +682,7 @@ func TestTagOnExistingTagCreatesNoPhantomBlock(t *testing.T) {
 	blocks, entries := store.Raw().Len(), store.Raw().EntryCount()
 
 	before := store.Lookups()
-	if err := e.Tag("r", "solo"); err != nil {
+	if err := e.Tag(context.Background(), "r", "solo"); err != nil {
 		t.Fatal(err)
 	}
 	// Cost stays 4+0: 1 get of r̄, appends of r̄/t̄/t̂, no reverse arcs.
@@ -712,11 +713,11 @@ func (s *selectiveFailStore) failErr(key kadid.ID) error {
 	return nil
 }
 
-func (s *selectiveFailStore) Append(key kadid.ID, entries []wire.Entry) error {
+func (s *selectiveFailStore) Append(ctx context.Context, key kadid.ID, entries []wire.Entry) error {
 	return s.failErr(key)
 }
 
-func (s *selectiveFailStore) AppendBatch(items []dht.BatchItem) error {
+func (s *selectiveFailStore) AppendBatch(ctx context.Context, items []dht.BatchItem) error {
 	errs := make([]error, len(items))
 	for i := range items {
 		errs[i] = s.failErr(items[i].Key)
@@ -724,7 +725,7 @@ func (s *selectiveFailStore) AppendBatch(items []dht.BatchItem) error {
 	return errors.Join(errs...)
 }
 
-func (s *selectiveFailStore) Get(kadid.ID, int) ([]wire.Entry, error) {
+func (s *selectiveFailStore) Get(context.Context, kadid.ID, int) ([]wire.Entry, error) {
 	return s.prior, nil
 }
 
@@ -754,7 +755,7 @@ func TestReverseArcFailuresAllReported(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			err = e.Tag("r", "fresh")
+			err = e.Tag(context.Background(), "r", "fresh")
 			if err == nil {
 				t.Fatal("Tag succeeded despite failing reverse arcs")
 			}
@@ -773,7 +774,7 @@ func TestInsertAndTagCostsSurviveBatching(t *testing.T) {
 	e, store := newLocalEngine(t, core.Config{Mode: core.Approximated, K: 2})
 
 	before := store.Lookups()
-	if err := e.InsertResource("r", "uri:r", "t0", "t1", "t2", "t3"); err != nil {
+	if err := e.InsertResource(context.Background(), "r", "uri:r", "t0", "t1", "t2", "t3"); err != nil {
 		t.Fatal(err)
 	}
 	if got, want := store.Lookups()-before, int64(2+2*4); got != want {
@@ -781,7 +782,7 @@ func TestInsertAndTagCostsSurviveBatching(t *testing.T) {
 	}
 
 	before = store.Lookups()
-	if err := e.Tag("r", "fresh"); err != nil {
+	if err := e.Tag(context.Background(), "r", "fresh"); err != nil {
 		t.Fatal(err)
 	}
 	if got, want := store.Lookups()-before, int64(4+2); got != want {

@@ -1,6 +1,7 @@
 package dht
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"sync/atomic"
@@ -68,26 +69,35 @@ func NewBatching(inner Store, window time.Duration) *Batching {
 
 // Append implements Store: the entries join the key's pending group
 // (creating it, and scheduling its flush, if none is open) and the call
-// blocks until that group is flushed, returning the flush result.
-func (b *Batching) Append(key kadid.ID, entries []wire.Entry) error {
+// blocks until that group is flushed, returning the flush result — or
+// until ctx ends, in which case the caller gets ctx.Err() immediately.
+// The group itself still flushes: it aggregates other callers' entries
+// too, so one caller's cancellation must not unwrite everybody's batch.
+// As with any context error on a Store, the outcome of the abandoned
+// append is unknown to the canceller.
+func (b *Batching) Append(ctx context.Context, key kadid.ID, entries []wire.Entry) error {
 	if len(entries) == 0 {
 		// Nothing to coalesce; pass through so the inner counter still
 		// sees the Table-I lookup the operation costs.
-		return b.inner.Append(key, entries)
+		return b.inner.Append(ctx, key, entries)
 	}
 	p := b.enqueue(key, entries)
-	<-p.done
-	return p.err
+	select {
+	case <-p.done:
+		return p.err
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // AppendBatch implements Store: every item joins its key's pending
 // group, then the call waits for all involved flushes. Errors of the
 // individual flushes are joined.
-func (b *Batching) AppendBatch(items []BatchItem) error {
+func (b *Batching) AppendBatch(ctx context.Context, items []BatchItem) error {
 	groups := make([]*pendingAppend, 0, len(items))
 	for _, it := range items {
 		if len(it.Entries) == 0 {
-			if err := b.inner.Append(it.Key, it.Entries); err != nil {
+			if err := b.inner.Append(ctx, it.Key, it.Entries); err != nil {
 				groups = append(groups, &pendingAppend{err: err, done: closedChan})
 			}
 			continue
@@ -96,9 +106,15 @@ func (b *Batching) AppendBatch(items []BatchItem) error {
 	}
 	errs := make([]error, 0, len(groups))
 	for _, p := range groups {
-		<-p.done
-		if p.err != nil {
-			errs = append(errs, p.err)
+		select {
+		case <-p.done:
+			if p.err != nil {
+				errs = append(errs, p.err)
+			}
+		case <-ctx.Done():
+			// Stop waiting on every remaining group; they flush on their
+			// own schedule regardless.
+			return ctx.Err()
 		}
 	}
 	return errors.Join(errs...)
@@ -132,7 +148,9 @@ func (b *Batching) enqueue(key kadid.ID, entries []wire.Entry) *pendingAppend {
 
 // flushKey flushes the pending group for key if it is still the given
 // one; a group already claimed by another flusher is left alone (its
-// claimer closes done).
+// claimer closes done). The physical append runs under the background
+// context: a flush acts for every committer whose entries it carries,
+// so no single caller's deadline may abort it.
 func (b *Batching) flushKey(key kadid.ID, p *pendingAppend) {
 	b.mu.Lock()
 	cur := b.pending[key]
@@ -143,7 +161,7 @@ func (b *Batching) flushKey(key kadid.ID, p *pendingAppend) {
 	delete(b.pending, key)
 	b.mu.Unlock()
 
-	p.err = b.inner.Append(key, p.entries)
+	p.err = b.inner.Append(context.Background(), key, p.entries)
 	b.flushes.Add(1)
 	close(p.done)
 }
@@ -151,15 +169,22 @@ func (b *Batching) flushKey(key kadid.ID, p *pendingAppend) {
 // Get implements Store. Reads are not cached here, but a read of a key
 // with a pending append flushes it first, so a client always observes
 // its own writes (the engine's Tag reads r̄ right before appending it).
-func (b *Batching) Get(key kadid.ID, topN int) ([]wire.Entry, error) {
+func (b *Batching) Get(ctx context.Context, key kadid.ID, topN int) ([]wire.Entry, error) {
 	b.mu.Lock()
 	p := b.pending[key]
 	b.mu.Unlock()
 	if p != nil {
-		b.flushKey(key, p)
-		<-p.done
+		// Kick the flush on its own goroutine so the wait below really
+		// is bounded by ctx — a synchronous flush against a congested
+		// overlay would render the ctx branch unreachable.
+		go b.flushKey(key, p)
+		select {
+		case <-p.done:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
 	}
-	return b.inner.Get(key, topN)
+	return b.inner.Get(ctx, key, topN)
 }
 
 // Flush forces out every pending group and waits for completion; it is
@@ -171,7 +196,7 @@ func (b *Batching) Flush() {
 	b.pending = make(map[kadid.ID]*pendingAppend)
 	b.mu.Unlock()
 	for key, p := range claimed {
-		p.err = b.inner.Append(key, p.entries)
+		p.err = b.inner.Append(context.Background(), key, p.entries)
 		b.flushes.Add(1)
 		close(p.done)
 	}

@@ -1,6 +1,7 @@
 package dht
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -23,7 +24,7 @@ func TestBatchingCoalescesSameKey(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if err := b.Append(key, []wire.Entry{{Field: "t", Count: 1}}); err != nil {
+			if err := b.Append(context.Background(), key, []wire.Entry{{Field: "t", Count: 1}}); err != nil {
 				t.Error(err)
 			}
 		}()
@@ -41,7 +42,7 @@ func TestBatchingCoalescesSameKey(t *testing.T) {
 	if b.Coalesced() != writers-1 {
 		t.Fatalf("Coalesced = %d, want %d", b.Coalesced(), writers-1)
 	}
-	es, err := b.Get(key, 0)
+	es, err := b.Get(context.Background(), key, 0)
 	if err != nil || len(es) != 1 || es[0].Count != writers {
 		t.Fatalf("merged read: %+v, %v", es, err)
 	}
@@ -51,11 +52,11 @@ func TestBatchingWindowFlushes(t *testing.T) {
 	l := NewLocal()
 	b := NewBatching(l, time.Millisecond)
 	key := kadid.HashString("k")
-	if err := b.Append(key, []wire.Entry{{Field: "a", Count: 1}}); err != nil {
+	if err := b.Append(context.Background(), key, []wire.Entry{{Field: "a", Count: 1}}); err != nil {
 		t.Fatal(err)
 	}
 	// Append blocks until the window flushed, so the write is visible.
-	es, err := l.Get(key, 0)
+	es, err := l.Get(context.Background(), key, 0)
 	if err != nil || es[0].Count != 1 {
 		t.Fatalf("window flush did not land: %+v, %v", es, err)
 	}
@@ -70,11 +71,11 @@ func TestBatchingGetFlushesPendingKey(t *testing.T) {
 	key := kadid.HashString("k")
 
 	done := make(chan error, 1)
-	go func() { done <- b.Append(key, []wire.Entry{{Field: "a", Count: 3}}) }()
+	go func() { done <- b.Append(context.Background(), key, []wire.Entry{{Field: "a", Count: 3}}) }()
 	for b.Enqueued() == 0 {
 		time.Sleep(time.Millisecond)
 	}
-	es, err := b.Get(key, 0)
+	es, err := b.Get(context.Background(), key, 0)
 	if err != nil || len(es) != 1 || es[0].Count != 3 {
 		t.Fatalf("read-your-writes failed: %+v, %v", es, err)
 	}
@@ -88,17 +89,19 @@ func TestBatchingGetFlushesPendingKey(t *testing.T) {
 // different keys run in parallel).
 type failingAppendStore struct{ calls atomic.Int64 }
 
-func (f *failingAppendStore) Append(kadid.ID, []wire.Entry) error {
+func (f *failingAppendStore) Append(context.Context, kadid.ID, []wire.Entry) error {
 	return fmt.Errorf("append %d down", f.calls.Add(1))
 }
-func (f *failingAppendStore) AppendBatch(items []BatchItem) error {
+func (f *failingAppendStore) AppendBatch(ctx context.Context, items []BatchItem) error {
 	errs := make([]error, len(items))
 	for i := range items {
-		errs[i] = f.Append(items[i].Key, items[i].Entries)
+		errs[i] = f.Append(context.Background(), items[i].Key, items[i].Entries)
 	}
 	return errors.Join(errs...)
 }
-func (f *failingAppendStore) Get(kadid.ID, int) ([]wire.Entry, error) { return nil, ErrNotFound }
+func (f *failingAppendStore) Get(context.Context, kadid.ID, int) ([]wire.Entry, error) {
+	return nil, ErrNotFound
+}
 
 func TestBatchingReportsFlushErrorToEveryWaiter(t *testing.T) {
 	b := NewBatching(&failingAppendStore{}, time.Hour)
@@ -106,7 +109,7 @@ func TestBatchingReportsFlushErrorToEveryWaiter(t *testing.T) {
 	const writers = 4
 	errs := make(chan error, writers)
 	for i := 0; i < writers; i++ {
-		go func() { errs <- b.Append(key, []wire.Entry{{Field: "a", Count: 1}}) }()
+		go func() { errs <- b.Append(context.Background(), key, []wire.Entry{{Field: "a", Count: 1}}) }()
 	}
 	for b.Enqueued() < writers {
 		time.Sleep(time.Millisecond)
@@ -121,7 +124,7 @@ func TestBatchingReportsFlushErrorToEveryWaiter(t *testing.T) {
 
 func TestBatchingAppendBatchJoinsErrors(t *testing.T) {
 	b := NewBatching(&failingAppendStore{}, time.Millisecond)
-	err := b.AppendBatch([]BatchItem{
+	err := b.AppendBatch(context.Background(), []BatchItem{
 		{Key: kadid.HashString("k1"), Entries: []wire.Entry{{Field: "a", Count: 1}}},
 		{Key: kadid.HashString("k2"), Entries: []wire.Entry{{Field: "b", Count: 1}}},
 	})
@@ -134,10 +137,10 @@ func TestBatchingCounterDelegates(t *testing.T) {
 	l := NewLocal()
 	b := NewBatching(l, time.Millisecond)
 	key := kadid.HashString("k")
-	if err := b.Append(key, []wire.Entry{{Field: "a", Count: 1}}); err != nil {
+	if err := b.Append(context.Background(), key, []wire.Entry{{Field: "a", Count: 1}}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := b.Get(key, 0); err != nil {
+	if _, err := b.Get(context.Background(), key, 0); err != nil {
 		t.Fatal(err)
 	}
 	// Table-I accounting flows through the existing Counter interface:
@@ -164,8 +167,8 @@ func TestBatchingConcurrentMixedUse(t *testing.T) {
 			for i := 0; i < perG; i++ {
 				key := keys[(g+i)%len(keys)]
 				if i%3 == 0 {
-					b.Get(key, 10)
-				} else if err := b.Append(key, []wire.Entry{{Field: "t", Count: 1}}); err != nil {
+					b.Get(context.Background(), key, 10)
+				} else if err := b.Append(context.Background(), key, []wire.Entry{{Field: "t", Count: 1}}); err != nil {
 					t.Error(err)
 				}
 			}
@@ -177,7 +180,7 @@ func TestBatchingConcurrentMixedUse(t *testing.T) {
 	// Token conservation across coalesced flushes.
 	var total uint64
 	for _, key := range keys {
-		es, err := b.Get(key, 0)
+		es, err := b.Get(context.Background(), key, 0)
 		if err != nil {
 			continue
 		}
@@ -195,5 +198,59 @@ func TestBatchingConcurrentMixedUse(t *testing.T) {
 	}
 	if total != want {
 		t.Fatalf("lost tokens through batching: got %d, want %d", total, want)
+	}
+}
+
+// slowAppendStore delays every physical append, standing in for a
+// congested overlay.
+type slowAppendStore struct {
+	inner Store
+	delay time.Duration
+}
+
+func (s *slowAppendStore) Append(ctx context.Context, key kadid.ID, entries []wire.Entry) error {
+	time.Sleep(s.delay)
+	return s.inner.Append(ctx, key, entries)
+}
+func (s *slowAppendStore) AppendBatch(ctx context.Context, items []BatchItem) error {
+	time.Sleep(s.delay)
+	return s.inner.AppendBatch(ctx, items)
+}
+func (s *slowAppendStore) Get(ctx context.Context, key kadid.ID, topN int) ([]wire.Entry, error) {
+	return s.inner.Get(ctx, key, topN)
+}
+
+// TestBatchingAppendCtxCancel: a committer whose context ends stops
+// waiting immediately and gets the context error; the group still
+// flushes (it may carry other callers' entries), so the write lands.
+func TestBatchingAppendCtxCancel(t *testing.T) {
+	inner := &slowAppendStore{inner: NewLocal(), delay: 100 * time.Millisecond}
+	b := NewBatching(inner, time.Millisecond)
+	key := kadid.HashString("slow-key")
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := b.Append(ctx, key, []wire.Entry{{Field: "f", Count: 1}})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Append = %v, want DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 90*time.Millisecond {
+		t.Fatalf("canceled Append blocked %v on the flush", elapsed)
+	}
+
+	// The abandoned append still flushes on its own schedule: outcome
+	// unknown to the canceller means "maybe written", and here it lands
+	// once the slow inner append completes.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		es, err := b.Get(context.Background(), key, 0)
+		if err == nil && len(es) == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("abandoned append never flushed: entries=%v err=%v", es, err)
+		}
+		time.Sleep(5 * time.Millisecond)
 	}
 }

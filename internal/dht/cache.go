@@ -2,6 +2,7 @@ package dht
 
 import (
 	"container/list"
+	"context"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -84,7 +85,7 @@ func NewCached(inner Store, capacity int, ttl time.Duration, now func() time.Tim
 // lookup; misses go through and populate the cache. Results never alias
 // cache state: both hits and the populated copy are independent clones,
 // so a caller mutating what it got back cannot corrupt later reads.
-func (c *Cached) Get(key kadid.ID, topN int) ([]wire.Entry, error) {
+func (c *Cached) Get(ctx context.Context, key kadid.ID, topN int) ([]wire.Entry, error) {
 	ck := cacheKey{id: key, topN: topN}
 	c.mu.Lock()
 	if el, ok := c.items[ck]; ok {
@@ -102,7 +103,7 @@ func (c *Cached) Get(key kadid.ID, topN int) ([]wire.Entry, error) {
 	c.mu.Unlock()
 	c.misses.Add(1)
 
-	entries, err := c.inner.Get(key, topN)
+	entries, err := c.inner.Get(ctx, key, topN)
 	if err != nil {
 		return nil, err
 	}
@@ -120,8 +121,8 @@ func (c *Cached) Get(key kadid.ID, topN int) ([]wire.Entry, error) {
 // cached read of the written block. The generation bump fences off
 // concurrent Gets that read the pre-write value from inner but have not
 // inserted it yet.
-func (c *Cached) Append(key kadid.ID, entries []wire.Entry) error {
-	if err := c.inner.Append(key, entries); err != nil {
+func (c *Cached) Append(ctx context.Context, key kadid.ID, entries []wire.Entry) error {
+	if err := c.inner.Append(ctx, key, entries); err != nil {
 		return err
 	}
 	c.invalidate(key)
@@ -130,8 +131,8 @@ func (c *Cached) Append(key kadid.ID, entries []wire.Entry) error {
 
 // AppendBatch implements Store: write-through, then invalidation of
 // every written key.
-func (c *Cached) AppendBatch(items []BatchItem) error {
-	err := c.inner.AppendBatch(items)
+func (c *Cached) AppendBatch(ctx context.Context, items []BatchItem) error {
+	err := c.inner.AppendBatch(ctx, items)
 	// Invalidate even on partial failure: some items may have landed.
 	for _, it := range items {
 		c.invalidate(it.Key)

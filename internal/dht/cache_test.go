@@ -1,6 +1,7 @@
 package dht
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -20,15 +21,15 @@ func newCachedLocal(t *testing.T, capacity int, ttl time.Duration, now func() ti
 func TestCacheHitAvoidsLookup(t *testing.T) {
 	c, l := newCachedLocal(t, 8, time.Minute, nil)
 	key := kadid.HashString("rock|3")
-	if err := c.Append(key, []wire.Entry{{Field: "pop", Count: 2}}); err != nil {
+	if err := c.Append(context.Background(), key, []wire.Entry{{Field: "pop", Count: 2}}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Get(key, 0); err != nil {
+	if _, err := c.Get(context.Background(), key, 0); err != nil {
 		t.Fatal(err)
 	}
 	innerGets := l.Gets()
 	for i := 0; i < 10; i++ {
-		es, err := c.Get(key, 0)
+		es, err := c.Get(context.Background(), key, 0)
 		if err != nil || len(es) != 1 || es[0].Count != 2 {
 			t.Fatalf("cached read wrong: %+v, %v", es, err)
 		}
@@ -44,16 +45,16 @@ func TestCacheHitAvoidsLookup(t *testing.T) {
 func TestCacheKeyIncludesTopN(t *testing.T) {
 	c, _ := newCachedLocal(t, 8, time.Minute, nil)
 	key := kadid.HashString("k")
-	if err := c.Append(key, []wire.Entry{
+	if err := c.Append(context.Background(), key, []wire.Entry{
 		{Field: "a", Count: 3}, {Field: "b", Count: 2}, {Field: "c", Count: 1},
 	}); err != nil {
 		t.Fatal(err)
 	}
-	full, err := c.Get(key, 0)
+	full, err := c.Get(context.Background(), key, 0)
 	if err != nil || len(full) != 3 {
 		t.Fatalf("full read: %v %v", full, err)
 	}
-	top1, err := c.Get(key, 1)
+	top1, err := c.Get(context.Background(), key, 1)
 	if err != nil || len(top1) != 1 {
 		t.Fatalf("filtered read served from wrong cache slot: %v %v", top1, err)
 	}
@@ -62,16 +63,16 @@ func TestCacheKeyIncludesTopN(t *testing.T) {
 func TestCacheAppendInvalidates(t *testing.T) {
 	c, _ := newCachedLocal(t, 8, time.Minute, nil)
 	key := kadid.HashString("k")
-	if err := c.Append(key, []wire.Entry{{Field: "a", Count: 1}}); err != nil {
+	if err := c.Append(context.Background(), key, []wire.Entry{{Field: "a", Count: 1}}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Get(key, 0); err != nil {
+	if _, err := c.Get(context.Background(), key, 0); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Append(key, []wire.Entry{{Field: "a", Count: 1}}); err != nil {
+	if err := c.Append(context.Background(), key, []wire.Entry{{Field: "a", Count: 1}}); err != nil {
 		t.Fatal(err)
 	}
-	es, err := c.Get(key, 0)
+	es, err := c.Get(context.Background(), key, 0)
 	if err != nil || es[0].Count != 2 {
 		t.Fatalf("stale read after write: %+v, %v", es, err)
 	}
@@ -82,13 +83,13 @@ func TestCacheTTLExpiry(t *testing.T) {
 	now := func() time.Time { return clock }
 	c, l := newCachedLocal(t, 8, 10*time.Second, now)
 	key := kadid.HashString("k")
-	if err := c.Append(key, []wire.Entry{{Field: "a", Count: 1}}); err != nil {
+	if err := c.Append(context.Background(), key, []wire.Entry{{Field: "a", Count: 1}}); err != nil {
 		t.Fatal(err)
 	}
-	c.Get(key, 0) //nolint:errcheck
+	c.Get(context.Background(), key, 0) //nolint:errcheck
 	before := l.Gets()
 	clock = clock.Add(11 * time.Second)
-	c.Get(key, 0) //nolint:errcheck
+	c.Get(context.Background(), key, 0) //nolint:errcheck
 	if l.Gets() != before+1 {
 		t.Fatal("expired entry served from cache")
 	}
@@ -98,25 +99,25 @@ func TestCacheCapacityEviction(t *testing.T) {
 	c, l := newCachedLocal(t, 2, time.Minute, nil)
 	keys := []kadid.ID{kadid.HashString("a"), kadid.HashString("b"), kadid.HashString("c")}
 	for _, k := range keys {
-		if err := c.Append(k, []wire.Entry{{Field: "f", Count: 1}}); err != nil {
+		if err := c.Append(context.Background(), k, []wire.Entry{{Field: "f", Count: 1}}); err != nil {
 			t.Fatal(err)
 		}
 	}
 	for _, k := range keys {
-		c.Get(k, 0) //nolint:errcheck
+		c.Get(context.Background(), k, 0) //nolint:errcheck
 	}
 	if c.Len() != 2 {
 		t.Fatalf("cache len = %d, want 2", c.Len())
 	}
 	// "a" was evicted (LRU): reading it again must hit the store.
 	before := l.Gets()
-	c.Get(keys[0], 0) //nolint:errcheck
+	c.Get(context.Background(), keys[0], 0) //nolint:errcheck
 	if l.Gets() != before+1 {
 		t.Fatal("evicted entry still cached")
 	}
 	// "c" is fresh: cache hit.
 	before = l.Gets()
-	c.Get(keys[2], 0) //nolint:errcheck
+	c.Get(context.Background(), keys[2], 0) //nolint:errcheck
 	if l.Gets() != before {
 		t.Fatal("fresh entry not cached")
 	}
@@ -125,17 +126,17 @@ func TestCacheCapacityEviction(t *testing.T) {
 func TestCacheMissOnErrorNotCached(t *testing.T) {
 	c, _ := newCachedLocal(t, 8, time.Minute, nil)
 	missing := kadid.HashString("missing")
-	if _, err := c.Get(missing, 0); !errors.Is(err, ErrNotFound) {
+	if _, err := c.Get(context.Background(), missing, 0); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("want ErrNotFound, got %v", err)
 	}
 	if c.Len() != 0 {
 		t.Fatal("error result was cached")
 	}
 	// The block appears later; it must be found.
-	if err := c.Append(missing, []wire.Entry{{Field: "f", Count: 1}}); err != nil {
+	if err := c.Append(context.Background(), missing, []wire.Entry{{Field: "f", Count: 1}}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Get(missing, 0); err != nil {
+	if _, err := c.Get(context.Background(), missing, 0); err != nil {
 		t.Fatalf("block invisible after append: %v", err)
 	}
 }
@@ -143,9 +144,9 @@ func TestCacheMissOnErrorNotCached(t *testing.T) {
 func TestCacheCountersDelegate(t *testing.T) {
 	c, l := newCachedLocal(t, 8, time.Minute, nil)
 	key := kadid.HashString("k")
-	c.Append(key, []wire.Entry{{Field: "f", Count: 1}}) //nolint:errcheck
-	c.Get(key, 0)                                       //nolint:errcheck
-	c.Get(key, 0)                                       // hit //nolint:errcheck
+	c.Append(context.Background(), key, []wire.Entry{{Field: "f", Count: 1}}) //nolint:errcheck
+	c.Get(context.Background(), key, 0)                                       //nolint:errcheck
+	c.Get(context.Background(), key, 0)                                       // hit //nolint:errcheck
 	if c.Lookups() != l.Lookups() {
 		t.Fatalf("counter mismatch: %d vs %d", c.Lookups(), l.Lookups())
 	}
@@ -164,12 +165,12 @@ func TestCacheConcurrent(t *testing.T) {
 			for i := 0; i < 200; i++ {
 				key := kadid.HashString(fmt.Sprintf("k%d", i%16))
 				if i%5 == 0 {
-					if err := c.Append(key, []wire.Entry{{Field: "f", Count: 1}}); err != nil {
+					if err := c.Append(context.Background(), key, []wire.Entry{{Field: "f", Count: 1}}); err != nil {
 						t.Error(err)
 						return
 					}
 				} else {
-					c.Get(key, 0) //nolint:errcheck // may be missing
+					c.Get(context.Background(), key, 0) //nolint:errcheck // may be missing
 				}
 			}
 		}(g)
@@ -184,15 +185,17 @@ type scriptedStore struct {
 	getFn func(key kadid.ID, topN int) ([]wire.Entry, error)
 }
 
-func (s *scriptedStore) Append(key kadid.ID, entries []wire.Entry) error {
-	return s.inner.Append(key, entries)
+func (s *scriptedStore) Append(ctx context.Context, key kadid.ID, entries []wire.Entry) error {
+	return s.inner.Append(ctx, key, entries)
 }
-func (s *scriptedStore) AppendBatch(items []BatchItem) error { return s.inner.AppendBatch(items) }
-func (s *scriptedStore) Get(key kadid.ID, topN int) ([]wire.Entry, error) {
+func (s *scriptedStore) AppendBatch(ctx context.Context, items []BatchItem) error {
+	return s.inner.AppendBatch(ctx, items)
+}
+func (s *scriptedStore) Get(ctx context.Context, key kadid.ID, topN int) ([]wire.Entry, error) {
 	if s.getFn != nil {
 		return s.getFn(key, topN)
 	}
-	return s.inner.Get(key, topN)
+	return s.inner.Get(ctx, key, topN)
 }
 
 func TestCacheStaleReinsertRace(t *testing.T) {
@@ -206,7 +209,7 @@ func TestCacheStaleReinsertRace(t *testing.T) {
 	c := NewCached(inner, 8, time.Minute, func() time.Time { return fixed })
 
 	key := kadid.HashString("k")
-	if err := inner.inner.Append(key, []wire.Entry{{Field: "a", Count: 1}}); err != nil {
+	if err := inner.inner.Append(context.Background(), key, []wire.Entry{{Field: "a", Count: 1}}); err != nil {
 		t.Fatal(err)
 	}
 
@@ -225,7 +228,7 @@ func TestCacheStaleReinsertRace(t *testing.T) {
 
 	got := make(chan uint64, 1)
 	go func() {
-		es, err := c.Get(key, 0)
+		es, err := c.Get(context.Background(), key, 0)
 		if err != nil {
 			t.Error(err)
 			got <- 0
@@ -235,7 +238,7 @@ func TestCacheStaleReinsertRace(t *testing.T) {
 	}()
 
 	<-entered
-	if err := c.Append(key, []wire.Entry{{Field: "a", Count: 1}}); err != nil {
+	if err := c.Append(context.Background(), key, []wire.Entry{{Field: "a", Count: 1}}); err != nil {
 		t.Fatal(err)
 	}
 	close(release)
@@ -247,7 +250,7 @@ func TestCacheStaleReinsertRace(t *testing.T) {
 	// inner and sees the current count.
 	inner.getFn = nil
 	misses := c.Misses()
-	es, err := c.Get(key, 0)
+	es, err := c.Get(context.Background(), key, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -262,19 +265,19 @@ func TestCacheStaleReinsertRace(t *testing.T) {
 func TestCacheGetDoesNotAliasCacheState(t *testing.T) {
 	c, _ := newCachedLocal(t, 8, time.Minute, nil)
 	key := kadid.HashString("k")
-	if err := c.Append(key, []wire.Entry{{Field: "a", Count: 2, Data: []byte("uri")}}); err != nil {
+	if err := c.Append(context.Background(), key, []wire.Entry{{Field: "a", Count: 2, Data: []byte("uri")}}); err != nil {
 		t.Fatal(err)
 	}
 	// Miss populates the cache; mutating what the miss returned must
 	// not touch the cached copy.
-	es, err := c.Get(key, 0)
+	es, err := c.Get(context.Background(), key, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	es[0].Count = 999
 	es[0].Data[0] = 'X'
 
-	hit, err := c.Get(key, 0)
+	hit, err := c.Get(context.Background(), key, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -284,7 +287,7 @@ func TestCacheGetDoesNotAliasCacheState(t *testing.T) {
 	// And mutating a hit result must not corrupt later hits either.
 	hit[0].Count = 777
 	hit[0].Data[0] = 'Y'
-	hit2, err := c.Get(key, 0)
+	hit2, err := c.Get(context.Background(), key, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -297,14 +300,14 @@ func TestCacheAppendBatchInvalidatesEveryKey(t *testing.T) {
 	c, l := newCachedLocal(t, 8, time.Minute, nil)
 	k1, k2 := kadid.HashString("k1"), kadid.HashString("k2")
 	for _, k := range []kadid.ID{k1, k2} {
-		if err := c.Append(k, []wire.Entry{{Field: "a", Count: 1}}); err != nil {
+		if err := c.Append(context.Background(), k, []wire.Entry{{Field: "a", Count: 1}}); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := c.Get(k, 0); err != nil {
+		if _, err := c.Get(context.Background(), k, 0); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if err := c.AppendBatch([]BatchItem{
+	if err := c.AppendBatch(context.Background(), []BatchItem{
 		{Key: k1, Entries: []wire.Entry{{Field: "a", Count: 1}}},
 		{Key: k2, Entries: []wire.Entry{{Field: "a", Count: 4}}},
 	}); err != nil {
@@ -313,8 +316,8 @@ func TestCacheAppendBatchInvalidatesEveryKey(t *testing.T) {
 	if l.Appends() == 0 {
 		t.Fatal("batch did not reach inner store")
 	}
-	es1, _ := c.Get(k1, 0)
-	es2, _ := c.Get(k2, 0)
+	es1, _ := c.Get(context.Background(), k1, 0)
+	es2, _ := c.Get(context.Background(), k2, 0)
 	if es1[0].Count != 2 || es2[0].Count != 5 {
 		t.Fatalf("stale reads after batch: %d, %d (want 2, 5)", es1[0].Count, es2[0].Count)
 	}

@@ -18,6 +18,7 @@
 package dht
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"sync/atomic"
@@ -45,10 +46,18 @@ type BatchItem = kademlia.BatchItem
 // lookup (the paper's cost model counts block operations, and a batch
 // of n items is n block operations), but implementations are free to
 // execute the items with fewer lock acquisitions or in parallel.
+//
+// Every operation takes a context as its first argument and honors
+// cancellation and deadlines: an overlay-backed store aborts its
+// in-flight lookup and replica RPCs and returns the context error. A
+// write abandoned this way may still have landed on some replicas —
+// exactly like a write whose acknowledgement was lost on the wire — so
+// callers must treat a context error as "outcome unknown", never as
+// "not written".
 type Store interface {
-	Append(key kadid.ID, entries []wire.Entry) error
-	AppendBatch(items []BatchItem) error
-	Get(key kadid.ID, topN int) ([]wire.Entry, error)
+	Append(ctx context.Context, key kadid.ID, entries []wire.Entry) error
+	AppendBatch(ctx context.Context, items []BatchItem) error
+	Get(ctx context.Context, key kadid.ID, topN int) ([]wire.Entry, error)
 }
 
 // Counter reports how many block operations (the paper's "overlay
@@ -73,8 +82,13 @@ func NewLocal() *Local {
 	return &Local{store: kademlia.NewStore()}
 }
 
-// Append implements Store.
-func (l *Local) Append(key kadid.ID, entries []wire.Entry) error {
+// Append implements Store. The in-process store cannot block on a
+// network, but it still refuses work under an already-ended context so
+// local and overlay deployments surface identical semantics.
+func (l *Local) Append(ctx context.Context, key kadid.ID, entries []wire.Entry) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	l.appends.Add(1)
 	return l.store.Append(key, entries)
 }
@@ -83,13 +97,19 @@ func (l *Local) Append(key kadid.ID, entries []wire.Entry) error {
 // the sharded store (each shard's lock taken once). The lookup counter
 // advances by one per item, keeping Table-I accounting identical to a
 // loop of Appends.
-func (l *Local) AppendBatch(items []BatchItem) error {
+func (l *Local) AppendBatch(ctx context.Context, items []BatchItem) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	l.appends.Add(int64(len(items)))
 	return l.store.AppendBatch(items)
 }
 
 // Get implements Store.
-func (l *Local) Get(key kadid.ID, topN int) ([]wire.Entry, error) {
+func (l *Local) Get(ctx context.Context, key kadid.ID, topN int) ([]wire.Entry, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	l.gets.Add(1)
 	es, ok := l.store.Get(key, topN)
 	if !ok {
@@ -128,9 +148,9 @@ func NewOverlay(node *kademlia.Node, signer *likir.Identity) *Overlay {
 
 // Append implements Store: one iterative lookup locates the replica set,
 // then the entries are stored on the k closest nodes.
-func (o *Overlay) Append(key kadid.ID, entries []wire.Entry) error {
+func (o *Overlay) Append(ctx context.Context, key kadid.ID, entries []wire.Entry) error {
 	o.appends.Add(1)
-	_, err := o.node.Store(key, o.sign(key, entries))
+	_, err := o.node.Store(ctx, key, o.sign(key, entries))
 	return err
 }
 
@@ -139,10 +159,10 @@ func (o *Overlay) Append(key kadid.ID, entries []wire.Entry) error {
 // counter); the items target distinct keys and commute, so they are
 // issued concurrently — a batch costs the latency of the slowest item,
 // not the sum. All failures are reported, joined.
-func (o *Overlay) AppendBatch(items []BatchItem) error {
+func (o *Overlay) AppendBatch(ctx context.Context, items []BatchItem) error {
 	o.appends.Add(int64(len(items)))
 	if len(items) == 1 {
-		_, err := o.node.Store(items[0].Key, o.sign(items[0].Key, items[0].Entries))
+		_, err := o.node.Store(ctx, items[0].Key, o.sign(items[0].Key, items[0].Entries))
 		return err
 	}
 	errs := make([]error, len(items))
@@ -151,7 +171,7 @@ func (o *Overlay) AppendBatch(items []BatchItem) error {
 		wg.Add(1)
 		go func(i int, it BatchItem) {
 			defer wg.Done()
-			_, err := o.node.Store(it.Key, o.sign(it.Key, it.Entries))
+			_, err := o.node.Store(ctx, it.Key, o.sign(it.Key, it.Entries))
 			errs[i] = err
 		}(i, it)
 	}
@@ -176,9 +196,9 @@ func (o *Overlay) sign(key kadid.ID, entries []wire.Entry) []wire.Entry {
 }
 
 // Get implements Store: one iterative value lookup.
-func (o *Overlay) Get(key kadid.ID, topN int) ([]wire.Entry, error) {
+func (o *Overlay) Get(ctx context.Context, key kadid.ID, topN int) ([]wire.Entry, error) {
 	o.gets.Add(1)
-	es, err := o.node.FindValue(key, topN)
+	es, err := o.node.FindValue(ctx, key, topN)
 	if errors.Is(err, kademlia.ErrNotFound) {
 		return nil, ErrNotFound
 	}

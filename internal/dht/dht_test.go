@@ -1,6 +1,7 @@
 package dht
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -12,13 +13,13 @@ import (
 func TestLocalAppendGet(t *testing.T) {
 	l := NewLocal()
 	key := kadid.HashString("rock|3")
-	if err := l.Append(key, []wire.Entry{{Field: "pop", Count: 2}}); err != nil {
+	if err := l.Append(context.Background(), key, []wire.Entry{{Field: "pop", Count: 2}}); err != nil {
 		t.Fatalf("Append: %v", err)
 	}
-	if err := l.Append(key, []wire.Entry{{Field: "pop", Count: 1}, {Field: "indie", Count: 1}}); err != nil {
+	if err := l.Append(context.Background(), key, []wire.Entry{{Field: "pop", Count: 1}, {Field: "indie", Count: 1}}); err != nil {
 		t.Fatalf("Append: %v", err)
 	}
-	es, err := l.Get(key, 0)
+	es, err := l.Get(context.Background(), key, 0)
 	if err != nil {
 		t.Fatalf("Get: %v", err)
 	}
@@ -29,7 +30,7 @@ func TestLocalAppendGet(t *testing.T) {
 
 func TestLocalGetNotFound(t *testing.T) {
 	l := NewLocal()
-	if _, err := l.Get(kadid.HashString("missing"), 0); !errors.Is(err, ErrNotFound) {
+	if _, err := l.Get(context.Background(), kadid.HashString("missing"), 0); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("want ErrNotFound, got %v", err)
 	}
 }
@@ -37,10 +38,10 @@ func TestLocalGetNotFound(t *testing.T) {
 func TestLocalCounters(t *testing.T) {
 	l := NewLocal()
 	key := kadid.HashString("k")
-	l.Append(key, []wire.Entry{{Field: "a", Count: 1}}) //nolint:errcheck
-	l.Get(key, 0)                                       //nolint:errcheck
-	l.Get(key, 0)                                       //nolint:errcheck
-	l.Get(kadid.HashString("missing"), 0)               //nolint:errcheck
+	l.Append(context.Background(), key, []wire.Entry{{Field: "a", Count: 1}}) //nolint:errcheck
+	l.Get(context.Background(), key, 0)                                       //nolint:errcheck
+	l.Get(context.Background(), key, 0)                                       //nolint:errcheck
+	l.Get(context.Background(), kadid.HashString("missing"), 0)               //nolint:errcheck
 
 	if l.Appends() != 1 {
 		t.Fatalf("Appends = %d, want 1", l.Appends())
@@ -56,10 +57,10 @@ func TestLocalCounters(t *testing.T) {
 func TestLocalTopN(t *testing.T) {
 	l := NewLocal()
 	key := kadid.HashString("k")
-	l.Append(key, []wire.Entry{ //nolint:errcheck
+	l.Append(context.Background(), key, []wire.Entry{ //nolint:errcheck
 		{Field: "a", Count: 3}, {Field: "b", Count: 2}, {Field: "c", Count: 1},
 	})
-	es, err := l.Get(key, 2)
+	es, err := l.Get(context.Background(), key, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,13 +85,13 @@ func newOverlayPair(t *testing.T) (*Overlay, *Overlay) {
 func TestOverlayAppendGet(t *testing.T) {
 	w, r := newOverlayPair(t)
 	key := kadid.HashString("jazz|3")
-	if err := w.Append(key, []wire.Entry{{Field: "bebop", Count: 1}}); err != nil {
+	if err := w.Append(context.Background(), key, []wire.Entry{{Field: "bebop", Count: 1}}); err != nil {
 		t.Fatalf("Append: %v", err)
 	}
-	if err := w.Append(key, []wire.Entry{{Field: "bebop", Count: 1}}); err != nil {
+	if err := w.Append(context.Background(), key, []wire.Entry{{Field: "bebop", Count: 1}}); err != nil {
 		t.Fatalf("Append: %v", err)
 	}
-	es, err := r.Get(key, 0)
+	es, err := r.Get(context.Background(), key, 0)
 	if err != nil {
 		t.Fatalf("Get: %v", err)
 	}
@@ -101,7 +102,7 @@ func TestOverlayAppendGet(t *testing.T) {
 
 func TestOverlayGetNotFound(t *testing.T) {
 	_, r := newOverlayPair(t)
-	if _, err := r.Get(kadid.HashString("missing"), 0); !errors.Is(err, ErrNotFound) {
+	if _, err := r.Get(context.Background(), kadid.HashString("missing"), 0); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("want ErrNotFound, got %v", err)
 	}
 }
@@ -109,8 +110,8 @@ func TestOverlayGetNotFound(t *testing.T) {
 func TestOverlayCountsOps(t *testing.T) {
 	w, r := newOverlayPair(t)
 	key := kadid.HashString("k")
-	w.Append(key, []wire.Entry{{Field: "a", Count: 1}}) //nolint:errcheck
-	r.Get(key, 0)                                       //nolint:errcheck
+	w.Append(context.Background(), key, []wire.Entry{{Field: "a", Count: 1}}) //nolint:errcheck
+	r.Get(context.Background(), key, 0)                                       //nolint:errcheck
 	if w.Appends() != 1 || w.Lookups() != 1 {
 		t.Fatalf("writer counters: appends=%d lookups=%d", w.Appends(), w.Lookups())
 	}
@@ -137,18 +138,18 @@ func TestLocalAndOverlaySemanticsAgree(t *testing.T) {
 		{{Field: "y", Count: 3}},
 	}
 	for _, es := range ops {
-		if err := w.Append(key, es); err != nil {
+		if err := w.Append(context.Background(), key, es); err != nil {
 			t.Fatal(err)
 		}
-		if err := l.Append(key, es); err != nil {
+		if err := l.Append(context.Background(), key, es); err != nil {
 			t.Fatal(err)
 		}
 	}
-	got, err := r.Get(key, 0)
+	got, err := r.Get(context.Background(), key, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, err := l.Get(key, 0)
+	want, err := l.Get(context.Background(), key, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,7 +169,7 @@ func TestLocalAppendBatchAccounting(t *testing.T) {
 	// is empty (the lookup happens even when nothing is stored).
 	l := NewLocal()
 	k1, k2, k3 := kadid.HashString("k1"), kadid.HashString("k2"), kadid.HashString("k3")
-	if err := l.AppendBatch([]BatchItem{
+	if err := l.AppendBatch(context.Background(), []BatchItem{
 		{Key: k1, Entries: []wire.Entry{{Field: "a", Count: 1}}},
 		{Key: k2, Entries: []wire.Entry{{Field: "b", Count: 2}}},
 		{Key: k3}, // empty: charged, not materialized
@@ -178,7 +179,7 @@ func TestLocalAppendBatchAccounting(t *testing.T) {
 	if l.Appends() != 3 {
 		t.Fatalf("Appends = %d, want 3", l.Appends())
 	}
-	es, err := l.Get(k2, 0)
+	es, err := l.Get(context.Background(), k2, 0)
 	if err != nil || len(es) != 1 || es[0].Count != 2 {
 		t.Fatalf("batch write missing: %+v, %v", es, err)
 	}

@@ -1,6 +1,8 @@
 package exp
 
 import (
+	"context"
+
 	"fmt"
 	"sort"
 	"strings"
@@ -138,12 +140,12 @@ func RunHotspots(w *Workbench, nodes, annotations, k int) (*HotspotResult, error
 	tags := map[string]int{}
 	for _, a := range schedule {
 		if !inserted[a.Resource] {
-			if err := eng.InsertResource(a.Resource, "uri:"+a.Resource); err != nil {
+			if err := eng.InsertResource(context.Background(), a.Resource, "uri:"+a.Resource); err != nil {
 				return nil, err
 			}
 			inserted[a.Resource] = true
 		}
-		if err := eng.Tag(a.Resource, a.Tag); err != nil {
+		if err := eng.Tag(context.Background(), a.Resource, a.Tag); err != nil {
 			return nil, err
 		}
 		tags[a.Tag]++
@@ -169,7 +171,7 @@ func RunHotspots(w *Workbench, nodes, annotations, k int) (*HotspotResult, error
 		byPop = byPop[:100]
 	}
 	for _, t := range byPop {
-		if _, _, err := eng.SearchStep(t.tag); err != nil {
+		if _, _, err := eng.SearchStep(context.Background(), t.tag); err != nil {
 			return nil, err
 		}
 	}

@@ -1,6 +1,8 @@
 package exp
 
 import (
+	"context"
+
 	"fmt"
 	"math/rand"
 	"strings"
@@ -56,12 +58,12 @@ func RunCacheEffect(w *Workbench, nodes, annotations, k, searches int) (*CacheRe
 		tagPop := map[string]int{}
 		for _, a := range schedule {
 			if !inserted[a.Resource] {
-				if err := pub.InsertResource(a.Resource, "uri:"+a.Resource); err != nil {
+				if err := pub.InsertResource(context.Background(), a.Resource, "uri:"+a.Resource); err != nil {
 					return 0, 0, 0, err
 				}
 				inserted[a.Resource] = true
 			}
-			if err := pub.Tag(a.Resource, a.Tag); err != nil {
+			if err := pub.Tag(context.Background(), a.Resource, a.Tag); err != nil {
 				return 0, 0, 0, err
 			}
 			tagPop[a.Tag]++
@@ -99,7 +101,7 @@ func RunCacheEffect(w *Workbench, nodes, annotations, k, searches int) (*CacheRe
 		zipf := rand.NewZipf(rand.New(rand.NewSource(w.Seed+9)), 1.3, 1, uint64(len(top)-1))
 		for i := 0; i < searches; i++ {
 			tag := top[zipf.Uint64()]
-			if _, _, err := engines[i%readers].SearchStep(tag); err != nil {
+			if _, _, err := engines[i%readers].SearchStep(context.Background(), tag); err != nil {
 				return 0, 0, 0, fmt.Errorf("search %q: %w", tag, err)
 			}
 		}

@@ -1,6 +1,8 @@
 package exp
 
 import (
+	"context"
+
 	"fmt"
 	"math/rand"
 	"strings"
@@ -63,12 +65,12 @@ func RunChurn(w *Workbench, nodes, annotations, cycles, kill, join, replication 
 		tagPop := map[string]int{}
 		for _, a := range schedule {
 			if !inserted[a.Resource] {
-				if err := eng.InsertResource(a.Resource, "uri:"+a.Resource); err != nil {
+				if err := eng.InsertResource(context.Background(), a.Resource, "uri:"+a.Resource); err != nil {
 					return nil, nil, err
 				}
 				inserted[a.Resource] = true
 			}
-			if err := eng.Tag(a.Resource, a.Tag); err != nil {
+			if err := eng.Tag(context.Background(), a.Resource, a.Tag); err != nil {
 				return nil, nil, err
 			}
 			tagPop[a.Tag]++
@@ -112,14 +114,14 @@ func RunChurn(w *Workbench, nodes, annotations, cycles, kill, join, replication 
 			if republish {
 				for i, n := range cl.Nodes {
 					if i < len(alive) && alive[i] {
-						n.RepublishOnce()
+						n.RepublishOnce(context.Background())
 					}
 				}
 			}
 
 			found := 0
 			for _, tag := range probes {
-				if _, err := eng.Store().Get(core.BlockKey(tag, core.BlockTagNeighbors), 1); err == nil {
+				if _, err := eng.Store().Get(context.Background(), core.BlockKey(tag, core.BlockTagNeighbors), 1); err == nil {
 					found++
 				}
 			}

@@ -1,6 +1,8 @@
 package exp
 
 import (
+	"context"
+
 	"fmt"
 	"strings"
 
@@ -47,19 +49,19 @@ func RunTable1(k int) (*Table1Result, error) {
 			tags[i] = fmt.Sprintf("t%d", i)
 		}
 		before := store.Lookups()
-		if err := eng.InsertResource("r", "uri:r", tags...); err != nil {
+		if err := eng.InsertResource(context.Background(), "r", "uri:r", tags...); err != nil {
 			return nil, err
 		}
 		insertCost := store.Lookups() - before
 
 		before = store.Lookups()
-		if err := eng.Tag("r", "fresh"); err != nil {
+		if err := eng.Tag(context.Background(), "r", "fresh"); err != nil {
 			return nil, err
 		}
 		tagCost := store.Lookups() - before
 
 		before = store.Lookups()
-		if _, _, err := eng.SearchStep("t0"); err != nil {
+		if _, _, err := eng.SearchStep(context.Background(), "t0"); err != nil {
 			return nil, err
 		}
 		searchCost := store.Lookups() - before
@@ -104,10 +106,10 @@ func RunTable1(k int) (*Table1Result, error) {
 	}
 	node := cl.Nodes[2]
 	beforeOps, beforeLookups := over.Lookups(), node.Lookups()
-	if err := eng.InsertResource("or", "uri:or", "a", "b", "c"); err != nil {
+	if err := eng.InsertResource(context.Background(), "or", "uri:or", "a", "b", "c"); err != nil {
 		return nil, err
 	}
-	if err := eng.Tag("or", "d"); err != nil {
+	if err := eng.Tag(context.Background(), "or", "d"); err != nil {
 		return nil, err
 	}
 	opDelta := over.Lookups() - beforeOps

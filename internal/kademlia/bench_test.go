@@ -1,6 +1,7 @@
 package kademlia
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -33,7 +34,7 @@ func BenchmarkIterativeLookup(b *testing.B) {
 			cl := benchCluster(b, n)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				cl.Nodes[i%n].IterativeFindNode(kadid.HashString(fmt.Sprintf("t%d", i)))
+				cl.Nodes[i%n].IterativeFindNode(context.Background(), kadid.HashString(fmt.Sprintf("t%d", i)))
 			}
 		})
 	}
@@ -46,7 +47,7 @@ func BenchmarkStoreReplicated(b *testing.B) {
 	entries := []wire.Entry{{Field: "f", Count: 1}}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := cl.Nodes[i%64].Store(kadid.HashString(fmt.Sprintf("k%d", i%256)), entries); err != nil {
+		if _, err := cl.Nodes[i%64].Store(context.Background(), kadid.HashString(fmt.Sprintf("k%d", i%256)), entries); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -56,12 +57,12 @@ func BenchmarkStoreReplicated(b *testing.B) {
 func BenchmarkFindValueHot(b *testing.B) {
 	cl := benchCluster(b, 64)
 	key := kadid.HashString("hot")
-	if _, err := cl.Nodes[0].Store(key, []wire.Entry{{Field: "f", Count: 1}}); err != nil {
+	if _, err := cl.Nodes[0].Store(context.Background(), key, []wire.Entry{{Field: "f", Count: 1}}); err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := cl.Nodes[i%64].FindValue(key, 10); err != nil {
+		if _, err := cl.Nodes[i%64].FindValue(context.Background(), key, 10); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -110,7 +111,7 @@ func BenchmarkRepublishOnce(b *testing.B) {
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if blk, _ := republisher.RepublishOnce(); blk != blocks {
+				if blk, _ := republisher.RepublishOnce(context.Background()); blk != blocks {
 					b.Fatalf("republished %d blocks, want %d", blk, blocks)
 				}
 			}
@@ -130,7 +131,7 @@ func BenchmarkChurnRecovery(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
 		key := kadid.HashString(fmt.Sprintf("recover%d", i))
-		if _, err := cl.Nodes[2].Store(key, []wire.Entry{{Field: "f", Count: 5}}); err != nil {
+		if _, err := cl.Nodes[2].Store(context.Background(), key, []wire.Entry{{Field: "f", Count: 5}}); err != nil {
 			b.Fatal(err)
 		}
 		var holders []*Node
@@ -150,8 +151,8 @@ func BenchmarkChurnRecovery(b *testing.B) {
 		m := NewMaintainer(survivor, MaintainerConfig{Seed: int64(i)})
 
 		b.StartTimer()
-		m.RunOnce()
-		if _, err := reader.FindValue(key, 0); err != nil {
+		m.RunOnce(context.Background())
+		if _, err := reader.FindValue(context.Background(), key, 0); err != nil {
 			b.Fatalf("block unreadable after recovery: %v", err)
 		}
 		b.StopTimer()

@@ -1,6 +1,7 @@
 package kademlia
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -37,8 +38,8 @@ var ErrHandoffIncomplete = errors.New("kademlia: handoff incomplete")
 // the returned ErrHandoffIncomplete so the caller can see the leave was
 // lossy-unless-republished. It returns how many blocks were offered and
 // how many replica stores were acknowledged.
-func (n *Node) Handoff() (blocks, acks int, err error) {
-	blocks, acks, unacked := n.pushBlocks(false, true)
+func (n *Node) Handoff(ctx context.Context) (blocks, acks int, err error) {
+	blocks, acks, unacked := n.pushBlocks(ctx, false, true)
 	if len(unacked) > 0 {
 		short := make([]string, 0, 4)
 		for i, k := range unacked {
@@ -116,8 +117,10 @@ func (c *Cluster) RemoveNode(i int) (*Node, error) {
 	}
 	c.notifyLeave(n)
 	// Hand off while still attached, so the departing node can reach
-	// the replicas that take over its blocks; then disappear.
-	_, _, herr := n.Handoff()
+	// the replicas that take over its blocks; then disappear. The
+	// handoff is membership plumbing with no per-request caller, so it
+	// runs under the background context.
+	_, _, herr := n.Handoff(context.Background())
 	n.Shutdown() //nolint:errcheck // departing node; store close errors have no recipient
 	return n, herr
 }
@@ -179,7 +182,7 @@ func (c *Cluster) Revive(n *Node, via int) (*Node, error) {
 	}
 	node.Attach(c.Net.Attach(addr, node))
 	c.Net.SetDown(addr, false)
-	if err := node.Bootstrap([]wire.Contact{seed}); err != nil {
+	if err := node.Bootstrap(context.Background(), []wire.Contact{seed}); err != nil {
 		node.Shutdown() //nolint:errcheck // disk state stays intact for the next attempt
 		return nil, fmt.Errorf("kademlia: revive %s: %w", addr, err)
 	}

@@ -34,7 +34,7 @@ func indexOf(cl *Cluster, n *Node) int {
 func TestRemoveNodeHandsOffBlocks(t *testing.T) {
 	cl := newTestCluster(t, 24, 61)
 	key := kadid.HashString("handoff|1")
-	if _, err := cl.Nodes[0].Store(key, []wire.Entry{{Field: "f", Count: 7}}); err != nil {
+	if _, err := cl.Nodes[0].Store(context.Background(), key, []wire.Entry{{Field: "f", Count: 7}}); err != nil {
 		t.Fatal(err)
 	}
 
@@ -56,7 +56,7 @@ func TestRemoveNodeHandsOffBlocks(t *testing.T) {
 		if _, err := cl.RemoveNode(idx); err != nil {
 			t.Fatalf("round %d: RemoveNode(%d): %v", round, idx, err)
 		}
-		es, err := cl.NodeAt(0).FindValue(key, 0)
+		es, err := cl.NodeAt(0).FindValue(context.Background(), key, 0)
 		if err != nil {
 			t.Fatalf("round %d: value unreadable after graceful leave: %v", round, err)
 		}
@@ -75,7 +75,7 @@ func TestRemoveNodeDetachesEndpoint(t *testing.T) {
 	if cl.Len() != 7 {
 		t.Fatalf("Len = %d after removal, want 7", cl.Len())
 	}
-	if cl.NodeAt(0).Ping(victim.Self()) {
+	if cl.NodeAt(0).Ping(context.Background(), victim.Self()) {
 		t.Fatal("removed node still answers pings")
 	}
 	for _, n := range cl.Snapshot() {
@@ -88,7 +88,7 @@ func TestRemoveNodeDetachesEndpoint(t *testing.T) {
 func TestCrashIsAbruptAndReviveRejoins(t *testing.T) {
 	cl := newTestCluster(t, 16, 63)
 	key := kadid.HashString("crashy|2")
-	if _, err := cl.Nodes[1].Store(key, []wire.Entry{{Field: "f", Count: 3}}); err != nil {
+	if _, err := cl.Nodes[1].Store(context.Background(), key, []wire.Entry{{Field: "f", Count: 3}}); err != nil {
 		t.Fatal(err)
 	}
 
@@ -110,7 +110,7 @@ func TestCrashIsAbruptAndReviveRejoins(t *testing.T) {
 	if crashed != victim {
 		t.Fatal("Crash returned a different node")
 	}
-	if cl.NodeAt(0).Ping(victim.Self()) {
+	if cl.NodeAt(0).Ping(context.Background(), victim.Self()) {
 		t.Fatal("crashed node still answers")
 	}
 	// A crash is abrupt: the store must be untouched (no handoff ran).
@@ -121,7 +121,7 @@ func TestCrashIsAbruptAndReviveRejoins(t *testing.T) {
 	// maintenance round on the dead node must be a no-op, not a sweep
 	// that mistakes its own send failures for every peer being dead.
 	tableBefore := victim.Table().Len()
-	NewMaintainer(victim, MaintainerConfig{Seed: 1}).RunOnce()
+	NewMaintainer(victim, MaintainerConfig{Seed: 1}).RunOnce(context.Background())
 	if got := victim.Table().Len(); got != tableBefore {
 		t.Fatalf("crashed node's maintenance mutated its table: %d -> %d", tableBefore, got)
 	}
@@ -129,14 +129,14 @@ func TestCrashIsAbruptAndReviveRejoins(t *testing.T) {
 	if _, err := cl.Revive(victim, 0); err != nil {
 		t.Fatalf("Revive: %v", err)
 	}
-	if !cl.NodeAt(0).Ping(victim.Self()) {
+	if !cl.NodeAt(0).Ping(context.Background(), victim.Self()) {
 		t.Fatal("revived node does not answer")
 	}
 	if cl.Len() != 16 {
 		t.Fatalf("Len = %d after revive, want 16", cl.Len())
 	}
 	// Its pre-crash replica must still be servable.
-	es, err := cl.NodeAt(0).FindValue(key, 0)
+	es, err := cl.NodeAt(0).FindValue(context.Background(), key, 0)
 	if err != nil || es[0].Count != 3 {
 		t.Fatalf("value after revive: %v, %v", es, err)
 	}
@@ -145,7 +145,7 @@ func TestCrashIsAbruptAndReviveRejoins(t *testing.T) {
 func TestMaintainerRepairsAfterCrashes(t *testing.T) {
 	cl := newTestCluster(t, 32, 64)
 	key := kadid.HashString("maintained|1")
-	if _, err := cl.Nodes[0].Store(key, []wire.Entry{{Field: "f", Count: 5}}); err != nil {
+	if _, err := cl.Nodes[0].Store(context.Background(), key, []wire.Entry{{Field: "f", Count: 5}}); err != nil {
 		t.Fatal(err)
 	}
 
@@ -174,7 +174,7 @@ func TestMaintainerRepairsAfterCrashes(t *testing.T) {
 	// One maintenance round on the survivor: evict the dead from its
 	// table, refresh, republish to the live k-closest.
 	m := NewMaintainer(survivor, MaintainerConfig{Seed: 9})
-	m.RunOnce()
+	m.RunOnce(context.Background())
 	st := m.Stats()
 	if st.Rounds != 1 || st.Blocks == 0 {
 		t.Fatalf("stats after one round: %+v", st)
@@ -190,7 +190,7 @@ func TestMaintainerRepairsAfterCrashes(t *testing.T) {
 	if liveCount < 4 {
 		t.Fatalf("republish created only %d live replicas beyond the survivor", liveCount)
 	}
-	es, err := cl.NodeAt(1).FindValue(key, 0)
+	es, err := cl.NodeAt(1).FindValue(context.Background(), key, 0)
 	if err != nil || es[0].Count != 5 {
 		t.Fatalf("value after maintenance: %v, %v", es, err)
 	}
@@ -235,7 +235,7 @@ func TestEvictDeadDropsCrashedContacts(t *testing.T) {
 		}
 	}
 
-	evicted := n.EvictDead()
+	evicted := n.EvictDead(context.Background())
 	if evicted == 0 {
 		t.Fatal("EvictDead removed nothing although a contact crashed")
 	}
@@ -254,7 +254,7 @@ func TestReadRepairWritesBackStaleAndEmptyReplicas(t *testing.T) {
 		t.Fatal(err)
 	}
 	key := kadid.HashString("repairable|2")
-	if _, err := cl.Nodes[2].Store(key, []wire.Entry{{Field: "f", Count: 4}}); err != nil {
+	if _, err := cl.Nodes[2].Store(context.Background(), key, []wire.Entry{{Field: "f", Count: 4}}); err != nil {
 		t.Fatal(err)
 	}
 
@@ -267,7 +267,7 @@ func TestReadRepairWritesBackStaleAndEmptyReplicas(t *testing.T) {
 	holders[0].LocalStore().Append(key, []wire.Entry{{Field: "f", Count: 6}}) // now 10
 
 	reader := cl.NodeAt(20)
-	es, err := reader.FindValue(key, 0)
+	es, err := reader.FindValue(context.Background(), key, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -308,7 +308,7 @@ func TestReadRepairRefillsEmptyReplicas(t *testing.T) {
 		t.Fatal(err)
 	}
 	key := kadid.HashString("refill|1")
-	if _, err := cl.Nodes[3].Store(key, []wire.Entry{{Field: "f", Count: 8}}); err != nil {
+	if _, err := cl.Nodes[3].Store(context.Background(), key, []wire.Entry{{Field: "f", Count: 8}}); err != nil {
 		t.Fatal(err)
 	}
 
@@ -336,7 +336,7 @@ func TestReadRepairRefillsEmptyReplicas(t *testing.T) {
 	}
 
 	reader := cl.NodeAt(0)
-	es, err := reader.FindValue(key, 0)
+	es, err := reader.FindValue(context.Background(), key, 0)
 	if err != nil {
 		t.Fatalf("value unreadable with one live holder: %v", err)
 	}
@@ -365,7 +365,7 @@ func TestFilteredReadNeverRepairs(t *testing.T) {
 	for i := 0; i < 8; i++ {
 		entries = append(entries, wire.Entry{Field: fmt.Sprintf("t%d", i), Count: uint64(i + 1)})
 	}
-	if _, err := cl.Nodes[0].Store(key, entries); err != nil {
+	if _, err := cl.Nodes[0].Store(context.Background(), key, entries); err != nil {
 		t.Fatal(err)
 	}
 	holders := holdersOf(cl, key)
@@ -375,7 +375,7 @@ func TestFilteredReadNeverRepairs(t *testing.T) {
 	holders[0].LocalStore().Append(key, []wire.Entry{{Field: "t0", Count: 50}})
 
 	reader := cl.NodeAt(10)
-	if _, err := reader.FindValue(key, 2); err != nil {
+	if _, err := reader.FindValue(context.Background(), key, 2); err != nil {
 		t.Fatal(err)
 	}
 	if got := reader.Repairs(); got != 0 {
@@ -397,7 +397,7 @@ func TestCrashedKMinusOneHoldersStayReadableAfterRepair(t *testing.T) {
 	}
 	for round := 0; round < 5; round++ {
 		key := kadid.HashString(fmt.Sprintf("acceptance|%d", round))
-		if _, err := cl.NodeAt(0).Store(key, []wire.Entry{{Field: "f", Count: uint64(10 + round)}}); err != nil {
+		if _, err := cl.NodeAt(0).Store(context.Background(), key, []wire.Entry{{Field: "f", Count: uint64(10 + round)}}); err != nil {
 			t.Fatal(err)
 		}
 		holders := holdersOf(cl, key)
@@ -420,9 +420,9 @@ func TestCrashedKMinusOneHoldersStayReadableAfterRepair(t *testing.T) {
 			revive = append(revive, n)
 		}
 
-		NewMaintainer(survivor, MaintainerConfig{Seed: int64(round)}).RunOnce()
+		NewMaintainer(survivor, MaintainerConfig{Seed: int64(round)}).RunOnce(context.Background())
 
-		es, err := cl.NodeAt(0).FindValue(key, 0)
+		es, err := cl.NodeAt(0).FindValue(context.Background(), key, 0)
 		if err != nil {
 			t.Fatalf("round %d: block lost after crashing k-1 holders: %v", round, err)
 		}

@@ -1,6 +1,7 @@
 package kademlia
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"path/filepath"
@@ -104,13 +105,13 @@ func NewCluster(cc ClusterConfig) (*Cluster, error) {
 
 	seed := cl.Nodes[0].Self()
 	for i := 1; i < cc.N; i++ {
-		if err := cl.Nodes[i].Bootstrap([]wire.Contact{seed}); err != nil {
+		if err := cl.Nodes[i].Bootstrap(context.Background(), []wire.Contact{seed}); err != nil {
 			return nil, fmt.Errorf("kademlia: bootstrap node %d: %w", i, err)
 		}
 	}
 	for r := 0; r < cc.RefreshRounds; r++ {
 		for _, n := range cl.Nodes {
-			n.IterativeFindNode(kadid.Random(rng))
+			n.IterativeFindNode(context.Background(), kadid.Random(rng))
 		}
 	}
 	return cl, nil
@@ -139,7 +140,7 @@ func (c *Cluster) AddNode(cfg Config, seed int64, via int) (*Node, error) {
 	node := NewNode(kadid.Random(rng), cfg)
 
 	node.Attach(c.Net.Attach(addr, node))
-	if err := node.Bootstrap([]wire.Contact{seedContact}); err != nil {
+	if err := node.Bootstrap(context.Background(), []wire.Contact{seedContact}); err != nil {
 		node.Shutdown() //nolint:errcheck // join failed; leave disk state for a later retry
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package kademlia
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -46,7 +47,7 @@ func TestAddNodeConcurrent(t *testing.T) {
 		seen[addr] = true
 	}
 	for _, n := range cl.Snapshot()[1:] {
-		if !cl.NodeAt(0).Ping(n.Self()) {
+		if !cl.NodeAt(0).Ping(context.Background(), n.Self()) {
 			t.Errorf("node %s unreachable after concurrent join", n.Self().Addr)
 		}
 	}
@@ -117,8 +118,8 @@ func TestClusterChurnConcurrent(t *testing.T) {
 		defer loadWg.Done()
 		for i := 0; !stop.Load(); i++ {
 			key := kadid.HashString(fmt.Sprintf("churnload%d", i%32))
-			cl.NodeAt(1).Store(key, []wire.Entry{{Field: "f", Count: 1}})
-			cl.NodeAt(1).FindValue(key, 0)
+			cl.NodeAt(1).Store(context.Background(), key, []wire.Entry{{Field: "f", Count: 1}})
+			cl.NodeAt(1).FindValue(context.Background(), key, 0)
 		}
 	}()
 
@@ -212,7 +213,7 @@ func TestClusterChurnConcurrent(t *testing.T) {
 		t.Fatalf("membership shrank to %d", cl.Len())
 	}
 	for _, n := range cl.Snapshot()[1:] {
-		if !cl.NodeAt(0).Ping(n.Self()) {
+		if !cl.NodeAt(0).Ping(context.Background(), n.Self()) {
 			t.Errorf("member %s unreachable after churn", n.Self().Addr)
 		}
 	}

@@ -1,6 +1,7 @@
 package kademlia
 
 import (
+	"context"
 	"math/rand"
 	"sync"
 
@@ -30,7 +31,15 @@ type lookupResult struct {
 // VALUE responses of the final round are merged field-wise, taking the
 // maximum count per field: counts only grow, so the maximum is the most
 // complete replica state.
-func (n *Node) iterativeLookup(target kadid.ID, wantValue bool, topN int) ([]wire.Entry, bool, []wire.Contact) {
+//
+// ctx bounds the whole procedure. Cancellation is checked between
+// rounds AND aborts the round's in-flight RPC waiters, so a lookup
+// stuck on non-answering peers returns as soon as the caller gives up,
+// not when the transport's retry timers expire. On early termination
+// the ctx error is returned along with the best-effort contact window
+// gathered so far; entries are withheld (a partial value is not a
+// value).
+func (n *Node) iterativeLookup(ctx context.Context, target kadid.ID, wantValue bool, topN int) ([]wire.Entry, bool, []wire.Contact, error) {
 	n.lookups.Add(1)
 
 	type candidate struct {
@@ -77,7 +86,7 @@ func (n *Node) iterativeLookup(target kadid.ID, wantValue bool, topN int) ([]wir
 		holderCounts = make(map[kadid.ID]map[string]uint64)
 	}
 
-	for {
+	for ctx.Err() == nil {
 		// Pick the α closest unqueried candidates among the k closest
 		// that have not failed: dead nodes must not occupy the window,
 		// or a crashed replica set would mask the live nodes behind it.
@@ -115,7 +124,7 @@ func (n *Node) iterativeLookup(target kadid.ID, wantValue bool, topN int) ([]wir
 				} else {
 					msg = &wire.Message{Kind: wire.KindFindNode, Target: target}
 				}
-				resp, err := n.call(c, msg)
+				resp, err := n.call(ctx, c, msg)
 				if err != nil {
 					results <- lookupResult{from: c, err: err}
 					return
@@ -133,7 +142,9 @@ func (n *Node) iterativeLookup(target kadid.ID, wantValue bool, topN int) ([]wir
 
 		for res := range results {
 			if res.err != nil {
-				if cd, ok := seen[res.from.ID]; ok {
+				// A cancelled exchange says nothing about the peer; only
+				// a genuinely failed one marks the candidate dead.
+				if cd, ok := seen[res.from.ID]; ok && ctx.Err() == nil {
 					cd.failed = true
 				}
 				continue
@@ -191,8 +202,11 @@ func (n *Node) iterativeLookup(target kadid.ID, wantValue bool, topN int) ([]wir
 		}
 	}
 
+	if err := ctx.Err(); err != nil {
+		return nil, false, closest, err
+	}
 	if !foundValue {
-		return nil, false, closest
+		return nil, false, closest, nil
 	}
 	out := make([]wire.Entry, 0, len(merged))
 	for _, e := range merged {
@@ -205,7 +219,7 @@ func (n *Node) iterativeLookup(target kadid.ID, wantValue bool, topN int) ([]wir
 	// the next read). This subsumes the §4.1 cache push below when both
 	// are enabled.
 	if repairing {
-		n.readRepair(target, out, closest, holderCounts)
+		n.readRepair(ctx, target, out, closest, holderCounts)
 	}
 
 	// Kademlia §4.1: replicate the found value onto the closest node
@@ -215,10 +229,13 @@ func (n *Node) iterativeLookup(target kadid.ID, wantValue bool, topN int) ([]wir
 	// a partial block, and caching it would let it shadow full replicas
 	// for later readers. (Cached copies can still serve stale counts —
 	// acceptable for DHARMA, whose weights are approximate by design.)
+	// The push is asynchronous and detached from the read's ctx: the
+	// read already succeeded, and a best-effort replica seeding must not
+	// die with the caller's deadline.
 	if n.cfg.CacheOnLookup && topN == 0 && !repairing {
 		for _, c := range closest {
 			if !valueHolders[c.ID] {
-				go n.call(c, &wire.Message{ //nolint:errcheck // best effort
+				go n.call(context.Background(), c, &wire.Message{ //nolint:errcheck // best effort
 					Kind: wire.KindReplicate, Target: target, Entries: out,
 				})
 				break
@@ -229,7 +246,7 @@ func (n *Node) iterativeLookup(target kadid.ID, wantValue bool, topN int) ([]wir
 	if topN > 0 && len(out) > topN {
 		out = out[:topN]
 	}
-	return out, true, closest
+	return out, true, closest, nil
 }
 
 // readRepair pushes merged — the field-wise maximum over every replica
@@ -237,7 +254,7 @@ func (n *Node) iterativeLookup(target kadid.ID, wantValue bool, topN int) ([]wir
 // stale: non-holders get the block they should be storing, holders with
 // any lower count get raised to the merged state. REPLICATE max-merges
 // on arrival, so concurrent repairs and appends commute.
-func (n *Node) readRepair(key kadid.ID, merged []wire.Entry, closest []wire.Contact, holderCounts map[kadid.ID]map[string]uint64) {
+func (n *Node) readRepair(ctx context.Context, key kadid.ID, merged []wire.Entry, closest []wire.Contact, holderCounts map[kadid.ID]map[string]uint64) {
 	var stale []wire.Contact
 	for _, c := range closest {
 		counts, isHolder := holderCounts[c.ID]
@@ -260,7 +277,7 @@ func (n *Node) readRepair(key kadid.ID, merged []wire.Entry, closest []wire.Cont
 		wg.Add(1)
 		go func(c wire.Contact) {
 			defer wg.Done()
-			resp, err := n.call(c, &wire.Message{
+			resp, err := n.call(ctx, c, &wire.Message{
 				Kind:    wire.KindReplicate,
 				Target:  key,
 				Entries: merged,

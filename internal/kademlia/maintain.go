@@ -1,6 +1,7 @@
 package kademlia
 
 import (
+	"context"
 	"sync"
 
 	"dharma/internal/kadid"
@@ -50,9 +51,11 @@ func (s *Store) applyMergeMax(key kadid.ID, entries []wire.Entry) {
 // currently closest to its key (max-merge on arrival). It returns how
 // many blocks were pushed and how many replica stores succeeded.
 // Deployments call this periodically; tests and the churn experiment
-// call it directly.
-func (n *Node) RepublishOnce() (blocks int, acks int) {
-	blocks, acks, _ = n.pushBlocks(true, false)
+// call it directly. A cancelled ctx stops the sweep between blocks and
+// aborts the in-flight replicate RPCs — how a maintenance loop winds
+// down promptly on shutdown.
+func (n *Node) RepublishOnce(ctx context.Context) (blocks int, acks int) {
+	blocks, acks, _ = n.pushBlocks(ctx, true, false)
 	return blocks, acks
 }
 
@@ -62,23 +65,26 @@ func (n *Node) RepublishOnce() (blocks int, acks int) {
 // With retryUnacked, a block no replica acknowledged gets one more
 // attempt against a fresh lookup; blocks that still land nowhere are
 // returned so the caller can report the incomplete leave.
-func (n *Node) pushBlocks(includeSelf, retryUnacked bool) (blocks, acks int, unacked []kadid.ID) {
+func (n *Node) pushBlocks(ctx context.Context, includeSelf, retryUnacked bool) (blocks, acks int, unacked []kadid.ID) {
 	for _, key := range n.store.Keys() {
+		if ctx.Err() != nil {
+			return blocks, acks, unacked
+		}
 		entries, ok := n.store.Get(key, 0)
 		if !ok {
 			continue // deleted concurrently
 		}
-		targets := n.IterativeFindNode(key)
+		targets := n.IterativeFindNode(ctx, key)
 		if includeSelf {
 			targets = n.insertSelf(targets, key)
 		}
 		blocks++
-		got := n.replicateTo(key, entries, targets)
-		if got == 0 && retryUnacked {
+		got := n.replicateTo(ctx, key, entries, targets)
+		if got == 0 && retryUnacked && ctx.Err() == nil {
 			// The first target set may have been stale under churn; one
 			// bounded retry against a fresh lookup, then give up and
 			// report rather than block the departure indefinitely.
-			got = n.replicateTo(key, entries, n.IterativeFindNode(key))
+			got = n.replicateTo(ctx, key, entries, n.IterativeFindNode(ctx, key))
 		}
 		if got == 0 && retryUnacked {
 			unacked = append(unacked, key)
@@ -90,7 +96,7 @@ func (n *Node) pushBlocks(includeSelf, retryUnacked bool) (blocks, acks int, una
 
 // replicateTo sends one block to every target but the node itself (in
 // parallel) and returns how many acknowledged.
-func (n *Node) replicateTo(key kadid.ID, entries []wire.Entry, targets []wire.Contact) int {
+func (n *Node) replicateTo(ctx context.Context, key kadid.ID, entries []wire.Entry, targets []wire.Contact) int {
 	acks := 0
 	var wg sync.WaitGroup
 	var mu sync.Mutex
@@ -101,7 +107,7 @@ func (n *Node) replicateTo(key kadid.ID, entries []wire.Entry, targets []wire.Co
 		wg.Add(1)
 		go func(c wire.Contact) {
 			defer wg.Done()
-			resp, err := n.call(c, &wire.Message{
+			resp, err := n.call(ctx, c, &wire.Message{
 				Kind:    wire.KindReplicate,
 				Target:  key,
 				Entries: entries,

@@ -1,6 +1,7 @@
 package kademlia
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -52,7 +53,7 @@ func TestMergeMaxAdoptsDataOnlyWhenMissing(t *testing.T) {
 func TestRepublishMovesBlocksToJoiners(t *testing.T) {
 	cl := newTestCluster(t, 20, 51)
 	key := kadid.HashString("persistent|3")
-	if _, err := cl.Nodes[2].Store(key, []wire.Entry{{Field: "f", Count: 9}}); err != nil {
+	if _, err := cl.Nodes[2].Store(context.Background(), key, []wire.Entry{{Field: "f", Count: 9}}); err != nil {
 		t.Fatal(err)
 	}
 
@@ -67,7 +68,7 @@ func TestRepublishMovesBlocksToJoiners(t *testing.T) {
 	// Republish from every original holder.
 	for _, n := range cl.Nodes[:20] {
 		if n.LocalStore().Has(key) {
-			n.RepublishOnce()
+			n.RepublishOnce(context.Background())
 		}
 	}
 
@@ -85,7 +86,7 @@ func TestRepublishMovesBlocksToJoiners(t *testing.T) {
 	}
 
 	// Counts must be intact (max-merge, not addition).
-	es, err := cl.Nodes[25].FindValue(key, 0)
+	es, err := cl.Nodes[25].FindValue(context.Background(), key, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +98,7 @@ func TestRepublishMovesBlocksToJoiners(t *testing.T) {
 func TestRepublishRestoresReplicationAfterCrashes(t *testing.T) {
 	cl := newTestCluster(t, 32, 52)
 	key := kadid.HashString("durable|2")
-	if _, err := cl.Nodes[0].Store(key, []wire.Entry{{Field: "f", Count: 4}}); err != nil {
+	if _, err := cl.Nodes[0].Store(context.Background(), key, []wire.Entry{{Field: "f", Count: 4}}); err != nil {
 		t.Fatal(err)
 	}
 
@@ -118,7 +119,7 @@ func TestRepublishRestoresReplicationAfterCrashes(t *testing.T) {
 	}
 
 	// The survivor repairs the replica set among live nodes.
-	survivor.RepublishOnce()
+	survivor.RepublishOnce(context.Background())
 
 	liveHolders := 0
 	for _, n := range cl.Nodes {
@@ -156,7 +157,7 @@ func TestRepublishRestoresReplicationAfterCrashes(t *testing.T) {
 	if reader == nil {
 		t.Skip("no non-holder reader available")
 	}
-	if _, err := reader.FindValue(key, 0); err != nil {
+	if _, err := reader.FindValue(context.Background(), key, 0); err != nil {
 		t.Fatalf("FindValue after repair: %v", err)
 	}
 }
@@ -171,7 +172,7 @@ func TestCacheOnLookupSpreadsHotBlocks(t *testing.T) {
 		t.Fatal(err)
 	}
 	key := kadid.HashString("hot|3")
-	if _, err := cl.Nodes[0].Store(key, []wire.Entry{{Field: "f", Count: 6}}); err != nil {
+	if _, err := cl.Nodes[0].Store(context.Background(), key, []wire.Entry{{Field: "f", Count: 6}}); err != nil {
 		t.Fatal(err)
 	}
 	holdersBefore := 0
@@ -183,7 +184,7 @@ func TestCacheOnLookupSpreadsHotBlocks(t *testing.T) {
 
 	// Many distinct readers fetch the hot block (unfiltered).
 	for i := 4; i < 28; i++ {
-		if _, err := cl.Nodes[i].FindValue(key, 0); err != nil {
+		if _, err := cl.Nodes[i].FindValue(context.Background(), key, 0); err != nil {
 			t.Fatalf("reader %d: %v", i, err)
 		}
 	}
@@ -197,7 +198,7 @@ func TestCacheOnLookupSpreadsHotBlocks(t *testing.T) {
 		}
 		if holders > holdersBefore {
 			// Value must stay intact on every copy (max-merge).
-			es, err := cl.Nodes[30].FindValue(key, 0)
+			es, err := cl.Nodes[30].FindValue(context.Background(), key, 0)
 			if err != nil || es[0].Count != 6 {
 				t.Fatalf("cached value corrupted: %+v, %v", es, err)
 			}
@@ -222,7 +223,7 @@ func TestFilteredLookupDoesNotCache(t *testing.T) {
 	for i := 0; i < 20; i++ {
 		entries = append(entries, wire.Entry{Field: fmt.Sprintf("t%02d", i), Count: uint64(i + 1)})
 	}
-	if _, err := cl.Nodes[0].Store(key, entries); err != nil {
+	if _, err := cl.Nodes[0].Store(context.Background(), key, entries); err != nil {
 		t.Fatal(err)
 	}
 	holders := func() int {
@@ -236,7 +237,7 @@ func TestFilteredLookupDoesNotCache(t *testing.T) {
 	}
 	before := holders()
 	for i := 5; i < 20; i++ {
-		if _, err := cl.Nodes[i].FindValue(key, 3); err != nil {
+		if _, err := cl.Nodes[i].FindValue(context.Background(), key, 3); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -254,7 +255,7 @@ func TestReplicateRPCUsesMaxMerge(t *testing.T) {
 
 	// A REPLICATE with a smaller count must not change anything; a
 	// STORE with the same payload would add.
-	resp, err := cl.Nodes[1].call(target.Self(), &wire.Message{
+	resp, err := cl.Nodes[1].call(context.Background(), target.Self(), &wire.Message{
 		Kind:    wire.KindReplicate,
 		Target:  key,
 		Entries: []wire.Entry{{Field: "f", Count: 4}},

@@ -91,28 +91,34 @@ func NewMaintainer(n *Node, cfg MaintainerConfig) *Maintainer {
 // RunOnce performs one maintenance round: evict, refresh, republish.
 // On a detached node (crashed, departed) it is a no-op: a dead node
 // performs no maintenance, and must not pollute the stats with rounds
-// that can reach nobody.
-func (m *Maintainer) RunOnce() {
+// that can reach nobody. ctx bounds the round — a cancelled context
+// aborts the in-flight refresh and republish RPCs mid-sweep.
+func (m *Maintainer) RunOnce(ctx context.Context) {
 	if m.node.Detached() {
 		return
 	}
-	m.evicted.Add(int64(m.node.EvictDead()))
+	m.evicted.Add(int64(m.node.EvictDead(ctx)))
 	buckets := m.node.Table().NonEmptyBuckets()
 	for i := 0; i < m.cfg.RefreshBuckets && len(buckets) > 0; i++ {
+		if ctx.Err() != nil {
+			return
+		}
 		m.rngMu.Lock()
 		idx := buckets[m.rng.Intn(len(buckets))]
 		seed := m.rng.Int63()
 		m.rngMu.Unlock()
-		m.node.RefreshBucket(idx, seed)
+		m.node.RefreshBucket(ctx, idx, seed)
 		m.refreshed.Add(1)
 	}
-	blocks, acks := m.node.RepublishOnce()
+	blocks, acks := m.node.RepublishOnce(ctx)
 	m.blocks.Add(int64(blocks))
 	m.acks.Add(int64(acks))
 	m.rounds.Add(1)
 }
 
-// Run executes maintenance rounds until ctx is cancelled.
+// Run executes maintenance rounds until ctx is cancelled. The same ctx
+// bounds each round's RPCs, so cancellation does not just stop the
+// ticker — it cuts the round short.
 func (m *Maintainer) Run(ctx context.Context) {
 	timer := time.NewTimer(m.nextWait())
 	defer timer.Stop()
@@ -122,7 +128,7 @@ func (m *Maintainer) Run(ctx context.Context) {
 			return
 		case <-timer.C:
 		}
-		m.RunOnce()
+		m.RunOnce(ctx)
 		timer.Reset(m.nextWait())
 	}
 }
@@ -161,14 +167,19 @@ func (s *MaintenanceStats) add(o MaintenanceStats) {
 // one-strike eviction would falsely remove ~2% of healthy contacts per
 // sweep — so a failed ping (whose error path already removed the
 // contact) gets one retry, and a successful retry re-admits the contact
-// through the routing table's usual update path.
-func (n *Node) EvictDead() int {
+// through the routing table's usual update path. A cancelled ctx stops
+// the sweep early (cancelled pings evict nobody: node.call only removes
+// contacts on genuine failures).
+func (n *Node) EvictDead(ctx context.Context) int {
 	if n.Detached() {
 		return 0
 	}
 	evicted := 0
 	for _, c := range n.table.Contacts() {
-		if n.pingContact(c) || n.pingContact(c) {
+		if ctx.Err() != nil {
+			return evicted
+		}
+		if n.Ping(ctx, c) || n.Ping(ctx, c) {
 			continue
 		}
 		// Count only real removals: if this node detached mid-sweep the

@@ -130,7 +130,7 @@ func TestHandoffReportsUnacked(t *testing.T) {
 	}
 
 	// Healthy overlay: the handoff lands and reports nothing.
-	blocks, acks, err := leaver.Handoff()
+	blocks, acks, err := leaver.Handoff(context.Background())
 	if err != nil || blocks != len(keys) || acks == 0 {
 		t.Fatalf("healthy handoff: blocks=%d acks=%d err=%v", blocks, acks, err)
 	}
@@ -139,7 +139,7 @@ func TestHandoffReportsUnacked(t *testing.T) {
 	for _, n := range cl.Nodes[:4] {
 		cl.Net.SetDown(simnet.Addr(n.Self().Addr), true)
 	}
-	blocks, acks, err = leaver.Handoff()
+	blocks, acks, err = leaver.Handoff(context.Background())
 	if !errors.Is(err, ErrHandoffIncomplete) {
 		t.Fatalf("handoff into a dead overlay: err=%v, want ErrHandoffIncomplete", err)
 	}

@@ -13,6 +13,7 @@
 package kademlia
 
 import (
+	"context"
 	"crypto/ed25519"
 	"errors"
 	"fmt"
@@ -324,8 +325,9 @@ func (n *Node) admit(msg *wire.Message) error {
 }
 
 // call sends one RPC and maintains the routing table on success and
-// failure.
-func (n *Node) call(to wire.Contact, msg *wire.Message) (*wire.Message, error) {
+// failure. ctx bounds the exchange: when it ends, the transport's
+// in-flight waiter is aborted and ctx.Err() comes back.
+func (n *Node) call(ctx context.Context, to wire.Contact, msg *wire.Message) (*wire.Message, error) {
 	if n.detached.Load() {
 		return nil, errDetached
 	}
@@ -334,11 +336,12 @@ func (n *Node) call(to wire.Contact, msg *wire.Message) (*wire.Message, error) {
 	tr := n.transport
 	n.selfMu.RUnlock()
 	msg.Cred = n.credBlob
-	raw, err := tr.Call(simnet.Addr(to.Addr), wire.Encode(msg))
+	raw, err := tr.Call(ctx, simnet.Addr(to.Addr), wire.Encode(msg))
 	if err != nil {
 		// A local send failure (endpoint closed under us) says nothing
-		// about the peer; only a timed-out exchange does.
-		if !errors.Is(err, simnet.ErrClosed) {
+		// about the peer; only a timed-out exchange does. Likewise a
+		// caller giving up (ctx ended) is not evidence the peer is dead.
+		if !errors.Is(err, simnet.ErrClosed) && ctx.Err() == nil {
 			n.table.Remove(to.ID)
 		}
 		return nil, err
@@ -356,19 +359,25 @@ func (n *Node) call(to wire.Contact, msg *wire.Message) (*wire.Message, error) {
 	return resp, nil
 }
 
+// pingContact is the routing table's liveness probe. Table-internal
+// pings are background work with no caller to cancel them, so they run
+// under the background context.
 func (n *Node) pingContact(c wire.Contact) bool {
-	resp, err := n.call(c, &wire.Message{Kind: wire.KindPing})
-	return err == nil && resp.Kind == wire.KindPong
+	return n.Ping(context.Background(), c)
 }
 
-// Ping probes a contact and returns whether it answered.
-func (n *Node) Ping(c wire.Contact) bool { return n.pingContact(c) }
+// Ping probes a contact and returns whether it answered before ctx
+// ended.
+func (n *Node) Ping(ctx context.Context, c wire.Contact) bool {
+	resp, err := n.call(ctx, c, &wire.Message{Kind: wire.KindPing})
+	return err == nil && resp.Kind == wire.KindPong
+}
 
 // Discover pings a bare address and returns the full contact of the
 // node answering there — how a joining node learns its bootstrap
 // contact from a host:port alone.
-func (n *Node) Discover(addr string) (wire.Contact, error) {
-	resp, err := n.call(wire.Contact{Addr: addr}, &wire.Message{Kind: wire.KindPing})
+func (n *Node) Discover(ctx context.Context, addr string) (wire.Contact, error) {
+	resp, err := n.call(ctx, wire.Contact{Addr: addr}, &wire.Message{Kind: wire.KindPing})
 	if err != nil {
 		return wire.Contact{}, err
 	}
@@ -381,7 +390,7 @@ func (n *Node) Discover(addr string) (wire.Contact, error) {
 // Bootstrap introduces the node to the overlay through seed contacts:
 // it inserts them into the table and performs an iterative lookup of its
 // own identifier, which populates the buckets closest to the node.
-func (n *Node) Bootstrap(seeds []wire.Contact) error {
+func (n *Node) Bootstrap(ctx context.Context, seeds []wire.Contact) error {
 	for _, s := range seeds {
 		if s.ID != n.id {
 			n.table.Update(s)
@@ -390,23 +399,29 @@ func (n *Node) Bootstrap(seeds []wire.Contact) error {
 	if n.table.Len() == 0 {
 		return ErrNoContacts
 	}
-	n.IterativeFindNode(n.id)
-	return nil
+	n.IterativeFindNode(ctx, n.id)
+	return ctx.Err()
 }
 
 // RefreshBucket performs the Kademlia bucket-refresh procedure for one
 // bucket index: it looks up a random identifier falling in that bucket.
-func (n *Node) RefreshBucket(bucket int, seed int64) {
+func (n *Node) RefreshBucket(ctx context.Context, bucket int, seed int64) {
 	id := kadid.RandomInBucket(n.id, bucket, newRand(seed))
-	n.IterativeFindNode(id)
+	n.IterativeFindNode(ctx, id)
 }
 
 // Store places entries under key on the k closest nodes to key
 // (replication at write time). The writer itself participates when it
 // is one of the k closest, so every writer converges on the same
-// replica set. It returns how many replicas acknowledged.
-func (n *Node) Store(key kadid.ID, entries []wire.Entry) (int, error) {
-	targets := n.IterativeFindNode(key)
+// replica set. It returns how many replicas acknowledged. When ctx ends
+// mid-operation the in-flight replica RPCs are aborted; if the quorum
+// was not reached by then, ctx's error is returned with the partial ack
+// count.
+func (n *Node) Store(ctx context.Context, key kadid.ID, entries []wire.Entry) (int, error) {
+	_, _, targets, lerr := n.iterativeLookup(ctx, key, false, 0)
+	if lerr != nil {
+		return 0, lerr
+	}
 	targets = n.insertSelf(targets, key)
 	if len(targets) == 0 {
 		return 0, ErrNoContacts
@@ -426,7 +441,7 @@ func (n *Node) Store(key kadid.ID, entries []wire.Entry) (int, error) {
 		wg.Add(1)
 		go func(c wire.Contact) {
 			defer wg.Done()
-			resp, err := n.call(c, &wire.Message{Kind: wire.KindStore, Target: key, Entries: entries})
+			resp, err := n.call(ctx, c, &wire.Message{Kind: wire.KindStore, Target: key, Entries: entries})
 			if err == nil && resp.Kind == wire.KindStoreAck {
 				mu.Lock()
 				acks++
@@ -435,6 +450,11 @@ func (n *Node) Store(key kadid.ID, entries []wire.Entry) (int, error) {
 		}(c)
 	}
 	wg.Wait()
+	if acks < n.cfg.MinStoreAcks {
+		if err := ctx.Err(); err != nil {
+			return acks, err
+		}
+	}
 	if acks == 0 {
 		return 0, fmt.Errorf("kademlia: no replica acknowledged store of %s", key.Short())
 	}
@@ -463,9 +483,14 @@ func (n *Node) insertSelf(sorted []wire.Contact, key kadid.ID) []wire.Contact {
 
 // FindValue retrieves the block stored under key, asking for at most
 // topN entries (0 = all). It performs one iterative lookup and returns
-// ErrNotFound if no replica holds the block.
-func (n *Node) FindValue(key kadid.ID, topN int) ([]wire.Entry, error) {
-	entries, found, _ := n.iterativeLookup(key, true, topN)
+// ErrNotFound if no replica holds the block. When ctx ends before a
+// value was assembled, ctx.Err() is returned instead — the caller's
+// deadline wins over every internal retry budget.
+func (n *Node) FindValue(ctx context.Context, key kadid.ID, topN int) ([]wire.Entry, error) {
+	entries, found, _, lerr := n.iterativeLookup(ctx, key, true, topN)
+	if lerr != nil {
+		return nil, lerr
+	}
 	if local, ok := n.store.Get(key, topN); ok {
 		// The reader may itself hold a replica; merge it in field-wise,
 		// keeping the larger count (counts only grow).
@@ -498,8 +523,10 @@ func (n *Node) FindValue(key kadid.ID, topN int) ([]wire.Entry, error) {
 }
 
 // IterativeFindNode locates the k closest live nodes to target, sorted
-// by ascending XOR distance.
-func (n *Node) IterativeFindNode(target kadid.ID) []wire.Contact {
-	_, _, closest := n.iterativeLookup(target, false, 0)
+// by ascending XOR distance. A ctx that ends mid-lookup cuts the walk
+// short; the contacts gathered so far are returned best-effort (callers
+// that must distinguish a complete window check ctx.Err() themselves).
+func (n *Node) IterativeFindNode(ctx context.Context, target kadid.ID) []wire.Contact {
+	_, _, closest, _ := n.iterativeLookup(ctx, target, false, 0)
 	return closest
 }

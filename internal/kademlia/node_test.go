@@ -1,6 +1,7 @@
 package kademlia
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -33,7 +34,7 @@ func TestIterativeFindNodeFindsTrueClosest(t *testing.T) {
 	for trial := 0; trial < 10; trial++ {
 		target := kadid.Random(rng)
 		origin := cl.Nodes[rng.Intn(len(cl.Nodes))]
-		got := origin.IterativeFindNode(target)
+		got := origin.IterativeFindNode(context.Background(), target)
 		want := cl.ClosestGroundTruth(target, 8)
 
 		if len(got) < len(want) {
@@ -68,7 +69,7 @@ func TestStoreAndFindValue(t *testing.T) {
 	writer := cl.Nodes[5]
 	reader := cl.Nodes[20]
 
-	acks, err := writer.Store(key, []wire.Entry{{Field: "pop", Count: 2}, {Field: "indie", Count: 1}})
+	acks, err := writer.Store(context.Background(), key, []wire.Entry{{Field: "pop", Count: 2}, {Field: "indie", Count: 1}})
 	if err != nil {
 		t.Fatalf("Store: %v", err)
 	}
@@ -76,7 +77,7 @@ func TestStoreAndFindValue(t *testing.T) {
 		t.Fatal("no replica acknowledged")
 	}
 
-	es, err := reader.FindValue(key, 0)
+	es, err := reader.FindValue(context.Background(), key, 0)
 	if err != nil {
 		t.Fatalf("FindValue: %v", err)
 	}
@@ -87,7 +88,7 @@ func TestStoreAndFindValue(t *testing.T) {
 
 func TestFindValueNotFound(t *testing.T) {
 	cl := newTestCluster(t, 16, 4)
-	if _, err := cl.Nodes[3].FindValue(kadid.HashString("absent"), 0); !errors.Is(err, ErrNotFound) {
+	if _, err := cl.Nodes[3].FindValue(context.Background(), kadid.HashString("absent"), 0); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("want ErrNotFound, got %v", err)
 	}
 }
@@ -96,11 +97,11 @@ func TestStoreAppendsAccumulateAcrossWriters(t *testing.T) {
 	cl := newTestCluster(t, 24, 5)
 	key := kadid.HashString("jazz|3")
 	for i := 0; i < 10; i++ {
-		if _, err := cl.Nodes[i].Store(key, []wire.Entry{{Field: "swing", Count: 1}}); err != nil {
+		if _, err := cl.Nodes[i].Store(context.Background(), key, []wire.Entry{{Field: "swing", Count: 1}}); err != nil {
 			t.Fatalf("Store %d: %v", i, err)
 		}
 	}
-	es, err := cl.Nodes[15].FindValue(key, 0)
+	es, err := cl.Nodes[15].FindValue(context.Background(), key, 0)
 	if err != nil {
 		t.Fatalf("FindValue: %v", err)
 	}
@@ -112,7 +113,7 @@ func TestStoreAppendsAccumulateAcrossWriters(t *testing.T) {
 func TestValueSurvivesReplicaFailures(t *testing.T) {
 	cl := newTestCluster(t, 32, 6)
 	key := kadid.HashString("blues|2")
-	if _, err := cl.Nodes[1].Store(key, []wire.Entry{{Field: "r", Count: 1}}); err != nil {
+	if _, err := cl.Nodes[1].Store(context.Background(), key, []wire.Entry{{Field: "r", Count: 1}}); err != nil {
 		t.Fatal(err)
 	}
 
@@ -137,7 +138,7 @@ func TestValueSurvivesReplicaFailures(t *testing.T) {
 			break
 		}
 	}
-	if _, err := reader.FindValue(key, 0); err != nil {
+	if _, err := reader.FindValue(context.Background(), key, 0); err != nil {
 		t.Fatalf("FindValue after failures: %v", err)
 	}
 }
@@ -149,10 +150,10 @@ func TestFindValueTopNFiltering(t *testing.T) {
 	for i := 0; i < 50; i++ {
 		entries = append(entries, wire.Entry{Field: fmt.Sprintf("t%02d", i), Count: uint64(i + 1)})
 	}
-	if _, err := cl.Nodes[0].Store(key, entries); err != nil {
+	if _, err := cl.Nodes[0].Store(context.Background(), key, entries); err != nil {
 		t.Fatal(err)
 	}
-	es, err := cl.Nodes[10].FindValue(key, 5)
+	es, err := cl.Nodes[10].FindValue(context.Background(), key, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,7 +170,7 @@ func TestBootstrapRequiresSeeds(t *testing.T) {
 	n := NewNode(kadid.HashString("lonely"), Config{K: 4})
 	net := simnet.New(simnet.Config{})
 	n.Attach(net.Attach("lonely", n))
-	if err := n.Bootstrap(nil); !errors.Is(err, ErrNoContacts) {
+	if err := n.Bootstrap(context.Background(), nil); !errors.Is(err, ErrNoContacts) {
 		t.Fatalf("want ErrNoContacts, got %v", err)
 	}
 }
@@ -178,8 +179,8 @@ func TestLookupCounterIncrements(t *testing.T) {
 	cl := newTestCluster(t, 16, 8)
 	n := cl.Nodes[2]
 	before := n.Lookups()
-	n.IterativeFindNode(kadid.HashString("x"))
-	if _, err := n.FindValue(kadid.HashString("y"), 0); !errors.Is(err, ErrNotFound) {
+	n.IterativeFindNode(context.Background(), kadid.HashString("x"))
+	if _, err := n.FindValue(context.Background(), kadid.HashString("y"), 0); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("unexpected: %v", err)
 	}
 	if got := n.Lookups() - before; got != 2 {
@@ -189,11 +190,11 @@ func TestLookupCounterIncrements(t *testing.T) {
 
 func TestPing(t *testing.T) {
 	cl := newTestCluster(t, 4, 9)
-	if !cl.Nodes[1].Ping(cl.Nodes[2].Self()) {
+	if !cl.Nodes[1].Ping(context.Background(), cl.Nodes[2].Self()) {
 		t.Fatal("live node did not answer ping")
 	}
 	cl.Net.SetDown("node-2", true)
-	if cl.Nodes[1].Ping(cl.Nodes[2].Self()) {
+	if cl.Nodes[1].Ping(context.Background(), cl.Nodes[2].Self()) {
 		t.Fatal("dead node answered ping")
 	}
 }
@@ -206,7 +207,7 @@ func TestRefreshBucketPopulates(t *testing.T) {
 		t.Fatal("no buckets after bootstrap")
 	}
 	before := n.Table().Len()
-	n.RefreshBucket(buckets[0], 123)
+	n.RefreshBucket(context.Background(), buckets[0], 123)
 	if n.Table().Len() < before {
 		t.Fatal("refresh shrank the table")
 	}
@@ -227,10 +228,10 @@ func TestLikirClusterAcceptsCertifiedTraffic(t *testing.T) {
 		t.Fatalf("NewCluster: %v", err)
 	}
 	key := kadid.HashString("folk|3")
-	if _, err := cl.Nodes[3].Store(key, []wire.Entry{{Field: "acoustic", Count: 1}}); err != nil {
+	if _, err := cl.Nodes[3].Store(context.Background(), key, []wire.Entry{{Field: "acoustic", Count: 1}}); err != nil {
 		t.Fatalf("Store: %v", err)
 	}
-	if _, err := cl.Nodes[9].FindValue(key, 0); err != nil {
+	if _, err := cl.Nodes[9].FindValue(context.Background(), key, 0); err != nil {
 		t.Fatalf("FindValue: %v", err)
 	}
 }
@@ -257,8 +258,8 @@ func TestLikirClusterRejectsUncredentialedPeer(t *testing.T) {
 	rogue := NewNode(kadid.HashString("rogue"), Config{K: 4, Alpha: 2})
 	rogue.Attach(cl.Net.Attach("rogue", rogue))
 	key := kadid.HashString("x|3")
-	if err := rogue.Bootstrap([]wire.Contact{cl.Nodes[0].Self()}); err == nil {
-		rogue.Store(key, []wire.Entry{{Field: "f", Count: 1}}) //nolint:errcheck
+	if err := rogue.Bootstrap(context.Background(), []wire.Contact{cl.Nodes[0].Self()}); err == nil {
+		rogue.Store(context.Background(), key, []wire.Entry{{Field: "f", Count: 1}}) //nolint:errcheck
 	}
 	for i, n := range cl.Nodes {
 		if n.LocalStore().Has(key) {
@@ -268,7 +269,7 @@ func TestLikirClusterRejectsUncredentialedPeer(t *testing.T) {
 			t.Fatalf("certified node %d admitted the rogue into its routing table", i)
 		}
 	}
-	if _, err := cl.Nodes[3].FindValue(key, 0); !errors.Is(err, ErrNotFound) {
+	if _, err := cl.Nodes[3].FindValue(context.Background(), key, 0); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("rogue block visible on the overlay: %v", err)
 	}
 }
@@ -297,10 +298,10 @@ func TestLikirDropsTamperedEntries(t *testing.T) {
 	writer.cfg.Identity.SignEntry(key, &evil)
 	evil.Data = []byte("http://tampered") // break the signature
 
-	if _, err := writer.Store(key, []wire.Entry{good, evil}); err != nil {
+	if _, err := writer.Store(context.Background(), key, []wire.Entry{good, evil}); err != nil {
 		t.Fatalf("Store: %v", err)
 	}
-	es, err := cl.Nodes[7].FindValue(key, 0)
+	es, err := cl.Nodes[7].FindValue(context.Background(), key, 0)
 	if err != nil {
 		t.Fatalf("FindValue: %v", err)
 	}
@@ -329,7 +330,7 @@ func TestRevokedPeerRejected(t *testing.T) {
 	}
 	victim := cl.Nodes[3]
 	key := kadid.HashString("pre|3")
-	if _, err := victim.Store(key, []wire.Entry{{Field: "f", Count: 1}}); err != nil {
+	if _, err := victim.Store(context.Background(), key, []wire.Entry{{Field: "f", Count: 1}}); err != nil {
 		t.Fatalf("store before revocation: %v", err)
 	}
 
@@ -342,7 +343,7 @@ func TestRevokedPeerRejected(t *testing.T) {
 
 	// The victim can no longer operate: peers reject every RPC, even
 	// though it was admitted (and cached) before the revocation.
-	if _, err := victim.Store(kadid.HashString("post|3"), []wire.Entry{{Field: "f", Count: 1}}); err == nil {
+	if _, err := victim.Store(context.Background(), kadid.HashString("post|3"), []wire.Entry{{Field: "f", Count: 1}}); err == nil {
 		acks := 0
 		for _, n := range cl.Nodes {
 			if n != victim && n.LocalStore().Has(kadid.HashString("post|3")) {
@@ -353,7 +354,7 @@ func TestRevokedPeerRejected(t *testing.T) {
 			t.Fatalf("revoked peer stored on %d honest nodes", acks)
 		}
 	}
-	if victim.Ping(cl.Nodes[1].Self()) {
+	if victim.Ping(context.Background(), cl.Nodes[1].Self()) {
 		t.Fatal("revoked peer still gets PONGs")
 	}
 }
@@ -375,13 +376,13 @@ func TestLookupsUnderPacketLoss(t *testing.T) {
 		t.Fatal(err)
 	}
 	key := kadid.HashString("lossy|3")
-	if _, err := cl.Nodes[1].Store(key, []wire.Entry{{Field: "f", Count: 1}}); err != nil {
+	if _, err := cl.Nodes[1].Store(context.Background(), key, []wire.Entry{{Field: "f", Count: 1}}); err != nil {
 		t.Fatalf("Store under loss: %v", err)
 	}
 	// Retry a few times: 5% loss can still kill a single lookup.
 	var got []wire.Entry
 	for i := 0; i < 5 && got == nil; i++ {
-		if es, err := cl.Nodes[9].FindValue(key, 0); err == nil {
+		if es, err := cl.Nodes[9].FindValue(context.Background(), key, 0); err == nil {
 			got = es
 		}
 	}

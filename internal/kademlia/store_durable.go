@@ -2,6 +2,7 @@ package kademlia
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"dharma/internal/persist"
@@ -26,6 +27,7 @@ type durability struct {
 	wal        *persist.Log
 	store      *Store
 	compacting atomic.Bool
+	compactWG  sync.WaitGroup // in-flight background compaction; Close drains it
 }
 
 // OpenDurableStore opens (or creates) a durable block store rooted at
@@ -64,11 +66,14 @@ func (s *Store) WAL() *persist.Log {
 }
 
 // Close flushes and cleanly shuts down the backing log; it is a no-op
-// on an in-memory store.
+// on an in-memory store. An in-flight background compaction is waited
+// out first, so a clean shutdown never races the snapshot writer
+// against the closing log.
 func (s *Store) Close() error {
 	if s.dur == nil {
 		return nil
 	}
+	s.dur.compactWG.Wait()
 	return s.dur.wal.Close()
 }
 
@@ -112,7 +117,9 @@ func (d *durability) maybeCompact() {
 	if !d.compacting.CompareAndSwap(false, true) {
 		return
 	}
+	d.compactWG.Add(1)
 	go func() {
+		defer d.compactWG.Done()
 		defer d.compacting.Store(false)
 		// The error, if any, is sticky inside the log; the next commit
 		// reports it to a caller that can refuse the ack.

@@ -1,6 +1,7 @@
 package kademlia
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"path/filepath"
@@ -263,7 +264,7 @@ func TestClusterReviveRecoversFromDisk(t *testing.T) {
 	cl := durableCluster(t, 12, Config{K: 4, Alpha: 3})
 
 	key := kadid.HashString("durable-block")
-	if _, err := cl.Nodes[0].Store(key, []wire.Entry{{Field: "f", Count: 7}}); err != nil {
+	if _, err := cl.Nodes[0].Store(context.Background(), key, []wire.Entry{{Field: "f", Count: 7}}); err != nil {
 		t.Fatal(err)
 	}
 	var victim *Node
@@ -296,12 +297,12 @@ func TestClusterReviveRecoversFromDisk(t *testing.T) {
 	if !ok || len(es) != 1 || es[0].Count != 7 {
 		t.Fatalf("revived store lost the block: ok=%v entries=%+v", ok, es)
 	}
-	if !cl.Nodes[0].Ping(revived.Self()) {
+	if !cl.Nodes[0].Ping(context.Background(), revived.Self()) {
 		t.Fatal("revived node does not answer")
 	}
 
 	// The acknowledged write is still readable through the overlay.
-	got, err := cl.Nodes[0].FindValue(key, 0)
+	got, err := cl.Nodes[0].FindValue(context.Background(), key, 0)
 	if err != nil || len(got) == 0 || got[0].Count < 7 {
 		t.Fatalf("overlay read after revive: %+v, %v", got, err)
 	}
@@ -314,7 +315,7 @@ func TestClusterWipeRecoverAllReplicas(t *testing.T) {
 	cl := durableCluster(t, 10, Config{K: 3, Alpha: 3})
 
 	key := kadid.HashString("all-replicas-die")
-	if _, err := cl.Nodes[0].Store(key, []wire.Entry{{Field: "f", Count: 11}}); err != nil {
+	if _, err := cl.Nodes[0].Store(context.Background(), key, []wire.Entry{{Field: "f", Count: 11}}); err != nil {
 		t.Fatal(err)
 	}
 
@@ -341,7 +342,7 @@ func TestClusterWipeRecoverAllReplicas(t *testing.T) {
 		t.Fatal("no holders found")
 	}
 	if reader := cl.NodeAt(0); reader != nil {
-		if _, err := reader.FindValue(key, 0); err == nil {
+		if _, err := reader.FindValue(context.Background(), key, 0); err == nil {
 			t.Fatal("block readable while every holder is dead")
 		}
 	}
@@ -351,7 +352,7 @@ func TestClusterWipeRecoverAllReplicas(t *testing.T) {
 			t.Fatalf("revive: %v", err)
 		}
 	}
-	got, err := cl.NodeAt(0).FindValue(key, 0)
+	got, err := cl.NodeAt(0).FindValue(context.Background(), key, 0)
 	if err != nil || len(got) == 0 || got[0].Count < 11 {
 		t.Fatalf("acknowledged write lost across full wipe-and-recover: %+v, %v", got, err)
 	}

@@ -81,7 +81,7 @@ func TestChurnerRespectsProtectionAndKillCap(t *testing.T) {
 		}
 	}
 	for p := range protected {
-		if !cl.NodeAt(0).Ping(p.Self()) && cl.NodeAt(0) != p {
+		if !cl.NodeAt(0).Ping(context.Background(), p.Self()) && cl.NodeAt(0) != p {
 			t.Fatalf("protected node %s unreachable", p.Self().Addr)
 		}
 	}

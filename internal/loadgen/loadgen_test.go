@@ -2,6 +2,7 @@ package loadgen
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"math/rand"
 	"strings"
@@ -70,7 +71,7 @@ func TestRunReportsEveryMix(t *testing.T) {
 		mix := mix
 		t.Run(mix.Name, func(t *testing.T) {
 			cfg := Config{Mix: mix, Workers: 4, Ops: 400, Seed: 11, Resources: 32, Tags: 16}
-			rep, err := Run(cfg, engines)
+			rep, err := Run(context.Background(), cfg, engines)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -110,7 +111,7 @@ func TestRunWithDatasetVocabulary(t *testing.T) {
 	d := dataset.Generate(dataset.Tiny(3))
 	cfg := Config{Mix: NavigateHeavy, Workers: 4, Ops: 300, Seed: 5,
 		Resources: 40, Tags: 24, Dataset: d}
-	rep, err := Run(cfg, localEngines(t, 2))
+	rep, err := Run(context.Background(), cfg, localEngines(t, 2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,9 +136,9 @@ func TestRunWithDatasetVocabulary(t *testing.T) {
 // an overlay whose lookups started failing under load.
 type failingGetStore struct{}
 
-func (failingGetStore) Append(kadid.ID, []wire.Entry) error { return nil }
-func (failingGetStore) AppendBatch([]dht.BatchItem) error   { return nil }
-func (failingGetStore) Get(kadid.ID, int) ([]wire.Entry, error) {
+func (failingGetStore) Append(context.Context, kadid.ID, []wire.Entry) error { return nil }
+func (failingGetStore) AppendBatch(context.Context, []dht.BatchItem) error   { return nil }
+func (failingGetStore) Get(context.Context, kadid.ID, int) ([]wire.Entry, error) {
 	return nil, errors.New("store down")
 }
 
@@ -148,7 +149,7 @@ func TestNavigateFailuresAreCounted(t *testing.T) {
 	}
 	// Resources ≥ Tags so seeding stays on the (append-only) insert
 	// path; the measured phase is pure navigation.
-	rep, err := Run(Config{
+	rep, err := Run(context.Background(), Config{
 		Mix:     Mix{Name: "nav-only", Navigate: 1},
 		Workers: 2, Ops: 50, Seed: 1, Resources: 8, Tags: 4,
 	}, []*core.Engine{e})
@@ -164,7 +165,7 @@ func TestNavigateFailuresAreCounted(t *testing.T) {
 }
 
 func TestRunRejectsEmptyEngineSet(t *testing.T) {
-	if _, err := Run(Config{}, nil); err == nil {
+	if _, err := Run(context.Background(), Config{}, nil); err == nil {
 		t.Fatal("Run accepted an empty engine set")
 	}
 }
@@ -172,11 +173,11 @@ func TestRunRejectsEmptyEngineSet(t *testing.T) {
 func TestRunDeterministicOpCounts(t *testing.T) {
 	// Same seed, same mix → the same multiset of operations must run
 	// (latencies differ; counts must not).
-	a, err := Run(Config{Mix: Mixed, Workers: 1, Ops: 200, Seed: 9}, localEngines(t, 1))
+	a, err := Run(context.Background(), Config{Mix: Mixed, Workers: 1, Ops: 200, Seed: 9}, localEngines(t, 1))
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Run(Config{Mix: Mixed, Workers: 1, Ops: 200, Seed: 9}, localEngines(t, 1))
+	b, err := Run(context.Background(), Config{Mix: Mixed, Workers: 1, Ops: 200, Seed: 9}, localEngines(t, 1))
 	if err != nil {
 		t.Fatal(err)
 	}

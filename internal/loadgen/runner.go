@@ -1,6 +1,7 @@
 package loadgen
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -128,7 +129,12 @@ func capped(names []string, n int) []string {
 // operation's wall-clock latency. Engines are assigned to workers
 // round-robin (worker w drives engines[w % len(engines)]), matching the
 // one-client-per-peer model of the paper's evaluation.
-func Run(cfg Config, engines []*core.Engine) (*Report, error) {
+//
+// ctx bounds the whole run: it is handed to every operation, workers
+// stop drawing new work once it ends, and Run returns ctx.Err() — so a
+// Ctrl-C on the bench aborts the in-flight operations rather than
+// waiting out the op budget.
+func Run(ctx context.Context, cfg Config, engines []*core.Engine) (*Report, error) {
 	if len(engines) == 0 {
 		return nil, fmt.Errorf("loadgen: no engines to drive")
 	}
@@ -152,7 +158,7 @@ func Run(cfg Config, engines []*core.Engine) (*Report, error) {
 		for len(tags) < cfg.TagsPerInsert {
 			tags = append(tags, vocab.tags[seedZipf.Uint64()])
 		}
-		if err := engines[i%len(engines)].InsertResource(r, "uri:"+r, tags...); err != nil {
+		if err := engines[i%len(engines)].InsertResource(ctx, r, "uri:"+r, tags...); err != nil {
 			return nil, fmt.Errorf("loadgen: seed %q: %w", r, err)
 		}
 	}
@@ -160,12 +166,12 @@ func Run(cfg Config, engines []*core.Engine) (*Report, error) {
 	// them to existing resources.
 	for i := len(vocab.resources); i < len(vocab.tags); i++ {
 		r := vocab.resources[i%len(vocab.resources)]
-		if err := engines[i%len(engines)].Tag(r, vocab.tags[i]); err != nil {
+		if err := engines[i%len(engines)].Tag(ctx, r, vocab.tags[i]); err != nil {
 			return nil, fmt.Errorf("loadgen: seed tag %q: %w", vocab.tags[i], err)
 		}
 	}
 	if cfg.HotPrefill > 0 {
-		if err := prefillHotBlocks(cfg, vocab, engines[0]); err != nil {
+		if err := prefillHotBlocks(ctx, cfg, vocab, engines[0]); err != nil {
 			return nil, err
 		}
 	}
@@ -191,14 +197,14 @@ func Run(cfg Config, engines []*core.Engine) (*Report, error) {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			for {
+			for ctx.Err() == nil {
 				n := issued.Add(1)
 				if n > int64(cfg.Ops) {
 					return
 				}
 				kind := cfg.Mix.pick(ws.rng)
 				opStart := time.Now()
-				err := ws.runOp(kind, engine, vocab, &inserted)
+				err := ws.runOp(ctx, kind, engine, vocab, &inserted)
 				ws.lat[kind].Observe(time.Since(opStart))
 				ws.count[kind]++
 				if err != nil {
@@ -210,6 +216,9 @@ func Run(cfg Config, engines []*core.Engine) (*Report, error) {
 	}
 	wg.Wait()
 	rep.Elapsed = time.Since(start)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	rep.aggregate(workers)
 	rep.FirstError = firstErr
@@ -234,7 +243,7 @@ const prefillChunk = 256
 // navigation intersects but never looks up, whereas synthetic entries
 // in t̂ would be walked into as phantom tags and fail the run. Counts
 // are varied so descending-count order is non-degenerate.
-func prefillHotBlocks(cfg Config, vocab vocabulary, engine *core.Engine) error {
+func prefillHotBlocks(ctx context.Context, cfg Config, vocab vocabulary, engine *core.Engine) error {
 	st := engine.Store()
 	nTags := hotPrefillTags
 	if nTags > len(vocab.tags) {
@@ -256,7 +265,7 @@ func prefillHotBlocks(cfg Config, vocab vocabulary, engine *core.Engine) error {
 					Count: uint64(f%9973 + 1),
 				}
 			}
-			if err := st.Append(key, entries); err != nil {
+			if err := st.Append(ctx, key, entries); err != nil {
 				return fmt.Errorf("loadgen: prefill %q: %w", tag, err)
 			}
 		}
@@ -295,7 +304,7 @@ func (ws *workerState) hotTag(vocab vocabulary) string {
 	return vocab.tags[int(ws.zipf.Uint64())%len(vocab.tags)]
 }
 
-func (ws *workerState) runOp(kind OpKind, e *core.Engine, vocab vocabulary, inserted *atomic.Int64) error {
+func (ws *workerState) runOp(ctx context.Context, kind OpKind, e *core.Engine, vocab vocabulary, inserted *atomic.Int64) error {
 	switch kind {
 	case OpInsert:
 		name := fmt.Sprintf("ins%d", inserted.Add(1))
@@ -303,21 +312,23 @@ func (ws *workerState) runOp(kind OpKind, e *core.Engine, vocab vocabulary, inse
 		for len(tags) < cap(tags) {
 			tags = append(tags, ws.hotTag(vocab))
 		}
-		return e.InsertResource(name, "uri:"+name, tags...)
+		return e.InsertResource(ctx, name, "uri:"+name, tags...)
 	case OpTag:
 		r := vocab.resources[ws.rng.Intn(len(vocab.resources))]
-		return e.Tag(r, ws.hotTag(vocab))
+		return e.Tag(ctx, r, ws.hotTag(vocab))
 	case OpNavigate:
-		view := search.NewEngineView(e)
-		search.Run(view, ws.hotTag(vocab), search.Random, search.Options{
+		view := search.NewEngineView(ctx, e)
+		if _, err := search.Run(ctx, view, ws.hotTag(vocab), search.Random, search.Options{
 			MaxSteps: ws.steps,
 			Rng:      ws.rng,
-		})
-		// search.Run never errors; the view retains any lookup failure
-		// it had to swallow mid-walk.
+		}); err != nil {
+			return err
+		}
+		// The walk itself only errors on cancellation; the view retains
+		// any lookup failure it had to swallow mid-walk.
 		return view.Err()
 	default: // OpSearch
-		_, _, err := e.SearchStep(ws.hotTag(vocab))
+		_, _, err := e.SearchStep(ctx, ws.hotTag(vocab))
 		return err
 	}
 }

@@ -19,6 +19,7 @@
 package search
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -76,6 +77,9 @@ const (
 	ResourcesConverged
 	// StepLimit: the safety bound on path length was hit.
 	StepLimit
+	// Canceled: the walk's context ended between steps; the Result holds
+	// the partial path and Run returned the context's error alongside.
+	Canceled
 )
 
 // String names the reason.
@@ -87,6 +91,8 @@ func (r Reason) String() string {
 		return "resources-converged"
 	case StepLimit:
 		return "step-limit"
+	case Canceled:
+		return "canceled"
 	default:
 		return fmt.Sprintf("reason-%d", int(r))
 	}
@@ -143,9 +149,18 @@ type Result struct {
 // Steps returns len(Path): the number of tags the user selected.
 func (r Result) Steps() int { return len(r.Path) }
 
-// Run navigates v from the start tag under the given strategy.
-func Run(v View, start string, strat Strategy, opt Options) Result {
+// Run navigates v from the start tag under the given strategy. ctx is
+// checked before every navigation step (each step costs two overlay
+// lookups against a live deployment): a context that ends mid-walk
+// stops the navigation immediately and Run returns the partial Result
+// — path walked so far, Reason Canceled — together with ctx.Err().
+// Errors a context-aware View swallowed inside a step are NOT returned
+// here; EngineView retains them for its Err method.
+func Run(ctx context.Context, v View, start string, strat Strategy, opt Options) (Result, error) {
 	opt = opt.withDefaults()
+	if err := ctx.Err(); err != nil {
+		return Result{Reason: Canceled}, err
+	}
 
 	display := displayedTags(v, start, opt.DisplayCap, nil)
 	resources := make(map[string]bool)
@@ -154,7 +169,13 @@ func Run(v View, start string, strat Strategy, opt Options) Result {
 	}
 
 	res := Result{Path: []string{start}}
+	var walkErr error
 	for {
+		if err := ctx.Err(); err != nil {
+			res.Reason = Canceled
+			walkErr = err
+			break
+		}
 		if len(resources) <= opt.MinResources {
 			res.Reason = ResourcesConverged
 			break
@@ -193,27 +214,31 @@ func Run(v View, start string, strat Strategy, opt Options) Result {
 	for r := range resources {
 		res.FinalResources = append(res.FinalResources, r)
 	}
-	return res
+	return res, walkErr
 }
 
 // RunFromResource navigates "more like this": the walk starts at an
 // existing resource instead of a tag. The resource's own tag list plays
 // the role of the first display — the strategy picks the entry tag from
 // it (weights are the u(t,r) annotation counts) — and the walk then
-// proceeds exactly like Run. The view must also implement
-// ResourceTagger; an unknown resource yields a zero-length path.
-func RunFromResource(v View, rt ResourceTagger, r string, strat Strategy, opt Options) Result {
+// proceeds exactly like Run, under the same ctx. The view must also
+// implement ResourceTagger; an unknown resource yields a zero-length
+// path.
+func RunFromResource(ctx context.Context, v View, rt ResourceTagger, r string, strat Strategy, opt Options) (Result, error) {
 	opt = opt.withDefaults()
+	if err := ctx.Err(); err != nil {
+		return Result{Reason: Canceled}, err
+	}
 	tags := rt.TagsOf(r)
 	if len(tags) == 0 {
-		return Result{Reason: TagsConverged}
+		return Result{Reason: TagsConverged}, nil
 	}
 	folksonomy.SortWeighted(tags)
 	if len(tags) > opt.DisplayCap {
 		tags = tags[:opt.DisplayCap]
 	}
 	start := pick(tags, strat, opt.Rng).Name
-	return Run(v, start, strat, opt)
+	return Run(ctx, v, start, strat, opt)
 }
 
 // displayedTags fetches the neighbour list of t, truncates it to the

@@ -1,6 +1,8 @@
 package search
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -46,7 +48,7 @@ func TestRunTerminates(t *testing.T) {
 	g := buildTestGraph(t)
 	v := NewFolkView(g)
 	for _, strat := range []Strategy{First, Last, Random} {
-		res := Run(v, "music", strat, Options{MinResources: 3, Rng: rand.New(rand.NewSource(1))})
+		res, _ := Run(context.Background(), v, "music", strat, Options{MinResources: 3, Rng: rand.New(rand.NewSource(1))})
 		if res.Steps() < 1 {
 			t.Fatalf("%v: empty path", strat)
 		}
@@ -61,7 +63,7 @@ func TestPathNeverRepeatsTags(t *testing.T) {
 	v := NewFolkView(g)
 	rng := rand.New(rand.NewSource(2))
 	for trial := 0; trial < 20; trial++ {
-		res := Run(v, "music", Random, Options{MinResources: 1, Rng: rng})
+		res, _ := Run(context.Background(), v, "music", Random, Options{MinResources: 1, Rng: rng})
 		seen := map[string]bool{}
 		for _, tag := range res.Path {
 			if seen[tag] {
@@ -105,7 +107,7 @@ func TestResourcesAreConjunctive(t *testing.T) {
 	// Every final resource must carry every tag on the path.
 	g := buildTestGraph(t)
 	v := NewFolkView(g)
-	res := Run(v, "music", First, Options{MinResources: 1})
+	res, _ := Run(context.Background(), v, "music", First, Options{MinResources: 1})
 	for _, r := range res.FinalResources {
 		carried := map[string]bool{}
 		for _, w := range g.Tags(r) {
@@ -155,7 +157,7 @@ func TestDisplayCapApplied(t *testing.T) {
 	if got := len(displayedTags(v, "hub", 5, nil)); got != 5 {
 		t.Fatalf("cap 5 returned %d tags", got)
 	}
-	res := Run(v, "hub", First, Options{DisplayCap: 5, MinResources: 1})
+	res, _ := Run(context.Background(), v, "hub", First, Options{DisplayCap: 5, MinResources: 1})
 	if res.Steps() < 1 {
 		t.Fatal("run failed under display cap")
 	}
@@ -174,13 +176,13 @@ func TestTerminationReasons(t *testing.T) {
 		}
 	}
 	v := NewFolkView(g)
-	res := Run(v, "a", First, Options{MinResources: 1})
+	res, _ := Run(context.Background(), v, "a", First, Options{MinResources: 1})
 	if res.Reason != TagsConverged {
 		t.Fatalf("reason = %v, want TagsConverged (path %v)", res.Reason, res.Path)
 	}
 
 	// Resources converge: threshold higher than the resource count.
-	res = Run(v, "a", First, Options{MinResources: 100})
+	res, _ = Run(context.Background(), v, "a", First, Options{MinResources: 100})
 	if res.Reason != ResourcesConverged || res.Steps() != 1 {
 		t.Fatalf("reason = %v steps = %d, want immediate ResourcesConverged", res.Reason, res.Steps())
 	}
@@ -197,7 +199,7 @@ func TestStepLimit(t *testing.T) {
 		}
 	}
 	v := NewFolkView(g)
-	res := Run(v, "a", First, Options{MinResources: 1, MaxSteps: 2})
+	res, _ := Run(context.Background(), v, "a", First, Options{MinResources: 1, MaxSteps: 2})
 	if res.Reason != StepLimit || res.Steps() != 2 {
 		t.Fatalf("reason = %v steps = %d, want StepLimit at 2", res.Reason, res.Steps())
 	}
@@ -219,7 +221,7 @@ func TestCompositeViewUsesApproximatedFG(t *testing.T) {
 	if len(v.Resources("techno")) == 0 {
 		t.Fatal("CompositeView lost TRG resources")
 	}
-	res := Run(v, "music", First, Options{MinResources: 1})
+	res, _ := Run(context.Background(), v, "music", First, Options{MinResources: 1})
 	if res.Steps() < 1 {
 		t.Fatal("navigation over composite view failed")
 	}
@@ -232,17 +234,17 @@ func TestEngineViewNavigatesLiveEngine(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 8; i++ {
-		if err := e.InsertResource(fmt.Sprintf("r%d", i), "", "music", "rock", "indie"); err != nil {
+		if err := e.InsertResource(context.Background(), fmt.Sprintf("r%d", i), "", "music", "rock", "indie"); err != nil {
 			t.Fatal(err)
 		}
 	}
 	for i := 0; i < 8; i++ {
-		if err := e.InsertResource(fmt.Sprintf("q%d", i), "", "music", "jazz"); err != nil {
+		if err := e.InsertResource(context.Background(), fmt.Sprintf("q%d", i), "", "music", "jazz"); err != nil {
 			t.Fatal(err)
 		}
 	}
-	v := NewEngineView(e)
-	res := Run(v, "music", First, Options{MinResources: 2})
+	v := NewEngineView(context.Background(), e)
+	res, _ := Run(context.Background(), v, "music", First, Options{MinResources: 2})
 	if res.Steps() < 2 {
 		t.Fatalf("navigation too short: %v", res.Path)
 	}
@@ -253,7 +255,7 @@ func TestEngineViewNavigatesLiveEngine(t *testing.T) {
 	}
 
 	// Unknown tag: navigation degrades to an immediate stop.
-	empty := Run(v, "ghost", First, Options{MinResources: 1})
+	empty, _ := Run(context.Background(), v, "ghost", First, Options{MinResources: 1})
 	if empty.Steps() != 1 || empty.Reason != ResourcesConverged {
 		t.Fatalf("ghost tag: %+v", empty)
 	}
@@ -263,7 +265,7 @@ func TestRunFromResource(t *testing.T) {
 	g := buildTestGraph(t)
 	v := NewFolkView(g)
 
-	res := RunFromResource(v, v, "r0", First, Options{MinResources: 1})
+	res, _ := RunFromResource(context.Background(), v, v, "r0", First, Options{MinResources: 1})
 	if res.Steps() < 1 {
 		t.Fatalf("no path from resource: %+v", res)
 	}
@@ -276,7 +278,7 @@ func TestRunFromResource(t *testing.T) {
 		t.Fatalf("entry tag %q not on resource r0", res.Path[0])
 	}
 	// Unknown resource: empty walk, no panic.
-	empty := RunFromResource(v, v, "ghost", First, Options{})
+	empty, _ := RunFromResource(context.Background(), v, v, "ghost", First, Options{})
 	if empty.Steps() != 0 || empty.Reason != TagsConverged {
 		t.Fatalf("ghost resource: %+v", empty)
 	}
@@ -289,12 +291,12 @@ func TestRunFromResourceOverEngine(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 6; i++ {
-		if err := e.InsertResource(fmt.Sprintf("r%d", i), "", "music", "rock"); err != nil {
+		if err := e.InsertResource(context.Background(), fmt.Sprintf("r%d", i), "", "music", "rock"); err != nil {
 			t.Fatal(err)
 		}
 	}
-	v := NewEngineView(e)
-	res := RunFromResource(v, v, "r3", Last, Options{MinResources: 1})
+	v := NewEngineView(context.Background(), e)
+	res, _ := RunFromResource(context.Background(), v, v, "r3", Last, Options{MinResources: 1})
 	if res.Steps() < 1 {
 		t.Fatalf("engine-backed resource pivot failed: %+v", res)
 	}
@@ -311,5 +313,27 @@ func TestStrategyAndReasonStrings(t *testing.T) {
 		if r.String() == "" {
 			t.Fatal("empty reason name")
 		}
+	}
+}
+
+// TestRunCanceledContext: a walk whose context ends stops with the
+// Canceled reason and the context error; a pre-canceled context never
+// starts the walk.
+func TestRunCanceledContext(t *testing.T) {
+	v := NewFolkView(buildTestGraph(t))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := Run(ctx, v, "music", First, Options{MinResources: 1})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run under canceled ctx: err = %v, want context.Canceled", err)
+	}
+	if res.Reason != Canceled {
+		t.Fatalf("reason = %v, want canceled", res.Reason)
+	}
+	if res.Steps() != 0 {
+		t.Fatalf("pre-canceled walk took %d steps", res.Steps())
+	}
+	if _, err := RunFromResource(ctx, v, v, "r0", First, Options{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunFromResource under canceled ctx: err = %v", err)
 	}
 }

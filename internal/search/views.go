@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"sync"
 
 	"dharma/internal/core"
@@ -105,9 +106,20 @@ func (v *CompositeView) Resources(t string) []folksonomy.Weighted {
 // from the DHT via SearchStep (2 overlay lookups). The last step is
 // memoised because Run always asks for the tags and then the resources
 // of the same tag.
+//
+// An EngineView is request-scoped: it is built per walk, and the
+// context it is built with bounds every lookup the walk performs (the
+// View interface itself is context-free because the in-memory views
+// never block). TopN, when positive, overrides the engine's block-read
+// cap for this walk's steps.
 type EngineView struct {
 	E *core.Engine
+	// TopN, when non-zero, is the per-walk index-side filter cap passed
+	// to every SearchStep (negative disables filtering). Zero keeps the
+	// engine default.
+	TopN int
 
+	ctx     context.Context
 	mu      sync.Mutex
 	lastTag string
 	related []folksonomy.Weighted
@@ -116,14 +128,16 @@ type EngineView struct {
 	err     error
 }
 
-// NewEngineView wraps e.
-func NewEngineView(e *core.Engine) *EngineView { return &EngineView{E: e} }
+// NewEngineView wraps e for one walk bounded by ctx.
+func NewEngineView(ctx context.Context, e *core.Engine) *EngineView {
+	return &EngineView{E: e, ctx: ctx}
+}
 
 func (v *EngineView) load(t string) {
 	if v.ok && v.lastTag == t {
 		return
 	}
-	related, res, err := v.E.SearchStep(t)
+	related, res, err := v.E.SearchStepN(v.ctx, t, v.TopN)
 	if err != nil {
 		// The View interface cannot propagate errors mid-walk, so the
 		// step degrades to "nothing displayed" (the walk converges) and
@@ -182,7 +196,7 @@ func (v *CompositeView) TagsOf(r string) []folksonomy.Weighted { return v.TRG.Ta
 // TagsOf implements ResourceTagger (one overlay lookup of r̄). A failed
 // lookup degrades to "no tags" and is retained for Err.
 func (v *EngineView) TagsOf(r string) []folksonomy.Weighted {
-	ws, err := v.E.TagsOf(r)
+	ws, err := v.E.TagsOf(v.ctx, r)
 	if err != nil {
 		v.mu.Lock()
 		if v.err == nil {

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"math/rand"
 
 	"dharma/internal/search"
@@ -40,13 +41,13 @@ func RunSearches(v search.View, cfg SearchConfig) SearchOutcome {
 	for _, seed := range cfg.Seeds {
 		for _, strat := range []search.Strategy{search.First, search.Last} {
 			opt := cfg.Options
-			res := search.Run(v, seed, strat, opt)
+			res, _ := search.Run(context.Background(), v, seed, strat, opt)
 			out.Steps[strat] = append(out.Steps[strat], float64(res.Steps()))
 		}
 		for i := 0; i < cfg.RandomRuns; i++ {
 			opt := cfg.Options
 			opt.Rng = rng
-			res := search.Run(v, seed, search.Random, opt)
+			res, _ := search.Run(context.Background(), v, seed, search.Random, opt)
 			out.Steps[search.Random] = append(out.Steps[search.Random], float64(res.Steps()))
 		}
 	}

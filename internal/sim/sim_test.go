@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"testing"
 
 	"dharma/internal/core"
@@ -73,12 +74,12 @@ func TestEvolveMirrorsEngine(t *testing.T) {
 	inserted := map[string]bool{}
 	for _, a := range schedule {
 		if !inserted[a.Resource] {
-			if err := eng.InsertResource(a.Resource, ""); err != nil {
+			if err := eng.InsertResource(context.Background(), a.Resource, ""); err != nil {
 				t.Fatal(err)
 			}
 			inserted[a.Resource] = true
 		}
-		if err := eng.Tag(a.Resource, a.Tag); err != nil {
+		if err := eng.Tag(context.Background(), a.Resource, a.Tag); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -86,7 +87,7 @@ func TestEvolveMirrorsEngine(t *testing.T) {
 	res := Evolve(schedule, EvolutionConfig{K: k, ApproxB: true, Seed: seed})
 
 	for _, tag := range res.TagNames() {
-		engArcs, err := eng.Neighbors(tag)
+		engArcs, err := eng.Neighbors(context.Background(), tag)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -15,6 +15,7 @@
 package simnet
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -46,8 +47,11 @@ func (f HandlerFunc) HandleRPC(from Addr, payload []byte) ([]byte, error) {
 // simnet and over real UDP (internal/wire).
 type Transport interface {
 	// Call sends payload to the endpoint at `to` and blocks until the
-	// response arrives or the exchange fails.
-	Call(to Addr, payload []byte) ([]byte, error)
+	// response arrives, the exchange fails, or ctx ends. A cancelled or
+	// expired ctx aborts the in-flight wait and returns ctx.Err() — the
+	// caller stops waiting immediately; whatever the exchange would have
+	// produced is discarded.
+	Call(ctx context.Context, to Addr, payload []byte) ([]byte, error)
 	// Addr returns the local address of this endpoint.
 	Addr() Addr
 	// Close detaches the endpoint; subsequent calls fail.
@@ -234,7 +238,10 @@ func (n *Network) roll() (drop bool, rtt time.Duration) {
 }
 
 // Call implements Transport.
-func (ep *endpoint) Call(to Addr, payload []byte) ([]byte, error) {
+func (ep *endpoint) Call(ctx context.Context, to Addr, payload []byte) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if ep.closed.Load() {
 		return nil, ErrClosed
 	}
@@ -262,7 +269,37 @@ func (ep *endpoint) Call(to Addr, payload []byte) ([]byte, error) {
 	n.Stats(ep.addr).Sent.Add(1)
 	n.Stats(to).Received.Add(1)
 
-	resp, err := target.handler.HandleRPC(ep.addr, payload)
+	if ctx.Done() == nil {
+		// Uncancellable context (Background/TODO): keep the synchronous
+		// fast path — no goroutine per simulated RPC.
+		return ep.finish(target.handler.HandleRPC(ep.addr, payload))
+	}
+	type handled struct {
+		resp []byte
+		err  error
+	}
+	ch := make(chan handled, 1)
+	go func() {
+		resp, err := target.handler.HandleRPC(ep.addr, payload)
+		ch <- handled{resp, err}
+	}()
+	select {
+	case <-ctx.Done():
+		// The waiter is aborted; the handler keeps running to completion
+		// on its own goroutine (its node may well have applied the write
+		// — exactly like a response lost on the wire). Deliberately NOT
+		// counted as a drop: Drops measures the injected fault model,
+		// and a caller giving up is not simulated packet loss.
+		return nil, ctx.Err()
+	case h := <-ch:
+		return ep.finish(h.resp, h.err)
+	}
+}
+
+// finish applies the response-side accounting and fault model shared by
+// the synchronous and cancellable call paths.
+func (ep *endpoint) finish(resp []byte, err error) ([]byte, error) {
+	n := ep.net
 	if err != nil {
 		// A handler error is delivered as a timeout: over UDP the caller
 		// would simply never hear back.

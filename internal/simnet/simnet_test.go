@@ -2,6 +2,7 @@ package simnet
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -20,7 +21,7 @@ func TestCallDelivers(t *testing.T) {
 	a := n.Attach("a", echo())
 	n.Attach("b", echo())
 
-	resp, err := a.Call("b", []byte("hi"))
+	resp, err := a.Call(context.Background(), "b", []byte("hi"))
 	if err != nil {
 		t.Fatalf("Call: %v", err)
 	}
@@ -32,7 +33,7 @@ func TestCallDelivers(t *testing.T) {
 func TestCallUnknownAddr(t *testing.T) {
 	n := New(Config{})
 	a := n.Attach("a", echo())
-	if _, err := a.Call("ghost", []byte("x")); !errors.Is(err, ErrTimeout) {
+	if _, err := a.Call(context.Background(), "ghost", []byte("x")); !errors.Is(err, ErrTimeout) {
 		t.Fatalf("want ErrTimeout, got %v", err)
 	}
 }
@@ -43,7 +44,7 @@ func TestHandlerErrorBecomesTimeout(t *testing.T) {
 	n.Attach("bad", HandlerFunc(func(Addr, []byte) ([]byte, error) {
 		return nil, errors.New("boom")
 	}))
-	if _, err := a.Call("bad", nil); !errors.Is(err, ErrTimeout) {
+	if _, err := a.Call(context.Background(), "bad", nil); !errors.Is(err, ErrTimeout) {
 		t.Fatalf("want ErrTimeout, got %v", err)
 	}
 }
@@ -53,15 +54,15 @@ func TestMTUEnforced(t *testing.T) {
 	a := n.Attach("a", echo())
 	n.Attach("b", echo())
 
-	if _, err := a.Call("b", make([]byte, 9)); !errors.Is(err, ErrTooLarge) {
+	if _, err := a.Call(context.Background(), "b", make([]byte, 9)); !errors.Is(err, ErrTooLarge) {
 		t.Fatalf("request over MTU: want ErrTooLarge, got %v", err)
 	}
 	// "echo:" + 4 bytes = 9 > 8: the response violates the MTU.
-	if _, err := a.Call("b", make([]byte, 4)); !errors.Is(err, ErrTooLarge) {
+	if _, err := a.Call(context.Background(), "b", make([]byte, 4)); !errors.Is(err, ErrTooLarge) {
 		t.Fatalf("response over MTU: want ErrTooLarge, got %v", err)
 	}
 	// 3-byte request gives an 8-byte response: fits.
-	if _, err := a.Call("b", make([]byte, 3)); err != nil {
+	if _, err := a.Call(context.Background(), "b", make([]byte, 3)); err != nil {
 		t.Fatalf("within MTU: %v", err)
 	}
 }
@@ -72,7 +73,7 @@ func TestDropRateDeterministic(t *testing.T) {
 		a := n.Attach("a", echo())
 		n.Attach("b", echo())
 		for i := 0; i < 1000; i++ {
-			a.Call("b", []byte("x")) //nolint:errcheck // counting drops below
+			a.Call(context.Background(), "b", []byte("x")) //nolint:errcheck // counting drops below
 		}
 		return n.Counters().Drops
 	}
@@ -91,11 +92,11 @@ func TestSetDownAndRecover(t *testing.T) {
 	n.Attach("b", echo())
 
 	n.SetDown("b", true)
-	if _, err := a.Call("b", nil); !errors.Is(err, ErrTimeout) {
+	if _, err := a.Call(context.Background(), "b", nil); !errors.Is(err, ErrTimeout) {
 		t.Fatalf("down node reachable: %v", err)
 	}
 	n.SetDown("b", false)
-	if _, err := a.Call("b", nil); err != nil {
+	if _, err := a.Call(context.Background(), "b", nil); err != nil {
 		t.Fatalf("recovered node unreachable: %v", err)
 	}
 }
@@ -107,17 +108,17 @@ func TestPartition(t *testing.T) {
 	n.Attach("c", echo())
 
 	n.Partition("a", "b", true)
-	if _, err := a.Call("b", nil); !errors.Is(err, ErrTimeout) {
+	if _, err := a.Call(context.Background(), "b", nil); !errors.Is(err, ErrTimeout) {
 		t.Fatal("partition a->b not enforced")
 	}
-	if _, err := b.Call("a", nil); !errors.Is(err, ErrTimeout) {
+	if _, err := b.Call(context.Background(), "a", nil); !errors.Is(err, ErrTimeout) {
 		t.Fatal("partition b->a not enforced")
 	}
-	if _, err := a.Call("c", nil); err != nil {
+	if _, err := a.Call(context.Background(), "c", nil); err != nil {
 		t.Fatalf("unrelated link affected: %v", err)
 	}
 	n.Partition("a", "b", false)
-	if _, err := a.Call("b", nil); err != nil {
+	if _, err := a.Call(context.Background(), "b", nil); err != nil {
 		t.Fatalf("healed link still cut: %v", err)
 	}
 }
@@ -129,10 +130,10 @@ func TestClose(t *testing.T) {
 	if err := b.Close(); err != nil {
 		t.Fatalf("Close: %v", err)
 	}
-	if _, err := a.Call("b", nil); !errors.Is(err, ErrTimeout) {
+	if _, err := a.Call(context.Background(), "b", nil); !errors.Is(err, ErrTimeout) {
 		t.Fatal("closed endpoint still reachable")
 	}
-	if _, err := b.Call("a", nil); !errors.Is(err, ErrClosed) {
+	if _, err := b.Call(context.Background(), "a", nil); !errors.Is(err, ErrClosed) {
 		t.Fatal("closed endpoint can still send")
 	}
 }
@@ -144,7 +145,7 @@ func TestCountersAndStats(t *testing.T) {
 
 	const calls = 10
 	for i := 0; i < calls; i++ {
-		if _, err := a.Call("b", []byte("1234")); err != nil {
+		if _, err := a.Call(context.Background(), "b", []byte("1234")); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -176,10 +177,10 @@ func TestBusiestNodes(t *testing.T) {
 	n.Attach("b", echo())
 	n.Attach("c", echo())
 	for i := 0; i < 5; i++ {
-		a.Call("b", nil) //nolint:errcheck
+		a.Call(context.Background(), "b", nil) //nolint:errcheck
 	}
 	for i := 0; i < 2; i++ {
-		a.Call("c", nil) //nolint:errcheck
+		a.Call(context.Background(), "c", nil) //nolint:errcheck
 	}
 	order := n.BusiestNodes()
 	if len(order) != 3 || order[0] != "b" || order[1] != "c" {
@@ -207,7 +208,7 @@ func TestConcurrentCalls(t *testing.T) {
 			for i := 0; i < 50; i++ {
 				to := Addr(fmt.Sprintf("srv-%d", (g+i)%8))
 				msg := fmt.Sprintf("g%d-i%d", g, i)
-				if _, err := client.Call(to, []byte(msg)); err != nil {
+				if _, err := client.Call(context.Background(), to, []byte(msg)); err != nil {
 					t.Errorf("Call: %v", err)
 					return
 				}
@@ -219,5 +220,37 @@ func TestConcurrentCalls(t *testing.T) {
 	served.Range(func(_, _ any) bool { count++; return true })
 	if count != 16*50 {
 		t.Fatalf("served %d distinct messages, want %d", count, 16*50)
+	}
+}
+
+// TestCallCtxAbortsHungHandler: a handler that never returns must not
+// hold the caller hostage — a context deadline aborts the in-flight
+// wait while the handler goroutine finishes on its own.
+func TestCallCtxAbortsHungHandler(t *testing.T) {
+	n := New(Config{})
+	block := make(chan struct{})
+	defer close(block)
+	n.Attach("hung", HandlerFunc(func(Addr, []byte) ([]byte, error) {
+		<-block
+		return nil, nil
+	}))
+	a := n.Attach("a", echo())
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := a.Call(ctx, "hung", []byte("x"))
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Call to hung handler = %v, want DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("Call took %v; the deadline should abort the wait", elapsed)
+	}
+
+	// A pre-canceled context refuses before any network accounting.
+	cctx, ccancel := context.WithCancel(context.Background())
+	ccancel()
+	if _, err := a.Call(cctx, "hung", nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Call under canceled ctx = %v, want Canceled", err)
 	}
 }

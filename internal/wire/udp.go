@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -73,8 +74,13 @@ func (t *UDPTransport) Addr() simnet.Addr {
 	return simnet.Addr(t.conn.LocalAddr().String())
 }
 
-// Call implements simnet.Transport.
-func (t *UDPTransport) Call(to simnet.Addr, payload []byte) ([]byte, error) {
+// Call implements simnet.Transport. The wait for the response is
+// aborted as soon as ctx ends — a caller with a 100ms deadline is not
+// held hostage by the transport's own retry timeout.
+func (t *UDPTransport) Call(ctx context.Context, to simnet.Addr, payload []byte) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	select {
 	case <-t.closed:
 		return nil, simnet.ErrClosed
@@ -107,10 +113,16 @@ func (t *UDPTransport) Call(to simnet.Addr, payload []byte) ([]byte, error) {
 		return nil, fmt.Errorf("wire: send: %w", err)
 	}
 
+	timer := time.NewTimer(t.timeout)
+	defer timer.Stop()
 	select {
 	case resp := <-ch:
 		return resp, nil
-	case <-time.After(t.timeout):
+	case <-ctx.Done():
+		// Abort the in-flight waiter: the pending entry is deleted by the
+		// deferred cleanup, so a late response is dropped on the floor.
+		return nil, ctx.Err()
+	case <-timer.C:
 		return nil, simnet.ErrTimeout
 	case <-t.closed:
 		return nil, simnet.ErrClosed

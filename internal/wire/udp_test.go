@@ -2,6 +2,7 @@ package wire
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"sync"
 	"testing"
@@ -27,7 +28,7 @@ func TestUDPRoundTrip(t *testing.T) {
 	}
 	defer cli.Close()
 
-	resp, err := cli.Call(srv.Addr(), []byte("ping"))
+	resp, err := cli.Call(context.Background(), srv.Addr(), []byte("ping"))
 	if err != nil {
 		t.Fatalf("Call: %v", err)
 	}
@@ -45,7 +46,7 @@ func TestUDPTimeoutOnDeadPeer(t *testing.T) {
 	defer cli.Close()
 
 	// Port 1 on loopback has no listener; the datagram vanishes.
-	if _, err := cli.Call("127.0.0.1:1", []byte("x")); !errors.Is(err, simnet.ErrTimeout) {
+	if _, err := cli.Call(context.Background(), "127.0.0.1:1", []byte("x")); !errors.Is(err, simnet.ErrTimeout) {
 		t.Fatalf("want ErrTimeout, got %v", err)
 	}
 }
@@ -67,7 +68,7 @@ func TestUDPHandlerErrorTimesOut(t *testing.T) {
 	}
 	defer cli.Close()
 
-	if _, err := cli.Call(srv.Addr(), []byte("x")); !errors.Is(err, simnet.ErrTimeout) {
+	if _, err := cli.Call(context.Background(), srv.Addr(), []byte("x")); !errors.Is(err, simnet.ErrTimeout) {
 		t.Fatalf("want ErrTimeout, got %v", err)
 	}
 }
@@ -97,7 +98,7 @@ func TestUDPConcurrentCalls(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 20; i++ {
 				msg := []byte{byte(g), byte(i)}
-				resp, err := cli.Call(srv.Addr(), msg)
+				resp, err := cli.Call(context.Background(), srv.Addr(), msg)
 				if err != nil {
 					errs <- err
 					return
@@ -125,7 +126,7 @@ func TestUDPCloseUnblocksCallers(t *testing.T) {
 
 	done := make(chan error, 1)
 	go func() {
-		_, err := cli.Call("127.0.0.1:1", []byte("x"))
+		_, err := cli.Call(context.Background(), "127.0.0.1:1", []byte("x"))
 		done <- err
 	}()
 	time.Sleep(20 * time.Millisecond)
@@ -140,7 +141,7 @@ func TestUDPCloseUnblocksCallers(t *testing.T) {
 	case <-time.After(time.Second):
 		t.Fatal("Call did not unblock after Close")
 	}
-	if _, err := cli.Call("127.0.0.1:1", nil); !errors.Is(err, simnet.ErrClosed) {
+	if _, err := cli.Call(context.Background(), "127.0.0.1:1", nil); !errors.Is(err, simnet.ErrClosed) {
 		t.Fatalf("Call after Close: want ErrClosed, got %v", err)
 	}
 	if err := cli.Close(); err != nil {
@@ -172,7 +173,7 @@ func TestUDPMessageLevelRoundTrip(t *testing.T) {
 	defer cli.Close()
 
 	req := sampleMessage()
-	raw, err := cli.Call(srv.Addr(), Encode(req))
+	raw, err := cli.Call(context.Background(), srv.Addr(), Encode(req))
 	if err != nil {
 		t.Fatalf("Call: %v", err)
 	}

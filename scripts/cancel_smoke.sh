@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# Cancellation smoke: the context-first API end to end, over real UDP.
+#
+# A dharma-node client given a 100ms deadline against a DEAD bootstrap
+# must exit nonzero within 2 seconds: the deadline has to abort the
+# transport's in-flight waiter (default retry timeout 2s per exchange),
+# not wait it out. A healthy serve instance runs alongside to prove the
+# binary itself boots and stops cleanly on SIGTERM (signal.NotifyContext).
+#
+#   ./scripts/cancel_smoke.sh
+set -euo pipefail
+
+PORT="${PORT:-9473}"
+DEAD="127.0.0.1:1" # reserved port: datagrams vanish, nothing answers
+WORK="$(mktemp -d)"
+BIN="$WORK/dharma-node"
+SRV_PID=""
+
+cleanup() {
+  [ -n "$SRV_PID" ] && kill -9 "$SRV_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+go build -o "$BIN" ./cmd/dharma-node
+
+"$BIN" serve -listen "127.0.0.1:${PORT}" >"$WORK/serve.log" 2>&1 &
+SRV_PID=$!
+sleep 0.5
+
+echo "== client op, 100ms deadline, dead bootstrap ${DEAD}"
+start_ns=$(date +%s%N)
+rc=0
+"$BIN" search -bootstrap "$DEAD" -t rock -timeout 100ms >"$WORK/client.log" 2>&1 || rc=$?
+end_ns=$(date +%s%N)
+elapsed_ms=$(((end_ns - start_ns) / 1000000))
+
+echo "   exit=$rc elapsed=${elapsed_ms}ms"
+cat "$WORK/client.log"
+
+if [ "$rc" -eq 0 ]; then
+  echo "FAIL: client against a dead bootstrap exited 0" >&2
+  exit 1
+fi
+if [ "$elapsed_ms" -ge 2000 ]; then
+  echo "FAIL: client took ${elapsed_ms}ms; the 100ms deadline must beat the 2s retry timer" >&2
+  exit 1
+fi
+if ! grep -qi "deadline" "$WORK/client.log"; then
+  echo "FAIL: client error does not mention the deadline" >&2
+  exit 1
+fi
+
+echo "== clean SIGTERM stop of the serve instance"
+kill "$SRV_PID"
+for _ in $(seq 1 40); do
+  kill -0 "$SRV_PID" 2>/dev/null || break
+  sleep 0.1
+done
+if kill -0 "$SRV_PID" 2>/dev/null; then
+  echo "FAIL: serve instance ignored SIGTERM" >&2
+  exit 1
+fi
+SRV_PID=""
+
+echo "cancellation smoke passed: nonzero exit in ${elapsed_ms}ms (<2s), clean server stop"

@@ -1,6 +1,7 @@
 package dharma
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -36,7 +37,7 @@ func TestConcurrentSoak(t *testing.T) {
 			}
 			for i := range resources {
 				resources[i] = fmt.Sprintf("res%d", i)
-				if err := sys.Peer(0).InsertResource(resources[i], "uri:"+resources[i], tags[i%len(tags)]); err != nil {
+				if err := sys.Peer(0).InsertResource(context.Background(), resources[i], "uri:"+resources[i], []string{tags[i%len(tags)]}); err != nil {
 					t.Fatal(err)
 				}
 			}
@@ -59,12 +60,12 @@ func TestConcurrentSoak(t *testing.T) {
 						switch rng.Intn(10) {
 						case 0: // insert a fresh resource
 							name := fmt.Sprintf("res-w%d-%d", w, i)
-							if err := peer.InsertResource(name, "uri:"+name, tg, tags[rng.Intn(len(tags))]); err != nil {
+							if err := peer.InsertResource(context.Background(), name, "uri:"+name, []string{tg, tags[rng.Intn(len(tags))]}); err != nil {
 								errc <- fmt.Errorf("insert: %w", err)
 								return
 							}
 						case 1, 2: // navigate
-							res := peer.Navigate(tg, Random, NavOptions{
+							res, _ := peer.Navigate(context.Background(), tg, Random, NavOptions{
 								MaxSteps: 5, Rng: rand.New(rand.NewSource(int64(i))),
 							})
 							if len(res.Path) == 0 {
@@ -72,16 +73,16 @@ func TestConcurrentSoak(t *testing.T) {
 								return
 							}
 						case 3: // point reads
-							if _, err := peer.ResolveURI(r); err != nil {
+							if _, err := peer.ResolveURI(context.Background(), r); err != nil {
 								errc <- fmt.Errorf("resolve %q: %w", r, err)
 								return
 							}
-							if _, err := peer.TagsOf(r); err != nil {
+							if _, err := peer.TagsOf(context.Background(), r); err != nil {
 								errc <- fmt.Errorf("tags of %q: %w", r, err)
 								return
 							}
 						default: // tag (the 4+k hot path)
-							if err := peer.Tag(r, tg); err != nil {
+							if err := peer.Tag(context.Background(), r, tg); err != nil {
 								errc <- fmt.Errorf("tag: %w", err)
 								return
 							}
@@ -98,12 +99,12 @@ func TestConcurrentSoak(t *testing.T) {
 			// The system must still be coherent: every seeded resource
 			// resolves and every seeded tag is navigable.
 			for _, r := range resources {
-				if _, err := sys.Peer(1).ResolveURI(r); err != nil {
+				if _, err := sys.Peer(1).ResolveURI(context.Background(), r); err != nil {
 					t.Errorf("post-soak resolve %q: %v", r, err)
 				}
 			}
 			for _, tg := range tags {
-				if _, _, err := sys.Peer(2).SearchStep(tg); err != nil {
+				if _, _, err := sys.Peer(2).SearchStep(context.Background(), tg); err != nil {
 					t.Errorf("post-soak search %q: %v", tg, err)
 				}
 			}
@@ -159,7 +160,7 @@ func TestChaosChurnSoak(t *testing.T) {
 	}
 	for i := range resources {
 		resources[i] = fmt.Sprintf("cr%d", i)
-		if err := engines[0].InsertResource(resources[i], "uri:"+resources[i], tags[i%len(tags)]); err != nil {
+		if err := engines[0].InsertResource(context.Background(), resources[i], "uri:"+resources[i], tags[i%len(tags)]); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -182,11 +183,11 @@ func TestChaosChurnSoak(t *testing.T) {
 						// Inserts may fail transiently under faults; the
 						// ledger records only what was acknowledged, which
 						// is exactly the contract being tested.
-						_ = e.InsertResource(name, "uri:"+name, tg)
+						_ = e.InsertResource(context.Background(), name, "uri:"+name, tg)
 					case 1, 2:
-						_, _, _ = e.SearchStep(tg)
+						_, _, _ = e.SearchStep(context.Background(), tg)
 					default:
-						_ = e.Tag(r, tg)
+						_ = e.Tag(context.Background(), r, tg)
 					}
 				}
 			}(w)
@@ -225,7 +226,7 @@ func TestChaosChurnSoak(t *testing.T) {
 
 	// Repair pass over the survivors, then the invariant: zero
 	// acknowledged-write loss.
-	violations := chaos.RepairAndCheck(cl, ledger, 2)
+	violations := chaos.RepairAndCheck(context.Background(), cl, ledger, 2)
 	if len(violations) != 0 {
 		t.Fatalf("lost %d of %d acknowledged (block,field) obligations after repair:\n%v",
 			len(violations), ledger.Fields(), violations)
@@ -243,7 +244,7 @@ func TestConcurrentSoakLocalEngine(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := engine.InsertResource("shared", "uri:shared", "a", "b", "c", "d", "e", "f"); err != nil {
+	if err := engine.InsertResource(context.Background(), "shared", "uri:shared", "a", "b", "c", "d", "e", "f"); err != nil {
 		t.Fatal(err)
 	}
 
@@ -254,11 +255,11 @@ func TestConcurrentSoakLocalEngine(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 200; i++ {
 				tag := fmt.Sprintf("t%d", i%9)
-				if err := engine.Tag("shared", tag); err != nil {
+				if err := engine.Tag(context.Background(), "shared", tag); err != nil {
 					t.Error(err)
 					return
 				}
-				if _, err := engine.TagsOf("shared"); err != nil {
+				if _, err := engine.TagsOf(context.Background(), "shared"); err != nil {
 					t.Error(err)
 					return
 				}
