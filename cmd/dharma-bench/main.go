@@ -12,6 +12,14 @@
 //	dharma-bench load                                  # all mixes, overlay target
 //	dharma-bench load -mix tag-heavy -workers 16 -ops 20000
 //	dharma-bench load -target local -out csv           # in-process store + CSVs
+//
+// The overload subcommand offers load at multiples of the deployment's
+// measured capacity and verifies overload protection: goodput must stay
+// flat (excess load rejected early with BUSY) and goroutines must
+// return to baseline:
+//
+//	dharma-bench overload -mult 1,2,4                  # in-process simnet overlay
+//	dharma-bench overload -bootstrap 127.0.0.1:9000    # against a real UDP fleet
 package main
 
 import (
@@ -48,6 +56,10 @@ func main() {
 	defer stop()
 	if len(os.Args) > 1 && os.Args[1] == "load" {
 		runLoad(ctx, os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "overload" {
+		runOverload(ctx, os.Args[2:])
 		return
 	}
 	// The experiment path below is batch work that does not poll ctx;
@@ -446,7 +458,7 @@ func runLoad(ctx context.Context, args []string) {
 			for _, v := range violations {
 				lost[lostKey{key: v.Key, field: v.Field}] = true
 			}
-			churner.ReviveAll() // next mix starts against a whole overlay
+			churner.ReviveAll(ctx) // next mix starts against a whole overlay
 		}
 		if rep.FirstError != nil {
 			fmt.Printf("  first error: %v\n", rep.FirstError)

@@ -30,6 +30,7 @@ import (
 	"syscall"
 	"time"
 
+	"dharma/internal/admission"
 	"dharma/internal/core"
 	"dharma/internal/dht"
 	"dharma/internal/kademlia"
@@ -70,6 +71,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   dharma-node serve   -listen host:port [-bootstrap host:port] [-k n] [-alpha n]
                       [-data-dir path] [-fsync group|each|none]
+                      [-queue-depth n] [-peer-rate r]
   dharma-node insert  -bootstrap host:port -r name -uri uri [-tags a,b,c] [-timeout d]
   dharma-node tag     -bootstrap host:port -r name -t tag [-timeout d]
   dharma-node search  -bootstrap host:port -t tag [-top n] [-timeout d]
@@ -81,7 +83,7 @@ func usage() {
 // from (or minted into) the directory so a restart re-enters the
 // overlay as the same member, and its block store recovers from the
 // write-ahead log before serving.
-func startNode(ctx context.Context, listen, bootstrap, dataDir string, popts persist.Options, k, alpha int) (*kademlia.Node, error) {
+func startNode(ctx context.Context, listen, bootstrap, dataDir string, popts persist.Options, adm admission.Config, k, alpha int) (*kademlia.Node, error) {
 	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
 	cfg := kademlia.Config{K: k, Alpha: alpha}
 	id := kadid.Random(rng)
@@ -98,7 +100,7 @@ func startNode(ctx context.Context, listen, bootstrap, dataDir string, popts per
 		fmt.Printf("recovered %d blocks from %s (%s)\n", store.Len(), dataDir, stats)
 	}
 	node := kademlia.NewNode(id, cfg)
-	tr, err := wire.ListenUDP(listen, node, 0)
+	tr, err := wire.ListenUDPAdmitted(listen, node, 0, adm)
 	if err != nil {
 		return nil, err
 	}
@@ -143,6 +145,10 @@ func serve(ctx context.Context, args []string) error {
 		"directory for durable storage (WAL + snapshots + identity); restart resumes identity and blocks")
 	fsync := fs.String("fsync", "group",
 		"durability policy with -data-dir: group (one fsync per commit window), each (fsync per append), none (survives kill, not power loss)")
+	queueDepth := fs.Int("queue-depth", admission.DefaultQueueDepth,
+		"concurrent request handlers admitted before answering BUSY (negative = unlimited)")
+	peerRate := fs.Float64("peer-rate", 0,
+		"admitted requests/sec per source peer before answering BUSY (0 = unlimited)")
 	fs.Parse(args) //nolint:errcheck // ExitOnError
 
 	var popts persist.Options
@@ -150,7 +156,8 @@ func serve(ctx context.Context, args []string) error {
 	if popts.Sync, err = parseSyncMode(*fsync); err != nil {
 		return err
 	}
-	node, err := startNode(ctx, *listen, *bootstrap, *dataDir, popts, *k, *alpha)
+	adm := admission.Config{QueueDepth: *queueDepth, PerPeerRate: *peerRate}
+	node, err := startNode(ctx, *listen, *bootstrap, *dataDir, popts, adm, *k, *alpha)
 	if err != nil {
 		return err
 	}
@@ -215,7 +222,7 @@ func client(ctx context.Context, cmd string, args []string) error {
 		defer cancel()
 	}
 
-	node, err := startNode(ctx, "127.0.0.1:0", *bootstrap, "", persist.Options{}, 20, 3)
+	node, err := startNode(ctx, "127.0.0.1:0", *bootstrap, "", persist.Options{}, admission.Config{}, 20, 3)
 	if err != nil {
 		if errors.Is(err, context.DeadlineExceeded) {
 			return fmt.Errorf("deadline exceeded reaching bootstrap %s: %w", *bootstrap, err)

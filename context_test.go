@@ -30,7 +30,7 @@ import (
 func hangReplica(sys *System, p *Peer, id kadid.ID, addr string) (release func()) {
 	block := make(chan struct{})
 	sys.Network().Attach(simnet.Addr(addr), simnet.HandlerFunc(
-		func(simnet.Addr, []byte) ([]byte, error) {
+		func(context.Context, simnet.Addr, []byte) ([]byte, error) {
 			<-block
 			return nil, errors.New("hung")
 		}))

@@ -66,6 +66,7 @@ import (
 	"fmt"
 	"time"
 
+	"dharma/internal/admission"
 	"dharma/internal/core"
 	"dharma/internal/dht"
 	"dharma/internal/folksonomy"
@@ -161,6 +162,16 @@ type Config struct {
 	DropRate float64
 	// MTU bounds simulated packet payloads (0 = unlimited).
 	MTU int
+	// QueueDepth caps how many RPCs each node handles concurrently;
+	// excess requests are rejected with a typed busy answer that clients
+	// back off from (0 = the admission layer's bounded default; negative
+	// = unlimited). This is the overload-protection knob: it bounds
+	// handler goroutines per node no matter how many callers pile up.
+	QueueDepth int
+	// PerPeerRate limits how many requests per second a node accepts
+	// from any single peer (0 = unlimited). Bursts up to twice the rate
+	// are tolerated before rejections start.
+	PerPeerRate float64
 }
 
 func (c Config) withDefaults() Config {
@@ -273,6 +284,10 @@ type Stats struct {
 	// NetSent and NetReceived count RPC exchanges originated and served
 	// at this peer's simulated endpoint (zero for real-UDP peers).
 	NetSent, NetReceived int64
+	// BusyRejected counts requests this peer refused at admission
+	// (work queue full or per-peer rate exceeded). A nonzero value under
+	// load is the overload protection working, not a fault.
+	BusyRejected int64
 }
 
 // Stats returns the peer's consolidated accounting snapshot. The fields
@@ -290,6 +305,7 @@ func (p *Peer) Stats() Stats {
 	if p.net != nil {
 		st.NetSent = p.net.Sent.Load()
 		st.NetReceived = p.net.Received.Load()
+		st.BusyRejected = p.net.Busy.Load()
 	}
 	return st
 }
@@ -410,7 +426,12 @@ func NewSystem(cfg Config) (*System, error) {
 			K: cfg.Replication, Alpha: cfg.Alpha,
 			ReadRepair: cfg.ReadRepair, MinStoreAcks: cfg.WriteQuorum,
 		},
-		Net:       simnet.Config{DropRate: cfg.DropRate, MTU: cfg.MTU, Seed: cfg.Seed},
+		Net: simnet.Config{
+			DropRate:  cfg.DropRate,
+			MTU:       cfg.MTU,
+			Seed:      cfg.Seed,
+			Admission: admission.Config{QueueDepth: cfg.QueueDepth, PerPeerRate: cfg.PerPeerRate},
+		},
 		Seed:      cfg.Seed,
 		Authority: authority,
 		DataDir:   cfg.DataDir,

@@ -1,0 +1,158 @@
+package admission
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestQueueDepthCapsConcurrentAdmissions(t *testing.T) {
+	c := New(Config{QueueDepth: 3})
+
+	var releases []func()
+	for i := 0; i < 3; i++ {
+		rel, err := c.Admit("peer-a")
+		if err != nil {
+			t.Fatalf("admit %d: %v", i, err)
+		}
+		releases = append(releases, rel)
+	}
+	if _, err := c.Admit("peer-a"); !errors.Is(err, ErrBusy) {
+		t.Fatalf("4th admit over depth 3: got %v, want ErrBusy", err)
+	}
+	st := c.Stats()
+	if st.Admitted != 3 || st.RejectedQueue != 1 || st.InFlight != 3 {
+		t.Fatalf("stats = %+v, want admitted=3 rejectedQueue=1 inFlight=3", st)
+	}
+
+	// Releasing one slot makes room for exactly one more.
+	releases[0]()
+	rel, err := c.Admit("peer-b")
+	if err != nil {
+		t.Fatalf("admit after release: %v", err)
+	}
+	rel()
+	for _, r := range releases[1:] {
+		r()
+	}
+	if got := c.Stats().InFlight; got != 0 {
+		t.Fatalf("inFlight after all releases = %d, want 0", got)
+	}
+}
+
+func TestReleaseIsIdempotent(t *testing.T) {
+	c := New(Config{QueueDepth: 1})
+	rel, err := c.Admit("p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel()
+	rel() // double release must not free a phantom slot
+	if got := c.Stats().InFlight; got != 0 {
+		t.Fatalf("inFlight = %d, want 0", got)
+	}
+	r1, err := c.Admit("p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r1()
+	if _, err := c.Admit("p"); !errors.Is(err, ErrBusy) {
+		t.Fatalf("depth-1 queue admitted twice after a double release: %v", err)
+	}
+}
+
+func TestNegativeQueueDepthIsUnlimited(t *testing.T) {
+	c := New(Config{QueueDepth: -1})
+	for i := 0; i < 10*DefaultQueueDepth; i++ {
+		if _, err := c.Admit("p"); err != nil {
+			t.Fatalf("unlimited controller rejected admit %d: %v", i, err)
+		}
+	}
+}
+
+func TestPerPeerTokenBucket(t *testing.T) {
+	now := time.Unix(1000, 0)
+	c := New(Config{
+		QueueDepth:   -1,
+		PerPeerRate:  10, // 10 req/s
+		PerPeerBurst: 2,
+		Now:          func() time.Time { return now },
+	})
+
+	// Burst of 2 passes, third is rejected.
+	for i := 0; i < 2; i++ {
+		rel, err := c.Admit("hog")
+		if err != nil {
+			t.Fatalf("burst admit %d: %v", i, err)
+		}
+		rel()
+	}
+	if _, err := c.Admit("hog"); !errors.Is(err, ErrBusy) {
+		t.Fatalf("over-burst admit: got %v, want ErrBusy", err)
+	}
+	if got := c.Stats().RejectedRate; got != 1 {
+		t.Fatalf("RejectedRate = %d, want 1", got)
+	}
+
+	// A different peer has its own bucket.
+	if rel, err := c.Admit("quiet"); err != nil {
+		t.Fatalf("independent peer rejected: %v", err)
+	} else {
+		rel()
+	}
+
+	// 100ms at 10 req/s refills exactly one token.
+	now = now.Add(100 * time.Millisecond)
+	rel, err := c.Admit("hog")
+	if err != nil {
+		t.Fatalf("admit after refill: %v", err)
+	}
+	rel()
+	if _, err := c.Admit("hog"); !errors.Is(err, ErrBusy) {
+		t.Fatalf("second admit after one-token refill: got %v, want ErrBusy", err)
+	}
+
+	// Refill never exceeds the burst capacity.
+	now = now.Add(time.Hour)
+	for i := 0; i < 2; i++ {
+		rel, err := c.Admit("hog")
+		if err != nil {
+			t.Fatalf("post-idle admit %d: %v", i, err)
+		}
+		rel()
+	}
+	if _, err := c.Admit("hog"); !errors.Is(err, ErrBusy) {
+		t.Fatalf("burst cap not enforced after idle: %v", err)
+	}
+}
+
+func TestConcurrentAdmitRelease(t *testing.T) {
+	const depth = 16
+	c := New(Config{QueueDepth: depth})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				rel, err := c.Admit("p")
+				if err != nil {
+					continue
+				}
+				if in := c.Stats().InFlight; in > depth {
+					t.Errorf("inFlight %d exceeds depth %d", in, depth)
+				}
+				rel()
+			}
+		}()
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.InFlight != 0 {
+		t.Fatalf("inFlight after quiesce = %d, want 0", st.InFlight)
+	}
+	if st.Admitted == 0 {
+		t.Fatal("no admissions recorded")
+	}
+}

@@ -81,7 +81,7 @@ func TestDurableWipeRecover(t *testing.T) {
 
 		// Restart the wave from disk.
 		for _, n := range wave {
-			if _, err := cl.Revive(n, 0); err != nil {
+			if _, err := cl.Revive(context.Background(), n, 0); err != nil {
 				t.Fatalf("round %d: revive: %v", round, err)
 			}
 		}

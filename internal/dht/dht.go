@@ -90,7 +90,7 @@ func (l *Local) Append(ctx context.Context, key kadid.ID, entries []wire.Entry) 
 		return err
 	}
 	l.appends.Add(1)
-	return l.store.Append(key, entries)
+	return l.store.Append(ctx, key, entries)
 }
 
 // AppendBatch implements Store: the items are applied in one pass over
@@ -102,7 +102,7 @@ func (l *Local) AppendBatch(ctx context.Context, items []BatchItem) error {
 		return err
 	}
 	l.appends.Add(int64(len(items)))
-	return l.store.AppendBatch(items)
+	return l.store.AppendBatch(ctx, items)
 }
 
 // Get implements Store.

@@ -104,7 +104,7 @@ func RunChurn(w *Workbench, nodes, annotations, cycles, kill, join, replication 
 			}
 			// Join fresh nodes via node 0.
 			for j := 0; j < join; j++ {
-				if _, err := cl.AddNode(kademlia.Config{K: replication, Alpha: 3},
+				if _, err := cl.AddNode(context.Background(), kademlia.Config{K: replication, Alpha: 3},
 					w.Seed+int64(1000+cycle*join+j), 0); err != nil {
 					return nil, nil, err
 				}

@@ -93,7 +93,7 @@ func BenchmarkLocalStoreAppend(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		s.Append(keys[i%len(keys)], e)
+		s.Append(context.Background(), keys[i%len(keys)], e)
 	}
 }
 
@@ -107,7 +107,7 @@ func BenchmarkRepublishOnce(b *testing.B) {
 			republisher := cl.Nodes[1]
 			entries := []wire.Entry{{Field: "f", Count: 3}, {Field: "g", Count: 1}}
 			for i := 0; i < blocks; i++ {
-				republisher.LocalStore().Append(kadid.HashString(fmt.Sprintf("rep%d", i)), entries)
+				republisher.LocalStore().Append(context.Background(), kadid.HashString(fmt.Sprintf("rep%d", i)), entries)
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -252,7 +252,7 @@ func fillHotBlock(append func(kadid.ID, []wire.Entry), key kadid.ID) {
 // fillHotBlockStore adapts fillHotBlock to the error-returning Store
 // mutator (the in-memory store never fails).
 func fillHotBlockStore(s *Store, key kadid.ID) {
-	fillHotBlock(func(k kadid.ID, es []wire.Entry) { s.Append(k, es) }, key) //nolint:errcheck
+	fillHotBlock(func(k kadid.ID, es []wire.Entry) { s.Append(context.Background(), k, es) }, key) //nolint:errcheck
 }
 
 // BenchmarkRecovery measures a full durable-store recovery of the
@@ -325,7 +325,7 @@ func BenchmarkDurableAppend(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := s.Append(key, []wire.Entry{{Field: fmt.Sprintf("arc%05d", i%hotBlockSize), Count: 1}}); err != nil {
+		if err := s.Append(context.Background(), key, []wire.Entry{{Field: fmt.Sprintf("arc%05d", i%hotBlockSize), Count: 1}}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -370,7 +370,7 @@ func BenchmarkStoreAppendHot(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		s.Append(key, []wire.Entry{{Field: fmt.Sprintf("arc%05d", i%hotBlockSize), Count: 1}})
+		s.Append(context.Background(), key, []wire.Entry{{Field: fmt.Sprintf("arc%05d", i%hotBlockSize), Count: 1}})
 	}
 }
 
@@ -394,9 +394,9 @@ func BenchmarkStoreHotMixedParallel(b *testing.B) {
 			case 0:
 				s.Get(hot, 100)
 			case 1:
-				s.Append(hot, []wire.Entry{{Field: fmt.Sprintf("arc%05d", i%hotBlockSize), Count: 1}})
+				s.Append(context.Background(), hot, []wire.Entry{{Field: fmt.Sprintf("arc%05d", i%hotBlockSize), Count: 1}})
 			case 2:
-				s.Append(cold[i%len(cold)], []wire.Entry{{Field: "f", Count: 1}})
+				s.Append(context.Background(), cold[i%len(cold)], []wire.Entry{{Field: "f", Count: 1}})
 			default:
 				s.Get(cold[i%len(cold)], 10)
 			}

@@ -107,20 +107,23 @@ func (c *Cluster) remove(i int) (*Node, error) {
 // (ErrHandoffIncomplete) — callers that must not lose sole-copy blocks
 // should check it.
 //
+// ctx bounds the handoff: when a receiving replica is wedged, the
+// caller's deadline cuts the push short and the unacknowledged blocks
+// are reported via ErrHandoffIncomplete — membership never hangs on a
+// stuck peer. The node is removed and shut down regardless.
+//
 // Indices shift left past i, so concurrent callers that pick indices
 // must tolerate the (nil, error) returned for a stale out-of-range
 // index.
-func (c *Cluster) RemoveNode(i int) (*Node, error) {
+func (c *Cluster) RemoveNode(ctx context.Context, i int) (*Node, error) {
 	n, err := c.remove(i)
 	if err != nil {
 		return nil, err
 	}
 	c.notifyLeave(n)
 	// Hand off while still attached, so the departing node can reach
-	// the replicas that take over its blocks; then disappear. The
-	// handoff is membership plumbing with no per-request caller, so it
-	// runs under the background context.
-	_, _, herr := n.Handoff(context.Background())
+	// the replicas that take over its blocks; then disappear.
+	_, _, herr := n.Handoff(ctx)
 	n.Shutdown() //nolint:errcheck // departing node; store close errors have no recipient
 	return n, herr
 }
@@ -159,8 +162,8 @@ func (c *Cluster) Crash(i int) (*Node, error) {
 // blocks from the data directory — acknowledged writes and nothing
 // else — and re-bootstraps through the via-th current member. Either
 // way the revived node's pre-crash blocks converge with the live
-// replicas through republish max-merges.
-func (c *Cluster) Revive(n *Node, via int) (*Node, error) {
+// replicas through republish max-merges. ctx bounds the re-bootstrap.
+func (c *Cluster) Revive(ctx context.Context, n *Node, via int) (*Node, error) {
 	c.mu.RLock()
 	if via < 0 || via >= len(c.Nodes) {
 		c.mu.RUnlock()
@@ -182,7 +185,7 @@ func (c *Cluster) Revive(n *Node, via int) (*Node, error) {
 	}
 	node.Attach(c.Net.Attach(addr, node))
 	c.Net.SetDown(addr, false)
-	if err := node.Bootstrap(context.Background(), []wire.Contact{seed}); err != nil {
+	if err := node.Bootstrap(ctx, []wire.Contact{seed}); err != nil {
 		node.Shutdown() //nolint:errcheck // disk state stays intact for the next attempt
 		return nil, fmt.Errorf("kademlia: revive %s: %w", addr, err)
 	}

@@ -53,7 +53,7 @@ func TestRemoveNodeHandsOffBlocks(t *testing.T) {
 			}
 			idx = indexOf(cl, holders[1])
 		}
-		if _, err := cl.RemoveNode(idx); err != nil {
+		if _, err := cl.RemoveNode(context.Background(), idx); err != nil {
 			t.Fatalf("round %d: RemoveNode(%d): %v", round, idx, err)
 		}
 		es, err := cl.NodeAt(0).FindValue(context.Background(), key, 0)
@@ -69,7 +69,7 @@ func TestRemoveNodeHandsOffBlocks(t *testing.T) {
 func TestRemoveNodeDetachesEndpoint(t *testing.T) {
 	cl := newTestCluster(t, 8, 62)
 	victim := cl.NodeAt(5)
-	if _, err := cl.RemoveNode(5); err != nil {
+	if _, err := cl.RemoveNode(context.Background(), 5); err != nil {
 		t.Fatal(err)
 	}
 	if cl.Len() != 7 {
@@ -126,7 +126,7 @@ func TestCrashIsAbruptAndReviveRejoins(t *testing.T) {
 		t.Fatalf("crashed node's maintenance mutated its table: %d -> %d", tableBefore, got)
 	}
 
-	if _, err := cl.Revive(victim, 0); err != nil {
+	if _, err := cl.Revive(context.Background(), victim, 0); err != nil {
 		t.Fatalf("Revive: %v", err)
 	}
 	if !cl.NodeAt(0).Ping(context.Background(), victim.Self()) {
@@ -264,7 +264,7 @@ func TestReadRepairWritesBackStaleAndEmptyReplicas(t *testing.T) {
 	if len(holders) < 2 {
 		t.Skipf("only %d holders under this seed", len(holders))
 	}
-	holders[0].LocalStore().Append(key, []wire.Entry{{Field: "f", Count: 6}}) // now 10
+	holders[0].LocalStore().Append(context.Background(), key, []wire.Entry{{Field: "f", Count: 6}}) // now 10
 
 	reader := cl.NodeAt(20)
 	es, err := reader.FindValue(context.Background(), key, 0)
@@ -372,7 +372,7 @@ func TestFilteredReadNeverRepairs(t *testing.T) {
 	if len(holders) == 0 {
 		t.Fatal("no holders")
 	}
-	holders[0].LocalStore().Append(key, []wire.Entry{{Field: "t0", Count: 50}})
+	holders[0].LocalStore().Append(context.Background(), key, []wire.Entry{{Field: "t0", Count: 50}})
 
 	reader := cl.NodeAt(10)
 	if _, err := reader.FindValue(context.Background(), key, 2); err != nil {
@@ -430,7 +430,7 @@ func TestCrashedKMinusOneHoldersStayReadableAfterRepair(t *testing.T) {
 			t.Fatalf("round %d: count corrupted: %d", round, es[0].Count)
 		}
 		for _, n := range revive {
-			if _, err := cl.Revive(n, 0); err != nil {
+			if _, err := cl.Revive(context.Background(), n, 0); err != nil {
 				t.Fatalf("round %d: revive: %v", round, err)
 			}
 		}

@@ -118,10 +118,12 @@ func NewCluster(cc ClusterConfig) (*Cluster, error) {
 }
 
 // AddNode joins one more node to a running cluster (churn-in). The new
-// node bootstraps through the given existing member. AddNode is safe to
+// node bootstraps through the given existing member; ctx bounds the
+// bootstrap — a join against a wedged seed returns when the caller
+// gives up instead of hanging membership forever. AddNode is safe to
 // call while other goroutines read membership through NodeAt/Len/
 // Snapshot.
-func (c *Cluster) AddNode(cfg Config, seed int64, via int) (*Node, error) {
+func (c *Cluster) AddNode(ctx context.Context, cfg Config, seed int64, via int) (*Node, error) {
 	rng := rand.New(rand.NewSource(seed))
 
 	c.mu.Lock()
@@ -140,7 +142,7 @@ func (c *Cluster) AddNode(cfg Config, seed int64, via int) (*Node, error) {
 	node := NewNode(kadid.Random(rng), cfg)
 
 	node.Attach(c.Net.Attach(addr, node))
-	if err := node.Bootstrap(context.Background(), []wire.Contact{seedContact}); err != nil {
+	if err := node.Bootstrap(ctx, []wire.Contact{seedContact}); err != nil {
 		node.Shutdown() //nolint:errcheck // join failed; leave disk state for a later retry
 		return nil, err
 	}

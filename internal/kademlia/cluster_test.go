@@ -28,7 +28,7 @@ func TestAddNodeConcurrent(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			if _, err := cl.AddNode(Config{K: 4, Alpha: 2}, int64(100+i), i%8); err != nil {
+			if _, err := cl.AddNode(context.Background(), Config{K: 4, Alpha: 2}, int64(100+i), i%8); err != nil {
 				t.Errorf("AddNode %d: %v", i, err)
 			}
 		}(i)
@@ -76,7 +76,7 @@ func TestNoAddressReuseAfterRemoval(t *testing.T) {
 
 	// Shrink below the original size, then grow past it again.
 	for i := 0; i < 3; i++ {
-		if _, err := cl.RemoveNode(cl.Len() - 1); err != nil {
+		if _, err := cl.RemoveNode(context.Background(), cl.Len()-1); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -84,7 +84,7 @@ func TestNoAddressReuseAfterRemoval(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 6; i++ {
-		if _, err := cl.AddNode(Config{K: 4, Alpha: 2}, int64(500+i), 0); err != nil {
+		if _, err := cl.AddNode(context.Background(), Config{K: 4, Alpha: 2}, int64(500+i), 0); err != nil {
 			t.Fatal(err)
 		}
 		record()
@@ -135,12 +135,12 @@ func TestClusterChurnConcurrent(t *testing.T) {
 				n := cl.Len()
 				switch rng.Intn(4) {
 				case 0:
-					if _, err := cl.AddNode(Config{K: 4, Alpha: 2}, rng.Int63(), 0); err != nil {
+					if _, err := cl.AddNode(context.Background(), Config{K: 4, Alpha: 2}, rng.Int63(), 0); err != nil {
 						t.Errorf("AddNode: %v", err)
 					}
 				case 1:
 					if n > protected+2 {
-						cl.RemoveNode(protected + rng.Intn(n-protected)) // stale index errors are fine
+						cl.RemoveNode(context.Background(), protected+rng.Intn(n-protected)) // stale index errors are fine
 					}
 				case 2:
 					if n > protected+2 {
@@ -159,7 +159,7 @@ func TestClusterChurnConcurrent(t *testing.T) {
 					}
 					crashMu.Unlock()
 					if node != nil {
-						if _, err := cl.Revive(node, 0); err != nil {
+						if _, err := cl.Revive(context.Background(), node, 0); err != nil {
 							t.Errorf("Revive: %v", err)
 						}
 					}

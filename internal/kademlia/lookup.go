@@ -2,6 +2,7 @@ package kademlia
 
 import (
 	"context"
+	"errors"
 	"math/rand"
 	"sync"
 
@@ -39,7 +40,14 @@ type lookupResult struct {
 // the ctx error is returned along with the best-effort contact window
 // gathered so far; entries are withheld (a partial value is not a
 // value).
-func (n *Node) iterativeLookup(ctx context.Context, target kadid.ID, wantValue bool, topN int) ([]wire.Entry, bool, []wire.Contact, error) {
+//
+// The busy return counts candidates whose exchange ultimately failed
+// with a BUSY rejection (after the call layer's own retries). The
+// lookup routes around busy nodes like failed ones, but the count lets
+// callers report "the neighbourhood is overloaded" instead of a
+// misleading not-found — and busy candidates are never evicted from
+// the routing table.
+func (n *Node) iterativeLookup(ctx context.Context, target kadid.ID, wantValue bool, topN int) (entriesOut []wire.Entry, found bool, closestOut []wire.Contact, busy int, errOut error) {
 	n.lookups.Add(1)
 
 	type candidate struct {
@@ -142,8 +150,14 @@ func (n *Node) iterativeLookup(ctx context.Context, target kadid.ID, wantValue b
 
 		for res := range results {
 			if res.err != nil {
+				if errors.Is(res.err, wire.ErrBusy) {
+					busy++
+				}
 				// A cancelled exchange says nothing about the peer; only
-				// a genuinely failed one marks the candidate dead.
+				// a genuinely failed one marks the candidate dead. A busy
+				// candidate is also marked failed — the lookup routes
+				// around it this round — but the distinction survives in
+				// the busy count and the peer stays in the table.
 				if cd, ok := seen[res.from.ID]; ok && ctx.Err() == nil {
 					cd.failed = true
 				}
@@ -203,10 +217,10 @@ func (n *Node) iterativeLookup(ctx context.Context, target kadid.ID, wantValue b
 	}
 
 	if err := ctx.Err(); err != nil {
-		return nil, false, closest, err
+		return nil, false, closest, busy, err
 	}
 	if !foundValue {
-		return nil, false, closest, nil
+		return nil, false, closest, busy, nil
 	}
 	out := make([]wire.Entry, 0, len(merged))
 	for _, e := range merged {
@@ -246,7 +260,7 @@ func (n *Node) iterativeLookup(ctx context.Context, target kadid.ID, wantValue b
 	if topN > 0 && len(out) > topN {
 		out = out[:topN]
 	}
-	return out, true, closest, nil
+	return out, true, closest, busy, nil
 }
 
 // readRepair pushes merged — the field-wise maximum over every replica

@@ -27,12 +27,12 @@ import (
 // nothing, and a durable store logs the merge before acknowledging —
 // a node is a replica, so replicated state must survive its restarts
 // exactly like state it stored first-hand.
-func (s *Store) MergeMax(key kadid.ID, entries []wire.Entry) error {
+func (s *Store) MergeMax(ctx context.Context, key kadid.ID, entries []wire.Entry) error {
 	if len(entries) == 0 {
 		return nil
 	}
 	if s.dur != nil {
-		return s.dur.commit(persist.Record{Op: persist.OpMergeMax, Key: key, Entries: entries},
+		return s.dur.commit(ctx, persist.Record{Op: persist.OpMergeMax, Key: key, Entries: entries},
 			func() { s.applyMergeMax(key, entries) })
 	}
 	s.applyMergeMax(key, entries)

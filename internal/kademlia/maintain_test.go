@@ -15,8 +15,8 @@ func TestMergeMaxIdempotent(t *testing.T) {
 	s := NewStore()
 	key := kadid.HashString("k")
 	entries := []wire.Entry{{Field: "a", Count: 5}, {Field: "b", Count: 2}}
-	s.MergeMax(key, entries)
-	s.MergeMax(key, entries) // replaying a replica must not double-count
+	s.MergeMax(context.Background(), key, entries)
+	s.MergeMax(context.Background(), key, entries) // replaying a replica must not double-count
 	es, _ := s.Get(key, 0)
 	if es[0].Count != 5 || es[1].Count != 2 {
 		t.Fatalf("entries = %+v, want a/5 b/2", es)
@@ -26,13 +26,13 @@ func TestMergeMaxIdempotent(t *testing.T) {
 func TestMergeMaxTakesLargerCount(t *testing.T) {
 	s := NewStore()
 	key := kadid.HashString("k")
-	s.Append(key, []wire.Entry{{Field: "a", Count: 7}})
-	s.MergeMax(key, []wire.Entry{{Field: "a", Count: 3}}) // stale replica
+	s.Append(context.Background(), key, []wire.Entry{{Field: "a", Count: 7}})
+	s.MergeMax(context.Background(), key, []wire.Entry{{Field: "a", Count: 3}}) // stale replica
 	es, _ := s.Get(key, 0)
 	if es[0].Count != 7 {
 		t.Fatalf("stale merge shrank count: %d", es[0].Count)
 	}
-	s.MergeMax(key, []wire.Entry{{Field: "a", Count: 11}}) // fresher replica
+	s.MergeMax(context.Background(), key, []wire.Entry{{Field: "a", Count: 11}}) // fresher replica
 	es, _ = s.Get(key, 0)
 	if es[0].Count != 11 {
 		t.Fatalf("fresh merge ignored: %d", es[0].Count)
@@ -42,8 +42,8 @@ func TestMergeMaxTakesLargerCount(t *testing.T) {
 func TestMergeMaxAdoptsDataOnlyWhenMissing(t *testing.T) {
 	s := NewStore()
 	key := kadid.HashString("k")
-	s.MergeMax(key, []wire.Entry{{Field: "r", Count: 1, Data: []byte("uri1")}})
-	s.MergeMax(key, []wire.Entry{{Field: "r", Count: 1, Data: []byte("uri2")}})
+	s.MergeMax(context.Background(), key, []wire.Entry{{Field: "r", Count: 1, Data: []byte("uri1")}})
+	s.MergeMax(context.Background(), key, []wire.Entry{{Field: "r", Count: 1, Data: []byte("uri2")}})
 	es, _ := s.Get(key, 0)
 	if string(es[0].Data) != "uri1" {
 		t.Fatalf("replication overwrote existing data: %q", es[0].Data)
@@ -60,7 +60,7 @@ func TestRepublishMovesBlocksToJoiners(t *testing.T) {
 	// Grow the overlay: some joiners will land closer to the key than
 	// the original replicas.
 	for i := 0; i < 20; i++ {
-		if _, err := cl.AddNode(Config{K: 8, Alpha: 3}, int64(1000+i), i%20); err != nil {
+		if _, err := cl.AddNode(context.Background(), Config{K: 8, Alpha: 3}, int64(1000+i), i%20); err != nil {
 			t.Fatalf("AddNode %d: %v", i, err)
 		}
 	}
@@ -251,7 +251,7 @@ func TestReplicateRPCUsesMaxMerge(t *testing.T) {
 	cl := newTestCluster(t, 8, 53)
 	key := kadid.HashString("x|3")
 	target := cl.Nodes[3]
-	target.LocalStore().Append(key, []wire.Entry{{Field: "f", Count: 10}})
+	target.LocalStore().Append(context.Background(), key, []wire.Entry{{Field: "f", Count: 10}})
 
 	// A REPLICATE with a smaller count must not change anything; a
 	// STORE with the same payload would add.

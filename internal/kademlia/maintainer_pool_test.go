@@ -33,7 +33,7 @@ func TestMaintainerPoolTracksMembership(t *testing.T) {
 		t.Fatalf("pool covers %d members, want 6", set.Len())
 	}
 
-	joiner, err := cl.AddNode(Config{K: 4, Alpha: 2}, 77, 0)
+	joiner, err := cl.AddNode(context.Background(), Config{K: 4, Alpha: 2}, 77, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,7 +49,7 @@ func TestMaintainerPoolTracksMembership(t *testing.T) {
 		t.Fatalf("crashed member still covered (len %d)", set.Len())
 	}
 
-	revived, err := cl.Revive(crashed, 0)
+	revived, err := cl.Revive(context.Background(), crashed, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,7 +57,7 @@ func TestMaintainerPoolTracksMembership(t *testing.T) {
 		t.Fatalf("revived member not covered (len %d)", set.Len())
 	}
 
-	if _, err := cl.RemoveNode(cl.Len() - 1); err != nil && !errors.Is(err, ErrHandoffIncomplete) {
+	if _, err := cl.RemoveNode(context.Background(), cl.Len()-1); err != nil && !errors.Is(err, ErrHandoffIncomplete) {
 		t.Fatal(err)
 	}
 	if set.Len() != 6 {
@@ -67,7 +67,7 @@ func TestMaintainerPoolTracksMembership(t *testing.T) {
 	// After cancellation the pool ignores joins.
 	cancel()
 	set.Wait()
-	late, err := cl.AddNode(Config{K: 4, Alpha: 2}, 78, 0)
+	late, err := cl.AddNode(context.Background(), Config{K: 4, Alpha: 2}, 78, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,12 +88,12 @@ func TestMaintainerPoolCoversLateJoiner(t *testing.T) {
 	defer set.Wait()
 	defer cancel()
 
-	joiner, err := cl.AddNode(Config{K: 3, Alpha: 2}, 99, 0)
+	joiner, err := cl.AddNode(context.Background(), Config{K: 3, Alpha: 2}, 99, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	key := kadid.HashString("late-joiner-block")
-	if err := joiner.LocalStore().Append(key, []wire.Entry{{Field: "f", Count: 5}}); err != nil {
+	if err := joiner.LocalStore().Append(context.Background(), key, []wire.Entry{{Field: "f", Count: 5}}); err != nil {
 		t.Fatal(err)
 	}
 
@@ -124,7 +124,7 @@ func TestHandoffReportsUnacked(t *testing.T) {
 	leaver := cl.Nodes[4]
 	keys := []kadid.ID{kadid.HashString("h1"), kadid.HashString("h2"), kadid.HashString("h3")}
 	for _, k := range keys {
-		if err := leaver.LocalStore().Append(k, []wire.Entry{{Field: "f", Count: 1}}); err != nil {
+		if err := leaver.LocalStore().Append(context.Background(), k, []wire.Entry{{Field: "f", Count: 1}}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -153,13 +153,13 @@ func TestHandoffReportsUnacked(t *testing.T) {
 	}
 	cl2 := testCluster(t, 4, Config{K: 3, Alpha: 2})
 	victim := cl2.Nodes[3]
-	if err := victim.LocalStore().Append(kadid.HashString("solo"), []wire.Entry{{Field: "f", Count: 2}}); err != nil {
+	if err := victim.LocalStore().Append(context.Background(), kadid.HashString("solo"), []wire.Entry{{Field: "f", Count: 2}}); err != nil {
 		t.Fatal(err)
 	}
 	for _, n := range cl2.Nodes[:3] {
 		cl2.Net.SetDown(simnet.Addr(n.Self().Addr), true)
 	}
-	n, err := cl2.RemoveNode(3)
+	n, err := cl2.RemoveNode(context.Background(), 3)
 	if n == nil {
 		t.Fatalf("RemoveNode failed outright: %v", err)
 	}

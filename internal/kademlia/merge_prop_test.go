@@ -1,6 +1,7 @@
 package kademlia
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -75,7 +76,7 @@ func TestMergeMaxProperties(t *testing.T) {
 		s1 := NewStore()
 		prev := map[string]uint64{}
 		for _, b := range batches {
-			s1.MergeMax(key, b)
+			s1.MergeMax(context.Background(), key, b)
 			cur := snapshot(s1, key)
 			for f, c := range prev {
 				if cur[f] < c {
@@ -96,8 +97,8 @@ func TestMergeMaxProperties(t *testing.T) {
 
 		// Idempotence: replaying every batch (twice, shuffled) is a no-op.
 		for _, i := range rng.Perm(len(batches)) {
-			s1.MergeMax(key, batches[i])
-			s1.MergeMax(key, batches[i])
+			s1.MergeMax(context.Background(), key, batches[i])
+			s1.MergeMax(context.Background(), key, batches[i])
 		}
 		if again := snapshot(s1, key); !mapsEqual(again, got) {
 			t.Fatalf("trial %d: replay changed the block: %v -> %v", trial, got, again)
@@ -112,7 +113,7 @@ func TestMergeMaxProperties(t *testing.T) {
 			for j, e := range batches[i] {
 				rev[len(rev)-1-j] = e
 			}
-			s2.MergeMax(key, rev)
+			s2.MergeMax(context.Background(), key, rev)
 		}
 		if other := snapshot(s2, key); !mapsEqual(other, got) {
 			t.Fatalf("trial %d: merge order changed the block: %v vs %v", trial, got, other)

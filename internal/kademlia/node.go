@@ -17,6 +17,7 @@ import (
 	"crypto/ed25519"
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -27,10 +28,18 @@ import (
 	"dharma/internal/wire"
 )
 
-// Protocol defaults; both are the constants of the Kademlia paper.
+// Protocol defaults; K and Alpha are the constants of the Kademlia
+// paper.
 const (
 	DefaultK     = 20
 	DefaultAlpha = 3
+
+	// DefaultBusyRetries and DefaultBusyBackoff shape the client's
+	// reaction to BUSY rejections: up to 3 retries starting from a 2ms
+	// base, doubling each attempt with uniform jitter, so a storm of
+	// rejected writers decorrelates instead of re-arriving in lockstep.
+	DefaultBusyRetries = 3
+	DefaultBusyBackoff = 2 * time.Millisecond
 )
 
 // Errors returned by overlay operations.
@@ -78,6 +87,15 @@ type Config struct {
 	// durable store from OpenDurableStore, so the node's blocks outlive
 	// its process. Nil creates a fresh in-memory store.
 	Store *Store
+	// BusyRetries is how many times an outbound RPC answered with BUSY
+	// is retried with jittered exponential backoff before the error is
+	// surfaced (default DefaultBusyRetries; negative disables retries).
+	// A busy peer is alive — it is never evicted from the routing table.
+	BusyRetries int
+	// BusyBackoff is the base delay of the busy-retry schedule; attempt
+	// i sleeps a uniformly jittered multiple of BusyBackoff·2^i
+	// (default DefaultBusyBackoff).
+	BusyBackoff time.Duration
 	// MinStoreAcks is how many replica acknowledgements a Store needs
 	// before reporting success (default 1). The churn invariant —
 	// acknowledged writes survive replica crashes — is only as strong
@@ -99,6 +117,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MinStoreAcks <= 0 {
 		c.MinStoreAcks = 1
+	}
+	if c.BusyRetries == 0 {
+		c.BusyRetries = DefaultBusyRetries
+	}
+	if c.BusyBackoff <= 0 {
+		c.BusyBackoff = DefaultBusyBackoff
 	}
 	if c.Now == nil {
 		c.Now = time.Now
@@ -218,8 +242,15 @@ func (n *Node) RPCServed() int64 { return n.rpcServed.Load() }
 func (n *Node) Repairs() int64 { return n.repairs.Load() }
 
 // HandleRPC implements simnet.Handler: it decodes one request, updates
-// the routing table with the caller, and dispatches.
-func (n *Node) HandleRPC(from simnet.Addr, payload []byte) ([]byte, error) {
+// the routing table with the caller, and dispatches. ctx is the
+// server-side request context: work whose caller has already given up
+// (or whose transport is shutting down) is shed at the door, and
+// storage commits run under it so a cancelled write does not pin the
+// handler for a whole WAL flush window.
+func (n *Node) HandleRPC(ctx context.Context, from simnet.Addr, payload []byte) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	msg, err := wire.Decode(payload)
 	if err != nil {
 		return nil, err
@@ -266,9 +297,9 @@ func (n *Node) HandleRPC(from simnet.Addr, payload []byte) ([]byte, error) {
 		}
 		var serr error
 		if msg.Kind == wire.KindStore {
-			serr = n.store.Append(msg.Target, kept)
+			serr = n.store.Append(ctx, msg.Target, kept)
 		} else {
-			serr = n.store.MergeMax(msg.Target, kept)
+			serr = n.store.MergeMax(ctx, msg.Target, kept)
 		}
 		if serr != nil {
 			// A durable store that could not log the write must not ack
@@ -326,8 +357,34 @@ func (n *Node) admit(msg *wire.Message) error {
 
 // call sends one RPC and maintains the routing table on success and
 // failure. ctx bounds the exchange: when it ends, the transport's
-// in-flight waiter is aborted and ctx.Err() comes back.
+// in-flight waiter is aborted and ctx.Err() comes back. BUSY answers
+// are retried with jittered exponential backoff (up to
+// Config.BusyRetries times) before being surfaced.
 func (n *Node) call(ctx context.Context, to wire.Contact, msg *wire.Message) (*wire.Message, error) {
+	backoff := n.cfg.BusyBackoff
+	for attempt := 0; ; attempt++ {
+		resp, err := n.callOnce(ctx, to, msg)
+		if err == nil || !errors.Is(err, wire.ErrBusy) || attempt >= n.cfg.BusyRetries {
+			return resp, err
+		}
+		// Uniform jitter in [0.5, 1.5)·backoff: retriers that were
+		// rejected together must not knock again together.
+		delay := backoff/2 + time.Duration(rand.Int63n(int64(backoff)))
+		backoff *= 2
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(delay):
+		}
+	}
+}
+
+// callOnce performs a single exchange. A BUSY answer — whether a
+// transport-level admission rejection or a decoded KindBusy reply — is
+// returned wrapping wire.ErrBusy and, crucially, does NOT evict the
+// peer from the routing table: busy means alive, the same way
+// cancellation means nothing (PR 5's rule).
+func (n *Node) callOnce(ctx context.Context, to wire.Contact, msg *wire.Message) (*wire.Message, error) {
 	if n.detached.Load() {
 		return nil, errDetached
 	}
@@ -340,8 +397,9 @@ func (n *Node) call(ctx context.Context, to wire.Contact, msg *wire.Message) (*w
 	if err != nil {
 		// A local send failure (endpoint closed under us) says nothing
 		// about the peer; only a timed-out exchange does. Likewise a
-		// caller giving up (ctx ended) is not evidence the peer is dead.
-		if !errors.Is(err, simnet.ErrClosed) && ctx.Err() == nil {
+		// caller giving up (ctx ended) is not evidence the peer is dead,
+		// and neither is an explicit busy rejection.
+		if !errors.Is(err, simnet.ErrClosed) && !errors.Is(err, wire.ErrBusy) && ctx.Err() == nil {
 			n.table.Remove(to.ID)
 		}
 		return nil, err
@@ -349,6 +407,9 @@ func (n *Node) call(ctx context.Context, to wire.Contact, msg *wire.Message) (*w
 	resp, err := wire.Decode(raw)
 	if err != nil {
 		return nil, err
+	}
+	if resp.Kind == wire.KindBusy {
+		return nil, fmt.Errorf("kademlia: %s is busy: %w", to.Addr, wire.ErrBusy)
 	}
 	if resp.Kind == wire.KindError {
 		return nil, fmt.Errorf("kademlia: remote error: %s", resp.Err)
@@ -418,7 +479,7 @@ func (n *Node) RefreshBucket(ctx context.Context, bucket int, seed int64) {
 // was not reached by then, ctx's error is returned with the partial ack
 // count.
 func (n *Node) Store(ctx context.Context, key kadid.ID, entries []wire.Entry) (int, error) {
-	_, _, targets, lerr := n.iterativeLookup(ctx, key, false, 0)
+	_, _, targets, _, lerr := n.iterativeLookup(ctx, key, false, 0)
 	if lerr != nil {
 		return 0, lerr
 	}
@@ -426,12 +487,12 @@ func (n *Node) Store(ctx context.Context, key kadid.ID, entries []wire.Entry) (i
 	if len(targets) == 0 {
 		return 0, ErrNoContacts
 	}
-	acks := 0
+	acks, busy := 0, 0
 	var mu sync.Mutex
 	var wg sync.WaitGroup
 	for _, c := range targets {
 		if c.ID == n.id {
-			if n.store.Append(key, entries) == nil {
+			if n.store.Append(ctx, key, entries) == nil {
 				mu.Lock()
 				acks++
 				mu.Unlock()
@@ -442,10 +503,12 @@ func (n *Node) Store(ctx context.Context, key kadid.ID, entries []wire.Entry) (i
 		go func(c wire.Contact) {
 			defer wg.Done()
 			resp, err := n.call(ctx, c, &wire.Message{Kind: wire.KindStore, Target: key, Entries: entries})
+			mu.Lock()
+			defer mu.Unlock()
 			if err == nil && resp.Kind == wire.KindStoreAck {
-				mu.Lock()
 				acks++
-				mu.Unlock()
+			} else if errors.Is(err, wire.ErrBusy) {
+				busy++
 			}
 		}(c)
 	}
@@ -456,6 +519,12 @@ func (n *Node) Store(ctx context.Context, key kadid.ID, entries []wire.Entry) (i
 		}
 	}
 	if acks == 0 {
+		if busy > 0 {
+			// The replica set is saturated, not gone: surface the typed
+			// busy error so upper layers can back off instead of treating
+			// the write target as unreachable.
+			return 0, fmt.Errorf("kademlia: %d replica(s) rejected store of %s: %w", busy, key.Short(), wire.ErrBusy)
+		}
 		return 0, fmt.Errorf("kademlia: no replica acknowledged store of %s", key.Short())
 	}
 	if acks < n.cfg.MinStoreAcks {
@@ -487,7 +556,7 @@ func (n *Node) insertSelf(sorted []wire.Contact, key kadid.ID) []wire.Contact {
 // value was assembled, ctx.Err() is returned instead — the caller's
 // deadline wins over every internal retry budget.
 func (n *Node) FindValue(ctx context.Context, key kadid.ID, topN int) ([]wire.Entry, error) {
-	entries, found, _, lerr := n.iterativeLookup(ctx, key, true, topN)
+	entries, found, _, busy, lerr := n.iterativeLookup(ctx, key, true, topN)
 	if lerr != nil {
 		return nil, lerr
 	}
@@ -501,13 +570,18 @@ func (n *Node) FindValue(ctx context.Context, key kadid.ID, topN int) ([]wire.En
 			// it was stale adopts the merged state it just computed.
 			// Best-effort — a repair the durable store cannot log is
 			// simply skipped (the read itself already succeeded).
-			n.store.MergeMax(key, entries) //nolint:errcheck
+			n.store.MergeMax(ctx, key, entries) //nolint:errcheck
 		}
 		if topN > 0 && len(entries) > topN {
 			entries = entries[:topN]
 		}
 	}
 	if !found {
+		if busy > 0 {
+			// Replicas rejected the read at admission; "not found" would
+			// be a lie (the block may exist behind the saturation).
+			return nil, fmt.Errorf("kademlia: %d candidate(s) busy during lookup of %s: %w", busy, key.Short(), wire.ErrBusy)
+		}
 		return nil, ErrNotFound
 	}
 	if n.cfg.CAPub != nil {
@@ -527,6 +601,6 @@ func (n *Node) FindValue(ctx context.Context, key kadid.ID, topN int) ([]wire.En
 // short; the contacts gathered so far are returned best-effort (callers
 // that must distinguish a complete window check ctx.Err() themselves).
 func (n *Node) IterativeFindNode(ctx context.Context, target kadid.ID) []wire.Contact {
-	_, _, closest, _ := n.iterativeLookup(ctx, target, false, 0)
+	_, _, closest, _, _ := n.iterativeLookup(ctx, target, false, 0)
 	return closest
 }

@@ -1,6 +1,7 @@
 package kademlia
 
 import (
+	"context"
 	"sort"
 	"sync"
 
@@ -114,12 +115,12 @@ func (s *Store) shard(key kadid.ID) *storeShard {
 // A durable store logs the append before acknowledging; a non-nil
 // error means the write must not be acked (the entries may or may not
 // have reached memory, but they were never promised to survive).
-func (s *Store) Append(key kadid.ID, entries []wire.Entry) error {
+func (s *Store) Append(ctx context.Context, key kadid.ID, entries []wire.Entry) error {
 	if len(entries) == 0 {
 		return nil
 	}
 	if s.dur != nil {
-		return s.dur.commit(persist.Record{Op: persist.OpAppend, Key: key, Entries: entries},
+		return s.dur.commit(ctx, persist.Record{Op: persist.OpAppend, Key: key, Entries: entries},
 			func() { s.applyAppend(key, entries) })
 	}
 	s.applyAppend(key, entries)
@@ -141,7 +142,7 @@ func (s *Store) applyAppend(key kadid.ID, entries []wire.Entry) {
 // one grouped call.
 // On a durable store the whole batch is logged as one commit — one
 // group-commit flush covers every item.
-func (s *Store) AppendBatch(items []BatchItem) error {
+func (s *Store) AppendBatch(ctx context.Context, items []BatchItem) error {
 	if s.dur != nil {
 		recs := make([]persist.Record, 0, len(items))
 		for _, it := range items {
@@ -153,7 +154,7 @@ func (s *Store) AppendBatch(items []BatchItem) error {
 		if len(recs) == 0 {
 			return nil
 		}
-		return s.dur.commitAll(recs, func() { s.applyAppendBatch(items) })
+		return s.dur.commitAll(ctx, recs, func() { s.applyAppendBatch(items) })
 	}
 	s.applyAppendBatch(items)
 	return nil

@@ -1,6 +1,7 @@
 package kademlia
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -91,15 +92,15 @@ func (s *Store) SimulateCrash() {
 }
 
 // commit logs one record, applies it, and waits for durability.
-func (d *durability) commit(rec persist.Record, apply func()) error {
-	return d.commitAll([]persist.Record{rec}, apply)
+func (d *durability) commit(ctx context.Context, rec persist.Record, apply func()) error {
+	return d.commitAll(ctx, []persist.Record{rec}, apply)
 }
 
 // commitAll logs a group of records as one commit, applies them, waits
 // for durability, and triggers background compaction when the log has
 // outgrown its threshold.
-func (d *durability) commitAll(recs []persist.Record, apply func()) error {
-	if err := d.wal.Commit(recs, apply); err != nil {
+func (d *durability) commitAll(ctx context.Context, recs []persist.Record, apply func()) error {
+	if err := d.wal.Commit(ctx, recs, apply); err != nil {
 		return err
 	}
 	d.maybeCompact()

@@ -56,21 +56,21 @@ func populateDurable(t *testing.T, s *Store) {
 	t.Helper()
 	for i := 0; i < 40; i++ {
 		key := kadid.HashString(fmt.Sprintf("blk%d", i%7))
-		if err := s.Append(key, []wire.Entry{
+		if err := s.Append(context.Background(), key, []wire.Entry{
 			{Field: fmt.Sprintf("f%d", i%13), Count: uint64(i%5 + 1)},
 			{Field: fmt.Sprintf("g%d", i%3), Count: 1, Init: 2},
 		}); err != nil {
 			t.Fatalf("Append: %v", err)
 		}
 	}
-	if err := s.AppendBatch([]BatchItem{
+	if err := s.AppendBatch(context.Background(), []BatchItem{
 		{Key: kadid.HashString("batch1"), Entries: []wire.Entry{{Field: "a", Count: 3}}},
 		{Key: kadid.HashString("batch2"), Entries: []wire.Entry{{Field: "b", Count: 4, Data: []byte("uri")}}},
 		{Key: kadid.HashString("blk0"), Entries: []wire.Entry{{Field: "f0", Count: 9}}},
 	}); err != nil {
 		t.Fatalf("AppendBatch: %v", err)
 	}
-	if err := s.MergeMax(kadid.HashString("blk1"), []wire.Entry{{Field: "f1", Count: 100}}); err != nil {
+	if err := s.MergeMax(context.Background(), kadid.HashString("blk1"), []wire.Entry{{Field: "f1", Count: 100}}); err != nil {
 		t.Fatalf("MergeMax: %v", err)
 	}
 }
@@ -135,7 +135,7 @@ func TestDurableStoreCrash(t *testing.T) {
 	want := storeImage(t, s)
 	s.SimulateCrash()
 
-	if err := s.Append(kadid.HashString("late"), []wire.Entry{{Field: "x", Count: 1}}); !errors.Is(err, persist.ErrCrashed) {
+	if err := s.Append(context.Background(), kadid.HashString("late"), []wire.Entry{{Field: "x", Count: 1}}); !errors.Is(err, persist.ErrCrashed) {
 		t.Fatalf("append after crash: %v, want ErrCrashed", err)
 	}
 
@@ -159,7 +159,7 @@ func TestDurableStoreAutoCompact(t *testing.T) {
 	}
 	for i := 0; i < 2000; i++ {
 		key := kadid.HashString(fmt.Sprintf("k%d", i%11))
-		if err := s.Append(key, []wire.Entry{{Field: fmt.Sprintf("f%d", i%97), Count: 1}}); err != nil {
+		if err := s.Append(context.Background(), key, []wire.Entry{{Field: fmt.Sprintf("f%d", i%97), Count: 1}}); err != nil {
 			t.Fatalf("append %d: %v", i, err)
 		}
 	}
@@ -201,12 +201,12 @@ func TestDurableStoreConcurrent(t *testing.T) {
 			for i := 0; i < each; i++ {
 				switch i % 3 {
 				case 0:
-					if err := s.Append(key, []wire.Entry{{Field: fmt.Sprintf("f%d", i), Count: 1}}); err != nil {
+					if err := s.Append(context.Background(), key, []wire.Entry{{Field: fmt.Sprintf("f%d", i), Count: 1}}); err != nil {
 						t.Errorf("append: %v", err)
 						return
 					}
 				case 1:
-					if err := s.AppendBatch([]BatchItem{
+					if err := s.AppendBatch(context.Background(), []BatchItem{
 						{Key: key, Entries: []wire.Entry{{Field: "hot", Count: 1}}},
 						{Key: kadid.HashString(fmt.Sprintf("w%d-b", w)), Entries: []wire.Entry{{Field: "c", Count: 2}}},
 					}); err != nil {
@@ -214,7 +214,7 @@ func TestDurableStoreConcurrent(t *testing.T) {
 						return
 					}
 				default:
-					if err := s.MergeMax(key, []wire.Entry{{Field: "hot", Count: uint64(i)}}); err != nil {
+					if err := s.MergeMax(context.Background(), key, []wire.Entry{{Field: "hot", Count: uint64(i)}}); err != nil {
 						t.Errorf("merge: %v", err)
 						return
 					}
@@ -283,7 +283,7 @@ func TestClusterReviveRecoversFromDisk(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	revived, err := cl.Revive(crashed, 0)
+	revived, err := cl.Revive(context.Background(), crashed, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -348,7 +348,7 @@ func TestClusterWipeRecoverAllReplicas(t *testing.T) {
 	}
 
 	for _, n := range crashed {
-		if _, err := cl.Revive(n, 0); err != nil {
+		if _, err := cl.Revive(context.Background(), n, 0); err != nil {
 			t.Fatalf("revive: %v", err)
 		}
 	}

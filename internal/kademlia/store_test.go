@@ -1,6 +1,7 @@
 package kademlia
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -14,8 +15,8 @@ import (
 func TestStoreAppendAccumulates(t *testing.T) {
 	s := NewStore()
 	key := kadid.HashString("rock|3")
-	s.Append(key, []wire.Entry{{Field: "pop", Count: 1}})
-	s.Append(key, []wire.Entry{{Field: "pop", Count: 2}, {Field: "indie", Count: 1}})
+	s.Append(context.Background(), key, []wire.Entry{{Field: "pop", Count: 1}})
+	s.Append(context.Background(), key, []wire.Entry{{Field: "pop", Count: 2}, {Field: "indie", Count: 1}})
 
 	es, ok := s.Get(key, 0)
 	if !ok {
@@ -37,12 +38,12 @@ func TestStoreAppendInitSemantics(t *testing.T) {
 	// conditional create); existing fields add Count as usual.
 	s := NewStore()
 	key := kadid.HashString("k")
-	s.Append(key, []wire.Entry{{Field: "a", Count: 7, Init: 1}})
+	s.Append(context.Background(), key, []wire.Entry{{Field: "a", Count: 7, Init: 1}})
 	es, _ := s.Get(key, 0)
 	if es[0].Count != 1 {
 		t.Fatalf("absent field with Init: count = %d, want 1", es[0].Count)
 	}
-	s.Append(key, []wire.Entry{{Field: "a", Count: 7, Init: 1}})
+	s.Append(context.Background(), key, []wire.Entry{{Field: "a", Count: 7, Init: 1}})
 	es, _ = s.Get(key, 0)
 	if es[0].Count != 8 {
 		t.Fatalf("present field with Init: count = %d, want 1+7", es[0].Count)
@@ -52,9 +53,9 @@ func TestStoreAppendInitSemantics(t *testing.T) {
 func TestStoreDataReplaced(t *testing.T) {
 	s := NewStore()
 	key := kadid.HashString("song|4")
-	s.Append(key, []wire.Entry{{Field: "song", Data: []byte("uri-v1")}})
-	s.Append(key, []wire.Entry{{Field: "song", Data: []byte("uri-v2")}})
-	s.Append(key, []wire.Entry{{Field: "song", Count: 1}}) // no data: keep v2
+	s.Append(context.Background(), key, []wire.Entry{{Field: "song", Data: []byte("uri-v1")}})
+	s.Append(context.Background(), key, []wire.Entry{{Field: "song", Data: []byte("uri-v2")}})
+	s.Append(context.Background(), key, []wire.Entry{{Field: "song", Count: 1}}) // no data: keep v2
 
 	es, _ := s.Get(key, 0)
 	if string(es[0].Data) != "uri-v2" {
@@ -65,7 +66,7 @@ func TestStoreDataReplaced(t *testing.T) {
 func TestStoreGetTopNOrdering(t *testing.T) {
 	s := NewStore()
 	key := kadid.HashString("k")
-	s.Append(key, []wire.Entry{
+	s.Append(context.Background(), key, []wire.Entry{
 		{Field: "c", Count: 5},
 		{Field: "a", Count: 9},
 		{Field: "b", Count: 5},
@@ -96,8 +97,8 @@ func TestStoreGetMissing(t *testing.T) {
 
 func TestStoreKeysLenEntryCount(t *testing.T) {
 	s := NewStore()
-	s.Append(kadid.HashString("k1"), []wire.Entry{{Field: "a", Count: 1}, {Field: "b", Count: 1}})
-	s.Append(kadid.HashString("k2"), []wire.Entry{{Field: "c", Count: 1}})
+	s.Append(context.Background(), kadid.HashString("k1"), []wire.Entry{{Field: "a", Count: 1}, {Field: "b", Count: 1}})
+	s.Append(context.Background(), kadid.HashString("k2"), []wire.Entry{{Field: "c", Count: 1}})
 	if s.Len() != 2 {
 		t.Fatalf("Len = %d, want 2", s.Len())
 	}
@@ -122,7 +123,7 @@ func TestStoreConcurrentAppends(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < perG; i++ {
-				s.Append(key, []wire.Entry{{Field: "t", Count: 1}})
+				s.Append(context.Background(), key, []wire.Entry{{Field: "t", Count: 1}})
 			}
 		}()
 	}
@@ -136,7 +137,7 @@ func TestStoreConcurrentAppends(t *testing.T) {
 func TestStoreGetDoesNotAliasInternalState(t *testing.T) {
 	s := NewStore()
 	key := kadid.HashString("k")
-	s.Append(key, []wire.Entry{{Field: "a", Count: 1, Data: []byte("x")}})
+	s.Append(context.Background(), key, []wire.Entry{{Field: "a", Count: 1, Data: []byte("x")}})
 	es, _ := s.Get(key, 0)
 	es[0].Count = 999
 	es2, _ := s.Get(key, 0)
@@ -151,16 +152,16 @@ func TestStoreEmptyAppendCreatesNoBlock(t *testing.T) {
 	// block for it — Has would flip true and hotspot accounting skew.
 	s := NewStore()
 	key := kadid.HashString("phantom")
-	s.Append(key, nil)
-	s.Append(key, []wire.Entry{})
-	s.MergeMax(key, nil)
+	s.Append(context.Background(), key, nil)
+	s.Append(context.Background(), key, []wire.Entry{})
+	s.MergeMax(context.Background(), key, nil)
 	if s.Has(key) {
 		t.Fatal("empty append materialized a block")
 	}
 	if s.Len() != 0 || s.EntryCount() != 0 {
 		t.Fatalf("Len=%d EntryCount=%d after empty appends, want 0/0", s.Len(), s.EntryCount())
 	}
-	s.AppendBatch([]BatchItem{{Key: key}, {Key: kadid.HashString("p2")}})
+	s.AppendBatch(context.Background(), []BatchItem{{Key: key}, {Key: kadid.HashString("p2")}})
 	if s.Len() != 0 {
 		t.Fatal("empty batch items materialized blocks")
 	}
@@ -172,7 +173,7 @@ func TestStoreGetCopiesByteSlices(t *testing.T) {
 	// stored copy.
 	s := NewStore()
 	key := kadid.HashString("k")
-	s.Append(key, []wire.Entry{{Field: "a", Count: 1, Data: []byte("uri-v1"), Author: []byte("au"), Sig: []byte("sig")}})
+	s.Append(context.Background(), key, []wire.Entry{{Field: "a", Count: 1, Data: []byte("uri-v1"), Author: []byte("au"), Sig: []byte("sig")}})
 
 	for _, topN := range []int{0, 1} { // filtered (index) and full-scan paths
 		es, _ := s.Get(key, topN)
@@ -189,8 +190,8 @@ func TestStoreGetCopiesByteSlices(t *testing.T) {
 func TestStoreAppendBatchMergesEveryItem(t *testing.T) {
 	s := NewStore()
 	k1, k2 := kadid.HashString("b1"), kadid.HashString("b2")
-	s.Append(k1, []wire.Entry{{Field: "x", Count: 1}})
-	s.AppendBatch([]BatchItem{
+	s.Append(context.Background(), k1, []wire.Entry{{Field: "x", Count: 1}})
+	s.AppendBatch(context.Background(), []BatchItem{
 		{Key: k1, Entries: []wire.Entry{{Field: "x", Count: 2}, {Field: "y", Count: 1}}},
 		{Key: k2, Entries: []wire.Entry{{Field: "z", Count: 5}}},
 	})
@@ -254,14 +255,14 @@ func TestStoreIncrementalOrderMatchesFullSort(t *testing.T) {
 		case 0: // plain token append
 			c := uint64(rng.Intn(4))
 			ref[f] += c
-			s.Append(key, []wire.Entry{{Field: f, Count: c}})
+			s.Append(context.Background(), key, []wire.Entry{{Field: f, Count: c}})
 		case 1: // Approximation B conditional create
 			if _, ok := ref[f]; !ok {
 				ref[f] = 1
 			} else {
 				ref[f] += 2
 			}
-			s.Append(key, []wire.Entry{{Field: f, Count: 2, Init: 1}})
+			s.Append(context.Background(), key, []wire.Entry{{Field: f, Count: 2, Init: 1}})
 		default: // replica anti-entropy
 			c := uint64(rng.Intn(2000))
 			if c > ref[f] {
@@ -269,7 +270,7 @@ func TestStoreIncrementalOrderMatchesFullSort(t *testing.T) {
 			} else if _, ok := ref[f]; !ok {
 				ref[f] = c
 			}
-			s.MergeMax(key, []wire.Entry{{Field: f, Count: c}})
+			s.MergeMax(context.Background(), key, []wire.Entry{{Field: f, Count: c}})
 		}
 		if step%97 == 0 || step == 1499 {
 			check(step)
@@ -296,9 +297,9 @@ func TestStoreConcurrentMixedOps(t *testing.T) {
 				key := keys[(g+i)%len(keys)]
 				switch i % 6 {
 				case 0, 1:
-					s.Append(key, []wire.Entry{{Field: fmt.Sprintf("f%d", i%50), Count: 1}})
+					s.Append(context.Background(), key, []wire.Entry{{Field: fmt.Sprintf("f%d", i%50), Count: 1}})
 				case 2:
-					s.AppendBatch([]BatchItem{
+					s.AppendBatch(context.Background(), []BatchItem{
 						{Key: key, Entries: []wire.Entry{{Field: "b", Count: 1}}},
 						{Key: keys[(g+i+7)%len(keys)], Entries: []wire.Entry{{Field: "b2", Count: 2}}},
 					})
@@ -306,7 +307,7 @@ func TestStoreConcurrentMixedOps(t *testing.T) {
 					s.Get(key, 10)
 					s.Get(key, 0)
 				case 4:
-					s.MergeMax(key, []wire.Entry{{Field: "m", Count: uint64(i)}})
+					s.MergeMax(context.Background(), key, []wire.Entry{{Field: "m", Count: uint64(i)}})
 				default:
 					s.Keys()
 					s.Len()

@@ -126,7 +126,7 @@ func (c *Churner) Run(ctx context.Context) {
 			return
 		case <-timer.C:
 		}
-		c.step(rng)
+		c.step(ctx, rng)
 		timer.Reset(c.wait(rng, interval))
 	}
 }
@@ -140,7 +140,7 @@ func (c *Churner) wait(rng *rand.Rand, interval time.Duration) time.Duration {
 // step performs one membership event, honoring the invariants: at most
 // maxDead crashed nodes at once, never below Protected+1 members, and
 // joins steer the membership back towards the baseline.
-func (c *Churner) step(rng *rand.Rand) {
+func (c *Churner) step(ctx context.Context, rng *rand.Rand) {
 	c.mu.Lock()
 	dead := len(c.crashed)
 	c.mu.Unlock()
@@ -148,19 +148,19 @@ func (c *Churner) step(rng *rand.Rand) {
 
 	switch {
 	case dead > 0 && rng.Float64() < 0.35:
-		c.revive(rng)
+		c.revive(ctx, rng)
 	case live+dead < c.baseline:
-		c.join(rng) // graceful leaves shrank the population; replace them
+		c.join(ctx, rng) // graceful leaves shrank the population; replace them
 	case dead < c.maxDead && live > c.cfg.Protected+1:
 		if rng.Float64() < 0.25 {
-			c.leave(rng)
+			c.leave(ctx, rng)
 		} else {
 			c.crash(rng)
 		}
 	case dead > 0:
-		c.revive(rng)
+		c.revive(ctx, rng)
 	default:
-		c.join(rng)
+		c.join(ctx, rng)
 	}
 }
 
@@ -190,7 +190,7 @@ func (c *Churner) crash(rng *rand.Rand) {
 	c.crashes.Add(1)
 }
 
-func (c *Churner) leave(rng *rand.Rand) {
+func (c *Churner) leave(ctx context.Context, rng *rand.Rand) {
 	i, ok := c.victim(rng)
 	if !ok {
 		return
@@ -198,12 +198,12 @@ func (c *Churner) leave(rng *rand.Rand) {
 	// A non-nil node means the member left, even when the handoff
 	// report (ErrHandoffIncomplete) is non-nil — under churn an
 	// unacked handoff is expected and healed by republish.
-	if n, _ := c.cl.RemoveNode(i); n != nil {
+	if n, _ := c.cl.RemoveNode(ctx, i); n != nil {
 		c.leaves.Add(1)
 	}
 }
 
-func (c *Churner) revive(rng *rand.Rand) {
+func (c *Churner) revive(ctx context.Context, rng *rand.Rand) {
 	c.mu.Lock()
 	if len(c.crashed) == 0 {
 		c.mu.Unlock()
@@ -213,7 +213,7 @@ func (c *Churner) revive(rng *rand.Rand) {
 	n := c.crashed[i]
 	c.crashed = append(c.crashed[:i], c.crashed[i+1:]...)
 	c.mu.Unlock()
-	if _, err := c.cl.Revive(n, 0); err != nil {
+	if _, err := c.cl.Revive(ctx, n, 0); err != nil {
 		// Bootstrap through node 0 failed; put the node back in the
 		// crashed pool rather than losing track of it. On a durable
 		// cluster the node's disk state is untouched, so the retry
@@ -226,8 +226,8 @@ func (c *Churner) revive(rng *rand.Rand) {
 	c.revives.Add(1)
 }
 
-func (c *Churner) join(rng *rand.Rand) {
-	if _, err := c.cl.AddNode(c.cfg.Node, rng.Int63(), 0); err == nil {
+func (c *Churner) join(ctx context.Context, rng *rand.Rand) {
+	if _, err := c.cl.AddNode(ctx, c.cfg.Node, rng.Int63(), 0); err == nil {
 		c.joins.Add(1)
 	}
 }
@@ -235,13 +235,13 @@ func (c *Churner) join(rng *rand.Rand) {
 // ReviveAll brings every still-crashed node back (used between load
 // mixes, so each mix starts against a whole overlay). Nodes whose
 // bootstrap fails stay in the crashed pool.
-func (c *Churner) ReviveAll() {
+func (c *Churner) ReviveAll(ctx context.Context) {
 	c.mu.Lock()
 	pending := c.crashed
 	c.crashed = nil
 	c.mu.Unlock()
 	for _, n := range pending {
-		if _, err := c.cl.Revive(n, 0); err != nil {
+		if _, err := c.cl.Revive(ctx, n, 0); err != nil {
 			c.mu.Lock()
 			c.crashed = append(c.crashed, n)
 			c.mu.Unlock()

@@ -86,7 +86,7 @@ func TestChurnerRespectsProtectionAndKillCap(t *testing.T) {
 		}
 	}
 
-	ch.ReviveAll()
+	ch.ReviveAll(context.Background())
 	if ch.DeadCount() != 0 {
 		t.Fatalf("%d nodes still dead after ReviveAll", ch.DeadCount())
 	}

@@ -1,6 +1,7 @@
 package persist
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -43,7 +44,7 @@ func BenchmarkWALAppend(b *testing.B) {
 			b.RunParallel(func(pb *testing.PB) {
 				rec := []Record{{Op: OpAppend, Key: key, Entries: []wire.Entry{{Field: "f", Count: 1}}}}
 				for pb.Next() {
-					if err := l.Commit(rec, nil); err != nil {
+					if err := l.Commit(context.Background(), rec, nil); err != nil {
 						b.Error(err)
 						return
 					}
@@ -73,7 +74,7 @@ func BenchmarkWALCommitBatch(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := l.Commit(recs, nil); err != nil {
+		if err := l.Commit(context.Background(), recs, nil); err != nil {
 			b.Fatal(err)
 		}
 	}

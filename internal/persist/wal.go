@@ -40,6 +40,7 @@
 package persist
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -306,12 +307,25 @@ var errTorn = errors.New("torn record")
 // caller's node is expected to treat that as fatal for the operation
 // and withhold its ack).
 //
+// ctx bounds only the WAIT for durability, never the batch itself: a
+// ctx that ends before staging refuses the commit outright (nothing
+// staged, nothing applied); a ctx that ends while waiting for the
+// flush returns ctx.Err() immediately, but the staged records remain
+// in the batch and the group still fsyncs on schedule for every other
+// committer. The outcome of such an abandoned commit is unknown to the
+// caller — exactly the semantics of a write whose ack was lost — so
+// the caller must not acknowledge it. This is what keeps a cancelled
+// write from pinning a storage handler for the whole FlushWindow.
+//
 // Running apply under the commit lock is what keeps the snapshot exact:
 // compaction also takes the lock, so the in-memory state it dumps
 // corresponds to precisely the records logged before the cut — replay
 // after recovery applies every surviving record exactly once, and
 // append counts (which are sums, not maxima) come back exact.
-func (l *Log) Commit(recs []Record, apply func()) error {
+func (l *Log) Commit(ctx context.Context, recs []Record, apply func()) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	var frames []byte
 	var err error
 	for i := range recs {
@@ -348,14 +362,20 @@ func (l *Log) Commit(recs []Record, apply func()) error {
 
 	if l.opts.Sync == SyncEach {
 		l.flushOnce()
+		// flushOnce completed synchronously under eachMu; the batch is
+		// resolved, so the done-wait below cannot block on ctx.
 	} else {
 		select {
 		case l.flushC <- struct{}{}:
 		default: // a flush signal is already pending
 		}
 	}
-	<-b.done
-	return b.err
+	select {
+	case <-b.done:
+		return b.err
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // flushLoop is the group-commit flusher: it drains the staging buffer

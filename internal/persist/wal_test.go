@@ -1,6 +1,7 @@
 package persist
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -78,7 +79,7 @@ func TestRoundTrip(t *testing.T) {
 	_, _, l := collect(t, dir, Options{Sync: SyncNone})
 	recs := randomRecords(rand.New(rand.NewSource(1)), 50)
 	for i := range recs {
-		if err := l.Commit([]Record{recs[i]}, nil); err != nil {
+		if err := l.Commit(context.Background(), []Record{recs[i]}, nil); err != nil {
 			t.Fatalf("Commit %d: %v", i, err)
 		}
 	}
@@ -101,13 +102,13 @@ func TestCommitAfterCloseAndCrash(t *testing.T) {
 	dir := t.TempDir()
 	_, _, l := collect(t, dir, Options{Sync: SyncNone})
 	l.Close()
-	if err := l.Commit([]Record{{Op: OpAppend, Key: kadid.HashString("k"), Entries: []wire.Entry{{Field: "f"}}}}, nil); !errors.Is(err, ErrClosed) {
+	if err := l.Commit(context.Background(), []Record{{Op: OpAppend, Key: kadid.HashString("k"), Entries: []wire.Entry{{Field: "f"}}}}, nil); !errors.Is(err, ErrClosed) {
 		t.Fatalf("commit after close: %v, want ErrClosed", err)
 	}
 
 	_, _, l2 := collect(t, dir, Options{Sync: SyncNone})
 	l2.Crash()
-	if err := l2.Commit([]Record{{Op: OpAppend, Key: kadid.HashString("k"), Entries: []wire.Entry{{Field: "f"}}}}, nil); !errors.Is(err, ErrCrashed) {
+	if err := l2.Commit(context.Background(), []Record{{Op: OpAppend, Key: kadid.HashString("k"), Entries: []wire.Entry{{Field: "f"}}}}, nil); !errors.Is(err, ErrCrashed) {
 		t.Fatalf("commit after crash: %v, want ErrCrashed", err)
 	}
 }
@@ -119,7 +120,7 @@ func TestAcknowledgedSurvivesCrash(t *testing.T) {
 	_, _, l := collect(t, dir, Options{Sync: SyncNone})
 	recs := randomRecords(rand.New(rand.NewSource(7)), 100)
 	for i := range recs {
-		if err := l.Commit([]Record{recs[i]}, nil); err != nil {
+		if err := l.Commit(context.Background(), []Record{recs[i]}, nil); err != nil {
 			t.Fatalf("Commit %d: %v", i, err)
 		}
 	}
@@ -147,7 +148,7 @@ func TestGroupCommitConcurrent(t *testing.T) {
 					Key:     kadid.HashString(fmt.Sprintf("w%d", w)),
 					Entries: []wire.Entry{{Field: fmt.Sprintf("f%d", i), Count: 1}},
 				}
-				if err := l.Commit([]Record{rec}, nil); err != nil {
+				if err := l.Commit(context.Background(), []Record{rec}, nil); err != nil {
 					t.Errorf("worker %d commit %d: %v", w, i, err)
 					return
 				}
@@ -198,7 +199,7 @@ func TestCrashPointRecovery(t *testing.T) {
 	// on-disk image matches the deterministic concatenation.
 	_, _, l := collect(t, dir, Options{Sync: SyncEach, SegmentBytes: 1 << 30})
 	for i := range recs {
-		if err := l.Commit([]Record{recs[i]}, nil); err != nil {
+		if err := l.Commit(context.Background(), []Record{recs[i]}, nil); err != nil {
 			t.Fatalf("Commit %d: %v", i, err)
 		}
 	}
@@ -253,7 +254,7 @@ func TestCrashPointRecovery(t *testing.T) {
 		// The truncated log must keep working: append one more record
 		// and recover it on the next open.
 		extra := Record{Op: OpAppend, Key: kadid.HashString("extra"), Entries: []wire.Entry{{Field: "x", Count: 9}}}
-		if err := l.Commit([]Record{extra}, nil); err != nil {
+		if err := l.Commit(context.Background(), []Record{extra}, nil); err != nil {
 			t.Fatalf("cut %d: commit after truncation: %v", cut, err)
 		}
 		l.Close()
@@ -309,7 +310,7 @@ func TestOversizedRecordChunksByBytes(t *testing.T) {
 	// End to end: the same record commits and recovers through a log.
 	dir := t.TempDir()
 	_, _, l := collect(t, dir, Options{Sync: SyncNone})
-	if err := l.Commit([]Record{rec}, nil); err != nil {
+	if err := l.Commit(context.Background(), []Record{rec}, nil); err != nil {
 		t.Fatal(err)
 	}
 	l.Close()
@@ -331,7 +332,7 @@ func TestBoundarySegmentGapRefusesToOpen(t *testing.T) {
 	dir := t.TempDir()
 	_, _, l := collect(t, dir, Options{Sync: SyncEach, SegmentBytes: 64})
 	for _, rec := range randomRecords(rand.New(rand.NewSource(11)), 12) {
-		if err := l.Commit([]Record{rec}, nil); err != nil {
+		if err := l.Commit(context.Background(), []Record{rec}, nil); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -348,7 +349,7 @@ func TestBoundarySegmentGapRefusesToOpen(t *testing.T) {
 	// With a snapshot: the cut segment must exist.
 	dir2 := t.TempDir()
 	_, _, l2 := collect(t, dir2, Options{Sync: SyncNone})
-	if err := l2.Commit([]Record{{Op: OpAppend, Key: kadid.HashString("k"), Entries: []wire.Entry{{Field: "f", Count: 1}}}}, nil); err != nil {
+	if err := l2.Commit(context.Background(), []Record{{Op: OpAppend, Key: kadid.HashString("k"), Entries: []wire.Entry{{Field: "f", Count: 1}}}}, nil); err != nil {
 		t.Fatal(err)
 	}
 	if err := l2.Compact(func(add func(Record) error) error {
@@ -373,7 +374,7 @@ func TestCorruptMiddleSegmentRefusesToOpen(t *testing.T) {
 	_, _, l := collect(t, dir, Options{Sync: SyncEach, SegmentBytes: 64})
 	recs := randomRecords(rand.New(rand.NewSource(3)), 30)
 	for i := range recs {
-		if err := l.Commit([]Record{recs[i]}, nil); err != nil {
+		if err := l.Commit(context.Background(), []Record{recs[i]}, nil); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -412,7 +413,7 @@ func TestCompaction(t *testing.T) {
 	_, _, l := collect(t, dir, Options{Sync: SyncNone, SegmentBytes: 128})
 	recs := randomRecords(rand.New(rand.NewSource(5)), 25)
 	for i := range recs {
-		if err := l.Commit([]Record{recs[i]}, nil); err != nil {
+		if err := l.Commit(context.Background(), []Record{recs[i]}, nil); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -449,7 +450,7 @@ func TestCompaction(t *testing.T) {
 	// Post-compaction commits land in the tail.
 	tail := randomRecords(rand.New(rand.NewSource(6)), 5)
 	for i := range tail {
-		if err := l.Commit([]Record{tail[i]}, nil); err != nil {
+		if err := l.Commit(context.Background(), []Record{tail[i]}, nil); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -479,7 +480,7 @@ func TestCompactionConcurrentWithCommits(t *testing.T) {
 			default:
 			}
 			rec := Record{Op: OpAppend, Key: kadid.HashString("k"), Entries: []wire.Entry{{Field: fmt.Sprintf("f%d", i), Count: 1}}}
-			if err := l.Commit([]Record{rec}, nil); err != nil {
+			if err := l.Commit(context.Background(), []Record{rec}, nil); err != nil {
 				t.Errorf("commit: %v", err)
 				return
 			}

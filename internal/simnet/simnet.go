@@ -23,6 +23,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"dharma/internal/admission"
 )
 
 // Addr identifies an endpoint on the network.
@@ -30,16 +32,20 @@ type Addr string
 
 // Handler processes one inbound RPC and returns the response payload.
 // Handlers are invoked concurrently and must be safe for concurrent use.
+// ctx is the server-side context for this request: it ends when the
+// caller gives up or the serving transport shuts down, so long-running
+// handlers (storage commits, anything that blocks) should watch it and
+// stop wasting work that nobody will read.
 type Handler interface {
-	HandleRPC(from Addr, payload []byte) ([]byte, error)
+	HandleRPC(ctx context.Context, from Addr, payload []byte) ([]byte, error)
 }
 
 // HandlerFunc adapts a function to the Handler interface.
-type HandlerFunc func(from Addr, payload []byte) ([]byte, error)
+type HandlerFunc func(ctx context.Context, from Addr, payload []byte) ([]byte, error)
 
 // HandleRPC calls f.
-func (f HandlerFunc) HandleRPC(from Addr, payload []byte) ([]byte, error) {
-	return f(from, payload)
+func (f HandlerFunc) HandleRPC(ctx context.Context, from Addr, payload []byte) ([]byte, error) {
+	return f(ctx, from, payload)
 }
 
 // Transport is the sender side of an endpoint. The kademlia package
@@ -68,6 +74,12 @@ var (
 	ErrClosed   = errors.New("simnet: endpoint closed")
 )
 
+// ErrBusy reports that the remote endpoint rejected the request at
+// admission (work queue full or per-peer rate exceeded). Unlike
+// ErrTimeout it is an explicit, near-instant answer from a live node:
+// callers should back off and retry, not mark the peer dead.
+var ErrBusy = admission.ErrBusy
+
 // Config controls fault injection and accounting.
 type Config struct {
 	// DropRate is the probability in [0,1) that a request/response
@@ -80,6 +92,10 @@ type Config struct {
 	LatencyMin, LatencyMax time.Duration
 	// Seed drives the network's private random source.
 	Seed int64
+	// Admission configures the per-endpoint overload gate (bounded work
+	// queue + per-peer rate limits). The zero value applies the default
+	// bounded queue (admission.DefaultQueueDepth) with no rate limit.
+	Admission admission.Config
 }
 
 // Counters aggregates network-wide accounting. All fields are totals
@@ -87,6 +103,7 @@ type Config struct {
 type Counters struct {
 	Calls        int64         // RPC exchanges attempted
 	Drops        int64         // exchanges lost to injected faults
+	Busy         int64         // exchanges rejected at admission (ErrBusy)
 	BytesOut     int64         // request payload bytes
 	BytesIn      int64         // response payload bytes
 	SimulatedRTT time.Duration // accumulated round-trip latency
@@ -104,20 +121,22 @@ type Network struct {
 	rngMu    sync.Mutex
 	perNode  map[Addr]*NodeStats
 	counters struct {
-		calls, drops, bytesOut, bytesIn, rttNanos atomic.Int64
+		calls, drops, busy, bytesOut, bytesIn, rttNanos atomic.Int64
 	}
 }
 
 // NodeStats counts traffic observed at a single endpoint.
 type NodeStats struct {
 	Sent     atomic.Int64 // requests originated
-	Received atomic.Int64 // requests served
+	Received atomic.Int64 // requests offered (including admission rejects)
+	Busy     atomic.Int64 // requests this endpoint rejected at admission
 }
 
 type endpoint struct {
 	net     *Network
 	addr    Addr
 	handler Handler
+	ctrl    *admission.Controller
 	closed  atomic.Bool
 }
 
@@ -139,7 +158,7 @@ func New(cfg Config) *Network {
 // Attach registers a handler under addr and returns its Transport.
 // Attaching an address twice replaces the previous endpoint.
 func (n *Network) Attach(addr Addr, h Handler) Transport {
-	ep := &endpoint{net: n, addr: addr, handler: h}
+	ep := &endpoint{net: n, addr: addr, handler: h, ctrl: admission.New(n.cfg.Admission)}
 	n.mu.Lock()
 	n.nodes[addr] = ep
 	if _, ok := n.perNode[addr]; !ok {
@@ -187,6 +206,7 @@ func (n *Network) Counters() Counters {
 	return Counters{
 		Calls:        n.counters.calls.Load(),
 		Drops:        n.counters.drops.Load(),
+		Busy:         n.counters.busy.Load(),
 		BytesOut:     n.counters.bytesOut.Load(),
 		BytesIn:      n.counters.bytesIn.Load(),
 		SimulatedRTT: time.Duration(n.counters.rttNanos.Load()),
@@ -269,10 +289,21 @@ func (ep *endpoint) Call(ctx context.Context, to Addr, payload []byte) ([]byte, 
 	n.Stats(ep.addr).Sent.Add(1)
 	n.Stats(to).Received.Add(1)
 
+	// Admission at the receiver: the target either takes the request into
+	// its bounded work queue or answers busy immediately. Rejection is an
+	// explicit cheap reply, not silence — distinct from Drops.
+	release, aerr := target.ctrl.Admit(string(ep.addr))
+	if aerr != nil {
+		n.counters.busy.Add(1)
+		n.Stats(to).Busy.Add(1)
+		return nil, fmt.Errorf("simnet: %s rejected request: %w", to, aerr)
+	}
+
 	if ctx.Done() == nil {
 		// Uncancellable context (Background/TODO): keep the synchronous
 		// fast path — no goroutine per simulated RPC.
-		return ep.finish(target.handler.HandleRPC(ep.addr, payload))
+		defer release()
+		return ep.finish(target.handler.HandleRPC(ctx, ep.addr, payload))
 	}
 	type handled struct {
 		resp []byte
@@ -280,15 +311,21 @@ func (ep *endpoint) Call(ctx context.Context, to Addr, payload []byte) ([]byte, 
 	}
 	ch := make(chan handled, 1)
 	go func() {
-		resp, err := target.handler.HandleRPC(ep.addr, payload)
+		// The handler goroutine holds its admission slot until it
+		// finishes, even after the caller below gives up. That is the
+		// bound that fixes the cancellation goroutine leak: abandoned
+		// handlers can pile up only to QueueDepth before the endpoint
+		// starts answering busy instead of spawning more.
+		defer release()
+		resp, err := target.handler.HandleRPC(ctx, ep.addr, payload)
 		ch <- handled{resp, err}
 	}()
 	select {
 	case <-ctx.Done():
-		// The waiter is aborted; the handler keeps running to completion
-		// on its own goroutine (its node may well have applied the write
-		// — exactly like a response lost on the wire). Deliberately NOT
-		// counted as a drop: Drops measures the injected fault model,
+		// The waiter is aborted; the handler observes the same ctx and is
+		// expected to wind down, though it may well have applied the write
+		// already — exactly like a response lost on the wire. Deliberately
+		// NOT counted as a drop: Drops measures the injected fault model,
 		// and a caller giving up is not simulated packet loss.
 		return nil, ctx.Err()
 	case h := <-ch:

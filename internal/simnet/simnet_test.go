@@ -11,7 +11,7 @@ import (
 )
 
 func echo() Handler {
-	return HandlerFunc(func(from Addr, p []byte) ([]byte, error) {
+	return HandlerFunc(func(_ context.Context, from Addr, p []byte) ([]byte, error) {
 		return append([]byte("echo:"), p...), nil
 	})
 }
@@ -41,7 +41,7 @@ func TestCallUnknownAddr(t *testing.T) {
 func TestHandlerErrorBecomesTimeout(t *testing.T) {
 	n := New(Config{})
 	a := n.Attach("a", echo())
-	n.Attach("bad", HandlerFunc(func(Addr, []byte) ([]byte, error) {
+	n.Attach("bad", HandlerFunc(func(context.Context, Addr, []byte) ([]byte, error) {
 		return nil, errors.New("boom")
 	}))
 	if _, err := a.Call(context.Background(), "bad", nil); !errors.Is(err, ErrTimeout) {
@@ -193,7 +193,7 @@ func TestConcurrentCalls(t *testing.T) {
 	var served sync.Map
 	for i := 0; i < 8; i++ {
 		addr := Addr(fmt.Sprintf("srv-%d", i))
-		n.Attach(addr, HandlerFunc(func(from Addr, p []byte) ([]byte, error) {
+		n.Attach(addr, HandlerFunc(func(_ context.Context, from Addr, p []byte) ([]byte, error) {
 			served.Store(string(p), true)
 			return p, nil
 		}))
@@ -230,7 +230,7 @@ func TestCallCtxAbortsHungHandler(t *testing.T) {
 	n := New(Config{})
 	block := make(chan struct{})
 	defer close(block)
-	n.Attach("hung", HandlerFunc(func(Addr, []byte) ([]byte, error) {
+	n.Attach("hung", HandlerFunc(func(context.Context, Addr, []byte) ([]byte, error) {
 		<-block
 		return nil, nil
 	}))

@@ -27,6 +27,7 @@ const (
 	KindValue     // response carrying block entries
 	KindError     // response carrying an error string
 	KindReplicate // max-merge a replica of the block under Target
+	KindBusy      // admission rejection: retry with backoff, peer is alive
 )
 
 // String returns a human-readable name for the message kind.
@@ -52,6 +53,8 @@ func (k Kind) String() string {
 		return "ERROR"
 	case KindReplicate:
 		return "REPLICATE"
+	case KindBusy:
+		return "BUSY"
 	default:
 		return "UNKNOWN"
 	}

@@ -10,8 +10,16 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dharma/internal/admission"
 	"dharma/internal/simnet"
 )
+
+// ErrBusy is returned by Call when the remote peer answered with a
+// KindBusy admission rejection (and by a local admission gate). It is
+// the same sentinel across transports: errors.Is(err, wire.ErrBusy)
+// works whether the RPC travelled over simnet or UDP. Busy peers are
+// alive — back off and retry, do not evict them from routing state.
+var ErrBusy = admission.ErrBusy
 
 // UDP framing: 1-byte frame kind + 8-byte request id + payload.
 const (
@@ -32,19 +40,33 @@ type UDPTransport struct {
 	conn    *net.UDPConn
 	handler simnet.Handler
 	timeout time.Duration
+	ctrl    *admission.Controller
 
 	nextID  atomic.Uint64
 	mu      sync.Mutex
 	pending map[uint64]chan []byte
 
-	closeOnce sync.Once
-	closed    chan struct{}
-	wg        sync.WaitGroup
+	busyServed atomic.Int64 // inbound requests answered with KindBusy
+
+	baseCtx    context.Context // handler context; ends when Close begins
+	baseCancel context.CancelFunc
+	closeOnce  sync.Once
+	closed     chan struct{}
+	wg         sync.WaitGroup
 }
 
 // ListenUDP binds a UDP socket on bind (e.g. "127.0.0.1:0") and serves
-// inbound RPCs with h. A zero timeout selects DefaultUDPTimeout.
+// inbound RPCs with h under the default admission gate (bounded work
+// queue, no per-peer rate limit). A zero timeout selects
+// DefaultUDPTimeout.
 func ListenUDP(bind string, h simnet.Handler, timeout time.Duration) (*UDPTransport, error) {
+	return ListenUDPAdmitted(bind, h, timeout, admission.Config{})
+}
+
+// ListenUDPAdmitted is ListenUDP with an explicit admission
+// configuration, for deployments that tune QueueDepth or enable
+// per-peer rate limits.
+func ListenUDPAdmitted(bind string, h simnet.Handler, timeout time.Duration, adm admission.Config) (*UDPTransport, error) {
 	addr, err := net.ResolveUDPAddr("udp", bind)
 	if err != nil {
 		return nil, fmt.Errorf("wire: resolve %q: %w", bind, err)
@@ -56,17 +78,28 @@ func ListenUDP(bind string, h simnet.Handler, timeout time.Duration) (*UDPTransp
 	if timeout <= 0 {
 		timeout = DefaultUDPTimeout
 	}
+	baseCtx, baseCancel := context.WithCancel(context.Background())
 	t := &UDPTransport{
-		conn:    conn,
-		handler: h,
-		timeout: timeout,
-		pending: make(map[uint64]chan []byte),
-		closed:  make(chan struct{}),
+		conn:       conn,
+		handler:    h,
+		timeout:    timeout,
+		ctrl:       admission.New(adm),
+		pending:    make(map[uint64]chan []byte),
+		baseCtx:    baseCtx,
+		baseCancel: baseCancel,
+		closed:     make(chan struct{}),
 	}
 	t.wg.Add(1)
 	go t.readLoop()
 	return t, nil
 }
+
+// AdmissionStats reports this transport's admission accounting: how
+// many inbound requests were admitted vs rejected busy.
+func (t *UDPTransport) AdmissionStats() admission.Stats { return t.ctrl.Stats() }
+
+// BusyServed is the number of inbound requests answered with KindBusy.
+func (t *UDPTransport) BusyServed() int64 { return t.busyServed.Load() }
 
 // Addr implements simnet.Transport; the address is the bound UDP
 // endpoint, so it can be handed to peers as a contact address.
@@ -129,12 +162,14 @@ func (t *UDPTransport) Call(ctx context.Context, to simnet.Addr, payload []byte)
 	}
 }
 
-// Close implements simnet.Transport. It stops the read loop and waits
-// for in-flight handlers to finish.
+// Close implements simnet.Transport. It stops the read loop, cancels
+// the handler context so ctx-aware handlers unstick, and waits for
+// in-flight handlers to finish.
 func (t *UDPTransport) Close() error {
 	var err error
 	t.closeOnce.Do(func() {
 		close(t.closed)
+		t.baseCancel()
 		err = t.conn.Close()
 		t.wg.Wait()
 	})
@@ -166,8 +201,17 @@ func (t *UDPTransport) readLoop() {
 
 		switch kind {
 		case frameRequest:
+			// Admission before the goroutine spawn: past QueueDepth the
+			// transport answers busy inline instead of growing the handler
+			// pool — the read loop never blocks and never queues unboundedly.
+			release, aerr := t.ctrl.Admit(from.String())
+			if aerr != nil {
+				t.busyServed.Add(1)
+				t.reply(from, id, busyResponse())
+				continue
+			}
 			t.wg.Add(1)
-			go t.serve(from, id, payload)
+			go t.serve(from, id, payload, release)
 		case frameResponse:
 			t.mu.Lock()
 			ch, ok := t.pending[id]
@@ -182,17 +226,29 @@ func (t *UDPTransport) readLoop() {
 	}
 }
 
-func (t *UDPTransport) serve(from *net.UDPAddr, id uint64, payload []byte) {
+func (t *UDPTransport) serve(from *net.UDPAddr, id uint64, payload []byte, release func()) {
 	defer t.wg.Done()
-	resp, err := t.handler.HandleRPC(simnet.Addr(from.String()), payload)
+	defer release()
+	resp, err := t.handler.HandleRPC(t.baseCtx, simnet.Addr(from.String()), payload)
 	if err != nil {
 		return // silence, as over real UDP: the caller times out
 	}
+	t.reply(from, id, resp)
+}
+
+func (t *UDPTransport) reply(from *net.UDPAddr, id uint64, resp []byte) {
 	frame := make([]byte, frameHeader+len(resp))
 	frame[0] = frameResponse
 	binary.BigEndian.PutUint64(frame[1:9], id)
 	copy(frame[frameHeader:], resp)
 	t.conn.WriteToUDP(frame, from) //nolint:errcheck // best-effort reply
 }
+
+// busyFrame is the encoded KindBusy message sent on admission
+// rejection. Encoding is cheap but allocation-per-reject is not free
+// under a storm, so build it once.
+var busyFrame = Encode(&Message{Kind: KindBusy})
+
+func busyResponse() []byte { return busyFrame }
 
 var _ simnet.Transport = (*UDPTransport)(nil)

@@ -13,7 +13,7 @@ import (
 
 func TestUDPRoundTrip(t *testing.T) {
 	srv, err := ListenUDP("127.0.0.1:0", simnet.HandlerFunc(
-		func(from simnet.Addr, p []byte) ([]byte, error) {
+		func(_ context.Context, from simnet.Addr, p []byte) ([]byte, error) {
 			return append([]byte("ok:"), p...), nil
 		}), time.Second)
 	if err != nil {
@@ -22,7 +22,7 @@ func TestUDPRoundTrip(t *testing.T) {
 	defer srv.Close()
 
 	cli, err := ListenUDP("127.0.0.1:0", simnet.HandlerFunc(
-		func(simnet.Addr, []byte) ([]byte, error) { return nil, nil }), time.Second)
+		func(context.Context, simnet.Addr, []byte) ([]byte, error) { return nil, nil }), time.Second)
 	if err != nil {
 		t.Fatalf("ListenUDP client: %v", err)
 	}
@@ -39,7 +39,7 @@ func TestUDPRoundTrip(t *testing.T) {
 
 func TestUDPTimeoutOnDeadPeer(t *testing.T) {
 	cli, err := ListenUDP("127.0.0.1:0", simnet.HandlerFunc(
-		func(simnet.Addr, []byte) ([]byte, error) { return nil, nil }), 100*time.Millisecond)
+		func(context.Context, simnet.Addr, []byte) ([]byte, error) { return nil, nil }), 100*time.Millisecond)
 	if err != nil {
 		t.Fatalf("ListenUDP: %v", err)
 	}
@@ -53,7 +53,7 @@ func TestUDPTimeoutOnDeadPeer(t *testing.T) {
 
 func TestUDPHandlerErrorTimesOut(t *testing.T) {
 	srv, err := ListenUDP("127.0.0.1:0", simnet.HandlerFunc(
-		func(simnet.Addr, []byte) ([]byte, error) {
+		func(context.Context, simnet.Addr, []byte) ([]byte, error) {
 			return nil, errors.New("refuse")
 		}), time.Second)
 	if err != nil {
@@ -62,7 +62,7 @@ func TestUDPHandlerErrorTimesOut(t *testing.T) {
 	defer srv.Close()
 
 	cli, err := ListenUDP("127.0.0.1:0", simnet.HandlerFunc(
-		func(simnet.Addr, []byte) ([]byte, error) { return nil, nil }), 100*time.Millisecond)
+		func(context.Context, simnet.Addr, []byte) ([]byte, error) { return nil, nil }), 100*time.Millisecond)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +75,7 @@ func TestUDPHandlerErrorTimesOut(t *testing.T) {
 
 func TestUDPConcurrentCalls(t *testing.T) {
 	srv, err := ListenUDP("127.0.0.1:0", simnet.HandlerFunc(
-		func(from simnet.Addr, p []byte) ([]byte, error) {
+		func(_ context.Context, from simnet.Addr, p []byte) ([]byte, error) {
 			return p, nil // echo
 		}), 2*time.Second)
 	if err != nil {
@@ -84,7 +84,7 @@ func TestUDPConcurrentCalls(t *testing.T) {
 	defer srv.Close()
 
 	cli, err := ListenUDP("127.0.0.1:0", simnet.HandlerFunc(
-		func(simnet.Addr, []byte) ([]byte, error) { return nil, nil }), 2*time.Second)
+		func(context.Context, simnet.Addr, []byte) ([]byte, error) { return nil, nil }), 2*time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +119,7 @@ func TestUDPConcurrentCalls(t *testing.T) {
 
 func TestUDPCloseUnblocksCallers(t *testing.T) {
 	cli, err := ListenUDP("127.0.0.1:0", simnet.HandlerFunc(
-		func(simnet.Addr, []byte) ([]byte, error) { return nil, nil }), 10*time.Second)
+		func(context.Context, simnet.Addr, []byte) ([]byte, error) { return nil, nil }), 10*time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +152,7 @@ func TestUDPCloseUnblocksCallers(t *testing.T) {
 func TestUDPMessageLevelRoundTrip(t *testing.T) {
 	// End-to-end: a wire.Message travels over UDP and decodes intact.
 	srv, err := ListenUDP("127.0.0.1:0", simnet.HandlerFunc(
-		func(from simnet.Addr, p []byte) ([]byte, error) {
+		func(_ context.Context, from simnet.Addr, p []byte) ([]byte, error) {
 			req, err := Decode(p)
 			if err != nil {
 				return nil, err
@@ -166,7 +166,7 @@ func TestUDPMessageLevelRoundTrip(t *testing.T) {
 	defer srv.Close()
 
 	cli, err := ListenUDP("127.0.0.1:0", simnet.HandlerFunc(
-		func(simnet.Addr, []byte) ([]byte, error) { return nil, nil }), time.Second)
+		func(context.Context, simnet.Addr, []byte) ([]byte, error) { return nil, nil }), time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
