@@ -20,6 +20,12 @@
 //
 //	dharma-bench overload -mult 1,2,4                  # in-process simnet overlay
 //	dharma-bench overload -bootstrap 127.0.0.1:9000    # against a real UDP fleet
+//
+// The scale subcommand sweeps overlay size (100, 1k, 10k nodes by
+// default) and reports hop-count and latency distributions per lookup,
+// optionally writing BENCH_scale.json:
+//
+//	dharma-bench scale -out .
 package main
 
 import (
@@ -60,6 +66,10 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "overload" {
 		runOverload(ctx, os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "scale" {
+		runScale(ctx, os.Args[2:])
 		return
 	}
 	// The experiment path below is batch work that does not poll ctx;

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"dharma/internal/loadgen"
+)
+
+// runScale is the `dharma-bench scale` mode: sweep overlay size and
+// report how lookup hop count and latency grow with n.
+//
+//	dharma-bench scale                       # 100, 1k, 10k nodes
+//	dharma-bench scale -sizes 100,1000 -lookups 200
+//	dharma-bench scale -out .                # also writes BENCH_scale.json
+func runScale(ctx context.Context, args []string) {
+	fs := flag.NewFlagSet("scale", flag.ExitOnError)
+	sizes := fs.String("sizes", "100,1000,10000", "comma-separated node counts to sweep")
+	lookups := fs.Int("lookups", 1000, "lookups measured per node count")
+	seed := fs.Int64("seed", 1, "run seed")
+	k := fs.Int("k", 0, "bucket size / replication factor (0: kademlia default)")
+	alpha := fs.Int("alpha", 0, "lookup parallelism (0: kademlia default)")
+	latMin := fs.Duration("lat-min", 50*time.Microsecond, "simulated per-exchange latency floor")
+	latMax := fs.Duration("lat-max", 200*time.Microsecond, "simulated per-exchange latency ceiling")
+	out := fs.String("out", "", "directory for BENCH_scale.json (omit to skip)")
+	if err := fs.Parse(args); err != nil {
+		fail(err)
+	}
+
+	var ns []int
+	for _, s := range strings.Split(*sizes, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n < 1 {
+			fail(fmt.Errorf("bad -sizes entry %q", s))
+		}
+		ns = append(ns, n)
+	}
+
+	rep, err := loadgen.RunScale(ctx, loadgen.ScaleConfig{
+		Sizes:      ns,
+		Lookups:    *lookups,
+		Seed:       *seed,
+		K:          *k,
+		Alpha:      *alpha,
+		LatencyMin: *latMin,
+		LatencyMax: *latMax,
+	})
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "dharma-bench: interrupted")
+		os.Exit(130)
+	}
+	if err != nil {
+		fail(err)
+	}
+	fmt.Print(rep)
+
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fail(err)
+		}
+		path := filepath.Join(*out, "BENCH_scale.json")
+		f, err := os.Create(path)
+		if err != nil {
+			fail(err)
+		}
+		if err := rep.WriteJSON(f); err != nil {
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("(wrote %s)\n", path)
+	}
+}

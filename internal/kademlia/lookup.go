@@ -21,6 +21,39 @@ type lookupResult struct {
 	err      error
 }
 
+// candidate is one contact the lookup knows about and its query state.
+type candidate struct {
+	contact   wire.Contact
+	queried   bool
+	responded bool
+	failed    bool
+}
+
+// lookupArena is the reusable working state of one iterative lookup.
+// Arenas are pooled per node (see Node.arenas) so that steady-state
+// lookup rounds allocate no candidate bookkeeping: the candidate slice,
+// the distance-ordered index list, the seen map and the table seed
+// buffer all retain their capacity across lookups. order holds indices
+// into cands (not pointers), so growing cands never invalidates it.
+type lookupArena struct {
+	cands   []candidate
+	order   []int32            // indices into cands, ascending distance to target
+	seen    map[kadid.ID]int32 // contact ID -> index into cands
+	seedBuf []wire.Contact     // reused by Table.ClosestInto for seeding
+	batch   []int32            // this round's query set (indices into cands)
+}
+
+func (a *lookupArena) reset() {
+	a.cands = a.cands[:0]
+	a.order = a.order[:0]
+	a.batch = a.batch[:0]
+	if a.seen == nil {
+		a.seen = make(map[kadid.ID]int32)
+	} else {
+		clear(a.seen)
+	}
+}
+
 // iterativeLookup is the Kademlia node-lookup procedure. Starting from
 // the k closest known contacts it repeatedly queries, with parallelism
 // α, the closest not-yet-queried candidates, merging every NODES
@@ -50,34 +83,32 @@ type lookupResult struct {
 func (n *Node) iterativeLookup(ctx context.Context, target kadid.ID, wantValue bool, topN int) (entriesOut []wire.Entry, found bool, closestOut []wire.Contact, busy int, errOut error) {
 	n.lookups.Add(1)
 
-	type candidate struct {
-		contact   wire.Contact
-		queried   bool
-		responded bool
-		failed    bool
-	}
-	seen := make(map[kadid.ID]*candidate)
-	var order []*candidate // kept sorted by distance to target
+	arena := n.arenas.Get().(*lookupArena)
+	arena.reset()
+	defer n.arenas.Put(arena)
 
 	insert := func(c wire.Contact) {
 		if c.ID == n.id || c.ID.IsZero() || c.Addr == "" {
 			return
 		}
-		if _, ok := seen[c.ID]; ok {
+		if _, ok := arena.seen[c.ID]; ok {
 			return
 		}
-		cd := &candidate{contact: c}
-		seen[c.ID] = cd
-		order = append(order, cd)
-		for i := len(order) - 1; i > 0 && kadid.Closer(order[i].contact.ID, order[i-1].contact.ID, target); i-- {
+		idx := int32(len(arena.cands))
+		arena.cands = append(arena.cands, candidate{contact: c})
+		arena.seen[c.ID] = idx
+		order := append(arena.order, idx)
+		for i := len(order) - 1; i > 0 && kadid.Closer(arena.cands[order[i]].contact.ID, arena.cands[order[i-1]].contact.ID, target); i-- {
 			order[i], order[i-1] = order[i-1], order[i]
 		}
+		arena.order = order
 	}
 
 	// Seed with a deeper slice of the table than the k-window needs:
 	// when an entire near-key neighbourhood has crashed, the extra
 	// candidates are what lets the lookup route around it.
-	for _, c := range n.table.Closest(target, 3*n.cfg.K) {
+	arena.seedBuf = n.table.ClosestInto(target, 3*n.cfg.K, arena.seedBuf)
+	for _, c := range arena.seedBuf {
 		insert(c)
 	}
 
@@ -94,13 +125,18 @@ func (n *Node) iterativeLookup(ctx context.Context, target kadid.ID, wantValue b
 		holderCounts = make(map[kadid.ID]map[string]uint64)
 	}
 
+	// One result channel serves every round; it is drained completely
+	// (wg.Wait before reading exactly len(batch) results), so reusing it
+	// across rounds is safe and saves a channel per round.
+	results := make(chan lookupResult, n.cfg.Alpha)
 	for ctx.Err() == nil {
 		// Pick the α closest unqueried candidates among the k closest
 		// that have not failed: dead nodes must not occupy the window,
 		// or a crashed replica set would mask the live nodes behind it.
-		var batch []*candidate
+		arena.batch = arena.batch[:0]
 		inspected := 0
-		for _, cd := range order {
+		for _, idx := range arena.order {
+			cd := &arena.cands[idx]
 			if cd.failed {
 				continue
 			}
@@ -109,19 +145,20 @@ func (n *Node) iterativeLookup(ctx context.Context, target kadid.ID, wantValue b
 			}
 			inspected++
 			if !cd.queried {
-				batch = append(batch, cd)
-				if len(batch) >= n.cfg.Alpha {
+				arena.batch = append(arena.batch, idx)
+				if len(arena.batch) >= n.cfg.Alpha {
 					break
 				}
 			}
 		}
-		if len(batch) == 0 {
+		if len(arena.batch) == 0 {
 			break
 		}
+		n.rounds.Add(1)
 
-		results := make(chan lookupResult, len(batch))
 		var wg sync.WaitGroup
-		for _, cd := range batch {
+		for _, idx := range arena.batch {
+			cd := &arena.cands[idx]
 			cd.queried = true
 			wg.Add(1)
 			go func(c wire.Contact) {
@@ -146,9 +183,9 @@ func (n *Node) iterativeLookup(ctx context.Context, target kadid.ID, wantValue b
 			}(cd.contact)
 		}
 		wg.Wait()
-		close(results)
 
-		for res := range results {
+		for pending := len(arena.batch); pending > 0; pending-- {
+			res := <-results
 			if res.err != nil {
 				if errors.Is(res.err, wire.ErrBusy) {
 					busy++
@@ -158,13 +195,13 @@ func (n *Node) iterativeLookup(ctx context.Context, target kadid.ID, wantValue b
 				// candidate is also marked failed — the lookup routes
 				// around it this round — but the distinction survives in
 				// the busy count and the peer stays in the table.
-				if cd, ok := seen[res.from.ID]; ok && ctx.Err() == nil {
-					cd.failed = true
+				if idx, ok := arena.seen[res.from.ID]; ok && ctx.Err() == nil {
+					arena.cands[idx].failed = true
 				}
 				continue
 			}
-			if cd, ok := seen[res.from.ID]; ok {
-				cd.responded = true
+			if idx, ok := arena.seen[res.from.ID]; ok {
+				arena.cands[idx].responded = true
 			}
 			if res.isValue {
 				foundValue = true
@@ -205,10 +242,12 @@ func (n *Node) iterativeLookup(ctx context.Context, target kadid.ID, wantValue b
 	}
 
 	// The k closest responders, in distance order, are the lookup's
-	// node-set result (used for replica placement by Store).
+	// node-set result (used for replica placement by Store). The result
+	// escapes to callers, so it is the one slice a lookup still
+	// allocates.
 	closest := make([]wire.Contact, 0, n.cfg.K)
-	for _, cd := range order {
-		if cd.responded {
+	for _, idx := range arena.order {
+		if cd := &arena.cands[idx]; cd.responded {
 			closest = append(closest, cd.contact)
 			if len(closest) >= n.cfg.K {
 				break

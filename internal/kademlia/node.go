@@ -157,8 +157,14 @@ type Node struct {
 	credMu    sync.RWMutex
 	credSeen  map[kadid.ID]bool
 	lookups   atomic.Int64
+	rounds    atomic.Int64 // lookup rounds = hops (one α-wide wave each)
 	rpcServed atomic.Int64
 	repairs   atomic.Int64
+
+	// arenas pools lookup working state (candidate lists, seen map,
+	// seed buffer) so steady-state lookups allocate no per-round
+	// bookkeeping. See lookupArena.
+	arenas sync.Pool
 }
 
 // NewNode creates a node with identifier self. Attach must be called
@@ -180,6 +186,7 @@ func NewNode(self kadid.ID, cfg Config) *Node {
 		credSeen: make(map[kadid.ID]bool),
 	}
 	n.detached.Store(true) // until Attach
+	n.arenas.New = func() any { return &lookupArena{} }
 	n.table = NewTable(self, cfg.K, n.pingContact)
 	if cfg.Identity != nil {
 		n.credBlob = cfg.Identity.Credential.Marshal()
@@ -234,6 +241,13 @@ func (n *Node) LocalStore() *Store { return n.store }
 // initiated; it is the unit the paper's Table I counts costs in.
 func (n *Node) Lookups() int64 { return n.lookups.Load() }
 
+// LookupRounds returns how many lookup rounds (α-wide query waves) this
+// node has executed across all its lookups. A round is the unit the
+// scale harness reports as a hop: every candidate in a round is one
+// overlay step closer to the target, so rounds-per-lookup is the
+// O(log n) quantity of the Kademlia paper.
+func (n *Node) LookupRounds() int64 { return n.rounds.Load() }
+
 // RPCServed returns how many RPC requests this node has answered.
 func (n *Node) RPCServed() int64 { return n.rpcServed.Load() }
 
@@ -264,6 +278,16 @@ func (n *Node) HandleRPC(ctx context.Context, from simnet.Addr, payload []byte) 
 		n.table.Update(msg.From)
 	}
 
+	// Contact lists for NODES replies are built in a pooled scratch
+	// buffer: they live only until the response is encoded below, so the
+	// backing array can be recycled across requests.
+	var scratch *contactBuf
+	closest := func(target kadid.ID) []wire.Contact {
+		scratch = contactBufPool.Get().(*contactBuf)
+		scratch.cs = n.table.ClosestInto(target, n.cfg.K, scratch.cs[:0])
+		return scratch.cs
+	}
+
 	var resp *wire.Message
 	switch msg.Kind {
 	case wire.KindPing:
@@ -272,7 +296,7 @@ func (n *Node) HandleRPC(ctx context.Context, from simnet.Addr, payload []byte) 
 	case wire.KindFindNode:
 		resp = &wire.Message{
 			Kind:     wire.KindNodes,
-			Contacts: n.table.Closest(msg.Target, n.cfg.K),
+			Contacts: closest(msg.Target),
 		}
 
 	case wire.KindFindValue:
@@ -281,7 +305,7 @@ func (n *Node) HandleRPC(ctx context.Context, from simnet.Addr, payload []byte) 
 		} else {
 			resp = &wire.Message{
 				Kind:     wire.KindNodes,
-				Contacts: n.table.Closest(msg.Target, n.cfg.K),
+				Contacts: closest(msg.Target),
 			}
 		}
 
@@ -314,7 +338,19 @@ func (n *Node) HandleRPC(ctx context.Context, from simnet.Addr, payload []byte) 
 		resp = &wire.Message{Kind: wire.KindError, Err: fmt.Sprintf("unexpected %v", msg.Kind)}
 	}
 	resp.From = n.Self()
-	return wire.Encode(resp), nil
+	out := wire.Encode(resp)
+	if scratch != nil {
+		contactBufPool.Put(scratch)
+	}
+	return out, nil
+}
+
+// contactBufPool recycles the contact lists HandleRPC encodes into
+// NODES replies — the most common allocation of a node serving lookups.
+var contactBufPool = sync.Pool{New: func() any { return &contactBuf{} }}
+
+type contactBuf struct {
+	cs []wire.Contact
 }
 
 // admit enforces Likir node admission when a CA public key is
@@ -393,7 +429,16 @@ func (n *Node) callOnce(ctx context.Context, to wire.Contact, msg *wire.Message)
 	tr := n.transport
 	n.selfMu.RUnlock()
 	msg.Cred = n.credBlob
-	raw, err := tr.Call(ctx, simnet.Addr(to.Addr), wire.Encode(msg))
+	// The request is marshalled into a pooled buffer. It is recycled
+	// only when the exchange did not end via ctx: a cancelled simnet
+	// call can leave an abandoned handler goroutine still draining the
+	// payload, so those buffers are dropped to the GC instead.
+	buf := wire.GetBuffer()
+	buf.B = wire.AppendEncode(buf.B[:0], msg)
+	raw, err := tr.Call(ctx, simnet.Addr(to.Addr), buf.B)
+	if ctx.Err() == nil {
+		buf.Release()
+	}
 	if err != nil {
 		// A local send failure (endpoint closed under us) says nothing
 		// about the peer; only a timed-out exchange does. Likewise a

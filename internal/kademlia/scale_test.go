@@ -1,0 +1,110 @@
+package kademlia
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+
+	"dharma/internal/kadid"
+	"dharma/internal/simnet"
+)
+
+// TestWiredBootstrapMatchesGroundTruth: lookups on a wired cluster must
+// land on the true k-closest nodes — the offline tables have to be at
+// least as good as a converged iterative join.
+func TestWiredBootstrapMatchesGroundTruth(t *testing.T) {
+	cl, err := NewCluster(ClusterConfig{
+		N:         300,
+		Node:      Config{K: 8, Alpha: 3},
+		Net:       simnet.Config{LatencyMin: 500 * time.Microsecond, LatencyMax: time.Millisecond},
+		Seed:      42,
+		Bootstrap: BootstrapWired,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		target := kadid.Random(rng)
+		origin := cl.Nodes[rng.Intn(len(cl.Nodes))]
+		got := origin.IterativeFindNode(context.Background(), target)
+		want := cl.ClosestGroundTruth(target, 8)
+		if len(got) < len(want) {
+			t.Fatalf("trial %d: lookup returned %d contacts, ground truth has %d", trial, len(got), len(want))
+		}
+		gotSet := make(map[kadid.ID]bool, len(got))
+		for _, c := range got {
+			gotSet[c.ID] = true
+		}
+		missed := 0
+		for _, c := range want {
+			if !gotSet[c.ID] {
+				missed++
+			}
+		}
+		if missed > 0 {
+			t.Fatalf("trial %d: lookup missed %d of the true %d closest", trial, missed, len(want))
+		}
+	}
+}
+
+// TestWiredBootstrapDeterministic: same seed, same tables.
+func TestWiredBootstrapDeterministic(t *testing.T) {
+	build := func() []string {
+		cl, err := NewCluster(ClusterConfig{
+			N:         100,
+			Node:      Config{K: 4},
+			Seed:      9,
+			Bootstrap: BootstrapWired,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var dump []string
+		for _, n := range cl.Nodes {
+			for _, c := range n.table.Contacts() {
+				dump = append(dump, c.Addr)
+			}
+		}
+		return dump
+	}
+	a, b := build(), build()
+	if len(a) != len(b) {
+		t.Fatalf("table sizes differ across identical builds: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("tables diverge at contact %d: %s vs %s", i, a[i], b[i])
+		}
+	}
+}
+
+// TestScale1kSmoke is the CI scale smoke: build a 1000-node wired
+// overlay and run 100 lookups through it (under -race in the workflow).
+func TestScale1kSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale smoke skipped in -short mode")
+	}
+	start := time.Now()
+	cl, err := NewCluster(ClusterConfig{
+		N:         1000,
+		Node:      Config{K: 16, Alpha: 3},
+		Net:       simnet.Config{LatencyMin: 100 * time.Microsecond, LatencyMax: 200 * time.Microsecond},
+		Seed:      1,
+		Bootstrap: BootstrapWired,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buildTime := time.Since(start)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 100; i++ {
+		target := kadid.Random(rng)
+		origin := cl.Nodes[rng.Intn(len(cl.Nodes))]
+		if got := origin.IterativeFindNode(context.Background(), target); len(got) == 0 {
+			t.Fatalf("lookup %d returned no contacts", i)
+		}
+	}
+	t.Logf("built 1k-node cluster in %v, 100 lookups OK", buildTime)
+}

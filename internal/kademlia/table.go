@@ -22,6 +22,11 @@ type Table struct {
 
 	mu      sync.Mutex
 	buckets [kadid.Bits][]wire.Contact
+	// count and occupied are maintained incrementally on Update/Remove
+	// so Len, Contacts and NonEmptyBuckets can pre-size their outputs
+	// (and Len needs no bucket sweep at all).
+	count    int // total contacts across all buckets
+	occupied int // buckets holding at least one contact
 }
 
 // NewTable creates a routing table for the node with identifier self.
@@ -57,6 +62,10 @@ func (t *Table) Update(c wire.Contact) {
 		}
 	}
 	if len(b) < t.k {
+		if len(b) == 0 {
+			t.occupied++
+		}
+		t.count++
 		t.buckets[idx] = append(b, c)
 		t.mu.Unlock()
 		return
@@ -99,14 +108,77 @@ func (t *Table) Remove(id kadid.ID) {
 	for i := range b {
 		if b[i].ID == id {
 			t.buckets[idx] = append(b[:i], b[i+1:]...)
+			t.count--
+			if len(t.buckets[idx]) == 0 {
+				t.occupied--
+			}
 			return
 		}
 	}
 }
 
 // Closest returns up to n known contacts sorted by ascending XOR
-// distance from target.
+// distance from target. It allocates the result; hot paths that can
+// reuse a buffer across calls should prefer ClosestInto.
 func (t *Table) Closest(target kadid.ID, n int) []wire.Contact {
+	return t.ClosestInto(target, n, nil)
+}
+
+// ClosestInto appends up to n contacts, sorted by ascending XOR distance
+// from target, into buf (which is truncated first and reused when its
+// capacity suffices) and returns the result.
+//
+// Instead of copying every bucket and sorting the union — O(total
+// contacts) copy + quadratic sort per lookup step — the walk visits
+// buckets in exact nearest-first order and stops as soon as n contacts
+// are on hand. The order comes from the XOR metric itself: with
+// D = self XOR target, every contact in bucket i (common prefix length
+// exactly i with self) has distance-to-target in a range determined by
+// its first i+1 bits, and those ranges are pairwise disjoint. Comparing
+// two buckets a < b, bucket a's range is nearer iff D's bit a is set.
+// Hence exact nearest-first bucket order is: indices whose D-bit is 1
+// in ascending order (the target-side branches, nearest first), then
+// indices whose D-bit is 0 in descending order. Only the contacts
+// gathered — at most n plus one bucket's worth — are sorted, so the
+// cost per call is O(visited buckets + (n+k)·k) instead of growing with
+// table population.
+func (t *Table) ClosestInto(target kadid.ID, n int, buf []wire.Contact) []wire.Contact {
+	out := buf[:0]
+	if n <= 0 {
+		return out
+	}
+	d := kadid.Distance(t.self, target)
+
+	t.mu.Lock()
+	// Target-side branches: D-bit set, ascending index.
+	for i := 0; i < kadid.Bits && len(out) < n; i++ {
+		if d.Bit(i) {
+			out = append(out, t.buckets[i]...)
+		}
+	}
+	// Self-side branches: D-bit clear, descending index (nearest last
+	// buckets hold the longest shared prefixes with self — and therefore
+	// with target on every bit where the two agree).
+	for i := kadid.Bits - 1; i >= 0 && len(out) < n; i-- {
+		if !d.Bit(i) {
+			out = append(out, t.buckets[i]...)
+		}
+	}
+	t.mu.Unlock()
+
+	sortContactsByDistance(out, target)
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// closestFullScan is the reference implementation ClosestInto is tested
+// against: copy every bucket, sort the union, truncate. Kept verbatim
+// (not for production use) so the equivalence property — the ring walk
+// returns exactly the nearest-first prefix of the full scan — stays
+// checkable as both sides evolve.
+func (t *Table) closestFullScan(target kadid.ID, n int) []wire.Contact {
 	t.mu.Lock()
 	all := make([]wire.Contact, 0, 2*n)
 	for i := range t.buckets {
@@ -125,11 +197,7 @@ func (t *Table) Closest(target kadid.ID, n int) []wire.Contact {
 func (t *Table) Len() int {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	n := 0
-	for i := range t.buckets {
-		n += len(t.buckets[i])
-	}
-	return n
+	return t.count
 }
 
 // Contains reports whether the table currently holds id.
@@ -149,11 +217,13 @@ func (t *Table) Contains(id kadid.ID) bool {
 }
 
 // Contacts returns every contact currently in the table, in bucket
-// order. The maintainer's dead-contact sweep pings this list.
+// order. The maintainer's dead-contact sweep pings this list. The
+// output is pre-sized from the running count, so one allocation covers
+// the whole sweep.
 func (t *Table) Contacts() []wire.Contact {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	var out []wire.Contact
+	out := make([]wire.Contact, 0, t.count)
 	for i := range t.buckets {
 		out = append(out, t.buckets[i]...)
 	}
@@ -161,11 +231,12 @@ func (t *Table) Contacts() []wire.Contact {
 }
 
 // NonEmptyBuckets returns the indices of buckets that hold at least one
-// contact; used by bucket refresh.
+// contact; used by bucket refresh. Pre-sized from the running occupancy
+// count.
 func (t *Table) NonEmptyBuckets() []int {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	var out []int
+	out := make([]int, 0, t.occupied)
 	for i := range t.buckets {
 		if len(t.buckets[i]) > 0 {
 			out = append(out, i)

@@ -148,6 +148,13 @@ func BucketIndex(self, other ID) int {
 	return cpl
 }
 
+// Bit reports whether bit i of the identifier is set, counting from the
+// most significant bit (0-based). The routing table's expanding-ring
+// walk uses the bits of a XOR distance to order buckets by proximity.
+func (id ID) Bit(i int) bool {
+	return bit(id, i)
+}
+
 // IsZero reports whether id is the all-zero identifier.
 func (id ID) IsZero() bool {
 	for _, b := range id {

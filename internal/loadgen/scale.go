@@ -1,0 +1,196 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+	"time"
+
+	"dharma/internal/kademlia"
+	"dharma/internal/kadid"
+	"dharma/internal/metrics"
+	"dharma/internal/simnet"
+)
+
+// ScaleConfig parameterises a `dharma-bench scale` sweep: for each node
+// count an overlay is wired up (BootstrapWired — construction stays
+// O(n·log n)) and probed with sequential iterative lookups, measuring
+// how hop count and lookup latency grow with n.
+type ScaleConfig struct {
+	// Sizes are the node counts to sweep (default 100, 1000, 10000).
+	Sizes []int
+	// Lookups per size (default 1000).
+	Lookups int
+	// Seed fixes identifiers, targets and origins.
+	Seed int64
+	// K and Alpha are the overlay parameters (defaults kademlia's).
+	K, Alpha int
+	// LatencyMin/LatencyMax shape the simulated per-exchange latency
+	// (accounted, not slept; defaults 50–200µs).
+	LatencyMin, LatencyMax time.Duration
+}
+
+func (c ScaleConfig) withDefaults() ScaleConfig {
+	if len(c.Sizes) == 0 {
+		c.Sizes = []int{100, 1000, 10000}
+	}
+	if c.Lookups <= 0 {
+		c.Lookups = 1000
+	}
+	if c.K <= 0 {
+		c.K = kademlia.DefaultK
+	}
+	if c.Alpha <= 0 {
+		c.Alpha = kademlia.DefaultAlpha
+	}
+	if c.LatencyMin <= 0 {
+		c.LatencyMin = 50 * time.Microsecond
+	}
+	if c.LatencyMax < c.LatencyMin {
+		c.LatencyMax = 4 * c.LatencyMin
+	}
+	return c
+}
+
+// Dist is a distribution summary serialised into the scale report.
+type Dist struct {
+	Mean float64 `json:"mean"`
+	P50  float64 `json:"p50"`
+	P90  float64 `json:"p90"`
+	P99  float64 `json:"p99"`
+	Max  float64 `json:"max"`
+}
+
+func distOf(v []float64) Dist {
+	if len(v) == 0 {
+		return Dist{}
+	}
+	sum, max := 0.0, v[0]
+	for _, x := range v {
+		sum += x
+		if x > max {
+			max = x
+		}
+	}
+	return Dist{
+		Mean: sum / float64(len(v)),
+		P50:  metrics.Percentile(v, 50),
+		P90:  metrics.Percentile(v, 90),
+		P99:  metrics.Percentile(v, 99),
+		Max:  max,
+	}
+}
+
+// ScalePoint is the measurement at one node count.
+type ScalePoint struct {
+	Nodes   int     `json:"nodes"`
+	BuildMS float64 `json:"build_ms"` // wall time to construct + wire the overlay
+	Lookups int     `json:"lookups"`
+	// Hops: lookup rounds per lookup (one α-wide query wave per round —
+	// the O(log n) quantity of the Kademlia paper).
+	Hops Dist `json:"hops"`
+	// WallMicros: wall-clock µs per lookup (simnet latency is accounted,
+	// not slept, so this is the compute cost of a lookup).
+	WallMicros Dist `json:"wall_us"`
+	// SimRTTMicros: accumulated simulated network round-trip µs per
+	// lookup — what the lookup would spend on the wire.
+	SimRTTMicros Dist `json:"sim_rtt_us"`
+	// MsgsPerLookup: mean RPC exchanges one lookup costs.
+	MsgsPerLookup float64 `json:"msgs_per_lookup"`
+}
+
+// ScaleReport is the full sweep, serialised to BENCH_scale.json.
+type ScaleReport struct {
+	Seed    int64        `json:"seed"`
+	K       int          `json:"k"`
+	Alpha   int          `json:"alpha"`
+	Points  []ScalePoint `json:"points"`
+	Elapsed float64      `json:"elapsed_sec"`
+}
+
+// RunScale executes the sweep. Lookups run sequentially so per-lookup
+// message counts can be read off the network's global counters as
+// deltas.
+func RunScale(ctx context.Context, cfg ScaleConfig) (*ScaleReport, error) {
+	cfg = cfg.withDefaults()
+	start := time.Now()
+	rep := &ScaleReport{Seed: cfg.Seed, K: cfg.K, Alpha: cfg.Alpha}
+
+	for _, n := range cfg.Sizes {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		buildStart := time.Now()
+		cl, err := kademlia.NewCluster(kademlia.ClusterConfig{
+			N:    n,
+			Node: kademlia.Config{K: cfg.K, Alpha: cfg.Alpha},
+			Net: simnet.Config{
+				LatencyMin: cfg.LatencyMin,
+				LatencyMax: cfg.LatencyMax,
+				Seed:       cfg.Seed,
+			},
+			Seed:      cfg.Seed,
+			Bootstrap: kademlia.BootstrapWired,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: build %d-node overlay: %w", n, err)
+		}
+		pt := ScalePoint{Nodes: n, BuildMS: float64(time.Since(buildStart).Microseconds()) / 1e3, Lookups: cfg.Lookups}
+
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(n)))
+		hops := make([]float64, 0, cfg.Lookups)
+		wall := make([]float64, 0, cfg.Lookups)
+		rtts := make([]float64, 0, cfg.Lookups)
+		callsBefore := cl.Net.Counters().Calls
+		for i := 0; i < cfg.Lookups; i++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			origin := cl.Nodes[rng.Intn(len(cl.Nodes))]
+			target := kadid.Random(rng)
+
+			r0 := origin.LookupRounds()
+			c0 := cl.Net.Counters().SimulatedRTT
+			t0 := time.Now()
+			if got := origin.IterativeFindNode(ctx, target); len(got) == 0 && ctx.Err() == nil {
+				return nil, fmt.Errorf("loadgen: lookup %d on %d-node overlay found no contacts", i, n)
+			}
+			wall = append(wall, float64(time.Since(t0).Microseconds()))
+			hops = append(hops, float64(origin.LookupRounds()-r0))
+			rtts = append(rtts, float64((cl.Net.Counters().SimulatedRTT - c0).Microseconds()))
+		}
+		pt.MsgsPerLookup = float64(cl.Net.Counters().Calls-callsBefore) / float64(cfg.Lookups)
+		pt.Hops = distOf(hops)
+		pt.WallMicros = distOf(wall)
+		pt.SimRTTMicros = distOf(rtts)
+		rep.Points = append(rep.Points, pt)
+	}
+	rep.Elapsed = time.Since(start).Seconds()
+	return rep, nil
+}
+
+// String renders the sweep as the hop-count-vs-n table the README
+// quotes.
+func (r *ScaleReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "scale sweep (k=%d, α=%d, seed=%d)\n", r.K, r.Alpha, r.Seed)
+	fmt.Fprintf(&b, "%8s %10s %9s %9s %9s %11s %11s %9s\n",
+		"nodes", "build", "hops p50", "hops p99", "hops max", "wall p50", "wall p99", "msgs/op")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "%8d %9.0fms %9.0f %9.0f %9.0f %10.0fµs %10.0fµs %9.1f\n",
+			p.Nodes, p.BuildMS, p.Hops.P50, p.Hops.P99, p.Hops.Max,
+			p.WallMicros.P50, p.WallMicros.P99, p.MsgsPerLookup)
+	}
+	fmt.Fprintf(&b, "total %.1fs\n", r.Elapsed)
+	return b.String()
+}
+
+// WriteJSON writes the machine-readable report (BENCH_scale.json).
+func (r *ScaleReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

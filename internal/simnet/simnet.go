@@ -12,6 +12,13 @@
 // Wall-clock time is never consumed: simulated latency is accumulated in
 // counters instead of slept, which keeps large experiments fast while
 // still reporting how much network time a protocol would have spent.
+//
+// The network state is sharded: endpoints, down/partition flags, and
+// per-node statistics live in numShards stripes keyed by an address
+// hash, and each stripe carries its own seeded random source. No
+// operation on the hot Call path takes a network-wide lock, which is
+// what lets a single Network carry 10k+ endpoints with concurrent
+// callers (see BenchmarkCallContention).
 package simnet
 
 import (
@@ -90,7 +97,11 @@ type Config struct {
 	// LatencyMin and LatencyMax bound the simulated one-way latency,
 	// sampled uniformly. Latency is accounted, not slept.
 	LatencyMin, LatencyMax time.Duration
-	// Seed drives the network's private random source.
+	// Seed drives the network's random sources. Each of the numShards
+	// stripes derives its own rng from (Seed, shard index), so fault
+	// decisions are deterministic per (shard, call sequence within that
+	// shard) rather than per global call sequence — reproducible under
+	// a fixed seed and schedule, and free of a global rng lock.
 	Seed int64
 	// Admission configures the per-endpoint overload gate (bounded work
 	// queue + per-peer rate limits). The zero value applies the default
@@ -109,17 +120,30 @@ type Counters struct {
 	SimulatedRTT time.Duration // accumulated round-trip latency
 }
 
+// numShards is the stripe count for the endpoint/down/cut/stats maps
+// and the per-stripe rngs. 64 keeps the per-stripe population small
+// even at 10k endpoints while the array overhead stays negligible for
+// tiny test networks.
+const numShards = 64
+
+// shard is one stripe of the network state. The fault-model rng is
+// guarded by its own mutex, separate from the map lock, so a drop roll
+// never serialises against an Attach/SetDown on the same stripe.
+type shard struct {
+	mu      sync.RWMutex
+	nodes   map[Addr]*endpoint
+	down    map[Addr]bool
+	cut     map[[2]Addr]bool // directed (src, dst) pairs, keyed by src's shard
+	perNode map[Addr]*NodeStats
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+}
+
 // Network connects endpoints. The zero value is not usable; call New.
 type Network struct {
-	cfg Config
-
-	mu       sync.RWMutex
-	nodes    map[Addr]*endpoint
-	down     map[Addr]bool
-	cut      map[[2]Addr]bool
-	rng      *rand.Rand
-	rngMu    sync.Mutex
-	perNode  map[Addr]*NodeStats
+	cfg      Config
+	shards   [numShards]shard
 	counters struct {
 		calls, drops, busy, bytesOut, bytesIn, rttNanos atomic.Int64
 	}
@@ -137,6 +161,7 @@ type endpoint struct {
 	addr    Addr
 	handler Handler
 	ctrl    *admission.Controller
+	stats   *NodeStats // this endpoint's own counters, resolved at Attach
 	closed  atomic.Bool
 }
 
@@ -145,60 +170,95 @@ func New(cfg Config) *Network {
 	if cfg.LatencyMax < cfg.LatencyMin {
 		cfg.LatencyMax = cfg.LatencyMin
 	}
-	return &Network{
-		cfg:     cfg,
-		nodes:   make(map[Addr]*endpoint),
-		down:    make(map[Addr]bool),
-		cut:     make(map[[2]Addr]bool),
-		rng:     rand.New(rand.NewSource(cfg.Seed)),
-		perNode: make(map[Addr]*NodeStats),
+	n := &Network{cfg: cfg}
+	for i := range n.shards {
+		s := &n.shards[i]
+		s.nodes = make(map[Addr]*endpoint)
+		s.down = make(map[Addr]bool)
+		s.cut = make(map[[2]Addr]bool)
+		s.perNode = make(map[Addr]*NodeStats)
+		// Mix the shard index into the seed with a 64-bit odd constant
+		// (splitmix64's increment) so adjacent seeds do not produce
+		// correlated shard streams.
+		s.rng = rand.New(rand.NewSource(cfg.Seed ^ (int64(i+1) * -0x61c8864680b583eb)))
 	}
+	return n
+}
+
+// shardOf maps an address onto its stripe with FNV-1a.
+func (n *Network) shardOf(addr Addr) *shard {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(addr); i++ {
+		h ^= uint64(addr[i])
+		h *= 1099511628211
+	}
+	return &n.shards[h%numShards]
+}
+
+// statsLocked returns the per-node counters for addr within s, creating
+// them if needed. Callers hold s.mu.
+func (s *shard) statsLocked(addr Addr) *NodeStats {
+	st, ok := s.perNode[addr]
+	if !ok {
+		st = &NodeStats{}
+		s.perNode[addr] = st
+	}
+	return st
 }
 
 // Attach registers a handler under addr and returns its Transport.
-// Attaching an address twice replaces the previous endpoint.
+// Attaching an address twice replaces the previous endpoint. The
+// endpoint's own stats pointer is resolved here, once, so the Call path
+// never looks the sender up again.
 func (n *Network) Attach(addr Addr, h Handler) Transport {
 	ep := &endpoint{net: n, addr: addr, handler: h, ctrl: admission.New(n.cfg.Admission)}
-	n.mu.Lock()
-	n.nodes[addr] = ep
-	if _, ok := n.perNode[addr]; !ok {
-		n.perNode[addr] = &NodeStats{}
-	}
-	n.mu.Unlock()
+	s := n.shardOf(addr)
+	s.mu.Lock()
+	ep.stats = s.statsLocked(addr)
+	s.nodes[addr] = ep
+	s.mu.Unlock()
 	return ep
 }
 
 // Detach removes the endpoint at addr, if any.
 func (n *Network) Detach(addr Addr) {
-	n.mu.Lock()
-	delete(n.nodes, addr)
-	n.mu.Unlock()
+	s := n.shardOf(addr)
+	s.mu.Lock()
+	delete(s.nodes, addr)
+	s.mu.Unlock()
 }
 
 // SetDown marks addr unreachable (true) or reachable (false) without
 // detaching it, simulating a crashed-but-rejoining node.
 func (n *Network) SetDown(addr Addr, down bool) {
-	n.mu.Lock()
+	s := n.shardOf(addr)
+	s.mu.Lock()
 	if down {
-		n.down[addr] = true
+		s.down[addr] = true
 	} else {
-		delete(n.down, addr)
+		delete(s.down, addr)
 	}
-	n.mu.Unlock()
+	s.mu.Unlock()
 }
 
 // Partition cuts (or heals) the link between a and b in both directions.
+// Each direction is recorded in the sending side's shard, which is the
+// stripe Call already consults for the sender.
 func (n *Network) Partition(a, b Addr, cut bool) {
-	k1 := [2]Addr{a, b}
-	k2 := [2]Addr{b, a}
-	n.mu.Lock()
+	n.partitionDirected(a, b, cut)
+	n.partitionDirected(b, a, cut)
+}
+
+func (n *Network) partitionDirected(src, dst Addr, cut bool) {
+	s := n.shardOf(src)
+	k := [2]Addr{src, dst}
+	s.mu.Lock()
 	if cut {
-		n.cut[k1], n.cut[k2] = true, true
+		s.cut[k] = true
 	} else {
-		delete(n.cut, k1)
-		delete(n.cut, k2)
+		delete(s.cut, k)
 	}
-	n.mu.Unlock()
+	s.mu.Unlock()
 }
 
 // Counters returns a snapshot of network-wide accounting.
@@ -214,45 +274,56 @@ func (n *Network) Counters() Counters {
 }
 
 // Stats returns the per-node counters for addr, creating them if needed
-// so that callers can query nodes that have not sent traffic yet.
+// so that callers can query nodes that have not sent traffic yet. The
+// returned pointer is stable for the life of the network; callers that
+// poll a node repeatedly should keep it instead of re-resolving.
 func (n *Network) Stats(addr Addr) *NodeStats {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	st, ok := n.perNode[addr]
-	if !ok {
-		st = &NodeStats{}
-		n.perNode[addr] = st
-	}
-	return st
+	s := n.shardOf(addr)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.statsLocked(addr)
 }
 
 // BusiestNodes returns addresses sorted by requests served, descending.
-// It is used by the hotspot experiment (A3).
+// It is used by the hotspot experiment (A3). Counts are snapshotted
+// once per node, so the sort itself takes no locks.
 func (n *Network) BusiestNodes() []Addr {
-	n.mu.RLock()
-	addrs := make([]Addr, 0, len(n.perNode))
-	for a := range n.perNode {
-		addrs = append(addrs, a)
+	type nodeLoad struct {
+		addr     Addr
+		received int64
 	}
-	n.mu.RUnlock()
-	sort.Slice(addrs, func(i, j int) bool {
-		ri := n.Stats(addrs[i]).Received.Load()
-		rj := n.Stats(addrs[j]).Received.Load()
-		if ri != rj {
-			return ri > rj
+	var loads []nodeLoad
+	for i := range n.shards {
+		s := &n.shards[i]
+		s.mu.RLock()
+		for a, st := range s.perNode {
+			loads = append(loads, nodeLoad{addr: a, received: st.Received.Load()})
 		}
-		return addrs[i] < addrs[j]
+		s.mu.RUnlock()
+	}
+	sort.Slice(loads, func(i, j int) bool {
+		if loads[i].received != loads[j].received {
+			return loads[i].received > loads[j].received
+		}
+		return loads[i].addr < loads[j].addr
 	})
-	return addrs
+	out := make([]Addr, len(loads))
+	for i, l := range loads {
+		out[i] = l.addr
+	}
+	return out
 }
 
-func (n *Network) roll() (drop bool, rtt time.Duration) {
-	n.rngMu.Lock()
-	defer n.rngMu.Unlock()
-	drop = n.cfg.DropRate > 0 && n.rng.Float64() < n.cfg.DropRate
-	rtt = 2 * n.cfg.LatencyMin
-	if span := n.cfg.LatencyMax - n.cfg.LatencyMin; span > 0 {
-		rtt = 2 * (n.cfg.LatencyMin + time.Duration(n.rng.Int63n(int64(span))))
+// roll draws this exchange's fault-model outcome from the sender
+// shard's rng: deterministic per (shard, sequence of rolls in that
+// shard) under a fixed seed.
+func (s *shard) roll(cfg *Config) (drop bool, rtt time.Duration) {
+	s.rngMu.Lock()
+	defer s.rngMu.Unlock()
+	drop = cfg.DropRate > 0 && s.rng.Float64() < cfg.DropRate
+	rtt = 2 * cfg.LatencyMin
+	if span := cfg.LatencyMax - cfg.LatencyMin; span > 0 {
+		rtt = 2 * (cfg.LatencyMin + time.Duration(s.rng.Int63n(int64(span))))
 	}
 	return drop, rtt
 }
@@ -271,14 +342,23 @@ func (ep *endpoint) Call(ctx context.Context, to Addr, payload []byte) ([]byte, 
 		return nil, fmt.Errorf("%w: %d > %d", ErrTooLarge, len(payload), n.cfg.MTU)
 	}
 
-	n.mu.RLock()
-	target, ok := n.nodes[to]
-	downSrc := n.down[ep.addr]
-	downDst := n.down[to]
-	cut := n.cut[[2]Addr{ep.addr, to}]
-	n.mu.RUnlock()
+	// Sender-side state (down flag, outbound partition cuts) lives in
+	// the sender's stripe; the target endpoint and its down flag in the
+	// target's. The two reads are sequential, never nested, so equal
+	// stripes cannot deadlock.
+	src := n.shardOf(ep.addr)
+	src.mu.RLock()
+	downSrc := src.down[ep.addr]
+	cut := src.cut[[2]Addr{ep.addr, to}]
+	src.mu.RUnlock()
 
-	drop, rtt := n.roll()
+	dst := n.shardOf(to)
+	dst.mu.RLock()
+	target, ok := dst.nodes[to]
+	downDst := dst.down[to]
+	dst.mu.RUnlock()
+
+	drop, rtt := src.roll(&n.cfg)
 	if !ok || downSrc || downDst || cut || drop || target.closed.Load() {
 		n.counters.drops.Add(1)
 		return nil, ErrTimeout
@@ -286,8 +366,11 @@ func (ep *endpoint) Call(ctx context.Context, to Addr, payload []byte) ([]byte, 
 
 	n.counters.bytesOut.Add(int64(len(payload)))
 	n.counters.rttNanos.Add(int64(rtt))
-	n.Stats(ep.addr).Sent.Add(1)
-	n.Stats(to).Received.Add(1)
+	// Both stats pointers are already resolved: the sender's since
+	// Attach, the receiver's on its own endpoint — no network-wide (or
+	// even stripe) lock on the per-RPC stats path.
+	ep.stats.Sent.Add(1)
+	target.stats.Received.Add(1)
 
 	// Admission at the receiver: the target either takes the request into
 	// its bounded work queue or answers busy immediately. Rejection is an
@@ -295,7 +378,7 @@ func (ep *endpoint) Call(ctx context.Context, to Addr, payload []byte) ([]byte, 
 	release, aerr := target.ctrl.Admit(string(ep.addr))
 	if aerr != nil {
 		n.counters.busy.Add(1)
-		n.Stats(to).Busy.Add(1)
+		target.stats.Busy.Add(1)
 		return nil, fmt.Errorf("simnet: %s rejected request: %w", to, aerr)
 	}
 

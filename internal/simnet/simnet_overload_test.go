@@ -48,6 +48,13 @@ func TestCancelStormBoundsGoroutines(t *testing.T) {
 			}
 		}(i)
 	}
+	// Let admission engage before cancelling: the spawn loop races
+	// cancel() on small GOMAXPROCS, and a caller that only gets scheduled
+	// after cancellation bails at Call's entry ctx check without ever
+	// reaching the queue. The deaf handler never releases its slots, so
+	// once more than queueDepth callers have entered, a busy answer is
+	// guaranteed and the counter is monotonic.
+	waitUntil(t, 10*time.Second, func() bool { return n.Counters().Busy > 0 })
 	cancel()
 	wg.Wait()
 

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 
 	"dharma/internal/kadid"
 )
@@ -21,9 +22,19 @@ const codecVersion = 1
 // ErrMalformed is wrapped by all decode errors.
 var ErrMalformed = errors.New("wire: malformed message")
 
-// Encode serialises m into a fresh byte slice.
+// Encode serialises m into a fresh byte slice. Hot paths that can
+// recycle their payloads should prefer AppendEncode with a pooled
+// Buffer; Encode is for callers whose output escapes to an owner with
+// an unknown lifetime (e.g. an RPC response handed to the transport).
 func Encode(m *Message) []byte {
-	w := &writer{buf: make([]byte, 0, 256)}
+	return AppendEncode(make([]byte, 0, 256), m)
+}
+
+// AppendEncode serialises m, appending to dst (which is used as-is, not
+// truncated) and returning the extended slice. With a buffer of
+// sufficient capacity the call performs no allocation.
+func AppendEncode(dst []byte, m *Message) []byte {
+	w := &writer{buf: dst}
 	w.byte(codecVersion)
 	w.byte(byte(m.Kind))
 	w.id(m.From.ID)
@@ -49,13 +60,44 @@ func Encode(m *Message) []byte {
 	return w.buf
 }
 
-// Decode parses a message previously produced by Encode.
+// Decode parses a message previously produced by Encode into a fresh
+// Message. Every string and blob in the result is an owned copy; the
+// caller may retain anything indefinitely.
 func Decode(b []byte) (*Message, error) {
-	r := &reader{buf: b}
-	if v := r.byte(); v != codecVersion {
-		return nil, fmt.Errorf("%w: version %d", ErrMalformed, v)
-	}
 	m := &Message{}
+	if err := decodeInto(m, b, nil); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Decoder decodes messages while reusing per-decoder state across
+// calls: an intern table that deduplicates the strings of the stream
+// (peer addresses and field names repeat heavily), so a steady-state
+// decode of blob-free messages allocates nothing. A Decoder is NOT safe
+// for concurrent use; pool one per worker.
+type Decoder struct {
+	strs interner
+}
+
+// DecodeInto parses b into m, reusing m's Contacts and Entries backing
+// arrays when their capacity suffices.
+//
+// Ownership: strings come from the decoder's intern table and blobs
+// (Entry.Data/Author/Sig, Cred) are fresh copies — both are immutable
+// or owned and safe to retain forever. Only the Contacts and Entries
+// slice HEADERS are recycled: a caller that retains m.Contacts or
+// m.Entries (rather than copying the elements out) must not reuse m for
+// another DecodeInto while those slices are live.
+func (d *Decoder) DecodeInto(m *Message, b []byte) error {
+	return decodeInto(m, b, &d.strs)
+}
+
+func decodeInto(m *Message, b []byte, strs *interner) error {
+	r := &reader{buf: b, strs: strs}
+	if v := r.byte(); v != codecVersion {
+		return fmt.Errorf("%w: version %d", ErrMalformed, v)
+	}
 	m.Kind = Kind(r.byte())
 	m.From.ID = r.id()
 	m.From.Addr = r.str()
@@ -64,10 +106,13 @@ func Decode(b []byte) (*Message, error) {
 
 	nc := r.uvarint()
 	if nc > MaxListLen {
-		return nil, fmt.Errorf("%w: %d contacts", ErrMalformed, nc)
+		return fmt.Errorf("%w: %d contacts", ErrMalformed, nc)
 	}
+	m.Contacts = m.Contacts[:0]
 	if nc > 0 && r.err == nil {
-		m.Contacts = make([]Contact, 0, min(nc, 256))
+		if cap(m.Contacts) == 0 {
+			m.Contacts = make([]Contact, 0, min(nc, 256))
+		}
 		for i := uint64(0); i < nc && r.err == nil; i++ {
 			m.Contacts = append(m.Contacts, Contact{ID: r.id(), Addr: r.str()})
 		}
@@ -75,10 +120,13 @@ func Decode(b []byte) (*Message, error) {
 
 	ne := r.uvarint()
 	if ne > MaxListLen {
-		return nil, fmt.Errorf("%w: %d entries", ErrMalformed, ne)
+		return fmt.Errorf("%w: %d entries", ErrMalformed, ne)
 	}
+	m.Entries = m.Entries[:0]
 	if ne > 0 && r.err == nil {
-		m.Entries = make([]Entry, 0, min(ne, 256))
+		if cap(m.Entries) == 0 {
+			m.Entries = make([]Entry, 0, min(ne, 256))
+		}
 		for i := uint64(0); i < ne && r.err == nil; i++ {
 			m.Entries = append(m.Entries, Entry{
 				Field:  r.str(),
@@ -94,12 +142,48 @@ func Decode(b []byte) (*Message, error) {
 	m.Err = r.str()
 	m.Cred = r.blob()
 	if r.err != nil {
-		return nil, r.err
+		return r.err
 	}
 	if len(r.buf) != r.off {
-		return nil, fmt.Errorf("%w: %d trailing bytes", ErrMalformed, len(r.buf)-r.off)
+		return fmt.Errorf("%w: %d trailing bytes", ErrMalformed, len(r.buf)-r.off)
 	}
-	return m, nil
+	return nil
+}
+
+// maxPooledBuf bounds the capacity of recycled encode buffers: a
+// one-off giant message must not pin its backing array in the pool.
+const maxPooledBuf = 1 << 16
+
+var bufPool = sync.Pool{New: func() any { return &Buffer{B: make([]byte, 0, 512)} }}
+
+// Buffer is a pooled destination for AppendEncode, so steady-state
+// request marshalling recycles one backing array per in-flight RPC
+// instead of allocating per call.
+type Buffer struct {
+	B []byte
+}
+
+// GetBuffer draws a buffer from the pool. Use as:
+//
+//	buf := wire.GetBuffer()
+//	buf.B = wire.AppendEncode(buf.B[:0], msg)
+//	... hand buf.B to the transport ...
+//	buf.Release()
+func GetBuffer() *Buffer {
+	return bufPool.Get().(*Buffer)
+}
+
+// Release returns the buffer to the pool. Callers must be certain
+// nothing still references the bytes: in particular, a transport call
+// that ended with ctx.Err() may have left the payload with an abandoned
+// handler still draining it (simnet's cancellable path) — such buffers
+// must NOT be released; simply drop them to the GC.
+func (b *Buffer) Release() {
+	if cap(b.B) > maxPooledBuf {
+		return
+	}
+	b.B = b.B[:0]
+	bufPool.Put(b)
 }
 
 type writer struct {
@@ -124,10 +208,39 @@ func (w *writer) blob(b []byte) {
 	w.buf = append(w.buf, b...)
 }
 
+// maxInterned caps the intern table. A hostile stream of unique strings
+// simply resets the table and pays a copy per string — the cap bounds
+// memory, it is not a correctness boundary.
+const maxInterned = 4096
+
+// interner deduplicates decoded strings so repeated addresses and field
+// names resolve to existing string headers without allocating. The
+// map lookup keyed by string(b) is recognised by the compiler and does
+// not copy b.
+type interner struct {
+	m map[string]string
+}
+
+func (in *interner) intern(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	if s, ok := in.m[string(b)]; ok {
+		return s
+	}
+	if in.m == nil || len(in.m) >= maxInterned {
+		in.m = make(map[string]string, 64)
+	}
+	s := string(b)
+	in.m[s] = s
+	return s
+}
+
 type reader struct {
-	buf []byte
-	off int
-	err error
+	buf  []byte
+	off  int
+	err  error
+	strs *interner // nil: copy strings fresh (Decode path)
 }
 
 func (r *reader) fail(format string, args ...any) {
@@ -189,9 +302,12 @@ func (r *reader) str() string {
 		r.fail("truncated string")
 		return ""
 	}
-	s := string(r.buf[r.off : r.off+int(n)])
+	src := r.buf[r.off : r.off+int(n)]
 	r.off += int(n)
-	return s
+	if r.strs != nil {
+		return r.strs.intern(src)
+	}
+	return string(src)
 }
 
 func (r *reader) blob() []byte {

@@ -1,0 +1,195 @@
+package wire
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"dharma/internal/kadid"
+)
+
+// lookupMessage is the RPC the overlay sends most at scale: a NODES
+// response carrying k contacts and no blobs. This is the shape the
+// 0-alloc steady-state claim is made for.
+func lookupMessage(k int) *Message {
+	m := &Message{
+		Kind:   KindNodes,
+		From:   Contact{ID: kadid.HashString("server"), Addr: "10.0.0.1:4100"},
+		Target: kadid.HashString("target"),
+	}
+	for i := 0; i < k; i++ {
+		m.Contacts = append(m.Contacts, Contact{
+			ID:   kadid.HashString(fmt.Sprintf("peer-%d", i)),
+			Addr: fmt.Sprintf("10.0.%d.%d:4100", i/256, i%256),
+		})
+	}
+	return m
+}
+
+func TestAppendEncodeMatchesEncode(t *testing.T) {
+	for _, m := range []*Message{sampleMessage(), lookupMessage(20), {Kind: KindPing}} {
+		want := Encode(m)
+		got := AppendEncode(nil, m)
+		if string(got) != string(want) {
+			t.Fatalf("AppendEncode differs from Encode for %v", m.Kind)
+		}
+		// Appending after a prefix must leave the prefix intact.
+		withPrefix := AppendEncode([]byte("prefix"), m)
+		if string(withPrefix[:6]) != "prefix" || string(withPrefix[6:]) != string(want) {
+			t.Fatal("AppendEncode clobbered the prefix or the payload")
+		}
+	}
+}
+
+func TestDecodeIntoMatchesDecode(t *testing.T) {
+	var d Decoder
+	var reused Message
+	// Decode a sequence of different messages into the SAME struct; each
+	// result must equal the fresh Decode of the same bytes.
+	for i, m := range []*Message{
+		sampleMessage(),
+		lookupMessage(20),
+		{Kind: KindPing},
+		lookupMessage(3),
+		sampleMessage(),
+	} {
+		b := Encode(m)
+		want, err := Decode(b)
+		if err != nil {
+			t.Fatalf("step %d: Decode: %v", i, err)
+		}
+		if err := d.DecodeInto(&reused, b); err != nil {
+			t.Fatalf("step %d: DecodeInto: %v", i, err)
+		}
+		// Normalise empty-vs-nil slices (DecodeInto leaves truncated
+		// capacity behind; Decode yields nil).
+		got := reused
+		if len(got.Contacts) == 0 {
+			got.Contacts = nil
+		}
+		if len(got.Entries) == 0 {
+			got.Entries = nil
+		}
+		if !reflect.DeepEqual(&got, want) {
+			t.Fatalf("step %d: DecodeInto mismatch:\n got %+v\nwant %+v", i, got, want)
+		}
+	}
+}
+
+func TestDecodeIntoRejectsMalformed(t *testing.T) {
+	var d Decoder
+	var m Message
+	b := Encode(sampleMessage())
+	if err := d.DecodeInto(&m, b[:len(b)-3]); err == nil {
+		t.Fatal("truncated input accepted")
+	}
+	if err := d.DecodeInto(&m, nil); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestDecodeIntoBlobsAreOwned(t *testing.T) {
+	var d Decoder
+	var m Message
+	b := Encode(sampleMessage())
+	if err := d.DecodeInto(&m, b); err != nil {
+		t.Fatal(err)
+	}
+	data := m.Entries[0].Data
+	cred := m.Cred
+	for i := range b {
+		b[i] = 0xff // scribble over the wire bytes
+	}
+	if string(data) != "x" || string(cred) != "credential-bytes" {
+		t.Fatal("decoded blobs alias the input buffer")
+	}
+}
+
+func TestInternerBounded(t *testing.T) {
+	var in interner
+	for i := 0; i < 3*maxInterned; i++ {
+		_ = in.intern([]byte(fmt.Sprintf("unique-%d", i)))
+		if len(in.m) > maxInterned {
+			t.Fatalf("intern table grew to %d entries", len(in.m))
+		}
+	}
+	// Despite resets, interning still returns correct strings.
+	if s := in.intern([]byte("hello")); s != "hello" {
+		t.Fatalf("intern returned %q", s)
+	}
+}
+
+func TestBufferPoolRoundTrip(t *testing.T) {
+	buf := GetBuffer()
+	buf.B = AppendEncode(buf.B[:0], sampleMessage())
+	if _, err := Decode(buf.B); err != nil {
+		t.Fatal(err)
+	}
+	buf.Release()
+	// Oversized buffers are dropped, not pooled.
+	big := &Buffer{B: make([]byte, maxPooledBuf+1)}
+	big.Release() // must not panic; nothing further observable
+}
+
+// BenchmarkAppendEncode is the gated steady-state request-marshal path:
+// encoding into a recycled buffer must not allocate.
+// scripts/alloc_gate.sh holds it to scripts/alloc_budgets.txt.
+func BenchmarkAppendEncode(b *testing.B) {
+	m := lookupMessage(20)
+	buf := make([]byte, 0, 2048)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = AppendEncode(buf[:0], m)
+	}
+	if len(buf) == 0 {
+		b.Fatal("empty encode")
+	}
+}
+
+// BenchmarkDecodeInto is the gated steady-state unmarshal path: a warmed
+// Decoder re-reading lookup-plane traffic must not allocate (strings
+// come from the intern table, slice capacity is recycled).
+func BenchmarkDecodeInto(b *testing.B) {
+	payloads := make([][]byte, 8)
+	for i := range payloads {
+		payloads[i] = Encode(lookupMessage(20))
+	}
+	var d Decoder
+	var m Message
+	for _, p := range payloads { // warm the intern table
+		if err := d.DecodeInto(&m, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := d.DecodeInto(&m, payloads[i%len(payloads)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCodecRoundTrip is one full client-side RPC worth of codec
+// work — marshal the request into a pooled buffer, unmarshal the
+// response with a warmed Decoder — and must be allocation-free.
+func BenchmarkCodecRoundTrip(b *testing.B) {
+	req := &Message{Kind: KindFindNode, From: Contact{ID: kadid.HashString("client"), Addr: "10.9.9.9:4100"}, Target: kadid.HashString("t")}
+	respBytes := Encode(lookupMessage(20))
+	var d Decoder
+	var resp Message
+	if err := d.DecodeInto(&resp, respBytes); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf := GetBuffer()
+		buf.B = AppendEncode(buf.B[:0], req)
+		if err := d.DecodeInto(&resp, respBytes); err != nil {
+			b.Fatal(err)
+		}
+		buf.Release()
+	}
+}

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Allocation-regression gate: runs the benchmarks named in
+# scripts/alloc_budgets.txt with -benchmem and fails when any reports
+# more allocs/op than its budget. Budgets are integers because
+# testing.B truncates allocs/op — a budget of 0 tolerates rare pool
+# warm-up allocations but fails on any real per-op allocation.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+budgets=scripts/alloc_budgets.txt
+results=$(mktemp)
+trap 'rm -f "$results"' EXIT
+
+# One `go test` invocation per package, benching every budgeted name.
+for pkg in $(awk '!/^#/ && NF {print $1}' "$budgets" | sort -u); do
+  # Parent benchmark names (strip subtest path) joined into one regex.
+  pat=$(awk -v p="$pkg" '!/^#/ && $1==p {split($2, a, "/"); print a[1]}' "$budgets" | sort -u | paste -sd'|' -)
+  echo "== $pkg (-bench '^($pat)$')"
+  go test "$pkg" -run '^$' -bench "^($pat)\$" -benchmem -benchtime 1000x \
+    | tee -a "$results"
+done
+
+fail=0
+while read -r pkg name budget; do
+  case "$pkg" in ''|'#'*) continue ;; esac
+  # Benchmark output names carry a -GOMAXPROCS suffix.
+  got=$(awk -v n="$name" '$1 ~ ("^" n "(-[0-9]+)?$") {print $(NF-1); exit}' "$results")
+  if [ -z "$got" ]; then
+    echo "alloc gate: $pkg $name: no benchmark output found" >&2
+    fail=1
+    continue
+  fi
+  if [ "$got" -gt "$budget" ]; then
+    echo "alloc gate: $pkg $name: $got allocs/op exceeds budget $budget" >&2
+    fail=1
+  else
+    echo "alloc gate: $pkg $name: $got allocs/op (budget $budget) OK"
+  fi
+done < <(grep -vE '^\s*(#|$)' "$budgets")
+
+exit $fail
