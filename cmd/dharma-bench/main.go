@@ -26,6 +26,13 @@
 // optionally writing BENCH_scale.json:
 //
 //	dharma-bench scale -out .
+//
+// The antientropy subcommand measures maintenance bytes per round on
+// the hot-tag regime — legacy full-block pushes vs the digest-first
+// summary sweep vs steady-state timer-driven rounds — and doubles as a
+// regression gate plus a crash-wave durability check:
+//
+//	dharma-bench antientropy -assert-ratio 10
 package main
 
 import (
@@ -70,6 +77,10 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "scale" {
 		runScale(ctx, os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "antientropy" {
+		runAntiEntropy(ctx, os.Args[2:])
 		return
 	}
 	// The experiment path below is batch work that does not poll ctx;

@@ -140,7 +140,7 @@ func serve(ctx context.Context, args []string) error {
 	k := fs.Int("k", 20, "bucket size / replication factor")
 	alpha := fs.Int("alpha", 3, "lookup parallelism")
 	maintain := fs.Duration("maintain", 10*time.Minute,
-		"interval between maintenance rounds (republish + bucket refresh); 0 disables")
+		"interval between maintenance rounds (anti-entropy + bucket refresh); 0 disables")
 	dataDir := fs.String("data-dir", "",
 		"directory for durable storage (WAL + snapshots + identity); restart resumes identity and blocks")
 	fsync := fs.String("fsync", "group",
@@ -176,15 +176,21 @@ func serve(ctx context.Context, args []string) error {
 					return
 				case <-ticker.C:
 					// The serve context bounds the maintenance RPCs too:
-					// Ctrl-C mid-republish aborts the sweep rather than
-					// letting it finish behind the shutdown.
-					blocks, acks := node.RepublishOnce(ctx)
+					// Ctrl-C mid-round aborts the sweep rather than letting
+					// it finish behind the shutdown. Each tick is one
+					// anti-entropy round: per-block timers pick which blocks
+					// to sync, digests prove agreement before any data
+					// moves, and just-written blocks sit a round out.
+					r := node.AntiEntropyOnce(ctx, 0)
 					for _, b := range node.Table().NonEmptyBuckets() {
 						seed++
 						node.RefreshBucket(ctx, b, seed)
 					}
-					fmt.Printf("maintenance: republished %d blocks (%d replica acks), table %d contacts\n",
-						blocks, acks, node.Table().Len())
+					ae := node.AntiEntropy()
+					fmt.Printf("maintenance: anti-entropy synced=%d suppressed=%d skipped=%d acks=%d; totals matches=%d delta-entries=%d full-blocks=%d bytes-out=%d; table %d contacts\n",
+						r.Synced, r.Suppressed, r.Skipped, r.Acks,
+						ae.DigestMatches, ae.DeltaEntries, ae.FullBlocks, ae.BytesSent,
+						node.Table().Len())
 				}
 			}
 		}()

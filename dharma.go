@@ -64,6 +64,7 @@ package dharma
 import (
 	"context"
 	"fmt"
+	"path/filepath"
 	"time"
 
 	"dharma/internal/admission"
@@ -155,6 +156,17 @@ type Config struct {
 	// deployment: acknowledged writes are handed to the OS (surviving a
 	// process kill) but not fsynced. Ignored when DataDir is empty.
 	NoFsync bool
+	// CacheBlocks, when positive, puts a bounded TTL read cache
+	// (dht.Cached) of at most that many blocks in front of every peer's
+	// overlay store — DHARMA's read skew makes a small cache absorb most
+	// repeat hot-tag lookups (experiment A7). On a durable deployment
+	// (DataDir set) each peer's cache is snapshotted on Shutdown next to
+	// its node's write-ahead log and warmed on the next boot, so a
+	// restarted peer answers its first hot reads locally instead of
+	// rebuilding the working set one overlay lookup at a time. Warmed
+	// entries keep their original absolute expiry: the TTL staleness
+	// bound holds across the reboot.
+	CacheBlocks int
 	// Seed makes the deployment reproducible (node IDs, approximation
 	// subsets).
 	Seed int64
@@ -255,11 +267,17 @@ type System struct {
 // per-operation Options; the context bounds the whole multi-hop
 // operation, down to the individual RPC waiters.
 type Peer struct {
-	engine *core.Engine
-	Node   *kademlia.Node
-	store  *dht.Overlay
-	net    *simnet.NodeStats
+	engine    *core.Engine
+	Node      *kademlia.Node
+	store     *dht.Overlay
+	cache     *dht.Cached // nil unless Config.CacheBlocks > 0
+	cachePath string      // snapshot location; empty on in-memory systems
+	net       *simnet.NodeStats
 }
+
+// Cache exposes the peer's read cache (nil when Config.CacheBlocks is
+// zero) for hit-rate inspection.
+func (p *Peer) Cache() *dht.Cached { return p.cache }
 
 // Engine exposes the peer's underlying DHARMA engine (the
 // option-less, context-first core API; the load harness drives
@@ -288,19 +306,47 @@ type Stats struct {
 	// (work queue full or per-peer rate exceeded). A nonzero value under
 	// load is the overload protection working, not a fault.
 	BusyRejected int64
+	// CacheHits and CacheMisses are the read-cache counters (both zero
+	// unless Config.CacheBlocks is set).
+	CacheHits, CacheMisses int64
+	// MaintBytesSent and MaintBytesRecv are the wire bytes of
+	// maintenance traffic (anti-entropy summary probes and replica
+	// deltas) this peer originated and got back — the cost the
+	// digest-first protocol exists to minimise.
+	MaintBytesSent, MaintBytesRecv int64
+	// DigestMatches counts summary probes answered by an equal digest:
+	// replica agreement proven without moving block data.
+	DigestMatches int64
+	// SuppressedRounds counts per-block anti-entropy rounds skipped
+	// because the block was written since the previous round (write-time
+	// replication already spread the update).
+	SuppressedRounds int64
+	// DeltaEntries counts the entries shipped as sync deltas; compare
+	// against full block sizes to see the bandwidth saving.
+	DeltaEntries int64
 }
 
 // Stats returns the peer's consolidated accounting snapshot. The fields
 // are read from independent atomic counters — the snapshot is
 // internally consistent only on a quiescent peer.
 func (p *Peer) Stats() Stats {
+	ae := p.Node.AntiEntropy()
 	st := Stats{
-		Appends:     p.store.Appends(),
-		Gets:        p.store.Gets(),
-		Lookups:     p.store.Lookups(),
-		NodeLookups: p.Node.Lookups(),
-		RPCServed:   p.Node.RPCServed(),
-		Repairs:     p.Node.Repairs(),
+		Appends:          p.store.Appends(),
+		Gets:             p.store.Gets(),
+		Lookups:          p.store.Lookups(),
+		NodeLookups:      p.Node.Lookups(),
+		RPCServed:        p.Node.RPCServed(),
+		Repairs:          p.Node.Repairs(),
+		MaintBytesSent:   ae.BytesSent,
+		MaintBytesRecv:   ae.BytesRecv,
+		DigestMatches:    ae.DigestMatches,
+		SuppressedRounds: ae.Suppressed,
+		DeltaEntries:     ae.DeltaEntries,
+	}
+	if p.cache != nil {
+		st.CacheHits = p.cache.Hits()
+		st.CacheMisses = p.cache.Misses()
 	}
 	if p.net != nil {
 		st.NetSent = p.net.Sent.Load()
@@ -448,7 +494,21 @@ func NewSystem(cfg Config) (*System, error) {
 			signer = node.Identity()
 		}
 		store := dht.NewOverlay(node, signer)
-		engine, err := core.NewEngine(store, core.Config{
+		var engineStore dht.Store = store
+		var cache *dht.Cached
+		var cachePath string
+		if cfg.CacheBlocks > 0 {
+			cache = dht.NewCached(store, cfg.CacheBlocks, 0, nil)
+			if cfg.DataDir != "" {
+				// The node's WAL directory already exists (the cluster booted
+				// durably); the cache snapshot lives alongside it. A failed
+				// warm is a cold start, never a failed boot.
+				cachePath = filepath.Join(cfg.DataDir, node.Self().Addr, "readcache")
+				cache.WarmSnapshot(cachePath) //nolint:errcheck
+			}
+			engineStore = cache
+		}
+		engine, err := core.NewEngine(engineStore, core.Config{
 			Mode: cfg.Mode,
 			K:    cfg.K,
 			TopN: cfg.TopN,
@@ -461,10 +521,12 @@ func NewSystem(cfg Config) (*System, error) {
 			return nil, fmt.Errorf("dharma: engine %d: %w", i, err)
 		}
 		sys.peers = append(sys.peers, &Peer{
-			engine: engine,
-			Node:   node,
-			store:  store,
-			net:    cluster.Net.Stats(simnet.Addr(node.Self().Addr)),
+			engine:    engine,
+			Node:      node,
+			store:     store,
+			cache:     cache,
+			cachePath: cachePath,
+			net:       cluster.Net.Stats(simnet.Addr(node.Self().Addr)),
 		})
 	}
 	return sys, nil
@@ -496,9 +558,18 @@ func (s *System) SetDown(i int, down bool) {
 }
 
 // Shutdown cleanly stops every member: a durable deployment flushes and
-// closes its write-ahead logs, so a later NewSystem over the same
-// DataDir recovers the full state. A no-op for in-memory systems.
+// closes its write-ahead logs — and snapshots each peer's read cache
+// next to them — so a later NewSystem over the same DataDir recovers
+// the full state with the caches already warm. A no-op for in-memory
+// systems.
 func (s *System) Shutdown() {
+	for _, p := range s.peers {
+		if p.cache != nil && p.cachePath != "" {
+			// Best-effort: a lost cache snapshot costs overlay lookups on
+			// the next boot, not data.
+			p.cache.SaveSnapshot(p.cachePath) //nolint:errcheck
+		}
+	}
 	s.cluster.Shutdown()
 }
 

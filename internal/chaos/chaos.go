@@ -251,6 +251,34 @@ func RepairAndCheck(ctx context.Context, cl *kademlia.Cluster, l *Ledger, rounds
 			n.RepublishOnce(ctx)
 		}
 	}
+	return checkLedger(ctx, cl, l)
+}
+
+// AntiEntropyAndCheck is RepairAndCheck with the forced republish sweep
+// replaced by the timer-driven anti-entropy path: every live member runs
+// `rounds` AntiEntropyOnce rounds (RepublishEvery = every), so blocks
+// move only when digests disagree and recently written blocks sit out a
+// round. A cluster this heals proves the digest/delta/suppression
+// machinery alone — no full sweep, and with read-repair disabled no
+// read-path help either — restores every acknowledged write.
+func AntiEntropyAndCheck(ctx context.Context, cl *kademlia.Cluster, l *Ledger, rounds, every int) []Violation {
+	if rounds <= 0 {
+		rounds = 2
+	}
+	if every <= 0 {
+		every = kademlia.DefaultRepublishEvery
+	}
+	for r := 0; r < rounds; r++ {
+		for _, n := range cl.Snapshot() {
+			n.AntiEntropyOnce(ctx, every)
+		}
+	}
+	return checkLedger(ctx, cl, l)
+}
+
+// checkLedger verifies every ledger obligation through an unfiltered
+// overlay read from the cluster's first member.
+func checkLedger(ctx context.Context, cl *kademlia.Cluster, l *Ledger) []Violation {
 	reader := cl.NodeAt(0)
 	if reader == nil {
 		return []Violation{{Err: fmt.Errorf("chaos: cluster has no members left to read from")}}

@@ -1,0 +1,172 @@
+package dht
+
+import (
+	"bufio"
+	"container/list"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"dharma/internal/kadid"
+	"dharma/internal/wire"
+)
+
+// maxCacheRecordLen bounds one snapshot record so a corrupt length
+// varint cannot trigger a huge allocation on warm.
+const maxCacheRecordLen = 16 << 20
+
+// Cache persistence. A Cached is an in-memory structure, so a restart
+// used to throw the hot set away and pay a full overlay lookup per
+// block to rebuild it — exactly the reads the cache exists to absorb.
+// SaveSnapshot writes the cache contents (with their absolute expiry
+// times) alongside the node's durable store; WarmSnapshot reloads them,
+// dropping whatever expired while the process was down. The TTL
+// contract survives the reboot unchanged: a warmed entry expires at the
+// same instant it would have, had the process kept running.
+//
+// The snapshot is advisory state: a corrupt or truncated file warms
+// whatever prefix was intact and discards the rest (the cache refills
+// from the overlay either way), but never fails the boot.
+
+// cacheSnapMagic identifies a cache snapshot file and its version.
+var cacheSnapMagic = []byte("DHRC\x01")
+
+// SaveSnapshot atomically writes the cache contents to path
+// (temp-file-and-rename, fsynced), least recently used first so a
+// sequential reload reconstructs the LRU order.
+func (c *Cached) SaveSnapshot(path string) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".readcache-*")
+	if err != nil {
+		return fmt.Errorf("dht: cache snapshot: %w", err)
+	}
+	defer os.Remove(tmp.Name()) //nolint:errcheck // no-op after the rename
+	w := bufio.NewWriter(tmp)
+
+	c.mu.Lock()
+	err = c.writeLocked(w)
+	c.mu.Unlock()
+	if err == nil {
+		err = w.Flush()
+	}
+	if err == nil {
+		err = tmp.Sync()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp.Name(), path)
+	}
+	if err != nil {
+		return fmt.Errorf("dht: cache snapshot: %w", err)
+	}
+	return nil
+}
+
+// writeLocked streams every record: magic, then per cache entry a
+// header of (expiry unix-nanos, topN, payload length) varints followed
+// by a wire-encoded KindValue message carrying the block key and
+// entries — the same codec the entries crossed the network in.
+func (c *Cached) writeLocked(w *bufio.Writer) error {
+	if _, err := w.Write(cacheSnapMagic); err != nil {
+		return err
+	}
+	var hdr [3 * binary.MaxVarintLen64]byte
+	for el := c.ll.Back(); el != nil; el = el.Prev() {
+		ce := el.Value.(*cacheEntry)
+		payload := wire.Encode(&wire.Message{
+			Kind:    wire.KindValue,
+			Target:  ce.key.id,
+			Entries: ce.entries,
+		})
+		n := binary.PutVarint(hdr[:], ce.expires.UnixNano())
+		n += binary.PutVarint(hdr[n:], int64(ce.key.topN))
+		n += binary.PutUvarint(hdr[n:], uint64(len(payload)))
+		if _, err := w.Write(hdr[:n]); err != nil {
+			return err
+		}
+		if _, err := w.Write(payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WarmSnapshot loads a snapshot written by SaveSnapshot, skipping
+// entries that expired while the process was down. A missing file is a
+// cold start, not an error; a corrupt tail warms the intact prefix.
+// Returns how many entries were warmed.
+func (c *Cached) WarmSnapshot(path string) (int, error) {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("dht: cache warm: %w", err)
+	}
+	defer f.Close() //nolint:errcheck // read-only
+	r := bufio.NewReader(f)
+
+	magic := make([]byte, len(cacheSnapMagic))
+	if _, err := io.ReadFull(r, magic); err != nil || string(magic) != string(cacheSnapMagic) {
+		return 0, nil // not a snapshot (or empty): cold start
+	}
+
+	warmed := 0
+	for {
+		expires, err := binary.ReadVarint(r)
+		if err != nil {
+			break // clean EOF or corrupt tail: keep what we have
+		}
+		topN, err := binary.ReadVarint(r)
+		if err != nil {
+			break
+		}
+		plen, err := binary.ReadUvarint(r)
+		if err != nil || plen > maxCacheRecordLen {
+			break
+		}
+		payload := make([]byte, plen)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			break
+		}
+		m, err := wire.Decode(payload)
+		if err != nil || m.Kind != wire.KindValue {
+			break
+		}
+		if c.warm(m.Target, int(topN), m.Entries, time.Unix(0, expires)) {
+			warmed++
+		}
+	}
+	return warmed, nil
+}
+
+// warm inserts a reloaded entry with its original absolute expiry;
+// already-expired entries are dropped (reported as false).
+func (c *Cached) warm(id kadid.ID, topN int, entries []wire.Entry, expires time.Time) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.now().Before(expires) {
+		return false
+	}
+	ck := cacheKey{id: id, topN: topN}
+	if el, ok := c.items[ck]; ok {
+		c.removeLocked(el)
+	}
+	el := c.ll.PushFront(&cacheEntry{key: ck, entries: entries, expires: expires})
+	c.items[ck] = el
+	m, ok := c.byID[ck.id]
+	if !ok {
+		m = make(map[int]*list.Element, 2)
+		c.byID[ck.id] = m
+	}
+	m[ck.topN] = el
+	for c.ll.Len() > c.cap {
+		c.removeLocked(c.ll.Back())
+	}
+	return true
+}

@@ -1,0 +1,198 @@
+package dht
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"dharma/internal/kadid"
+	"dharma/internal/wire"
+)
+
+func TestCacheSnapshotRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "readcache")
+	c, l := newCachedLocal(t, 16, time.Minute, nil)
+	keys := make([]kadid.ID, 5)
+	for i := range keys {
+		keys[i] = kadid.HashString(fmt.Sprintf("tag%d|3", i))
+		if err := c.Append(context.Background(), keys[i], []wire.Entry{
+			{Field: fmt.Sprintf("f%d", i), Count: uint64(i + 1), Data: []byte("uri")},
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Get(context.Background(), keys[i], 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One filtered read: its cache slot must survive too.
+	if _, err := c.Get(context.Background(), keys[0], 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SaveSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Reboot": a fresh cache over the same inner store, warmed.
+	c2 := NewCached(l, 16, time.Minute, nil)
+	warmed, err := c2.WarmSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warmed != 6 {
+		t.Fatalf("warmed %d entries, want 6", warmed)
+	}
+	if c2.Len() != 6 {
+		t.Fatalf("cache holds %d entries after warm, want 6", c2.Len())
+	}
+
+	// Every warmed read is a hit: the inner store sees no Get at all.
+	innerGets := l.Gets()
+	for i, key := range keys {
+		es, err := c2.Get(context.Background(), key, 0)
+		if err != nil || len(es) != 1 || es[0].Count != uint64(i+1) || string(es[0].Data) != "uri" {
+			t.Fatalf("warmed read %d wrong: %+v, %v", i, es, err)
+		}
+	}
+	if es, err := c2.Get(context.Background(), keys[0], 1); err != nil || len(es) != 1 {
+		t.Fatalf("warmed filtered read wrong: %+v, %v", es, err)
+	}
+	if l.Gets() != innerGets {
+		t.Fatalf("warmed reads reached the store: %d -> %d", innerGets, l.Gets())
+	}
+	if c2.Hits() != int64(len(keys))+1 || c2.Misses() != 0 {
+		t.Fatalf("hits=%d misses=%d after warm", c2.Hits(), c2.Misses())
+	}
+}
+
+func TestCacheWarmDropsExpired(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "readcache")
+	clock := time.Now()
+	now := func() time.Time { return clock }
+	c, l := newCachedLocal(t, 16, 10*time.Second, now)
+	fresh, stale := kadid.HashString("fresh"), kadid.HashString("stale")
+	for _, k := range []kadid.ID{fresh, stale} {
+		if err := c.Append(context.Background(), k, []wire.Entry{{Field: "f", Count: 1}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// stale is read first, fresh 8 seconds later — their absolute
+	// expiries differ by that much.
+	if _, err := c.Get(context.Background(), stale, 0); err != nil {
+		t.Fatal(err)
+	}
+	clock = clock.Add(8 * time.Second)
+	if _, err := c.Get(context.Background(), fresh, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SaveSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+
+	// The process is down for 5 seconds: stale's TTL (10s, 8 elapsed)
+	// runs out mid-downtime, fresh's does not.
+	clock = clock.Add(5 * time.Second)
+	c2 := NewCached(l, 16, 10*time.Second, now)
+	warmed, err := c2.WarmSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warmed != 1 || c2.Len() != 1 {
+		t.Fatalf("warmed=%d len=%d, want the one unexpired entry", warmed, c2.Len())
+	}
+	innerGets := l.Gets()
+	if _, err := c2.Get(context.Background(), fresh, 0); err != nil {
+		t.Fatal(err)
+	}
+	if l.Gets() != innerGets {
+		t.Fatal("unexpired entry was not served from the warmed cache")
+	}
+	if _, err := c2.Get(context.Background(), stale, 0); err != nil {
+		t.Fatal(err)
+	}
+	if l.Gets() != innerGets+1 {
+		t.Fatal("expired entry should have gone through to the store")
+	}
+}
+
+func TestCacheWarmToleratesMissingAndCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	c, _ := newCachedLocal(t, 8, time.Minute, nil)
+
+	// Missing file: cold start, no error.
+	if warmed, err := c.WarmSnapshot(filepath.Join(dir, "nope")); err != nil || warmed != 0 {
+		t.Fatalf("missing snapshot: warmed=%d err=%v", warmed, err)
+	}
+
+	// Corrupt tail: the intact prefix warms, the rest is dropped.
+	path := filepath.Join(dir, "readcache")
+	key := kadid.HashString("ok")
+	if err := c.Append(context.Background(), key, []wire.Entry{{Field: "f", Count: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get(context.Background(), key, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SaveSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(raw, 0xFF, 0x03, 0x02), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c2, _ := newCachedLocal(t, 8, time.Minute, nil)
+	if warmed, err := c2.WarmSnapshot(path); err != nil || warmed != 1 {
+		t.Fatalf("corrupt tail: warmed=%d err=%v, want the intact record", warmed, err)
+	}
+
+	// Garbage from byte zero: nothing warms, boot proceeds.
+	if err := os.WriteFile(path, []byte("not a snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c3, _ := newCachedLocal(t, 8, time.Minute, nil)
+	if warmed, err := c3.WarmSnapshot(path); err != nil || warmed != 0 {
+		t.Fatalf("garbage snapshot: warmed=%d err=%v", warmed, err)
+	}
+}
+
+func TestCacheSnapshotPreservesLRUOrder(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "readcache")
+	c, l := newCachedLocal(t, 8, time.Minute, nil)
+	keys := make([]kadid.ID, 6)
+	for i := range keys {
+		keys[i] = kadid.HashString(fmt.Sprintf("lru%d", i))
+		if err := c.Append(context.Background(), keys[i], []wire.Entry{{Field: "f", Count: uint64(i)}}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Get(context.Background(), keys[i], 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.SaveSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+
+	// Warm into a smaller cache: only the most recently used entries
+	// must survive the capacity squeeze.
+	c2 := NewCached(l, 3, time.Minute, nil)
+	if _, err := c2.WarmSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+	if c2.Len() != 3 {
+		t.Fatalf("len=%d want 3", c2.Len())
+	}
+	innerGets := l.Gets()
+	for _, key := range keys[3:] {
+		if _, err := c2.Get(context.Background(), key, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if l.Gets() != innerGets {
+		t.Fatal("most recent half was evicted by the warm, oldest kept")
+	}
+}

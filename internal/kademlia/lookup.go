@@ -302,43 +302,54 @@ func (n *Node) iterativeLookup(ctx context.Context, target kadid.ID, wantValue b
 	return out, true, closest, busy, nil
 }
 
-// readRepair pushes merged — the field-wise maximum over every replica
-// response — to the members of the k-closest set whose response was
-// stale: non-holders get the block they should be storing, holders with
-// any lower count get raised to the merged state. REPLICATE max-merges
-// on arrival, so concurrent repairs and appends commute.
+// readRepair heals the stale members of the k-closest set from merged —
+// the field-wise maximum over every replica response. The repair is
+// delta-based: each holder receives only the fields its own response
+// was missing or held at a lower count (its per-field state was
+// observed in holderCounts during the lookup), while non-holders get
+// the whole block they should be storing. REPLICATE max-merges on
+// arrival, so concurrent repairs and appends commute, and re-sending an
+// entry a racing writer already delivered is harmless.
 func (n *Node) readRepair(ctx context.Context, key kadid.ID, merged []wire.Entry, closest []wire.Contact, holderCounts map[kadid.ID]map[string]uint64) {
-	var stale []wire.Contact
+	type repairJob struct {
+		to    wire.Contact
+		delta []wire.Entry
+	}
+	var jobs []repairJob
 	for _, c := range closest {
 		counts, isHolder := holderCounts[c.ID]
 		if !isHolder {
-			stale = append(stale, c)
+			jobs = append(jobs, repairJob{to: c, delta: merged})
 			continue
 		}
+		var delta []wire.Entry
 		for _, e := range merged {
 			if counts[e.Field] < e.Count {
-				stale = append(stale, c)
-				break
+				delta = append(delta, e)
 			}
 		}
+		if len(delta) > 0 {
+			jobs = append(jobs, repairJob{to: c, delta: delta})
+		}
 	}
-	if len(stale) == 0 {
+	if len(jobs) == 0 {
 		return
 	}
 	var wg sync.WaitGroup
-	for _, c := range stale {
+	for _, j := range jobs {
 		wg.Add(1)
-		go func(c wire.Contact) {
+		go func(j repairJob) {
 			defer wg.Done()
-			resp, err := n.call(ctx, c, &wire.Message{
+			resp, err := n.call(ctx, j.to, &wire.Message{
 				Kind:    wire.KindReplicate,
 				Target:  key,
-				Entries: merged,
+				Entries: j.delta,
 			})
 			if err == nil && resp.Kind == wire.KindStoreAck {
 				n.repairs.Add(1)
+				n.repairEntries.Add(int64(len(j.delta)))
 			}
-		}(c)
+		}(j)
 	}
 	wg.Wait()
 }

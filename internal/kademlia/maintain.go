@@ -47,14 +47,38 @@ func (s *Store) applyMergeMax(key kadid.ID, entries []wire.Entry) {
 	sh.mu.Unlock()
 }
 
-// RepublishOnce pushes every locally stored block to the k nodes
-// currently closest to its key (max-merge on arrival). It returns how
-// many blocks were pushed and how many replica stores succeeded.
-// Deployments call this periodically; tests and the churn experiment
-// call it directly. A cancelled ctx stops the sweep between blocks and
-// aborts the in-flight replicate RPCs — how a maintenance loop winds
-// down promptly on shutdown.
+// RepublishOnce reconciles every locally stored block with the k nodes
+// currently closest to its key. It returns how many blocks were swept
+// and how many replica acknowledgements came back (a digest match
+// counts — the replica demonstrably holds the block). The sweep is
+// forced — no per-block timers, every block every call — but each
+// exchange is summary-based (see antientropy.go): replicas that already
+// agree cost one digest round trip instead of a whole-block push, and
+// disagreeing replicas receive only the delta. Deployments needing
+// periodic maintenance should prefer the Maintainer, which drives the
+// timer-suppressed AntiEntropyOnce; RepublishOnce is for callers that
+// must guarantee full coverage now (the chaos harness's repair phase,
+// tests, a node rejoining after downtime). A cancelled ctx stops the
+// sweep between blocks and aborts the in-flight RPCs.
 func (n *Node) RepublishOnce(ctx context.Context) (blocks int, acks int) {
+	for _, key := range n.store.Keys() {
+		if ctx.Err() != nil {
+			return blocks, acks
+		}
+		targets := n.insertSelf(n.IterativeFindNode(ctx, key), key)
+		got := n.syncBlock(ctx, key, targets)
+		blocks++
+		acks += got
+	}
+	return blocks, acks
+}
+
+// RepublishFullOnce is the pre-summary maintenance sweep: every block
+// pushed whole to its k closest nodes, unconditionally. It is kept as
+// the measured baseline for the summary path (`dharma-bench
+// antientropy` reports bytes/round for both) and as a belt-and-braces
+// fallback that moves blobs even where digests would agree.
+func (n *Node) RepublishFullOnce(ctx context.Context) (blocks int, acks int) {
 	blocks, acks, _ = n.pushBlocks(ctx, true, false)
 	return blocks, acks
 }

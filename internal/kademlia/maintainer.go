@@ -16,9 +16,13 @@ import (
 //     on crashed peers;
 //   - bucket refresh: random lookups inside a few buckets per round keep
 //     the table populated as the membership moves;
-//   - republish: every locally stored block is pushed to the k nodes
-//     currently closest to its key (max-merge on arrival), which is what
-//     moves replicas onto joiners and off the footprint of the dead.
+//   - anti-entropy: blocks are reconciled with the k nodes currently
+//     closest to their key via the summary exchange (digest first, delta
+//     on mismatch — see antientropy.go), under per-block timers: a block
+//     just written skips a round, an unchanged synced block waits
+//     RepublishEvery rounds between checks. This is what moves replicas
+//     onto joiners and off the footprint of the dead, at a per-round
+//     cost proportional to divergence instead of store size.
 //
 // Rounds run at a jittered interval so a cluster of maintainers does not
 // phase-lock into synchronized republish storms.
@@ -29,11 +33,13 @@ type Maintainer struct {
 	rngMu sync.Mutex
 	rng   *rand.Rand
 
-	rounds    atomic.Int64
-	evicted   atomic.Int64
-	refreshed atomic.Int64
-	blocks    atomic.Int64
-	acks      atomic.Int64
+	rounds     atomic.Int64
+	evicted    atomic.Int64
+	refreshed  atomic.Int64
+	blocks     atomic.Int64
+	acks       atomic.Int64
+	suppressed atomic.Int64
+	skipped    atomic.Int64
 }
 
 // MaintainerConfig parameterises the maintenance loop.
@@ -47,6 +53,12 @@ type MaintainerConfig struct {
 	// round (default 2). Refreshing every bucket every round would cost
 	// a full lookup per bucket; a rotating sample amortizes it.
 	RefreshBuckets int
+	// RepublishEvery is how many rounds an unchanged, already-synced
+	// block sits out between anti-entropy checks (default
+	// kademlia.DefaultRepublishEvery). Every block is still force-synced
+	// at least once per RepublishEvery rounds, so it bounds replica
+	// staleness at RepublishEvery·Interval.
+	RepublishEvery int
 	// Seed drives the jitter and the refresh choices.
 	Seed int64
 }
@@ -64,16 +76,21 @@ func (c MaintainerConfig) withDefaults() MaintainerConfig {
 	if c.RefreshBuckets <= 0 {
 		c.RefreshBuckets = 2
 	}
+	if c.RepublishEvery <= 0 {
+		c.RepublishEvery = DefaultRepublishEvery
+	}
 	return c
 }
 
 // MaintenanceStats aggregates what maintenance rounds have done.
 type MaintenanceStats struct {
-	Rounds    int64 // maintenance rounds completed
-	Evicted   int64 // dead contacts dropped from routing tables
-	Refreshed int64 // bucket refresh lookups performed
-	Blocks    int64 // block republications attempted
-	Acks      int64 // replica stores acknowledged
+	Rounds     int64 // maintenance rounds completed
+	Evicted    int64 // dead contacts dropped from routing tables
+	Refreshed  int64 // bucket refresh lookups performed
+	Blocks     int64 // blocks anti-entropy-synced
+	Acks       int64 // replica acknowledgements (digest matches included)
+	Suppressed int64 // block-rounds skipped as recently written
+	Skipped    int64 // block-rounds skipped as synced and not yet due
 }
 
 // NewMaintainer creates a maintainer for node n. Run starts the loop;
@@ -110,9 +127,11 @@ func (m *Maintainer) RunOnce(ctx context.Context) {
 		m.node.RefreshBucket(ctx, idx, seed)
 		m.refreshed.Add(1)
 	}
-	blocks, acks := m.node.RepublishOnce(ctx)
-	m.blocks.Add(int64(blocks))
-	m.acks.Add(int64(acks))
+	r := m.node.AntiEntropyOnce(ctx, m.cfg.RepublishEvery)
+	m.blocks.Add(int64(r.Synced))
+	m.acks.Add(int64(r.Acks))
+	m.suppressed.Add(int64(r.Suppressed))
+	m.skipped.Add(int64(r.Skipped))
 	m.rounds.Add(1)
 }
 
@@ -144,11 +163,13 @@ func (m *Maintainer) nextWait() time.Duration {
 // Stats returns a snapshot of the maintainer's counters.
 func (m *Maintainer) Stats() MaintenanceStats {
 	return MaintenanceStats{
-		Rounds:    m.rounds.Load(),
-		Evicted:   m.evicted.Load(),
-		Refreshed: m.refreshed.Load(),
-		Blocks:    m.blocks.Load(),
-		Acks:      m.acks.Load(),
+		Rounds:     m.rounds.Load(),
+		Evicted:    m.evicted.Load(),
+		Refreshed:  m.refreshed.Load(),
+		Blocks:     m.blocks.Load(),
+		Acks:       m.acks.Load(),
+		Suppressed: m.suppressed.Load(),
+		Skipped:    m.skipped.Load(),
 	}
 }
 
@@ -159,6 +180,8 @@ func (s *MaintenanceStats) add(o MaintenanceStats) {
 	s.Refreshed += o.Refreshed
 	s.Blocks += o.Blocks
 	s.Acks += o.Acks
+	s.Suppressed += o.Suppressed
+	s.Skipped += o.Skipped
 }
 
 // EvictDead pings every routing-table contact and reports how many were

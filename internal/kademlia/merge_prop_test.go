@@ -130,6 +130,117 @@ func TestMergeMaxProperties(t *testing.T) {
 	}
 }
 
+// TestDeltaRepairConverges is the property behind delta-based sync and
+// read-repair: for random divergent replica pairs, exchanging only the
+// deltaEntries each side computes against the other's counts — applied
+// via MergeMax — converges both replicas to the field-wise maximum of
+// the pair. The exchange must also be idempotent (re-applying a delta
+// changes nothing) and commutative (which replica pushes first does not
+// matter), because under churn deltas are retried and interleave.
+func TestDeltaRepairConverges(t *testing.T) {
+	rng := rand.New(rand.NewSource(515151))
+	fields := []string{"a", "b", "c", "d", "e", "f", "g", "h", "i", "j", "k", "l"}
+
+	randDivergent := func(key kadid.ID) (sa, sb *Store) {
+		sa, sb = NewStore(), NewStore()
+		// A shared prefix both replicas saw, then independent suffixes —
+		// the shape a partition or missed write leaves behind.
+		shared := make([]wire.Entry, 1+rng.Intn(6))
+		for i := range shared {
+			shared[i] = wire.Entry{Field: fields[rng.Intn(len(fields))], Count: uint64(1 + rng.Intn(40))}
+		}
+		sa.MergeMax(context.Background(), key, shared)
+		sb.MergeMax(context.Background(), key, shared)
+		for _, store := range []*Store{sa, sb} {
+			for op := 0; op < rng.Intn(5); op++ {
+				batch := make([]wire.Entry, 1+rng.Intn(4))
+				for i := range batch {
+					batch[i] = wire.Entry{Field: fields[rng.Intn(len(fields))], Count: uint64(1 + rng.Intn(80))}
+				}
+				store.Append(context.Background(), key, batch)
+			}
+		}
+		return sa, sb
+	}
+
+	snapshot := func(s *Store, key kadid.ID) map[string]uint64 {
+		out := make(map[string]uint64)
+		es, ok := s.Get(key, 0)
+		if !ok {
+			return out
+		}
+		for _, e := range es {
+			out[e.Field] = e.Count
+		}
+		return out
+	}
+
+	exchange := func(from, to *Store, key kadid.ID) []wire.Entry {
+		local, _ := from.Get(key, 0)
+		remote := snapshot(to, key)
+		delta := deltaEntries(local, remote)
+		to.MergeMax(context.Background(), key, delta)
+		return delta
+	}
+
+	for trial := 0; trial < 150; trial++ {
+		key := kadid.HashString(fmt.Sprintf("delta%d", trial))
+		sa, sb := randDivergent(key)
+
+		// The model: field-wise maximum over both replicas.
+		model := snapshot(sa, key)
+		for f, c := range snapshot(sb, key) {
+			if c > model[f] {
+				model[f] = c
+			}
+		}
+
+		// One exchange in each direction converges both sides.
+		deltaAB := exchange(sa, sb, key)
+		deltaBA := exchange(sb, sa, key)
+		gotA, gotB := snapshot(sa, key), snapshot(sb, key)
+		if !mapsEqual(gotA, model) || !mapsEqual(gotB, model) {
+			t.Fatalf("trial %d: replicas did not converge to the max:\n a=%v\n b=%v\n model=%v",
+				trial, gotA, gotB, model)
+		}
+
+		// Idempotence: replaying both deltas changes nothing.
+		sb.MergeMax(context.Background(), key, deltaAB)
+		sa.MergeMax(context.Background(), key, deltaBA)
+		if !mapsEqual(snapshot(sa, key), model) || !mapsEqual(snapshot(sb, key), model) {
+			t.Fatalf("trial %d: delta replay moved a converged replica", trial)
+		}
+
+		// After convergence the digests agree — the next summary exchange
+		// is a match and moves no data (deltas in both directions empty).
+		sumA, _ := sa.Summary(key)
+		sumB, _ := sb.Summary(key)
+		if sumA != sumB {
+			t.Fatalf("trial %d: converged replicas summarise differently: %+v vs %+v", trial, sumA, sumB)
+		}
+		la, _ := sa.Get(key, 0)
+		if d := deltaEntries(la, snapshot(sb, key)); len(d) != 0 {
+			t.Fatalf("trial %d: converged replicas still produce a delta: %v", trial, d)
+		}
+
+		// Commutativity: a fresh pair exchanging in the opposite order
+		// converges to the same state.
+		sc, sd := randDivergent(kadid.HashString(fmt.Sprintf("delta%d-swap", trial)))
+		key2 := kadid.HashString(fmt.Sprintf("delta%d-swap", trial))
+		model2 := snapshot(sc, key2)
+		for f, c := range snapshot(sd, key2) {
+			if c > model2[f] {
+				model2[f] = c
+			}
+		}
+		exchange(sd, sc, key2) // B->A first this time
+		exchange(sc, sd, key2)
+		if !mapsEqual(snapshot(sc, key2), model2) || !mapsEqual(snapshot(sd, key2), model2) {
+			t.Fatalf("trial %d: reversed exchange order did not converge", trial)
+		}
+	}
+}
+
 func mapsEqual(a, b map[string]uint64) bool {
 	if len(a) != len(b) {
 		return false

@@ -161,6 +161,27 @@ type Node struct {
 	rpcServed atomic.Int64
 	repairs   atomic.Int64
 
+	// Anti-entropy state (antientropy.go). aeMu guards the per-block
+	// timer maps: the version observed at the previous round (aeSeen),
+	// the version and round of the last completed sync (aeSyncedV,
+	// aeRoundAt) and the round counter.
+	aeMu       sync.Mutex
+	aeSeen     map[kadid.ID]uint64
+	aeSyncedV  map[kadid.ID]uint64
+	aeRoundAt  map[kadid.ID]int64
+	aeRoundCtr int64
+
+	aeSynced       atomic.Int64
+	aeSuppressed   atomic.Int64
+	aeSkipped      atomic.Int64
+	aeMatches      atomic.Int64
+	aeDeltaEntries atomic.Int64
+	aePullEntries  atomic.Int64
+	aeFullBlocks   atomic.Int64
+	repairEntries  atomic.Int64
+	aeBytesOut     atomic.Int64
+	aeBytesIn      atomic.Int64
+
 	// arenas pools lookup working state (candidate lists, seen map,
 	// seed buffer) so steady-state lookups allocate no per-round
 	// bookkeeping. See lookupArena.
@@ -179,11 +200,14 @@ func NewNode(self kadid.ID, cfg Config) *Node {
 		store = NewStore()
 	}
 	n := &Node{
-		cfg:      cfg,
-		id:       self,
-		self:     wire.Contact{ID: self},
-		store:    store,
-		credSeen: make(map[kadid.ID]bool),
+		cfg:       cfg,
+		id:        self,
+		self:      wire.Contact{ID: self},
+		store:     store,
+		credSeen:  make(map[kadid.ID]bool),
+		aeSeen:    make(map[kadid.ID]uint64),
+		aeSyncedV: make(map[kadid.ID]uint64),
+		aeRoundAt: make(map[kadid.ID]int64),
 	}
 	n.detached.Store(true) // until Attach
 	n.arenas.New = func() any { return &lookupArena{} }
@@ -306,6 +330,22 @@ func (n *Node) HandleRPC(ctx context.Context, from simnet.Addr, payload []byte) 
 			resp = &wire.Message{
 				Kind:     wire.KindNodes,
 				Contacts: closest(msg.Target),
+			}
+		}
+
+	case wire.KindSummary:
+		// Anti-entropy digest exchange: answer with our summary; on
+		// mismatch also enumerate our (field, count) map so the caller
+		// can compute the exact delta. A block too wide to enumerate in
+		// one message answers with the bare summary — the caller falls
+		// back to a full push.
+		resp = &wire.Message{Kind: wire.KindSummaryReply}
+		if sum, ok := n.store.Summary(msg.Target); ok {
+			resp.Summary = sum
+			if sum != msg.Summary {
+				if counts, ok := n.store.Counts(msg.Target); ok && len(counts) <= wire.MaxListLen {
+					resp.Entries = counts
+				}
 			}
 		}
 
@@ -435,7 +475,18 @@ func (n *Node) callOnce(ctx context.Context, to wire.Contact, msg *wire.Message)
 	// payload, so those buffers are dropped to the GC instead.
 	buf := wire.GetBuffer()
 	buf.B = wire.AppendEncode(buf.B[:0], msg)
+	// Maintenance-plane byte accounting: SUMMARY exchanges and REPLICATE
+	// pushes (republish, anti-entropy, read-repair, §4.1 caching) are
+	// what the bandwidth-frugality claim is about, so their payload
+	// sizes are metered transport-independently here.
+	maint := msg.Kind == wire.KindSummary || msg.Kind == wire.KindReplicate
+	if maint {
+		n.aeBytesOut.Add(int64(len(buf.B)))
+	}
 	raw, err := tr.Call(ctx, simnet.Addr(to.Addr), buf.B)
+	if maint && err == nil {
+		n.aeBytesIn.Add(int64(len(raw)))
+	}
 	if ctx.Err() == nil {
 		buf.Release()
 	}

@@ -63,6 +63,15 @@ type block struct {
 	// top holds the min(len(fields), topIndexCap) greatest entries in
 	// exact (count desc, field asc) order.
 	top []*storedEntry
+	// digest is the anti-entropy summary: an XOR fold of
+	// fieldDigest(field, count) over every field, maintained
+	// incrementally at each count transition like the top index (see
+	// store_summary.go). It covers the weight map only, not Data.
+	digest uint64
+	// version counts mutations that changed the block; per-block
+	// republish timers use it as a write clock ("recently written blocks
+	// skip a round") without reading wall time.
+	version uint64
 }
 
 type storedEntry struct {
@@ -190,6 +199,7 @@ func (sh *storeShard) appendLocked(key kadid.ID, entries []wire.Entry) {
 		blk = &block{fields: make(map[string]*storedEntry, len(entries))}
 		sh.blocks[key] = blk
 	}
+	changed := false
 	for i := range entries {
 		e := &entries[i]
 		se, ok := blk.fields[e.Field]
@@ -201,16 +211,25 @@ func (sh *storeShard) appendLocked(key kadid.ID, entries []wire.Entry) {
 			} else {
 				se.count = e.Count
 			}
+			blk.digest ^= fieldDigest(e.Field, se.count)
 			blk.indexEnter(se)
+			changed = true
 		} else if e.Count > 0 {
+			blk.digest ^= fieldDigest(e.Field, se.count)
 			se.count += e.Count
+			blk.digest ^= fieldDigest(e.Field, se.count)
 			blk.indexBump(se)
+			changed = true
 		}
 		if len(e.Data) > 0 {
 			se.data = append([]byte(nil), e.Data...)
 			se.author = append([]byte(nil), e.Author...)
 			se.sig = append([]byte(nil), e.Sig...)
+			changed = true
 		}
+	}
+	if changed {
+		blk.version++
 	}
 }
 
@@ -260,22 +279,32 @@ func (sh *storeShard) mergeMaxLocked(key kadid.ID, entries []wire.Entry) {
 		blk = &block{fields: make(map[string]*storedEntry, len(entries))}
 		sh.blocks[key] = blk
 	}
+	changed := false
 	for i := range entries {
 		e := &entries[i]
 		se, ok := blk.fields[e.Field]
 		if !ok {
 			se = &storedEntry{field: e.Field, count: e.Count, pos: -1}
 			blk.fields[e.Field] = se
+			blk.digest ^= fieldDigest(e.Field, se.count)
 			blk.indexEnter(se)
+			changed = true
 		} else if e.Count > se.count {
+			blk.digest ^= fieldDigest(e.Field, se.count)
 			se.count = e.Count
+			blk.digest ^= fieldDigest(e.Field, se.count)
 			blk.indexBump(se)
+			changed = true
 		}
 		if len(se.data) == 0 && len(e.Data) > 0 {
 			se.data = append([]byte(nil), e.Data...)
 			se.author = append([]byte(nil), e.Author...)
 			se.sig = append([]byte(nil), e.Sig...)
+			changed = true
 		}
+	}
+	if changed {
+		blk.version++
 	}
 }
 

@@ -17,7 +17,8 @@ const (
 	MaxListLen   = 1 << 16 // most contacts or entries per message
 )
 
-const codecVersion = 1
+// codecVersion 2 added the two BlockSummary uvarints after TopN.
+const codecVersion = 2
 
 // ErrMalformed is wrapped by all decode errors.
 var ErrMalformed = errors.New("wire: malformed message")
@@ -41,6 +42,8 @@ func AppendEncode(dst []byte, m *Message) []byte {
 	w.str(m.From.Addr)
 	w.id(m.Target)
 	w.uvarint(uint64(m.TopN))
+	w.uvarint(m.Summary.Fields)
+	w.uvarint(m.Summary.Digest)
 	w.uvarint(uint64(len(m.Contacts)))
 	for _, c := range m.Contacts {
 		w.id(c.ID)
@@ -103,6 +106,8 @@ func decodeInto(m *Message, b []byte, strs *interner) error {
 	m.From.Addr = r.str()
 	m.Target = r.id()
 	m.TopN = uint32(r.uvarint())
+	m.Summary.Fields = r.uvarint()
+	m.Summary.Digest = r.uvarint()
 
 	nc := r.uvarint()
 	if nc > MaxListLen {

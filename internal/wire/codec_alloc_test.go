@@ -171,6 +171,63 @@ func BenchmarkDecodeInto(b *testing.B) {
 	}
 }
 
+// summaryReplyMessage is the anti-entropy mismatch reply shape: the
+// receiver's summary plus count-only entries (no Data/Author/Sig).
+func summaryReplyMessage(fields int) *Message {
+	m := &Message{
+		Kind:    KindSummaryReply,
+		From:    Contact{ID: kadid.HashString("replica"), Addr: "10.0.0.2:4100"},
+		Target:  kadid.HashString("rock|3"),
+		Summary: BlockSummary{Fields: uint64(fields), Digest: 0x9e3779b97f4a7c15},
+	}
+	for i := 0; i < fields; i++ {
+		m.Entries = append(m.Entries, Entry{
+			Field: fmt.Sprintf("tag-%d", i),
+			Count: uint64(i*7 + 1),
+		})
+	}
+	return m
+}
+
+// BenchmarkAppendEncodeSummary gates the anti-entropy digest-exchange
+// marshal path: encoding a summary reply into a recycled buffer must
+// not allocate. scripts/alloc_gate.sh holds it to alloc_budgets.txt.
+func BenchmarkAppendEncodeSummary(b *testing.B) {
+	m := summaryReplyMessage(32)
+	buf := make([]byte, 0, 2048)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = AppendEncode(buf[:0], m)
+	}
+	if len(buf) == 0 {
+		b.Fatal("empty encode")
+	}
+}
+
+// BenchmarkDecodeIntoSummary gates the anti-entropy unmarshal path: a
+// warmed Decoder re-reading summary replies must not allocate.
+func BenchmarkDecodeIntoSummary(b *testing.B) {
+	payloads := make([][]byte, 8)
+	for i := range payloads {
+		payloads[i] = Encode(summaryReplyMessage(32))
+	}
+	var d Decoder
+	var m Message
+	for _, p := range payloads { // warm the intern table
+		if err := d.DecodeInto(&m, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := d.DecodeInto(&m, payloads[i%len(payloads)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkCodecRoundTrip is one full client-side RPC worth of codec
 // work — marshal the request into a pooled buffer, unmarshal the
 // response with a warmed Decoder — and must be allocation-free.

@@ -13,10 +13,11 @@ import (
 
 func sampleMessage() *Message {
 	return &Message{
-		Kind:   KindFindValue,
-		From:   Contact{ID: kadid.HashString("node-a"), Addr: "node-a"},
-		Target: kadid.HashString("rock|3"),
-		TopN:   100,
+		Kind:    KindFindValue,
+		From:    Contact{ID: kadid.HashString("node-a"), Addr: "node-a"},
+		Target:  kadid.HashString("rock|3"),
+		TopN:    100,
+		Summary: BlockSummary{Fields: 2, Digest: 0xdeadbeefcafe},
 		Contacts: []Contact{
 			{ID: kadid.HashString("node-b"), Addr: "node-b"},
 			{ID: kadid.HashString("node-c"), Addr: "10.0.0.3:9999"},
@@ -104,6 +105,8 @@ func TestDecodeRejectsHugeList(t *testing.T) {
 	w.str("a")
 	w.id(kadid.ID{})
 	w.uvarint(0)              // TopN
+	w.uvarint(0)              // Summary.Fields
+	w.uvarint(0)              // Summary.Digest
 	w.uvarint(MaxListLen + 1) // contact count
 	if _, err := Decode(w.buf); !errors.Is(err, ErrMalformed) {
 		t.Fatalf("want ErrMalformed, got %v", err)
@@ -160,7 +163,8 @@ func TestEntryClone(t *testing.T) {
 
 func TestKindString(t *testing.T) {
 	kinds := []Kind{KindPing, KindPong, KindStore, KindStoreAck, KindFindNode,
-		KindFindValue, KindNodes, KindValue, KindError, Kind(200)}
+		KindFindValue, KindNodes, KindValue, KindError, KindReplicate, KindBusy,
+		KindSummary, KindSummaryReply, Kind(200)}
 	seen := map[string]bool{}
 	for _, k := range kinds {
 		s := k.String()

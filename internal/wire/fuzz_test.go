@@ -12,6 +12,15 @@ func FuzzDecode(f *testing.F) {
 	f.Add([]byte{})
 	f.Add(Encode(sampleMessage()))
 	f.Add(Encode(&Message{Kind: KindPing}))
+	f.Add(Encode(&Message{
+		Kind:    KindSummary,
+		Summary: BlockSummary{Fields: 3, Digest: 0x1122334455667788},
+	}))
+	f.Add(Encode(&Message{
+		Kind:    KindSummaryReply,
+		Summary: BlockSummary{Fields: 2, Digest: 42},
+		Entries: []Entry{{Field: "rock", Count: 7}, {Field: "jazz", Count: 1}},
+	}))
 	f.Add(bytes.Repeat([]byte{0xFF}, 64))
 
 	f.Fuzz(func(t *testing.T, data []byte) {

@@ -19,15 +19,17 @@ type Kind uint8
 const (
 	KindPing Kind = iota + 1
 	KindPong
-	KindStore     // append entries to the block stored under Target
-	KindStoreAck  // acknowledgement for KindStore and KindReplicate
-	KindFindNode  // request the k closest contacts to Target
-	KindFindValue // request the block under Target (or closest contacts)
-	KindNodes     // response carrying contacts
-	KindValue     // response carrying block entries
-	KindError     // response carrying an error string
-	KindReplicate // max-merge a replica of the block under Target
-	KindBusy      // admission rejection: retry with backoff, peer is alive
+	KindStore        // append entries to the block stored under Target
+	KindStoreAck     // acknowledgement for KindStore and KindReplicate
+	KindFindNode     // request the k closest contacts to Target
+	KindFindValue    // request the block under Target (or closest contacts)
+	KindNodes        // response carrying contacts
+	KindValue        // response carrying block entries
+	KindError        // response carrying an error string
+	KindReplicate    // max-merge a replica of the block under Target
+	KindBusy         // admission rejection: retry with backoff, peer is alive
+	KindSummary      // anti-entropy: compare block summaries before moving data
+	KindSummaryReply // response carrying the receiver's summary (+ counts on mismatch)
 )
 
 // String returns a human-readable name for the message kind.
@@ -55,6 +57,10 @@ func (k Kind) String() string {
 		return "REPLICATE"
 	case KindBusy:
 		return "BUSY"
+	case KindSummary:
+		return "SUMMARY"
+	case KindSummaryReply:
+		return "SUMMARY_REPLY"
 	default:
 		return "UNKNOWN"
 	}
@@ -120,12 +126,24 @@ func CloneEntries(es []Entry) []Entry {
 	return out
 }
 
+// BlockSummary is the fixed-size digest replicas exchange before any
+// block data moves. Fields is the number of fields in the block and
+// Digest is an order-independent XOR fold of a 64-bit hash of every
+// (field, count) pair, so two replicas whose digests match hold the
+// same weight map with false-positive probability ~2^-64 per
+// comparison. A block that does not exist summarises to the zero value.
+type BlockSummary struct {
+	Fields uint64
+	Digest uint64
+}
+
 // Message is a single overlay RPC request or response.
 type Message struct {
 	Kind     Kind
 	From     Contact  // the sender, so receivers can refresh routing state
 	Target   kadid.ID // lookup target or block key
 	TopN     uint32   // FIND_VALUE: return at most this many entries (0 = all)
+	Summary  BlockSummary
 	Contacts []Contact
 	Entries  []Entry
 	Err      string
