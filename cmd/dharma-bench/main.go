@@ -33,6 +33,13 @@
 // regression gate plus a crash-wave durability check:
 //
 //	dharma-bench antientropy -assert-ratio 10
+//
+// The scrape subcommand reads a serving node's live ops endpoint
+// (dharma-node serve -debug-addr) and reports RPC latency percentiles,
+// admission accounting, and the hop-by-hop timeline of a recent lookup
+// trace; -assert-rpc/-assert-trace make it a fleet health check:
+//
+//	dharma-bench scrape -addr 127.0.0.1:9600 -assert-rpc -assert-trace
 package main
 
 import (
@@ -41,6 +48,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -83,12 +91,16 @@ func main() {
 		runAntiEntropy(ctx, os.Args[2:])
 		return
 	}
+	if len(os.Args) > 1 && os.Args[1] == "scrape" {
+		runScrape(ctx, os.Args[2:])
+		return
+	}
 	// The experiment path below is batch work that does not poll ctx;
 	// NotifyContext swallowed the signal's default-kill behavior, so
 	// restore it: first Ctrl-C exits promptly.
 	go func() {
 		<-ctx.Done()
-		fmt.Fprintln(os.Stderr, "dharma-bench: interrupted")
+		diag.Warn("interrupted")
 		os.Exit(130)
 	}()
 	scale := flag.String("scale", "small", "workload scale: tiny, small or lastfm")
@@ -451,7 +463,7 @@ func runLoad(ctx context.Context, args []string) {
 
 		rep, err := loadgen.Run(ctx, lcfg, engines)
 		if errors.Is(err, context.Canceled) {
-			fmt.Fprintln(os.Stderr, "dharma-bench: interrupted; in-flight operations aborted")
+			diag.Warn("interrupted; in-flight operations aborted")
 			os.Exit(130)
 		}
 		if err != nil {
@@ -523,8 +535,12 @@ func runLoad(ctx context.Context, args []string) {
 	}
 }
 
+// diag is the bench's diagnostic logger. Reports and tables stay on
+// stdout (they are the product); diagnostics are structured on stderr.
+var diag = slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelInfo}))
+
 func fail(err error) {
-	fmt.Fprintln(os.Stderr, "dharma-bench:", err)
+	diag.Error("fatal", "err", err)
 	os.Exit(1)
 }
 

@@ -125,7 +125,7 @@ func runOverload(ctx context.Context, args []string) {
 
 	rep, err := loadgen.RunOverload(ctx, cfg, engines, serverBusy)
 	if errors.Is(err, context.Canceled) {
-		fmt.Fprintln(os.Stderr, "dharma-bench: interrupted")
+		diag.Warn("interrupted")
 		os.Exit(130)
 	}
 	if err != nil {
@@ -148,7 +148,7 @@ func runOverload(ctx context.Context, args []string) {
 
 	if problems := rep.Check(*tolerance, *gorBudget); len(problems) > 0 {
 		for _, p := range problems {
-			fmt.Fprintln(os.Stderr, "dharma-bench: FAIL:", p)
+			diag.Error("overload check failed", "problem", p)
 		}
 		os.Exit(1)
 	}

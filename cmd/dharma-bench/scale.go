@@ -53,7 +53,7 @@ func runScale(ctx context.Context, args []string) {
 		LatencyMax: *latMax,
 	})
 	if errors.Is(err, context.Canceled) {
-		fmt.Fprintln(os.Stderr, "dharma-bench: interrupted")
+		diag.Warn("interrupted")
 		os.Exit(130)
 	}
 	if err != nil {

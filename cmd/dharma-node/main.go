@@ -16,6 +16,11 @@
 //	dharma-node tag     -bootstrap 127.0.0.1:9000 -r song -t beatles
 //	dharma-node search  -bootstrap 127.0.0.1:9000 -t rock
 //	dharma-node resolve -bootstrap 127.0.0.1:9000 -r song
+//
+// A serving node exposes a live ops endpoint when -debug-addr is set:
+// Prometheus metrics under /metrics, a JSON stats snapshot under
+// /debug/stats, recent lookup traces under /debug/traces, and the
+// standard pprof profiles under /debug/pprof/.
 package main
 
 import (
@@ -23,7 +28,10 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"math/rand"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -35,6 +43,7 @@ import (
 	"dharma/internal/dht"
 	"dharma/internal/kademlia"
 	"dharma/internal/kadid"
+	"dharma/internal/obs"
 	"dharma/internal/persist"
 	"dharma/internal/wire"
 )
@@ -71,11 +80,64 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   dharma-node serve   -listen host:port [-bootstrap host:port] [-k n] [-alpha n]
                       [-data-dir path] [-fsync group|each|none]
-                      [-queue-depth n] [-peer-rate r]
+                      [-queue-depth n] [-peer-rate r] [-debug-addr host:port]
+                      [-trace-slow d] [-trace-sample n] [-log-level l]
   dharma-node insert  -bootstrap host:port -r name -uri uri [-tags a,b,c] [-timeout d]
   dharma-node tag     -bootstrap host:port -r name -t tag [-timeout d]
   dharma-node search  -bootstrap host:port -t tag [-top n] [-timeout d]
   dharma-node resolve -bootstrap host:port -r name [-timeout d]`)
+}
+
+// newLogger builds the process logger from the -log-level flag value.
+func newLogger(level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lvl = slog.LevelDebug
+	case "", "info":
+		lvl = slog.LevelInfo
+	case "warn":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown -log-level %q (want debug, info, warn or error)", level)
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl})), nil
+}
+
+// traceHook logs captured lookup traces through logger: slow ops at
+// WARN (these are the "why was this navigate slow" evidence), sampled
+// captures at DEBUG.
+func traceHook(logger *slog.Logger) func(*kademlia.LookupTrace) {
+	return func(tr *kademlia.LookupTrace) {
+		lvl := slog.LevelDebug
+		if tr.Slow {
+			lvl = slog.LevelWarn
+		}
+		logger.Log(context.Background(), lvl, "lookup trace",
+			"trace-id", fmt.Sprintf("%016x", tr.TraceID),
+			"target", tr.Target.Short(),
+			"value", tr.Value,
+			"wall", tr.Wall,
+			"rounds", tr.Rounds,
+			"tried", tr.Tried,
+			"busy", tr.Busy,
+			"found", tr.Found,
+			"slow", tr.Slow,
+			"spans", len(tr.Spans))
+	}
+}
+
+// nodeOptions bundles what startNode needs beyond addresses.
+type nodeOptions struct {
+	dataDir     string
+	popts       persist.Options
+	adm         admission.Config
+	k, alpha    int
+	traceSlow   time.Duration
+	traceSample int
+	logger      *slog.Logger
 }
 
 // startNode binds a UDP node and optionally joins through bootstrap.
@@ -83,24 +145,29 @@ func usage() {
 // from (or minted into) the directory so a restart re-enters the
 // overlay as the same member, and its block store recovers from the
 // write-ahead log before serving.
-func startNode(ctx context.Context, listen, bootstrap, dataDir string, popts persist.Options, adm admission.Config, k, alpha int) (*kademlia.Node, error) {
+func startNode(ctx context.Context, listen, bootstrap string, o nodeOptions) (*kademlia.Node, error) {
 	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
-	cfg := kademlia.Config{K: k, Alpha: alpha}
+	cfg := kademlia.Config{
+		K: o.k, Alpha: o.alpha,
+		TraceSlow: o.traceSlow, TraceSample: o.traceSample,
+		OnTrace: traceHook(o.logger),
+	}
 	id := kadid.Random(rng)
-	if dataDir != "" {
+	if o.dataDir != "" {
 		var err error
-		if id, err = persist.LoadOrCreateIdentity(dataDir, id); err != nil {
+		if id, err = persist.LoadOrCreateIdentity(o.dataDir, id); err != nil {
 			return nil, err
 		}
-		store, stats, err := kademlia.OpenDurableStore(dataDir, popts)
+		store, stats, err := kademlia.OpenDurableStore(o.dataDir, o.popts)
 		if err != nil {
 			return nil, err
 		}
 		cfg.Store = store
-		fmt.Printf("recovered %d blocks from %s (%s)\n", store.Len(), dataDir, stats)
+		o.logger.Info(fmt.Sprintf("recovered %d blocks", store.Len()),
+			"data-dir", o.dataDir, "recovery", stats.String())
 	}
 	node := kademlia.NewNode(id, cfg)
-	tr, err := wire.ListenUDPAdmitted(listen, node, 0, adm)
+	tr, err := wire.ListenUDPAdmitted(listen, node, 0, o.adm)
 	if err != nil {
 		return nil, err
 	}
@@ -133,6 +200,22 @@ func parseSyncMode(s string) (persist.SyncMode, error) {
 	}
 }
 
+// nodeStats is the /debug/stats JSON snapshot of a serving node — the
+// same admission-aware accounting Peer.Stats reports, plus transport
+// traffic.
+type nodeStats struct {
+	Node         string `json:"node"`
+	Addr         string `json:"addr"`
+	Contacts     int    `json:"contacts"`
+	Blocks       int    `json:"blocks"`
+	RPCServed    int64  `json:"rpc_served"`
+	Lookups      int64  `json:"lookups"`
+	Admitted     int64  `json:"admitted"`
+	BusyRejected int64  `json:"busy_rejected"`
+	InFlight     int64  `json:"in_flight"`
+	BusyServed   int64  `json:"busy_served"`
+}
+
 func serve(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	listen := fs.String("listen", "127.0.0.1:9000", "UDP address to bind")
@@ -149,21 +232,81 @@ func serve(ctx context.Context, args []string) error {
 		"concurrent request handlers admitted before answering BUSY (negative = unlimited)")
 	peerRate := fs.Float64("peer-rate", 0,
 		"admitted requests/sec per source peer before answering BUSY (0 = unlimited)")
+	debugAddr := fs.String("debug-addr", "",
+		"HTTP address for the ops endpoint (/metrics, /debug/stats, /debug/traces, /debug/pprof); empty disables")
+	traceSlow := fs.Duration("trace-slow", 0,
+		"capture and log every lookup slower than this (0 = default 250ms, negative = disabled)")
+	traceSample := fs.Int("trace-sample", 0,
+		"capture 1 in n lookups regardless of speed (0 = default 1024, negative = disabled)")
+	logLevel := fs.String("log-level", "info", "log verbosity: debug, info, warn or error")
 	fs.Parse(args) //nolint:errcheck // ExitOnError
 
-	var popts persist.Options
-	var err error
-	if popts.Sync, err = parseSyncMode(*fsync); err != nil {
-		return err
-	}
-	adm := admission.Config{QueueDepth: *queueDepth, PerPeerRate: *peerRate}
-	node, err := startNode(ctx, *listen, *bootstrap, *dataDir, popts, adm, *k, *alpha)
+	logger, err := newLogger(*logLevel)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("node %s serving on %s (routing table: %d contacts)\n",
-		node.Self().ID.Short(), node.Self().Addr, node.Table().Len())
-	fmt.Println("press Ctrl-C to stop")
+	var popts persist.Options
+	if popts.Sync, err = parseSyncMode(*fsync); err != nil {
+		return err
+	}
+	// The registry exists even without -debug-addr: instruments are a
+	// few KB of atomics, and a SIGQUIT'd process dump with live counters
+	// beats a dead flag. The WAL metrics ride the same registry.
+	reg := obs.NewRegistry()
+	popts.Metrics = reg
+
+	node, err := startNode(ctx, *listen, *bootstrap, nodeOptions{
+		dataDir: *dataDir, popts: popts,
+		adm: admission.Config{QueueDepth: *queueDepth, PerPeerRate: *peerRate},
+		k:   *k, alpha: *alpha,
+		traceSlow: *traceSlow, traceSample: *traceSample,
+		logger: logger,
+	})
+	if err != nil {
+		return err
+	}
+	node.Instrument(reg)
+	udp, _ := node.Transport().(*wire.UDPTransport)
+	if udp != nil {
+		udp.Instrument(reg)
+	}
+	logger.Info(fmt.Sprintf("node %s serving", node.Self().ID.Short()),
+		"addr", node.Self().Addr, "contacts", node.Table().Len())
+
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		statsFn := func() any {
+			st := nodeStats{
+				Node:      node.Self().ID.Short(),
+				Addr:      node.Self().Addr,
+				Contacts:  node.Table().Len(),
+				Blocks:    node.LocalStore().Len(),
+				RPCServed: node.RPCServed(),
+				Lookups:   node.Lookups(),
+			}
+			if udp != nil {
+				adm := udp.AdmissionStats()
+				st.Admitted = adm.Admitted
+				st.BusyRejected = adm.Rejected()
+				st.InFlight = adm.InFlight
+				st.BusyServed = udp.BusyServed()
+			}
+			return st
+		}
+		tracesFn := func() any { return node.RecentTraces() }
+		ln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			node.Shutdown() //nolint:errcheck // boot failed; nothing to flush
+			return fmt.Errorf("debug listen: %w", err)
+		}
+		debugSrv = &http.Server{Handler: obs.Handler(reg, statsFn, tracesFn)}
+		go func() {
+			if serr := debugSrv.Serve(ln); serr != nil && !errors.Is(serr, http.ErrServerClosed) {
+				logger.Error("debug endpoint failed", "err", serr)
+			}
+		}()
+		logger.Info("ops endpoint serving", "debug-addr", ln.Addr().String())
+	}
 
 	if *maintain > 0 {
 		go func() {
@@ -187,24 +330,33 @@ func serve(ctx context.Context, args []string) error {
 						node.RefreshBucket(ctx, b, seed)
 					}
 					ae := node.AntiEntropy()
-					fmt.Printf("maintenance: anti-entropy synced=%d suppressed=%d skipped=%d acks=%d; totals matches=%d delta-entries=%d full-blocks=%d bytes-out=%d; table %d contacts\n",
-						r.Synced, r.Suppressed, r.Skipped, r.Acks,
-						ae.DigestMatches, ae.DeltaEntries, ae.FullBlocks, ae.BytesSent,
-						node.Table().Len())
+					logger.Info("maintenance: anti-entropy",
+						"synced", r.Synced,
+						"suppressed", r.Suppressed,
+						"skipped", r.Skipped,
+						"acks", r.Acks,
+						"matches", ae.DigestMatches,
+						"delta-entries", ae.DeltaEntries,
+						"full-blocks", ae.FullBlocks,
+						"bytes-out", ae.BytesSent,
+						"contacts", node.Table().Len())
 				}
 			}
 		}()
 	}
 
 	<-ctx.Done()
+	if debugSrv != nil {
+		debugSrv.Close() //nolint:errcheck // process is exiting
+	}
 	// Clean stop: flush and close the durable store (no-op in-memory).
 	// A SIGKILL skips this path entirely — that is what the WAL's
 	// torn-tail recovery is for.
 	if err := node.Shutdown(); err != nil {
-		fmt.Fprintf(os.Stderr, "dharma-node: shutdown: %v\n", err)
+		logger.Error("shutdown failed", "err", err)
 	}
-	fmt.Printf("stopping; served %d RPCs, stored %d blocks\n",
-		node.RPCServed(), node.LocalStore().Len())
+	logger.Info("stopping",
+		"rpc-served", node.RPCServed(), "blocks", node.LocalStore().Len())
 	return nil
 }
 
@@ -220,15 +372,22 @@ func client(ctx context.Context, cmd string, args []string) error {
 	k := fs.Int("k", 5, "connection parameter (approx mode)")
 	timeout := fs.Duration("timeout", 0,
 		"overall deadline for the operation, bootstrap included (0 = none); on expiry in-flight RPCs are aborted and the command exits nonzero")
+	logLevel := fs.String("log-level", "warn", "log verbosity: debug, info, warn or error")
 	fs.Parse(args) //nolint:errcheck // ExitOnError
 
+	logger, err := newLogger(*logLevel)
+	if err != nil {
+		return err
+	}
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
 
-	node, err := startNode(ctx, "127.0.0.1:0", *bootstrap, "", persist.Options{}, admission.Config{}, 20, 3)
+	node, err := startNode(ctx, "127.0.0.1:0", *bootstrap, nodeOptions{
+		k: 20, alpha: 3, logger: logger,
+	})
 	if err != nil {
 		if errors.Is(err, context.DeadlineExceeded) {
 			return fmt.Errorf("deadline exceeded reaching bootstrap %s: %w", *bootstrap, err)

@@ -64,6 +64,7 @@ package dharma
 import (
 	"context"
 	"fmt"
+	"math/rand"
 	"path/filepath"
 	"time"
 
@@ -72,10 +73,13 @@ import (
 	"dharma/internal/dht"
 	"dharma/internal/folksonomy"
 	"dharma/internal/kademlia"
+	"dharma/internal/kadid"
 	"dharma/internal/likir"
+	"dharma/internal/obs"
 	"dharma/internal/persist"
 	"dharma/internal/search"
 	"dharma/internal/simnet"
+	"dharma/internal/wire"
 )
 
 // Mode selects between the exact maintenance protocol and the paper's
@@ -273,6 +277,10 @@ type Peer struct {
 	cache     *dht.Cached // nil unless Config.CacheBlocks > 0
 	cachePath string      // snapshot location; empty on in-memory systems
 	net       *simnet.NodeStats
+	// admStats resolves this peer's admission accounting. Simulated
+	// peers reach through the network (per-endpoint controllers live
+	// there); real-UDP peers read their transport's controller.
+	admStats func() admission.Stats
 }
 
 // Cache exposes the peer's read cache (nil when Config.CacheBlocks is
@@ -304,8 +312,13 @@ type Stats struct {
 	NetSent, NetReceived int64
 	// BusyRejected counts requests this peer refused at admission
 	// (work queue full or per-peer rate exceeded). A nonzero value under
-	// load is the overload protection working, not a fault.
+	// load is the overload protection working, not a fault. Reported for
+	// both transports: simulated peers read their endpoint's network
+	// counter, real-UDP peers their transport's admission controller.
 	BusyRejected int64
+	// Admitted counts inbound requests that passed the admission gate;
+	// InFlight is how many of them are currently in their handler.
+	Admitted, InFlight int64
 	// CacheHits and CacheMisses are the read-cache counters (both zero
 	// unless Config.CacheBlocks is set).
 	CacheHits, CacheMisses int64
@@ -352,6 +365,20 @@ func (p *Peer) Stats() Stats {
 		st.NetSent = p.net.Sent.Load()
 		st.NetReceived = p.net.Received.Load()
 		st.BusyRejected = p.net.Busy.Load()
+	}
+	// Admission accounting. A real-UDP transport self-reports (this is
+	// the path that used to be silently missing: a UDP peer's Stats
+	// always said BusyRejected 0 no matter how hard its admission gate
+	// was working); simulated peers resolve through the network.
+	if tr, ok := p.Node.Transport().(interface{ AdmissionStats() admission.Stats }); ok {
+		adm := tr.AdmissionStats()
+		st.Admitted = adm.Admitted
+		st.InFlight = adm.InFlight
+		st.BusyRejected = adm.Rejected()
+	} else if p.admStats != nil {
+		adm := p.admStats()
+		st.Admitted = adm.Admitted
+		st.InFlight = adm.InFlight
 	}
 	return st
 }
@@ -520,13 +547,15 @@ func NewSystem(cfg Config) (*System, error) {
 			cluster.Shutdown()
 			return nil, fmt.Errorf("dharma: engine %d: %w", i, err)
 		}
+		addr := simnet.Addr(node.Self().Addr)
 		sys.peers = append(sys.peers, &Peer{
 			engine:    engine,
 			Node:      node,
 			store:     store,
 			cache:     cache,
 			cachePath: cachePath,
-			net:       cluster.Net.Stats(simnet.Addr(node.Self().Addr)),
+			net:       cluster.Net.Stats(addr),
+			admStats:  func() admission.Stats { return cluster.Net.AdmissionStats(addr) },
 		})
 	}
 	return sys, nil
@@ -571,6 +600,145 @@ func (s *System) Shutdown() {
 		}
 	}
 	s.cluster.Shutdown()
+}
+
+// UDPPeerConfig describes one real-UDP participant: a node that binds a
+// socket and joins (or founds) a deployed overlay, with a DHARMA engine
+// on top — the facade's path from simulation to deployment.
+type UDPPeerConfig struct {
+	// Config supplies the engine and overlay knobs (Mode, K, TopN,
+	// Replication, Alpha, ReadRepair, WriteQuorum, DataDir, NoFsync,
+	// CacheBlocks, QueueDepth, PerPeerRate, Seed). Simulation-only
+	// fields — Nodes, DropRate, MTU, WithIdentity — are ignored: there
+	// is no simulated fault model over a real socket, and the Likir
+	// layer needs an in-process authority.
+	Config
+	// Listen is the UDP bind address (e.g. "127.0.0.1:0").
+	Listen string
+	// Bootstrap lists addresses of running nodes to join through
+	// (empty = this peer founds a new overlay).
+	Bootstrap []string
+	// Timeout bounds each overlay RPC (0 = the transport default).
+	Timeout time.Duration
+	// Metrics, when non-nil, instruments every layer of the peer on
+	// that registry — node, store, cache, transport, and (with DataDir)
+	// the write-ahead log — ready for obs.Handler to serve.
+	Metrics *obs.Registry
+}
+
+// NewUDPPeer boots one real-UDP participant. The returned Peer speaks
+// the same API as a simulated one; callers own its lifecycle and must
+// Close it. ctx bounds the join handshake only.
+func NewUDPPeer(ctx context.Context, ucfg UDPPeerConfig) (*Peer, error) {
+	cfg := ucfg.Config.withDefaults()
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	id := kadid.Random(rand.New(rand.NewSource(seed)))
+
+	ncfg := kademlia.Config{
+		K: cfg.Replication, Alpha: cfg.Alpha,
+		ReadRepair: cfg.ReadRepair, MinStoreAcks: cfg.WriteQuorum,
+	}
+	var popts persist.Options
+	if cfg.NoFsync {
+		popts.Sync = persist.SyncNone
+	}
+	popts.Metrics = ucfg.Metrics
+	if cfg.DataDir != "" {
+		var err error
+		if id, err = persist.LoadOrCreateIdentity(cfg.DataDir, id); err != nil {
+			return nil, fmt.Errorf("dharma: %w", err)
+		}
+		store, _, err := kademlia.OpenDurableStore(cfg.DataDir, popts)
+		if err != nil {
+			return nil, fmt.Errorf("dharma: %w", err)
+		}
+		ncfg.Store = store
+	}
+	node := kademlia.NewNode(id, ncfg)
+	tr, err := wire.ListenUDPAdmitted(ucfg.Listen, node, ucfg.Timeout,
+		admission.Config{QueueDepth: cfg.QueueDepth, PerPeerRate: cfg.PerPeerRate})
+	if err != nil {
+		return nil, fmt.Errorf("dharma: %w", err)
+	}
+	node.Attach(tr)
+	var seeds []wire.Contact
+	for _, b := range ucfg.Bootstrap {
+		contact, err := node.Discover(ctx, b)
+		if err != nil {
+			node.Shutdown() //nolint:errcheck // boot failed; nothing to flush
+			return nil, fmt.Errorf("dharma: discover %s: %w", b, err)
+		}
+		seeds = append(seeds, contact)
+	}
+	if len(seeds) > 0 {
+		if err := node.Bootstrap(ctx, seeds); err != nil {
+			node.Shutdown() //nolint:errcheck // boot failed; nothing to flush
+			return nil, fmt.Errorf("dharma: bootstrap: %w", err)
+		}
+	}
+
+	store := dht.NewOverlay(node, nil)
+	var engineStore dht.Store = store
+	var cache *dht.Cached
+	var cachePath string
+	if cfg.CacheBlocks > 0 {
+		cache = dht.NewCached(store, cfg.CacheBlocks, 0, nil)
+		if cfg.DataDir != "" {
+			cachePath = filepath.Join(cfg.DataDir, "readcache")
+			cache.WarmSnapshot(cachePath) //nolint:errcheck
+		}
+		engineStore = cache
+	}
+	engine, err := core.NewEngine(engineStore, core.Config{
+		Mode: cfg.Mode, K: cfg.K, TopN: cfg.TopN, Seed: seed,
+	})
+	if err != nil {
+		node.Shutdown() //nolint:errcheck // boot failed; nothing to flush
+		return nil, fmt.Errorf("dharma: engine: %w", err)
+	}
+	p := &Peer{
+		engine:    engine,
+		Node:      node,
+		store:     store,
+		cache:     cache,
+		cachePath: cachePath,
+	}
+	p.Instrument(ucfg.Metrics)
+	return p, nil
+}
+
+// Instrument registers every layer of this peer on reg: the overlay
+// node (RPC serve latency by kind, lookup histograms, maintenance
+// counters, per-shard store latency), the read cache, and — on a
+// real-UDP peer — the transport's datagram and admission accounting.
+// One registry per peer: instrument names are deployment-wide, so two
+// peers sharing a registry would silently share instruments. A nil reg
+// is a no-op.
+func (p *Peer) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	p.Node.Instrument(reg)
+	if p.cache != nil {
+		p.cache.Instrument(reg)
+	}
+	if tr, ok := p.Node.Transport().(*wire.UDPTransport); ok {
+		tr.Instrument(reg)
+	}
+}
+
+// Close stops a self-owned peer (one built with NewUDPPeer): the read
+// cache is snapshotted when durable, then the node shuts down, closing
+// its transport and flushing its write-ahead log. Peers belonging to a
+// System are closed by System.Shutdown instead.
+func (p *Peer) Close() error {
+	if p.cache != nil && p.cachePath != "" {
+		p.cache.SaveSnapshot(p.cachePath) //nolint:errcheck // best-effort
+	}
+	return p.Node.Shutdown()
 }
 
 // NewLocalEngine creates a DHARMA engine over an in-process block store

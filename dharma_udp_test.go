@@ -1,0 +1,143 @@
+package dharma
+
+import (
+	"context"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"dharma/internal/kadid"
+	"dharma/internal/obs"
+	"dharma/internal/wire"
+)
+
+// TestUDPPeerStatsSurfaceAdmission is the regression test for the bug
+// where a real-UDP peer's Stats() silently reported BusyRejected: 0 —
+// the field was read from simnet counters only, and a deployed node has
+// no simnet endpoint. The admission accounting must come from the UDP
+// transport's own controller.
+func TestUDPPeerStatsSurfaceAdmission(t *testing.T) {
+	ctx := context.Background()
+	// A per-peer rate this low never refills a token: the default burst
+	// (8) is the total allowance, everything past it is rejected busy.
+	p, err := NewUDPPeer(ctx, UDPPeerConfig{
+		Listen: "127.0.0.1:0",
+		Config: Config{PerPeerRate: 0.0001},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	// A raw wire-level client: no busy retries, no backoff — each Call
+	// is exactly one admission decision at the peer.
+	client, err := wire.ListenUDP("127.0.0.1:0", nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	ping := wire.Encode(&wire.Message{
+		Kind: wire.KindPing,
+		From: wire.Contact{ID: kadid.Random(rand.New(rand.NewSource(1))), Addr: string(client.Addr())},
+	})
+	var busy int
+	for i := 0; i < 20; i++ {
+		resp, err := client.Call(ctx, p.Node.Transport().Addr(), ping)
+		if err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+		m, err := wire.Decode(resp)
+		if err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+		if m.Kind == wire.KindBusy {
+			busy++
+		}
+	}
+	if busy == 0 {
+		t.Fatal("rate gate never rejected; the test exercises nothing")
+	}
+
+	st := p.Stats()
+	if st.Admitted == 0 {
+		t.Fatal("UDP peer Stats().Admitted is 0 despite served pings")
+	}
+	if st.BusyRejected == 0 {
+		t.Fatal("UDP peer Stats().BusyRejected is 0 despite busy answers (the old silent-zero bug)")
+	}
+	if int(st.BusyRejected) != busy {
+		t.Fatalf("BusyRejected = %d, want %d (one per busy answer)", st.BusyRejected, busy)
+	}
+	if st.InFlight != 0 {
+		t.Fatalf("InFlight = %d on a quiescent peer", st.InFlight)
+	}
+}
+
+// TestSimnetPeerStatsSurfaceAdmission: the simulated path reports the
+// same admission fields, resolved through the network's per-endpoint
+// controllers.
+func TestSimnetPeerStatsSurfaceAdmission(t *testing.T) {
+	sys, err := NewSystem(Config{Nodes: 8, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Shutdown()
+	ctx := context.Background()
+	if err := sys.Peer(0).InsertResource(ctx, "r", "uri:r", []string{"rock"}); err != nil {
+		t.Fatal(err)
+	}
+	var admitted int64
+	for _, p := range sys.Peers() {
+		admitted += p.Stats().Admitted
+	}
+	if admitted == 0 {
+		t.Fatal("no simulated peer reports admitted requests after an insert")
+	}
+}
+
+// TestUDPPeerInstrument: a deployed two-peer overlay instrumented on a
+// registry exposes RPC, transport, and admission metrics.
+func TestUDPPeerInstrument(t *testing.T) {
+	ctx := context.Background()
+	reg := obs.NewRegistry()
+	a, err := NewUDPPeer(ctx, UDPPeerConfig{Listen: "127.0.0.1:0", Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := NewUDPPeer(ctx, UDPPeerConfig{
+		Listen:    "127.0.0.1:0",
+		Bootstrap: []string{string(a.Node.Transport().Addr())},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	if err := b.InsertResource(ctx, "song", "uri:song", []string{"rock"}); err != nil {
+		t.Fatal(err)
+	}
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		"dharma_rpc_serve_seconds_bucket",
+		"dharma_udp_datagrams_read_total",
+		"dharma_admission_admitted_total",
+		"dharma_store_blocks",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q", want)
+		}
+	}
+	parsed, err := obs.ParsePrometheus(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m, ok := parsed["dharma_udp_datagrams_read_total"]; !ok || m.Value == 0 {
+		t.Fatalf("instrumented transport read no datagrams: %+v", m)
+	}
+}

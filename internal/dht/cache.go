@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"dharma/internal/kadid"
+	"dharma/internal/obs"
 	"dharma/internal/wire"
 )
 
@@ -147,6 +148,20 @@ func (c *Cached) invalidate(key kadid.ID) {
 	}
 	c.gens[key]++
 	c.mu.Unlock()
+}
+
+// Instrument registers the cache's accounting on reg as scrape-time
+// funcs. A nil reg is a no-op.
+func (c *Cached) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.CounterFunc("dharma_cache_hits_total",
+		"Reads served from the client-side block cache.", c.Hits)
+	reg.CounterFunc("dharma_cache_misses_total",
+		"Reads that went through to the overlay.", c.Misses)
+	reg.GaugeFunc("dharma_cache_entries",
+		"Entries currently cached.", func() int64 { return int64(c.Len()) })
 }
 
 // Hits returns how many reads were served from the cache.

@@ -2,9 +2,11 @@ package kademlia
 
 import (
 	"context"
+	"encoding/binary"
 	"errors"
 	"math/rand"
 	"sync"
+	"time"
 
 	"dharma/internal/kadid"
 	"dharma/internal/wire"
@@ -19,6 +21,8 @@ type lookupResult struct {
 	entries  []wire.Entry
 	isValue  bool
 	err      error
+	start    time.Duration // send offset from the lookup's start (tracing)
+	rtt      time.Duration // full exchange time, including busy retries
 }
 
 // candidate is one contact the lookup knows about and its query state.
@@ -41,12 +45,14 @@ type lookupArena struct {
 	seen    map[kadid.ID]int32 // contact ID -> index into cands
 	seedBuf []wire.Contact     // reused by Table.ClosestInto for seeding
 	batch   []int32            // this round's query set (indices into cands)
+	spans   []TraceSpan        // per-RPC trace spans, cloned out only on capture
 }
 
 func (a *lookupArena) reset() {
 	a.cands = a.cands[:0]
 	a.order = a.order[:0]
 	a.batch = a.batch[:0]
+	a.spans = a.spans[:0]
 	if a.seen == nil {
 		a.seen = make(map[kadid.ID]int32)
 	} else {
@@ -82,10 +88,45 @@ func (a *lookupArena) reset() {
 // the routing table.
 func (n *Node) iterativeLookup(ctx context.Context, target kadid.ID, wantValue bool, topN int) (entriesOut []wire.Entry, found bool, closestOut []wire.Contact, busy int, errOut error) {
 	n.lookups.Add(1)
+	t0 := time.Now()
+
+	// Tracing decision. Spans are recorded whenever capture is still
+	// possible — forced (TraceLookup), lottery-sampled, or merely
+	// *eligible* for slow capture — because the slow verdict only
+	// exists at the end, when it is too late to start recording.
+	seq := n.traceSeq.Add(1)
+	forced := n.forceTrace.Load() > 0
+	sampled := n.cfg.TraceSample > 0 && seq%uint64(n.cfg.TraceSample) == 0
+	tracing := forced || sampled || n.cfg.TraceSlow > 0
+	var traceID uint64
+	if tracing {
+		traceID = binary.BigEndian.Uint64(n.id[:8]) ^ seq
+		if traceID == 0 {
+			traceID = 1
+		}
+	}
 
 	arena := n.arenas.Get().(*lookupArena)
 	arena.reset()
 	defer n.arenas.Put(arena)
+
+	round, tried := 0, 0
+	defer func() {
+		wall := time.Since(t0)
+		n.metrics.lookupWall.Observe(wall)
+		n.metrics.lookupRounds.ObserveN(int64(round))
+		n.metrics.lookupTried.ObserveN(int64(tried))
+		if busy > 0 {
+			n.metrics.lookupBusy.Add(int64(busy))
+		}
+		if tracing {
+			slow := n.cfg.TraceSlow > 0 && wall >= n.cfg.TraceSlow
+			if forced || sampled || slow {
+				n.captureTrace(arena, traceID, target, wantValue, t0, wall,
+					round, tried, busy, found, slow, sampled)
+			}
+		}
+	}()
 
 	insert := func(c wire.Contact) {
 		if c.ID == n.id || c.ID.IsZero() || c.Addr == "" {
@@ -155,6 +196,8 @@ func (n *Node) iterativeLookup(ctx context.Context, target kadid.ID, wantValue b
 			break
 		}
 		n.rounds.Add(1)
+		round++
+		tried += len(arena.batch)
 
 		var wg sync.WaitGroup
 		for _, idx := range arena.batch {
@@ -169,9 +212,17 @@ func (n *Node) iterativeLookup(ctx context.Context, target kadid.ID, wantValue b
 				} else {
 					msg = &wire.Message{Kind: wire.KindFindNode, Target: target}
 				}
+				if tracing {
+					// Stamp the α-wave so receivers (and packet captures)
+					// can attribute the RPC to this lookup's timeline.
+					msg.TraceID = traceID
+					msg.Hop = uint32(round)
+				}
+				st := time.Now()
 				resp, err := n.call(ctx, c, msg)
+				rtt := time.Since(st)
 				if err != nil {
-					results <- lookupResult{from: c, err: err}
+					results <- lookupResult{from: c, err: err, start: st.Sub(t0), rtt: rtt}
 					return
 				}
 				results <- lookupResult{
@@ -179,6 +230,8 @@ func (n *Node) iterativeLookup(ctx context.Context, target kadid.ID, wantValue b
 					contacts: resp.Contacts,
 					entries:  resp.Entries,
 					isValue:  resp.Kind == wire.KindValue,
+					start:    st.Sub(t0),
+					rtt:      rtt,
 				}
 			}(cd.contact)
 		}
@@ -186,6 +239,16 @@ func (n *Node) iterativeLookup(ctx context.Context, target kadid.ID, wantValue b
 
 		for pending := len(arena.batch); pending > 0; pending-- {
 			res := <-results
+			if tracing {
+				arena.spans = append(arena.spans, TraceSpan{
+					Round:   round,
+					Peer:    res.from,
+					Kind:    lookupKind(wantValue),
+					Start:   res.start,
+					RTT:     res.rtt,
+					Verdict: spanVerdict(ctx, &res),
+				})
+			}
 			if res.err != nil {
 				if errors.Is(res.err, wire.ErrBusy) {
 					busy++

@@ -3,6 +3,7 @@ package kademlia
 import (
 	"context"
 	"sync"
+	"time"
 
 	"dharma/internal/kadid"
 	"dharma/internal/persist"
@@ -30,6 +31,12 @@ import (
 func (s *Store) MergeMax(ctx context.Context, key kadid.ID, entries []wire.Entry) error {
 	if len(entries) == 0 {
 		return nil
+	}
+	if m := s.metrics; m != nil {
+		start := time.Now()
+		defer func() {
+			m.appendLatency.At(int(key[0] & (storeShards - 1))).Observe(time.Since(start))
+		}()
 	}
 	if s.dur != nil {
 		return s.dur.commit(ctx, persist.Record{Op: persist.OpMergeMax, Key: key, Entries: entries},

@@ -106,6 +106,20 @@ type Config struct {
 	MinStoreAcks int
 	// Now is the clock used for credential validation (default time.Now).
 	Now func() time.Time
+	// TraceSample captures the hop-by-hop trace of 1 in TraceSample
+	// lookups (default DefaultTraceSample; negative disables sampling).
+	// Captured traces land in the ring served by RecentTraces.
+	TraceSample int
+	// TraceSlow always captures the trace of a lookup slower than this
+	// threshold, regardless of sampling (default DefaultTraceSlow;
+	// negative disables slow capture). This is the "why was this
+	// navigate slow" knob: the spans are recorded before anyone knows
+	// the op will be slow, so the evidence is there when it is.
+	TraceSlow time.Duration
+	// OnTrace, when set, is called synchronously with every captured
+	// trace (after it entered the ring) — the hook slow-op logging hangs
+	// off. It must not block.
+	OnTrace func(*LookupTrace)
 }
 
 func (c Config) withDefaults() Config {
@@ -126,6 +140,16 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Now == nil {
 		c.Now = time.Now
+	}
+	if c.TraceSample == 0 {
+		c.TraceSample = DefaultTraceSample
+	} else if c.TraceSample < 0 {
+		c.TraceSample = 0
+	}
+	if c.TraceSlow == 0 {
+		c.TraceSlow = DefaultTraceSlow
+	} else if c.TraceSlow < 0 {
+		c.TraceSlow = 0
 	}
 	return c
 }
@@ -186,6 +210,13 @@ type Node struct {
 	// seed buffer) so steady-state lookups allocate no per-round
 	// bookkeeping. See lookupArena.
 	arenas sync.Pool
+
+	// Telemetry (metrics.go, trace.go). metrics is the zero value —
+	// all no-ops — until Instrument installs real instruments.
+	metrics    nodeMetrics
+	traceSeq   atomic.Uint64
+	forceTrace atomic.Int64 // >0 while a TraceLookup is in flight
+	traces     traceRing
 }
 
 // NewNode creates a node with identifier self. Attach must be called
@@ -251,7 +282,17 @@ func (n *Node) Config() Config {
 	cfg := n.cfg
 	cfg.Identity = nil
 	cfg.Store = nil
+	cfg.OnTrace = nil // per-node hook, not protocol configuration
 	return cfg
+}
+
+// Transport returns the transport the node is currently attached to
+// (nil while detached). The facade uses it to reach transport-level
+// statistics — admission counters live with the endpoint, not the node.
+func (n *Node) Transport() simnet.Transport {
+	n.selfMu.RLock()
+	defer n.selfMu.RUnlock()
+	return n.transport
 }
 
 // Table exposes the routing table (read-mostly; used by tests and the
@@ -288,6 +329,10 @@ func (n *Node) Repairs() int64 { return n.repairs.Load() }
 func (n *Node) HandleRPC(ctx context.Context, from simnet.Addr, payload []byte) ([]byte, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
+	}
+	var start time.Time
+	if n.metrics.rpcLatency != nil {
+		start = time.Now()
 	}
 	msg, err := wire.Decode(payload)
 	if err != nil {
@@ -378,9 +423,19 @@ func (n *Node) HandleRPC(ctx context.Context, from simnet.Addr, payload []byte) 
 		resp = &wire.Message{Kind: wire.KindError, Err: fmt.Sprintf("unexpected %v", msg.Kind)}
 	}
 	resp.From = n.Self()
+	// Echo the caller's trace stamp so the response is attributable to
+	// the traced lookup in packet captures and remote logs.
+	resp.TraceID = msg.TraceID
+	resp.Hop = msg.Hop
 	out := wire.Encode(resp)
 	if scratch != nil {
 		contactBufPool.Put(scratch)
+	}
+	if h := n.metrics.kindHist(msg.Kind); h != nil {
+		h.Observe(time.Since(start))
+		ki := int(msg.Kind) - 1
+		n.metrics.rpcReqBytes.At(ki).Add(int64(len(payload)))
+		n.metrics.rpcRespBytes.At(ki).Add(int64(len(out)))
 	}
 	return out, nil
 }

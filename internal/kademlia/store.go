@@ -2,10 +2,13 @@ package kademlia
 
 import (
 	"context"
+	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"dharma/internal/kadid"
+	"dharma/internal/obs"
 	"dharma/internal/persist"
 	"dharma/internal/wire"
 )
@@ -41,6 +44,38 @@ type Store struct {
 	// acknowledged (see OpenDurableStore); nil keeps the store purely
 	// in-memory.
 	dur *durability
+
+	// metrics, when set by Instrument, times appends and reads per
+	// shard. Nil (the default) keeps the mutation paths clock-free.
+	metrics *storeMetrics
+}
+
+// storeMetrics holds the store's per-shard latency instruments. The
+// append histogram covers the full acknowledged write — on a durable
+// store that includes the WAL group-commit wait, which is exactly the
+// latency a writer experiences.
+type storeMetrics struct {
+	appendLatency *obs.HistogramVec
+	getLatency    *obs.HistogramVec
+}
+
+// Instrument registers per-shard append/get latency histograms on reg
+// and starts timing. Call once, before the store serves traffic; a nil
+// reg is a no-op.
+func (s *Store) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	labels := make([]string, storeShards)
+	for i := range labels {
+		labels[i] = fmt.Sprintf("%02d", i)
+	}
+	s.metrics = &storeMetrics{
+		appendLatency: reg.HistogramVec("dharma_store_append_seconds",
+			"Acknowledged block append latency (including WAL commit), by shard.", "shard", labels),
+		getLatency: reg.HistogramVec("dharma_store_get_seconds",
+			"Block read latency, by shard.", "shard", labels),
+	}
 }
 
 // storeShards is the stripe count; a power of two so the key prefix
@@ -127,6 +162,12 @@ func (s *Store) shard(key kadid.ID) *storeShard {
 func (s *Store) Append(ctx context.Context, key kadid.ID, entries []wire.Entry) error {
 	if len(entries) == 0 {
 		return nil
+	}
+	if m := s.metrics; m != nil {
+		start := time.Now()
+		defer func() {
+			m.appendLatency.At(int(key[0] & (storeShards - 1))).Observe(time.Since(start))
+		}()
 	}
 	if s.dur != nil {
 		return s.dur.commit(ctx, persist.Record{Op: persist.OpAppend, Key: key, Entries: entries},
@@ -320,6 +361,12 @@ func (sh *storeShard) mergeMaxLocked(key kadid.ID, entries []wire.Entry) {
 // than the head) scan and sort the full block. Returned entries never
 // alias internal storage — Data/Author/Sig are copied on the way out.
 func (s *Store) Get(key kadid.ID, topN int) ([]wire.Entry, bool) {
+	if m := s.metrics; m != nil {
+		start := time.Now()
+		defer func() {
+			m.getLatency.At(int(key[0] & (storeShards - 1))).Observe(time.Since(start))
+		}()
+	}
 	sh := s.shard(key)
 	sh.mu.RLock()
 	blk, ok := sh.blocks[key]

@@ -1,0 +1,231 @@
+package kademlia
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"dharma/internal/kadid"
+	"dharma/internal/obs"
+	"dharma/internal/wire"
+)
+
+func TestTraceLookupAssemblesHopTimeline(t *testing.T) {
+	cl := newTestCluster(t, 32, 41)
+	defer cl.Shutdown()
+	key := kadid.HashString("rock|3")
+	writer := cl.Nodes[3]
+	if _, err := writer.Store(context.Background(), key, []wire.Entry{{Field: "pop", Count: 2}}); err != nil {
+		t.Fatalf("Store: %v", err)
+	}
+
+	reader := cl.Nodes[17]
+	trace, err := reader.TraceLookup(context.Background(), key)
+	if err != nil {
+		t.Fatalf("TraceLookup: %v", err)
+	}
+	if trace == nil {
+		t.Fatal("forced trace was not captured")
+	}
+	if trace.TraceID == 0 {
+		t.Fatal("trace has no ID")
+	}
+	if trace.Target != key || !trace.Value {
+		t.Fatalf("trace misdescribes the lookup: %+v", trace)
+	}
+	if !trace.Found {
+		t.Fatal("value lookup that found the block must record Found")
+	}
+	if trace.Rounds < 1 || len(trace.Spans) < trace.Rounds {
+		t.Fatalf("timeline too thin: rounds=%d spans=%d", trace.Rounds, len(trace.Spans))
+	}
+	if trace.Tried != len(trace.Spans) {
+		t.Fatalf("every tried candidate must have a span: tried=%d spans=%d", trace.Tried, len(trace.Spans))
+	}
+	sawValue := false
+	lastRound := 0
+	for i, sp := range trace.Spans {
+		if sp.Round < lastRound {
+			t.Fatalf("span %d out of round order: %+v", i, sp)
+		}
+		lastRound = sp.Round
+		if sp.Round < 1 || sp.Round > trace.Rounds {
+			t.Fatalf("span %d has round %d outside [1,%d]", i, sp.Round, trace.Rounds)
+		}
+		if sp.Kind != wire.KindFindValue {
+			t.Fatalf("span %d kind = %v, want FIND_VALUE", i, sp.Kind)
+		}
+		if sp.Peer.Addr == "" || sp.Peer.ID.IsZero() {
+			t.Fatalf("span %d has no peer: %+v", i, sp)
+		}
+		if sp.RTT < 0 || sp.Start < 0 {
+			t.Fatalf("span %d has negative timing: %+v", i, sp)
+		}
+		if sp.Verdict == VerdictValue {
+			sawValue = true
+		}
+	}
+	if !sawValue {
+		t.Fatal("a found lookup's timeline must contain a value span")
+	}
+
+	// The forced capture must be retained by the ring.
+	recent := reader.RecentTraces()
+	if len(recent) == 0 || recent[0].TraceID != trace.TraceID {
+		t.Fatalf("ring does not retain the forced trace: %d retained", len(recent))
+	}
+}
+
+// TestTraceSampling: with TraceSample=1 every lookup is captured; with
+// sampling and slow-capture disabled, none are.
+func TestTraceSampling(t *testing.T) {
+	cl, err := NewCluster(ClusterConfig{
+		N:    16,
+		Node: Config{K: 8, Alpha: 3, TraceSample: 1, TraceSlow: -1},
+		Seed: 43,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Shutdown()
+	n := cl.Nodes[0]
+	for i := 0; i < 5; i++ {
+		n.IterativeFindNode(context.Background(), kadid.HashString("t"))
+	}
+	if got := len(n.RecentTraces()); got != 5 {
+		t.Fatalf("TraceSample=1 captured %d of 5 lookups", got)
+	}
+	for _, tr := range n.RecentTraces() {
+		if !tr.Sampled || tr.Value {
+			t.Fatalf("capture mislabeled: %+v", tr)
+		}
+	}
+
+	cl2, err := NewCluster(ClusterConfig{
+		N:    16,
+		Node: Config{K: 8, Alpha: 3, TraceSample: -1, TraceSlow: -1},
+		Seed: 44,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl2.Shutdown()
+	n2 := cl2.Nodes[0]
+	for i := 0; i < 5; i++ {
+		n2.IterativeFindNode(context.Background(), kadid.HashString("t"))
+	}
+	if got := len(n2.RecentTraces()); got != 0 {
+		t.Fatalf("tracing disabled but %d lookups captured", got)
+	}
+}
+
+// TestTraceSlowCapture: with a 1ns threshold, every lookup is slower
+// than the bar and must be captured even though sampling never fires.
+func TestTraceSlowCapture(t *testing.T) {
+	var hooked []*LookupTrace
+	cl, err := NewCluster(ClusterConfig{
+		N: 16,
+		Node: Config{K: 8, Alpha: 3, TraceSample: 1 << 30, TraceSlow: time.Nanosecond,
+			OnTrace: nil},
+		Seed: 45,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Shutdown()
+	n := cl.Nodes[0]
+	n.cfg.OnTrace = func(tr *LookupTrace) { hooked = append(hooked, tr) }
+	n.IterativeFindNode(context.Background(), kadid.HashString("t"))
+	traces := n.RecentTraces()
+	if len(traces) != 1 {
+		t.Fatalf("slow capture missed: %d traces", len(traces))
+	}
+	if !traces[0].Slow || traces[0].Sampled {
+		t.Fatalf("capture mislabeled: %+v", traces[0])
+	}
+	if len(hooked) != 1 || hooked[0] != traces[0] {
+		t.Fatalf("OnTrace hook not called with the captured trace")
+	}
+}
+
+// TestNodeInstrumentation drives real traffic through an instrumented
+// cluster and checks the metrics pipeline end to end, down to the
+// Prometheus exposition.
+func TestNodeInstrumentation(t *testing.T) {
+	cl := newTestCluster(t, 24, 46)
+	defer cl.Shutdown()
+	reg := obs.NewRegistry()
+	serving := cl.Nodes[1]
+	client := cl.Nodes[2]
+	serving.Instrument(reg)
+
+	key := kadid.HashString("rock|3")
+	if _, err := client.Store(context.Background(), key, []wire.Entry{{Field: "pop", Count: 2}}); err != nil {
+		t.Fatalf("Store: %v", err)
+	}
+	if _, err := client.FindValue(context.Background(), key, 0); err != nil {
+		t.Fatalf("FindValue: %v", err)
+	}
+	// Drive lookups from the instrumented node too, for the lookup-side
+	// instruments.
+	serving.IterativeFindNode(context.Background(), key)
+
+	if serving.metrics.lookupWall.Count() == 0 {
+		t.Fatal("lookup wall histogram recorded nothing")
+	}
+	if serving.metrics.lookupRounds.Count() == 0 {
+		t.Fatal("lookup rounds histogram recorded nothing")
+	}
+	// The serving node answered somebody's RPCs during all that traffic.
+	var served uint64
+	for k := wire.KindPing; k <= wire.KindSummaryReply; k++ {
+		served += serving.metrics.kindHist(k).Count()
+	}
+	if served == 0 {
+		t.Fatal("per-kind serve histograms recorded nothing")
+	}
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	for _, want := range []string{
+		"dharma_rpc_serve_seconds_bucket{kind=\"FIND_NODE\"",
+		"dharma_lookup_wall_seconds_count",
+		"dharma_lookups_total",
+		"dharma_routing_table_peers",
+		"dharma_store_append_seconds",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q", want)
+		}
+	}
+}
+
+// TestTraceStampEchoed: a traced request's ID must come back on the
+// response, so packet-level correlation works across nodes.
+func TestTraceStampEchoed(t *testing.T) {
+	cl := newTestCluster(t, 4, 47)
+	defer cl.Shutdown()
+	n := cl.Nodes[0]
+	msg := &wire.Message{
+		Kind:    wire.KindFindNode,
+		From:    cl.Nodes[1].Self(),
+		Target:  kadid.HashString("x"),
+		TraceID: 0xabcdef,
+		Hop:     4,
+	}
+	out, err := n.HandleRPC(context.Background(), "peer", wire.Encode(msg))
+	if err != nil {
+		t.Fatalf("HandleRPC: %v", err)
+	}
+	resp, err := wire.Decode(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.TraceID != 0xabcdef || resp.Hop != 4 {
+		t.Fatalf("trace stamp not echoed: id=%#x hop=%d", resp.TraceID, resp.Hop)
+	}
+}

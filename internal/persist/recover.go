@@ -129,6 +129,7 @@ func Open(dir string, opts Options, apply func(Record) error) (*Log, RecoverySta
 		quit:        make(chan struct{}),
 		flusherDone: make(chan struct{}),
 	}
+	l.instrument(opts.Metrics)
 	go l.flushLoop()
 	return l, stats, nil
 }

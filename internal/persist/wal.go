@@ -52,6 +52,7 @@ import (
 	"time"
 
 	"dharma/internal/kadid"
+	"dharma/internal/obs"
 	"dharma/internal/wire"
 )
 
@@ -111,6 +112,11 @@ type Options struct {
 	// BytesSinceCompact against this threshold (default 64 MiB,
 	// negative disables automatic compaction).
 	CompactBytes int64
+	// Metrics, when non-nil, registers the log's instruments there:
+	// an fsync latency histogram plus flush accounting. fsync is the
+	// tail-latency budget of every durable write, so it is the one
+	// disk number the ops endpoint must be able to answer for.
+	Metrics *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -190,6 +196,30 @@ type Log struct {
 	flushC      chan struct{}
 	quit        chan struct{}
 	flusherDone chan struct{}
+
+	// Instruments; nil-safe no-ops when Options.Metrics was nil.
+	fsyncLatency *obs.Histogram
+	flushBytes   *obs.Counter
+	flushes      *obs.Counter
+	rotations    *obs.Counter
+}
+
+// instrument registers the log's instruments on reg (nil = no-op; the
+// nil instruments the fields keep are themselves no-ops to record on).
+func (l *Log) instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	l.fsyncLatency = reg.Histogram("dharma_wal_fsync_seconds",
+		"Time one WAL fsync took; every durable write's tail-latency floor.")
+	l.flushBytes = reg.Counter("dharma_wal_flush_bytes_total",
+		"Bytes written by group-commit flushes.")
+	l.flushes = reg.Counter("dharma_wal_flushes_total",
+		"Group-commit flushes (one write + at most one fsync each).")
+	l.rotations = reg.Counter("dharma_wal_segment_rotations_total",
+		"Active-segment rollovers.")
+	reg.GaugeFunc("dharma_wal_bytes_since_compact",
+		"Bytes logged since the last compaction.", l.sinceCompact.Load)
 }
 
 // flushBatch is one group of commits waiting on the same flush.
@@ -435,8 +465,13 @@ func (l *Log) writeOut(seg *os.File, buf []byte) error {
 		return err
 	}
 	l.segWritten += int64(len(buf))
+	l.flushes.Inc()
+	l.flushBytes.Add(int64(len(buf)))
 	if l.opts.Sync != SyncNone {
-		return seg.Sync()
+		start := time.Now()
+		err := seg.Sync()
+		l.fsyncLatency.Observe(time.Since(start))
+		return err
 	}
 	return nil
 }
@@ -454,6 +489,7 @@ func (l *Log) rotate() error {
 	l.segSeq++
 	l.mu.Unlock()
 	l.segWritten = 0
+	l.rotations.Inc()
 	return old.Close()
 }
 

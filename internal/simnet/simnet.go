@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"dharma/internal/admission"
+	"dharma/internal/obs"
 )
 
 // Addr identifies an endpoint on the network.
@@ -271,6 +272,43 @@ func (n *Network) Counters() Counters {
 		BytesIn:      n.counters.bytesIn.Load(),
 		SimulatedRTT: time.Duration(n.counters.rttNanos.Load()),
 	}
+}
+
+// AdmissionStats returns the admission-gate accounting of the endpoint
+// attached at addr: what its own controller admitted and rejected. The
+// zero Stats is returned when nothing is attached there — per-endpoint
+// controllers live and die with their endpoint, unlike the NodeStats
+// traffic counters, which outlive detachment.
+func (n *Network) AdmissionStats(addr Addr) admission.Stats {
+	s := n.shardOf(addr)
+	s.mu.RLock()
+	ep, ok := s.nodes[addr]
+	s.mu.RUnlock()
+	if !ok {
+		return admission.Stats{}
+	}
+	return ep.ctrl.Stats()
+}
+
+// Instrument registers the network-wide counters on reg as scrape-time
+// funcs, so a simulated deployment exposes the same ops surface as a
+// real one. A nil reg is a no-op.
+func (n *Network) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.CounterFunc("dharma_simnet_calls_total",
+		"RPC exchanges attempted across the simulated network.", n.counters.calls.Load)
+	reg.CounterFunc("dharma_simnet_drops_total",
+		"Exchanges lost to injected faults.", n.counters.drops.Load)
+	reg.CounterFunc("dharma_simnet_busy_total",
+		"Exchanges rejected at admission.", n.counters.busy.Load)
+	reg.CounterFunc("dharma_simnet_request_bytes_total",
+		"Request payload bytes carried.", n.counters.bytesOut.Load)
+	reg.CounterFunc("dharma_simnet_response_bytes_total",
+		"Response payload bytes carried.", n.counters.bytesIn.Load)
+	reg.CounterFunc("dharma_simnet_simulated_rtt_nanoseconds_total",
+		"Accumulated simulated round-trip latency.", n.counters.rttNanos.Load)
 }
 
 // Stats returns the per-node counters for addr, creating them if needed

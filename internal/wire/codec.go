@@ -18,7 +18,13 @@ const (
 )
 
 // codecVersion 2 added the two BlockSummary uvarints after TopN.
-const codecVersion = 2
+// Version 3 added the TraceID/Hop uvarints after the summary; the
+// decoder still accepts v2 frames (trace fields read as zero) so a
+// mixed-version fleet keeps interoperating during a rolling upgrade.
+const (
+	codecVersion     = 3
+	codecVersionPrev = 2
+)
 
 // ErrMalformed is wrapped by all decode errors.
 var ErrMalformed = errors.New("wire: malformed message")
@@ -44,6 +50,8 @@ func AppendEncode(dst []byte, m *Message) []byte {
 	w.uvarint(uint64(m.TopN))
 	w.uvarint(m.Summary.Fields)
 	w.uvarint(m.Summary.Digest)
+	w.uvarint(m.TraceID)
+	w.uvarint(uint64(m.Hop))
 	w.uvarint(uint64(len(m.Contacts)))
 	for _, c := range m.Contacts {
 		w.id(c.ID)
@@ -98,7 +106,8 @@ func (d *Decoder) DecodeInto(m *Message, b []byte) error {
 
 func decodeInto(m *Message, b []byte, strs *interner) error {
 	r := &reader{buf: b, strs: strs}
-	if v := r.byte(); v != codecVersion {
+	v := r.byte()
+	if v != codecVersion && v != codecVersionPrev {
 		return fmt.Errorf("%w: version %d", ErrMalformed, v)
 	}
 	m.Kind = Kind(r.byte())
@@ -108,6 +117,13 @@ func decodeInto(m *Message, b []byte, strs *interner) error {
 	m.TopN = uint32(r.uvarint())
 	m.Summary.Fields = r.uvarint()
 	m.Summary.Digest = r.uvarint()
+	if v >= 3 {
+		m.TraceID = r.uvarint()
+		m.Hop = uint32(r.uvarint())
+	} else {
+		m.TraceID = 0
+		m.Hop = 0
+	}
 
 	nc := r.uvarint()
 	if nc > MaxListLen {

@@ -17,6 +17,8 @@ func sampleMessage() *Message {
 		From:    Contact{ID: kadid.HashString("node-a"), Addr: "node-a"},
 		Target:  kadid.HashString("rock|3"),
 		TopN:    100,
+		TraceID: 0x1122334455667788,
+		Hop:     3,
 		Summary: BlockSummary{Fields: 2, Digest: 0xdeadbeefcafe},
 		Contacts: []Contact{
 			{ID: kadid.HashString("node-b"), Addr: "node-b"},
@@ -50,6 +52,68 @@ func TestEncodeDecodeEmptyMessage(t *testing.T) {
 	}
 	if got.Kind != KindPing || len(got.Contacts) != 0 || len(got.Entries) != 0 {
 		t.Fatalf("got %+v", got)
+	}
+}
+
+// TestDecodeAcceptsV2 hand-crafts a codec-v2 frame — the pre-trace
+// layout, with nothing between Summary.Digest and the contact count —
+// and asserts a v3 decoder still reads it, with the trace fields zero.
+// This is the rolling-upgrade guarantee: old peers keep talking to new
+// ones while the fleet converges.
+func TestDecodeAcceptsV2(t *testing.T) {
+	want := sampleMessage()
+	want.TraceID = 0 // v2 frames cannot carry trace state
+	want.Hop = 0
+
+	w := &writer{}
+	w.byte(codecVersionPrev)
+	w.byte(byte(want.Kind))
+	w.id(want.From.ID)
+	w.str(want.From.Addr)
+	w.id(want.Target)
+	w.uvarint(uint64(want.TopN))
+	w.uvarint(want.Summary.Fields)
+	w.uvarint(want.Summary.Digest)
+	w.uvarint(uint64(len(want.Contacts)))
+	for _, c := range want.Contacts {
+		w.id(c.ID)
+		w.str(c.Addr)
+	}
+	w.uvarint(uint64(len(want.Entries)))
+	for _, e := range want.Entries {
+		w.str(e.Field)
+		w.uvarint(e.Count)
+		w.uvarint(e.Init)
+		w.blob(e.Data)
+		w.blob(e.Author)
+		w.blob(e.Sig)
+	}
+	w.str(want.Err)
+	w.blob(want.Cred)
+
+	got, err := Decode(w.buf)
+	if err != nil {
+		t.Fatalf("Decode v2 frame: %v", err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("v2 decode mismatch:\n got %+v\nwant %+v", got, want)
+	}
+
+	// A traced message decoded from a stale (v2-shaped) buffer must not
+	// leak the previous decode's trace fields.
+	var d Decoder
+	m := &Message{}
+	if err := d.DecodeInto(m, Encode(sampleMessage())); err != nil {
+		t.Fatal(err)
+	}
+	if m.TraceID == 0 || m.Hop == 0 {
+		t.Fatal("v3 decode should have set trace fields")
+	}
+	if err := d.DecodeInto(m, w.buf); err != nil {
+		t.Fatal(err)
+	}
+	if m.TraceID != 0 || m.Hop != 0 {
+		t.Fatalf("v2 decode left stale trace fields: id=%d hop=%d", m.TraceID, m.Hop)
 	}
 }
 
@@ -107,6 +171,8 @@ func TestDecodeRejectsHugeList(t *testing.T) {
 	w.uvarint(0)              // TopN
 	w.uvarint(0)              // Summary.Fields
 	w.uvarint(0)              // Summary.Digest
+	w.uvarint(0)              // TraceID
+	w.uvarint(0)              // Hop
 	w.uvarint(MaxListLen + 1) // contact count
 	if _, err := Decode(w.buf); !errors.Is(err, ErrMalformed) {
 		t.Fatalf("want ErrMalformed, got %v", err)

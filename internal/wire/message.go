@@ -138,11 +138,20 @@ type BlockSummary struct {
 }
 
 // Message is a single overlay RPC request or response.
+//
+// TraceID and Hop are the observability fields of codec v3: a client
+// that is tracing a lookup stamps every RPC of that lookup with its
+// trace ID and the α-wave (round) number, servers echo the trace ID in
+// their responses, and the hop-by-hop timeline is reassembled by
+// `Node.TraceLookup`. Both are zero for untraced traffic, and decode as
+// zero from v2 peers.
 type Message struct {
 	Kind     Kind
 	From     Contact  // the sender, so receivers can refresh routing state
 	Target   kadid.ID // lookup target or block key
 	TopN     uint32   // FIND_VALUE: return at most this many entries (0 = all)
+	TraceID  uint64   // lookup trace this RPC belongs to (0 = untraced)
+	Hop      uint32   // α-wave number within the traced lookup
 	Summary  BlockSummary
 	Contacts []Contact
 	Entries  []Entry

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"dharma/internal/admission"
+	"dharma/internal/obs"
 	"dharma/internal/simnet"
 )
 
@@ -47,6 +48,10 @@ type UDPTransport struct {
 	pending map[uint64]chan []byte
 
 	busyServed atomic.Int64 // inbound requests answered with KindBusy
+
+	// metrics is set once by Instrument; the read loop races it, hence
+	// the atomic pointer. nil = un-instrumented (the default).
+	metrics atomic.Pointer[udpMetrics]
 
 	baseCtx    context.Context // handler context; ends when Close begins
 	baseCancel context.CancelFunc
@@ -98,6 +103,50 @@ func ListenUDPAdmitted(bind string, h simnet.Handler, timeout time.Duration, adm
 // many inbound requests were admitted vs rejected busy.
 func (t *UDPTransport) AdmissionStats() admission.Stats { return t.ctrl.Stats() }
 
+// udpMetrics holds the transport's datagram/byte instruments. All
+// fields are nil-safe obs counters, so the record sites stay branchless
+// once the pointer test passes.
+type udpMetrics struct {
+	datagramsIn  *obs.Counter
+	datagramsOut *obs.Counter
+	bytesIn      *obs.Counter
+	bytesOut     *obs.Counter
+}
+
+// Instrument registers the transport's instruments on reg: datagram
+// and byte counters for both directions, plus the admission gate's
+// accounting as scrape-time funcs. Safe to call while the transport is
+// serving; a nil reg is a no-op.
+func (t *UDPTransport) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	t.metrics.Store(&udpMetrics{
+		datagramsIn: reg.Counter("dharma_udp_datagrams_read_total",
+			"UDP datagrams read off the socket (requests and responses)."),
+		datagramsOut: reg.Counter("dharma_udp_datagrams_written_total",
+			"UDP datagrams written to the socket (requests and replies)."),
+		bytesIn: reg.Counter("dharma_udp_read_bytes_total",
+			"Bytes read off the UDP socket, framing included."),
+		bytesOut: reg.Counter("dharma_udp_written_bytes_total",
+			"Bytes written to the UDP socket, framing included."),
+	})
+	reg.CounterFunc("dharma_admission_admitted_total",
+		"Inbound requests that passed the admission gate.",
+		func() int64 { return t.ctrl.Stats().Admitted })
+	reg.CounterFunc("dharma_admission_rejected_queue_total",
+		"Inbound requests rejected by the full work queue.",
+		func() int64 { return t.ctrl.Stats().RejectedQueue })
+	reg.CounterFunc("dharma_admission_rejected_rate_total",
+		"Inbound requests rejected by a peer's exhausted token bucket.",
+		func() int64 { return t.ctrl.Stats().RejectedRate })
+	reg.GaugeFunc("dharma_admission_in_flight",
+		"Admitted requests currently in their handler.",
+		func() int64 { return t.ctrl.Stats().InFlight })
+	reg.CounterFunc("dharma_udp_busy_served_total",
+		"Inbound requests answered with BUSY.", t.busyServed.Load)
+}
+
 // BusyServed is the number of inbound requests answered with KindBusy.
 func (t *UDPTransport) BusyServed() int64 { return t.busyServed.Load() }
 
@@ -145,6 +194,10 @@ func (t *UDPTransport) Call(ctx context.Context, to simnet.Addr, payload []byte)
 	if _, err := t.conn.WriteToUDP(frame, dst); err != nil {
 		return nil, fmt.Errorf("wire: send: %w", err)
 	}
+	if m := t.metrics.Load(); m != nil {
+		m.datagramsOut.Inc()
+		m.bytesOut.Add(int64(len(frame)))
+	}
 
 	timer := time.NewTimer(t.timeout)
 	defer timer.Stop()
@@ -191,6 +244,10 @@ func (t *UDPTransport) readLoop() {
 				return
 			}
 			continue // transient read error: drop the datagram
+		}
+		if m := t.metrics.Load(); m != nil {
+			m.datagramsIn.Inc()
+			m.bytesIn.Add(int64(n))
 		}
 		if n < frameHeader {
 			continue
@@ -242,6 +299,10 @@ func (t *UDPTransport) reply(from *net.UDPAddr, id uint64, resp []byte) {
 	binary.BigEndian.PutUint64(frame[1:9], id)
 	copy(frame[frameHeader:], resp)
 	t.conn.WriteToUDP(frame, from) //nolint:errcheck // best-effort reply
+	if m := t.metrics.Load(); m != nil {
+		m.datagramsOut.Inc()
+		m.bytesOut.Add(int64(len(frame)))
+	}
 }
 
 // busyFrame is the encoded KindBusy message sent on admission
