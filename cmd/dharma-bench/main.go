@@ -242,6 +242,7 @@ func runLoad(ctx context.Context, args []string) {
 	seed := fs.Int64("seed", 1, "run seed")
 	k := fs.Int("k", 5, "connection parameter of Approximation A")
 	naive := fs.Bool("naive", false, "drive the naive (unapproximated) engine")
+	signed := fs.Bool("signed", false, "enable the Likir identity layer (overlay target): CA-issued credentials on every RPC, Ed25519-signed URI entries, replicas vet every mutation — measures the secured write path's overhead")
 	drop := fs.Float64("drop", 0, "inject network loss in [0,1) (overlay target): failed ops count and the run exits nonzero")
 	churnSpec := fs.String("churn", "", `membership churn during the measured phase: "rate,kill-fraction" (overlay target), e.g. -churn 20,0.25; enables read-repair + background maintenance, verifies every acknowledged write after a repair pass, and exits nonzero on lost writes`)
 	resources := fs.Int("resources", 128, "seeded resource universe")
@@ -288,6 +289,9 @@ func runLoad(ctx context.Context, args []string) {
 	if *dataDir != "" && *target != "overlay" {
 		fail(fmt.Errorf("-data-dir needs a live overlay (target %q has no node stores)", *target))
 	}
+	if *signed && *target != "overlay" {
+		fail(fmt.Errorf("-signed needs a live overlay (target %q has no identity layer)", *target))
+	}
 
 	var engines []*core.Engine
 	var batchers []*dht.Batching
@@ -315,7 +319,7 @@ func runLoad(ctx context.Context, args []string) {
 		sys, err = dharma.NewSystem(dharma.Config{
 			Nodes: *nodes, Mode: mode, K: *k, Seed: *seed,
 			DropRate: *drop, ReadRepair: churnCfg != nil, WriteQuorum: writeQuorum,
-			DataDir: *dataDir, NoFsync: *noFsync,
+			DataDir: *dataDir, NoFsync: *noFsync, WithIdentity: *signed,
 		})
 		if err != nil {
 			fail(err)
@@ -339,7 +343,7 @@ func runLoad(ctx context.Context, args []string) {
 			ledger = chaos.NewLedger()
 			for i := 0; i < churnClients; i++ {
 				p := sys.Peer(i)
-				st := chaos.NewRecording(wrap(dht.NewOverlay(p.Node, nil)), ledger)
+				st := chaos.NewRecording(wrap(dht.NewOverlay(p.Node, p.Node.Identity())), ledger)
 				e, err := core.NewEngine(st, core.Config{Mode: mode, K: *k, Seed: *seed + int64(i)})
 				if err != nil {
 					fail(err)
@@ -351,7 +355,7 @@ func runLoad(ctx context.Context, args []string) {
 			// same-key appends within the window collapse into one
 			// overlay store operation.
 			for i, p := range sys.Peers() {
-				e, err := core.NewEngine(wrap(dht.NewOverlay(p.Node, nil)), core.Config{Mode: mode, K: *k, Seed: *seed + int64(i)})
+				e, err := core.NewEngine(wrap(dht.NewOverlay(p.Node, p.Node.Identity())), core.Config{Mode: mode, K: *k, Seed: *seed + int64(i)})
 				if err != nil {
 					fail(err)
 				}
@@ -362,7 +366,7 @@ func runLoad(ctx context.Context, args []string) {
 				engines = append(engines, p.Engine())
 			}
 		}
-		fmt.Printf("target: %d-node overlay, %s mode, k=%d, drop=%.2f, batch=%s\n", sys.Size(), mode, *k, *drop, *batch)
+		fmt.Printf("target: %d-node overlay, %s mode, k=%d, drop=%.2f, batch=%s, signed=%v\n", sys.Size(), mode, *k, *drop, *batch, *signed)
 	case "local":
 		store := wrap(dht.NewLocal())
 		for i := 0; i < *workers; i++ {

@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -31,6 +32,8 @@ func runScrape(ctx context.Context, args []string) {
 		"exit nonzero unless the node reports served RPCs in its latency histograms")
 	assertTrace := fs.Bool("assert-trace", false,
 		"exit nonzero unless the node retains at least one lookup trace with spans")
+	assertMin := fs.String("assert-min", "",
+		`comma-separated name=min pairs; exit nonzero unless each scraped metric, summed across its label sets (histograms by count), reaches its minimum — e.g. -assert-min dharma_session_cache_size=1,dharma_rpc_auth_rejected_count=1`)
 	logLevel := fs.String("log-level", "info", "log verbosity: debug, info, warn or error")
 	fs.Parse(args) //nolint:errcheck // ExitOnError
 	logger := benchLogger(*logLevel)
@@ -101,6 +104,41 @@ func runScrape(ctx context.Context, args []string) {
 			os.Exit(1)
 		}
 		fmt.Printf("assert-trace ok: %d traces, %d spans retained\n", len(traces), spans)
+	}
+	for _, spec := range strings.Split(*assertMin, ",") {
+		spec = strings.TrimSpace(spec)
+		if spec == "" {
+			continue
+		}
+		name, minStr, ok := strings.Cut(spec, "=")
+		if !ok {
+			logger.Error("bad -assert-min spec (want name=min)", "spec", spec)
+			os.Exit(2)
+		}
+		floor, err := strconv.ParseFloat(minStr, 64)
+		if err != nil {
+			logger.Error("bad -assert-min minimum", "spec", spec, "err", err)
+			os.Exit(2)
+		}
+		var total float64
+		seen := false
+		for _, m := range metrics {
+			if m.Name != name {
+				continue
+			}
+			seen = true
+			if m.Type == "histogram" {
+				total += float64(m.Count)
+			} else {
+				total += m.Value
+			}
+		}
+		if !seen || total < floor {
+			logger.Error("assert-min failed", "metric", name, "want-at-least", floor,
+				"got", total, "present", seen)
+			os.Exit(1)
+		}
+		fmt.Printf("assert-min ok: %s = %g (>= %g)\n", name, total, floor)
 	}
 }
 

@@ -25,6 +25,7 @@ package main
 
 import (
 	"context"
+	"crypto/ed25519"
 	"errors"
 	"flag"
 	"fmt"
@@ -34,6 +35,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -43,8 +45,10 @@ import (
 	"dharma/internal/dht"
 	"dharma/internal/kademlia"
 	"dharma/internal/kadid"
+	"dharma/internal/likir"
 	"dharma/internal/obs"
 	"dharma/internal/persist"
+	"dharma/internal/session"
 	"dharma/internal/wire"
 )
 
@@ -66,6 +70,8 @@ func main() {
 		err = serve(ctx, args)
 	case "insert", "tag", "search", "resolve":
 		err = client(ctx, cmd, args)
+	case "ca":
+		err = caCmd(args)
 	default:
 		usage()
 		os.Exit(2)
@@ -82,10 +88,15 @@ func usage() {
                       [-data-dir path] [-fsync group|each|none]
                       [-queue-depth n] [-peer-rate r] [-debug-addr host:port]
                       [-trace-slow d] [-trace-sample n] [-log-level l]
+                      [-identity file -ca file [-revocations file] [-require-auth]]
   dharma-node insert  -bootstrap host:port -r name -uri uri [-tags a,b,c] [-timeout d]
   dharma-node tag     -bootstrap host:port -r name -t tag [-timeout d]
   dharma-node search  -bootstrap host:port -t tag [-top n] [-timeout d]
-  dharma-node resolve -bootstrap host:port -r name [-timeout d]`)
+  dharma-node resolve -bootstrap host:port -r name [-timeout d]
+  (clients accept -identity/-ca/-revocations too, for secured overlays)
+  dharma-node ca init   -dir path [-validity d]
+  dharma-node ca issue  -dir path -name name -out file
+  dharma-node ca revoke -dir path (-id hexid | -identity file)`)
 }
 
 // newLogger builds the process logger from the -log-level flag value.
@@ -138,52 +149,172 @@ type nodeOptions struct {
 	traceSlow   time.Duration
 	traceSample int
 	logger      *slog.Logger
+	// metrics, when non-nil, instruments node and transport before the
+	// bootstrap dials out, so even the first handshake lands in the
+	// histograms.
+	metrics *obs.Registry
+	// Security layer (all-empty = open overlay).
+	identityPath string
+	caPath       string
+	revPath      string
+	requireAuth  bool
+	chaosDelay   time.Duration
+}
+
+// nodeSec is the security state of one running node: the loaded
+// identity, CA key, live revocation set, and session cache. nil on an
+// open overlay — every method is nil-receiver safe.
+type nodeSec struct {
+	ident    *likir.Identity
+	caPub    ed25519.PublicKey
+	revSet   *likir.RevocationSet
+	revPath  string
+	sessions *session.Manager
+}
+
+// signer returns the identity URI entries are signed with (nil = open
+// overlay, unsigned).
+func (s *nodeSec) signer() *likir.Identity {
+	if s == nil {
+		return nil
+	}
+	return s.ident
+}
+
+// refresh re-reads the revocation bundle and evicts sessions of newly
+// revoked peers. Best-effort: a transient read failure keeps the
+// previous set (fail-open on the file, never on the signature).
+func (s *nodeSec) refresh(logger *slog.Logger) {
+	if s == nil || s.revSet == nil || s.revPath == "" {
+		return
+	}
+	bundle, err := os.ReadFile(s.revPath)
+	if err != nil {
+		logger.Warn("revocation refresh: read failed", "path", s.revPath, "err", err)
+		return
+	}
+	if err := s.revSet.Refresh(s.caPub, bundle); err != nil {
+		logger.Warn("revocation refresh: bad bundle", "path", s.revPath, "err", err)
+		return
+	}
+	if n := s.sessions.DropRevoked(); n > 0 {
+		logger.Info("revocation refresh dropped live sessions",
+			"dropped", n, "revoked", s.revSet.Len())
+	}
+}
+
+// loadSec loads the security material named by o, nil when o names
+// none.
+func loadSec(o nodeOptions) (*nodeSec, error) {
+	if o.identityPath == "" && o.caPath == "" {
+		return nil, nil
+	}
+	if o.identityPath == "" || o.caPath == "" {
+		return nil, errors.New("-identity and -ca must be set together")
+	}
+	ident, err := likir.LoadIdentity(o.identityPath)
+	if err != nil {
+		return nil, err
+	}
+	caPub, err := likir.LoadPublicKey(o.caPath)
+	if err != nil {
+		return nil, err
+	}
+	if err := likir.VerifyCredential(caPub, &ident.Credential, nil); err != nil {
+		return nil, fmt.Errorf("identity %s not issued by CA %s: %w", o.identityPath, o.caPath, err)
+	}
+	s := &nodeSec{ident: ident, caPub: caPub, revPath: o.revPath}
+	scfg := session.Config{Identity: ident, CAPub: caPub}
+	if o.revPath != "" {
+		bundle, err := os.ReadFile(o.revPath)
+		if err != nil {
+			return nil, err
+		}
+		if s.revSet, err = likir.NewRevocationSet(caPub, bundle); err != nil {
+			return nil, fmt.Errorf("%s: %w", o.revPath, err)
+		}
+		scfg.Revoked = s.revSet.Contains
+	}
+	if s.sessions, err = session.NewManager(scfg); err != nil {
+		return nil, err
+	}
+	return s, nil
 }
 
 // startNode binds a UDP node and optionally joins through bootstrap.
 // With a data directory the node is durable: its identifier is loaded
 // from (or minted into) the directory so a restart re-enters the
 // overlay as the same member, and its block store recovers from the
-// write-ahead log before serving.
-func startNode(ctx context.Context, listen, bootstrap string, o nodeOptions) (*kademlia.Node, error) {
+// write-ahead log before serving. With -identity/-ca the node runs the
+// Likir layer: authenticated sessions on the wire, credential-vetted
+// mutations in the handler, and the credential's node ID as its
+// overlay identifier.
+func startNode(ctx context.Context, listen, bootstrap string, o nodeOptions) (*kademlia.Node, *nodeSec, error) {
+	sec, err := loadSec(o)
+	if err != nil {
+		return nil, nil, err
+	}
 	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
 	cfg := kademlia.Config{
 		K: o.k, Alpha: o.alpha,
 		TraceSlow: o.traceSlow, TraceSample: o.traceSample,
-		OnTrace: traceHook(o.logger),
+		OnTrace:    traceHook(o.logger),
+		ChaosDelay: o.chaosDelay,
 	}
 	id := kadid.Random(rng)
+	if sec != nil {
+		cfg.Identity, cfg.CAPub = sec.ident, sec.caPub
+		if sec.revSet != nil {
+			cfg.Revoked = sec.revSet.Contains
+		}
+		id = sec.ident.NodeID
+	}
 	if o.dataDir != "" {
-		var err error
-		if id, err = persist.LoadOrCreateIdentity(o.dataDir, id); err != nil {
-			return nil, err
+		// A credential already pins the overlay ID; otherwise the stored
+		// IDENTITY file does.
+		if sec == nil {
+			if id, err = persist.LoadOrCreateIdentity(o.dataDir, id); err != nil {
+				return nil, nil, err
+			}
 		}
 		store, stats, err := kademlia.OpenDurableStore(o.dataDir, o.popts)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		cfg.Store = store
 		o.logger.Info(fmt.Sprintf("recovered %d blocks", store.Len()),
 			"data-dir", o.dataDir, "recovery", stats.String())
 	}
 	node := kademlia.NewNode(id, cfg)
-	tr, err := wire.ListenUDPAdmitted(listen, node, 0, o.adm)
+	var sessions *session.Manager
+	if sec != nil {
+		sessions = sec.sessions
+	}
+	tr, err := wire.ListenUDPOptions(listen, node, wire.UDPOptions{
+		Admission:   o.adm,
+		Sessions:    sessions,
+		RequireAuth: o.requireAuth,
+	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	node.Attach(tr)
+	if o.metrics != nil {
+		node.Instrument(o.metrics)
+		tr.Instrument(o.metrics)
+	}
 	if bootstrap != "" {
 		seed, err := node.Discover(ctx, bootstrap)
 		if err != nil {
 			node.Shutdown() //nolint:errcheck // boot failed; nothing to flush
-			return nil, fmt.Errorf("discover %s: %w", bootstrap, err)
+			return nil, nil, fmt.Errorf("discover %s: %w", bootstrap, err)
 		}
 		if err := node.Bootstrap(ctx, []wire.Contact{seed}); err != nil {
 			node.Shutdown() //nolint:errcheck // boot failed; nothing to flush
-			return nil, err
+			return nil, nil, err
 		}
 	}
-	return node, nil
+	return node, sec, nil
 }
 
 // parseSyncMode maps the -fsync flag onto a persist.SyncMode.
@@ -239,6 +370,11 @@ func serve(ctx context.Context, args []string) error {
 	traceSample := fs.Int("trace-sample", 0,
 		"capture 1 in n lookups regardless of speed (0 = default 1024, negative = disabled)")
 	logLevel := fs.String("log-level", "info", "log verbosity: debug, info, warn or error")
+	identity := fs.String("identity", "", "Likir identity file issued by `dharma-node ca issue` (with -ca enables authenticated sessions and signed mutations)")
+	ca := fs.String("ca", "", "CA public key file (ca.pub)")
+	revocations := fs.String("revocations", "", "signed revocation bundle (revocations.bin); re-read every maintenance tick")
+	requireAuth := fs.Bool("require-auth", false, "reject plain (session-less) requests with UNAUTHORIZED")
+	chaosDelay := fs.Duration("chaos-delay", 0, "artificially delay every inbound RPC handler (deadline-shed testing)")
 	fs.Parse(args) //nolint:errcheck // ExitOnError
 
 	logger, err := newLogger(*logLevel)
@@ -255,21 +391,26 @@ func serve(ctx context.Context, args []string) error {
 	reg := obs.NewRegistry()
 	popts.Metrics = reg
 
-	node, err := startNode(ctx, *listen, *bootstrap, nodeOptions{
+	node, sec, err := startNode(ctx, *listen, *bootstrap, nodeOptions{
 		dataDir: *dataDir, popts: popts,
 		adm: admission.Config{QueueDepth: *queueDepth, PerPeerRate: *peerRate},
 		k:   *k, alpha: *alpha,
 		traceSlow: *traceSlow, traceSample: *traceSample,
-		logger: logger,
+		logger: logger, metrics: reg,
+		identityPath: *identity, caPath: *ca, revPath: *revocations,
+		requireAuth: *requireAuth, chaosDelay: *chaosDelay,
 	})
 	if err != nil {
 		return err
 	}
-	node.Instrument(reg)
-	udp, _ := node.Transport().(*wire.UDPTransport)
-	if udp != nil {
-		udp.Instrument(reg)
+	if sec != nil {
+		logger.Info("Likir layer active",
+			"identity", sec.ident.Name, "node-id", sec.ident.NodeID.Short(),
+			"require-auth", *requireAuth, "revocations", *revocations)
 	}
+	// startNode already instrumented node and transport on reg (before
+	// the bootstrap dials, so the first handshake is in the histograms).
+	udp, _ := node.Transport().(*wire.UDPTransport)
 	logger.Info(fmt.Sprintf("node %s serving", node.Self().ID.Short()),
 		"addr", node.Self().Addr, "contacts", node.Table().Len())
 
@@ -324,6 +465,9 @@ func serve(ctx context.Context, args []string) error {
 					// anti-entropy round: per-block timers pick which blocks
 					// to sync, digests prove agreement before any data
 					// moves, and just-written blocks sit a round out.
+					// Revocations first: a freshly revoked peer must not be
+					// pulled from (or pushed to) in the round that follows.
+					sec.refresh(logger)
 					r := node.AntiEntropyOnce(ctx, 0)
 					for _, b := range node.Table().NonEmptyBuckets() {
 						seed++
@@ -373,6 +517,9 @@ func client(ctx context.Context, cmd string, args []string) error {
 	timeout := fs.Duration("timeout", 0,
 		"overall deadline for the operation, bootstrap included (0 = none); on expiry in-flight RPCs are aborted and the command exits nonzero")
 	logLevel := fs.String("log-level", "warn", "log verbosity: debug, info, warn or error")
+	identity := fs.String("identity", "", "Likir identity file (with -ca: authenticated sessions, signed writes)")
+	ca := fs.String("ca", "", "CA public key file (ca.pub)")
+	revocations := fs.String("revocations", "", "signed revocation bundle (revocations.bin)")
 	fs.Parse(args) //nolint:errcheck // ExitOnError
 
 	logger, err := newLogger(*logLevel)
@@ -385,8 +532,9 @@ func client(ctx context.Context, cmd string, args []string) error {
 		defer cancel()
 	}
 
-	node, err := startNode(ctx, "127.0.0.1:0", *bootstrap, nodeOptions{
+	node, sec, err := startNode(ctx, "127.0.0.1:0", *bootstrap, nodeOptions{
 		k: 20, alpha: 3, logger: logger,
+		identityPath: *identity, caPath: *ca, revPath: *revocations,
 	})
 	if err != nil {
 		if errors.Is(err, context.DeadlineExceeded) {
@@ -399,7 +547,7 @@ func client(ctx context.Context, cmd string, args []string) error {
 	if *mode == "naive" {
 		engMode = core.Naive
 	}
-	eng, err := core.NewEngine(dht.NewOverlay(node, nil), core.Config{
+	eng, err := core.NewEngine(dht.NewOverlay(node, sec.signer()), core.Config{
 		Mode: engMode, K: *k, Seed: time.Now().UnixNano(),
 	})
 	if err != nil {
@@ -461,6 +609,101 @@ func client(ctx context.Context, cmd string, args []string) error {
 			return err
 		}
 		fmt.Printf("%s -> %s\n", *r, uri)
+	}
+	return nil
+}
+
+// caCmd implements the certification-authority toolbox: `ca init`
+// mints the authority key pair, `ca issue` hands a node operator an
+// identity file, `ca revoke` adds a node to the signed revocation
+// bundle the fleet re-reads on its maintenance ticks.
+func caCmd(args []string) error {
+	if len(args) < 1 {
+		return errors.New("ca needs a subcommand: init, issue or revoke")
+	}
+	sub, rest := args[0], args[1:]
+	switch sub {
+	case "init":
+		fs := flag.NewFlagSet("ca init", flag.ExitOnError)
+		dir := fs.String("dir", "", "CA state directory to create")
+		validity := fs.Duration("validity", 30*24*time.Hour, "credential validity window")
+		fs.Parse(rest) //nolint:errcheck // ExitOnError
+		if *dir == "" {
+			return errors.New("ca init needs -dir")
+		}
+		// Refuse to overwrite: a new key silently invalidates every
+		// credential the old one issued.
+		if _, err := os.Stat(filepath.Join(*dir, "ca.key")); err == nil {
+			return fmt.Errorf("%s already holds a CA key", *dir)
+		}
+		a, err := likir.NewAuthority(nil, *validity, nil)
+		if err != nil {
+			return err
+		}
+		if err := a.SaveCA(*dir); err != nil {
+			return err
+		}
+		fmt.Printf("CA initialised in %s\n  public key: %s\n  revocation bundle: %s\n",
+			*dir, likir.PublicKeyPath(*dir), likir.BundlePath(*dir))
+
+	case "issue":
+		fs := flag.NewFlagSet("ca issue", flag.ExitOnError)
+		dir := fs.String("dir", "", "CA state directory")
+		name := fs.String("name", "", "human-readable identity name")
+		out := fs.String("out", "", "identity file to write (credential + private key, 0600)")
+		fs.Parse(rest) //nolint:errcheck // ExitOnError
+		if *dir == "" || *name == "" || *out == "" {
+			return errors.New("ca issue needs -dir, -name and -out")
+		}
+		a, err := likir.LoadCA(*dir)
+		if err != nil {
+			return err
+		}
+		id, err := a.Issue(nil, *name)
+		if err != nil {
+			return err
+		}
+		if err := id.Save(*out); err != nil {
+			return err
+		}
+		fmt.Printf("issued %q -> %s\n  node id: %s\n", *name, *out, id.NodeID)
+
+	case "revoke":
+		fs := flag.NewFlagSet("ca revoke", flag.ExitOnError)
+		dir := fs.String("dir", "", "CA state directory")
+		idStr := fs.String("id", "", "node identifier to revoke (hex)")
+		idFile := fs.String("identity", "", "identity file whose node to revoke")
+		fs.Parse(rest) //nolint:errcheck // ExitOnError
+		if *dir == "" || (*idStr == "") == (*idFile == "") {
+			return errors.New("ca revoke needs -dir and exactly one of -id or -identity")
+		}
+		var target kadid.ID
+		if *idFile != "" {
+			ident, err := likir.LoadIdentity(*idFile)
+			if err != nil {
+				return err
+			}
+			target = ident.NodeID
+		} else {
+			var err error
+			if target, err = kadid.Parse(*idStr); err != nil {
+				return err
+			}
+		}
+		a, err := likir.LoadCA(*dir)
+		if err != nil {
+			return err
+		}
+		a.Revoke(target)
+		// SaveCA rewrites the ledger and re-signs the bundle; running
+		// nodes pick the new bundle up on their next maintenance tick.
+		if err := a.SaveCA(*dir); err != nil {
+			return err
+		}
+		fmt.Printf("revoked %s\n  updated bundle: %s\n", target, likir.BundlePath(*dir))
+
+	default:
+		return fmt.Errorf("unknown ca subcommand %q (want init, issue or revoke)", sub)
 	}
 	return nil
 }

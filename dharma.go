@@ -63,8 +63,10 @@ package dharma
 
 import (
 	"context"
+	"crypto/ed25519"
 	"fmt"
 	"math/rand"
+	"os"
 	"path/filepath"
 	"time"
 
@@ -78,6 +80,7 @@ import (
 	"dharma/internal/obs"
 	"dharma/internal/persist"
 	"dharma/internal/search"
+	"dharma/internal/session"
 	"dharma/internal/simnet"
 	"dharma/internal/wire"
 )
@@ -281,6 +284,13 @@ type Peer struct {
 	// peers reach through the network (per-endpoint controllers live
 	// there); real-UDP peers read their transport's controller.
 	admStats func() admission.Stats
+	// Security layer state; nil/empty on open-overlay and simulated
+	// peers. revSet is shared with the node config's Revoked hook and
+	// the session manager, so a Refresh propagates everywhere at once.
+	sessions *session.Manager
+	revSet   *likir.RevocationSet
+	revPath  string
+	caPub    ed25519.PublicKey
 }
 
 // Cache exposes the peer's read cache (nil when Config.CacheBlocks is
@@ -624,6 +634,27 @@ type UDPPeerConfig struct {
 	// that registry — node, store, cache, transport, and (with DataDir)
 	// the write-ahead log — ready for obs.Handler to serve.
 	Metrics *obs.Registry
+
+	// IdentityPath and CAPath enable the Likir security layer on a
+	// deployed peer: IdentityPath is an identity file issued by
+	// `dharma-node ca issue`, CAPath the authority's public key file
+	// (ca.pub). Set together or not at all. With them set the peer's
+	// overlay ID is the credential's node ID, outbound RPCs carry the
+	// credential, every datagram travels inside an authenticated
+	// session, and URI entries are signed.
+	IdentityPath string
+	CAPath       string
+	// RevocationsPath, when set, points at the authority's signed
+	// revocation bundle (revocations.bin); the peer refuses revoked
+	// peers and RefreshRevocations re-reads the file live.
+	RevocationsPath string
+	// RequireAuth rejects plain (session-less) inbound requests with
+	// KindUnauthorized. Leave false during a rolling upgrade; set true
+	// once the fleet speaks sessions.
+	RequireAuth bool
+	// ChaosDelay artificially delays every inbound RPC handler — a
+	// test knob for observing deadline-shed behaviour under load.
+	ChaosDelay time.Duration
 }
 
 // NewUDPPeer boots one real-UDP participant. The returned Peer speaks
@@ -640,16 +671,62 @@ func NewUDPPeer(ctx context.Context, ucfg UDPPeerConfig) (*Peer, error) {
 	ncfg := kademlia.Config{
 		K: cfg.Replication, Alpha: cfg.Alpha,
 		ReadRepair: cfg.ReadRepair, MinStoreAcks: cfg.WriteQuorum,
+		ChaosDelay: ucfg.ChaosDelay,
 	}
+
+	var (
+		ident    *likir.Identity
+		caPub    ed25519.PublicKey
+		revSet   *likir.RevocationSet
+		sessions *session.Manager
+	)
+	if ucfg.IdentityPath != "" || ucfg.CAPath != "" {
+		if ucfg.IdentityPath == "" || ucfg.CAPath == "" {
+			return nil, fmt.Errorf("dharma: IdentityPath and CAPath must be set together")
+		}
+		var err error
+		if ident, err = likir.LoadIdentity(ucfg.IdentityPath); err != nil {
+			return nil, fmt.Errorf("dharma: %w", err)
+		}
+		if caPub, err = likir.LoadPublicKey(ucfg.CAPath); err != nil {
+			return nil, fmt.Errorf("dharma: %w", err)
+		}
+		if err := likir.VerifyCredential(caPub, &ident.Credential, nil); err != nil {
+			return nil, fmt.Errorf("dharma: identity %s not issued by CA %s: %w",
+				ucfg.IdentityPath, ucfg.CAPath, err)
+		}
+		ncfg.Identity, ncfg.CAPub = ident, caPub
+		if ucfg.RevocationsPath != "" {
+			bundle, err := os.ReadFile(ucfg.RevocationsPath)
+			if err != nil {
+				return nil, fmt.Errorf("dharma: %w", err)
+			}
+			if revSet, err = likir.NewRevocationSet(caPub, bundle); err != nil {
+				return nil, fmt.Errorf("dharma: %s: %w", ucfg.RevocationsPath, err)
+			}
+			ncfg.Revoked = revSet.Contains
+		}
+		if sessions, err = session.NewManager(session.Config{
+			Identity: ident, CAPub: caPub, Revoked: ncfg.Revoked,
+		}); err != nil {
+			return nil, fmt.Errorf("dharma: %w", err)
+		}
+		id = ident.NodeID // Likir: the credential fixes the overlay ID
+	}
+
 	var popts persist.Options
 	if cfg.NoFsync {
 		popts.Sync = persist.SyncNone
 	}
 	popts.Metrics = ucfg.Metrics
 	if cfg.DataDir != "" {
-		var err error
-		if id, err = persist.LoadOrCreateIdentity(cfg.DataDir, id); err != nil {
-			return nil, fmt.Errorf("dharma: %w", err)
+		// Without a credential the stored IDENTITY file pins the overlay
+		// ID across restarts; with one, the credential already does.
+		if ident == nil {
+			var err error
+			if id, err = persist.LoadOrCreateIdentity(cfg.DataDir, id); err != nil {
+				return nil, fmt.Errorf("dharma: %w", err)
+			}
 		}
 		store, _, err := kademlia.OpenDurableStore(cfg.DataDir, popts)
 		if err != nil {
@@ -658,8 +735,12 @@ func NewUDPPeer(ctx context.Context, ucfg UDPPeerConfig) (*Peer, error) {
 		ncfg.Store = store
 	}
 	node := kademlia.NewNode(id, ncfg)
-	tr, err := wire.ListenUDPAdmitted(ucfg.Listen, node, ucfg.Timeout,
-		admission.Config{QueueDepth: cfg.QueueDepth, PerPeerRate: cfg.PerPeerRate})
+	tr, err := wire.ListenUDPOptions(ucfg.Listen, node, wire.UDPOptions{
+		Timeout:     ucfg.Timeout,
+		Admission:   admission.Config{QueueDepth: cfg.QueueDepth, PerPeerRate: cfg.PerPeerRate},
+		Sessions:    sessions,
+		RequireAuth: ucfg.RequireAuth,
+	})
 	if err != nil {
 		return nil, fmt.Errorf("dharma: %w", err)
 	}
@@ -680,7 +761,7 @@ func NewUDPPeer(ctx context.Context, ucfg UDPPeerConfig) (*Peer, error) {
 		}
 	}
 
-	store := dht.NewOverlay(node, nil)
+	store := dht.NewOverlay(node, ident)
 	var engineStore dht.Store = store
 	var cache *dht.Cached
 	var cachePath string
@@ -705,9 +786,35 @@ func NewUDPPeer(ctx context.Context, ucfg UDPPeerConfig) (*Peer, error) {
 		store:     store,
 		cache:     cache,
 		cachePath: cachePath,
+		sessions:  sessions,
+		revSet:    revSet,
+		revPath:   ucfg.RevocationsPath,
+		caPub:     caPub,
 	}
 	p.Instrument(ucfg.Metrics)
 	return p, nil
+}
+
+// RefreshRevocations re-reads the peer's revocation bundle from disk
+// (the authority rewrites it on every `ca revoke`) and tears down any
+// live sessions whose peer the fresh bundle names. It returns how many
+// identifiers the bundle now lists. Call it from a maintenance tick;
+// a no-op (0, nil) on peers built without RevocationsPath.
+func (p *Peer) RefreshRevocations() (int, error) {
+	if p.revSet == nil || p.revPath == "" {
+		return 0, nil
+	}
+	bundle, err := os.ReadFile(p.revPath)
+	if err != nil {
+		return p.revSet.Len(), fmt.Errorf("dharma: %w", err)
+	}
+	if err := p.revSet.Refresh(p.caPub, bundle); err != nil {
+		return p.revSet.Len(), fmt.Errorf("dharma: %s: %w", p.revPath, err)
+	}
+	if p.sessions != nil {
+		p.sessions.DropRevoked()
+	}
+	return p.revSet.Len(), nil
 }
 
 // Instrument registers every layer of this peer on reg: the overlay

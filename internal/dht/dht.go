@@ -188,7 +188,7 @@ func (o *Overlay) sign(key kadid.ID, entries []wire.Entry) []wire.Entry {
 	signed := make([]wire.Entry, len(entries))
 	for i, e := range entries {
 		if len(e.Data) > 0 && len(e.Sig) == 0 {
-			o.signer.SignEntry(key, &e)
+			e.Author, e.Sig = o.signer.SignEntry(key, e.Field, e.Data)
 		}
 		signed[i] = e
 	}

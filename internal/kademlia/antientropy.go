@@ -195,6 +195,12 @@ func (n *Node) syncBlock(ctx context.Context, key kadid.ID, targets []wire.Conta
 // exchange heals both directions. Returns whether the replica is known
 // to hold at least our state afterwards.
 func (n *Node) syncBlockWith(ctx context.Context, key kadid.ID, local wire.BlockSummary, c wire.Contact, fullEntries func() []wire.Entry) bool {
+	if n.cfg.Revoked != nil && n.cfg.Revoked(c.ID) {
+		// A revoked replica gets neither our deltas nor — more
+		// importantly — a chance to feed us counts through the pull
+		// half of the exchange.
+		return false
+	}
 	resp, err := n.call(ctx, c, &wire.Message{Kind: wire.KindSummary, Target: key, Summary: local})
 	if err != nil || resp.Kind != wire.KindSummaryReply {
 		return false

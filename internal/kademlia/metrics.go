@@ -7,7 +7,7 @@ import (
 
 // maxKind bounds the per-kind instrument vectors; wire kinds are a
 // dense enum starting at 1.
-const maxKind = int(wire.KindSummaryReply)
+const maxKind = int(wire.KindUnauthorized)
 
 // kindNames lists every wire.Kind's name, indexed by kind-1, for
 // metric label values.
@@ -27,6 +27,9 @@ type nodeMetrics struct {
 	rpcLatency   *obs.HistogramVec // serve time by wire.Kind
 	rpcReqBytes  *obs.CounterVec   // decoded request payload bytes by kind
 	rpcRespBytes *obs.CounterVec   // encoded response payload bytes by kind
+
+	deadlineShed *obs.CounterVec // requests shed dead-on-arrival, by kind
+	authRejected *obs.CounterVec // requests answered UNAUTHORIZED, by kind
 
 	lookupWall   *obs.Histogram // per-lookup wall time
 	lookupRounds *obs.Histogram // α-waves per lookup
@@ -58,6 +61,10 @@ func (n *Node) Instrument(reg *obs.Registry) {
 			"Decoded request payload bytes served, by message kind.", "kind", names),
 		rpcRespBytes: reg.CounterVec("dharma_rpc_response_bytes_total",
 			"Encoded response payload bytes returned, by message kind.", "kind", names),
+		deadlineShed: reg.CounterVec("dharma_rpc_deadline_shed_total",
+			"Requests shed because the caller's propagated deadline had already expired, by message kind.", "kind", names),
+		authRejected: reg.CounterVec("dharma_rpc_auth_rejected_total",
+			"Requests answered UNAUTHORIZED by the Likir identity checks, by message kind.", "kind", names),
 		lookupWall: reg.Histogram("dharma_lookup_wall_seconds",
 			"Wall time of one iterative lookup."),
 		lookupRounds: reg.ValueHistogram("dharma_lookup_rounds",
@@ -75,6 +82,10 @@ func (n *Node) Instrument(reg *obs.Registry) {
 		"Lookup rounds (α-wide waves) executed.", n.rounds.Load)
 	reg.CounterFunc("dharma_rpc_served_total",
 		"RPC requests answered.", n.rpcServed.Load)
+	reg.CounterFunc("dharma_rpc_deadline_shed_count",
+		"Requests shed dead-on-arrival (all kinds).", n.shedTotal.Load)
+	reg.CounterFunc("dharma_rpc_auth_rejected_count",
+		"Requests rejected by identity checks (all kinds).", n.authRejTotal.Load)
 	reg.CounterFunc("dharma_read_repairs_total",
 		"Stale replicas healed through read-repair.", n.repairs.Load)
 	reg.CounterFunc("dharma_read_repair_entries_total",

@@ -24,6 +24,7 @@ import (
 
 	"dharma/internal/kadid"
 	"dharma/internal/likir"
+	"dharma/internal/session"
 	"dharma/internal/simnet"
 	"dharma/internal/wire"
 )
@@ -120,6 +121,12 @@ type Config struct {
 	// trace (after it entered the ring) — the hook slow-op logging hangs
 	// off. It must not block.
 	OnTrace func(*LookupTrace)
+	// ChaosDelay, when positive, delays every inbound RPC handler by
+	// this duration — under the caller's propagated deadline — before
+	// dispatch. It is a fault-injection knob: it makes "the server was
+	// slower than the client's budget" deterministic, which is what the
+	// deadline-shedding smoke test needs. Never set in production.
+	ChaosDelay time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -184,6 +191,9 @@ type Node struct {
 	rounds    atomic.Int64 // lookup rounds = hops (one α-wide wave each)
 	rpcServed atomic.Int64
 	repairs   atomic.Int64
+
+	shedTotal    atomic.Int64 // requests shed dead-on-arrival
+	authRejTotal atomic.Int64 // requests answered UNAUTHORIZED
 
 	// Anti-entropy state (antientropy.go). aeMu guards the per-block
 	// timer maps: the version observed at the previous round (aeSeen),
@@ -340,8 +350,37 @@ func (n *Node) HandleRPC(ctx context.Context, from simnet.Addr, payload []byte) 
 	}
 	n.rpcServed.Add(1)
 
-	if err := n.admit(msg); err != nil {
-		return wire.Encode(&wire.Message{Kind: wire.KindError, From: n.Self(), Err: err.Error()}), nil
+	// Cross-node deadline propagation: the caller stamped its remaining
+	// budget (µs) on the message. Install it as this handler's deadline
+	// so storage commits and downstream work observe the caller's
+	// patience, and shed requests that are already dead on arrival
+	// instead of computing answers nobody is waiting for.
+	if msg.Deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(msg.Deadline)*time.Microsecond)
+		defer cancel()
+	}
+	if d := n.cfg.ChaosDelay; d > 0 {
+		t := time.NewTimer(d)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+		case <-t.C:
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		n.shedTotal.Add(1)
+		if c := n.metrics.deadlineShed.At(int(msg.Kind) - 1); c != nil {
+			c.Add(1)
+		}
+		// No reply: the caller's budget is spent, so any answer would be
+		// garbage-collected by its transport anyway.
+		return nil, err
+	}
+
+	if err := n.admit(ctx, msg); err != nil {
+		n.rejectUnauthorized(msg.Kind)
+		return wire.Encode(&wire.Message{Kind: wire.KindUnauthorized, From: n.Self(), Err: err.Error()}), nil
 	}
 	if msg.From.ID != (kadid.ID{}) && msg.From.Addr != "" {
 		n.table.Update(msg.From)
@@ -395,20 +434,22 @@ func (n *Node) HandleRPC(ctx context.Context, from simnet.Addr, payload []byte) 
 		}
 
 	case wire.KindStore, wire.KindReplicate:
-		kept := msg.Entries
 		if n.cfg.CAPub != nil {
-			kept = kept[:0:len(kept)]
-			for _, e := range msg.Entries {
-				if likir.VerifyEntry(msg.Target, &e) == nil {
-					kept = append(kept, e)
-				}
+			if reason := n.vetMutation(msg); reason != "" {
+				// Strict signed-mutation rule: the whole message is refused
+				// and nothing lands. A filter-and-ack here would let a
+				// tampered batch earn an acknowledgement, which upper layers
+				// read as "durably stored".
+				n.rejectUnauthorized(msg.Kind)
+				resp = &wire.Message{Kind: wire.KindUnauthorized, Err: reason}
+				break
 			}
 		}
 		var serr error
 		if msg.Kind == wire.KindStore {
-			serr = n.store.Append(ctx, msg.Target, kept)
+			serr = n.store.Append(ctx, msg.Target, msg.Entries)
 		} else {
-			serr = n.store.MergeMax(ctx, msg.Target, kept)
+			serr = n.store.MergeMax(ctx, msg.Target, msg.Entries)
 		}
 		if serr != nil {
 			// A durable store that could not log the write must not ack
@@ -450,13 +491,21 @@ type contactBuf struct {
 
 // admit enforces Likir node admission when a CA public key is
 // configured: requests must carry a valid credential matching the
-// claimed sender identifier.
-func (n *Node) admit(msg *wire.Message) error {
+// claimed sender identifier. Requests arriving over a transport
+// session (wire.UDPTransport handshake) were already authenticated
+// against the same CA key; the per-message credential check is skipped
+// for them — revocation is still consulted every time, because a
+// bundle refresh can outdate a session that verified cleanly at
+// handshake.
+func (n *Node) admit(ctx context.Context, msg *wire.Message) error {
 	if n.cfg.Revoked != nil && n.cfg.Revoked(msg.From.ID) {
 		return errors.New("kademlia: peer identity revoked")
 	}
 	if n.cfg.CAPub == nil {
 		return nil
+	}
+	if peer, ok := session.PeerFromContext(ctx); ok && peer.NodeID == msg.From.ID {
+		return nil // session handshake already verified this identity
 	}
 	if msg.From.ID == (kadid.ID{}) {
 		return nil // anonymous probe (no routing-table update happens)
@@ -485,6 +534,53 @@ func (n *Node) admit(msg *wire.Message) error {
 	n.credMu.Unlock()
 	return nil
 }
+
+// vetMutation enforces the signed-mutation rule of a secured overlay
+// on one STORE/REPLICATE message. The sender must be identified (an
+// anonymous probe may read, never write), every Data-bearing entry
+// must carry an author signature, and every signature present must
+// verify over (block key, field, data). Count-only entries stay
+// unsigned by design: they aggregate one-bit tokens appended by many
+// writers and are not attributable to a single author. Returns the
+// rejection reason, or "" to accept.
+func (n *Node) vetMutation(msg *wire.Message) string {
+	if msg.From.ID == (kadid.ID{}) {
+		return "kademlia: anonymous mutation rejected"
+	}
+	return vetEntries(msg.Target, msg.Entries)
+}
+
+// vetEntries applies the entry half of the signed-mutation rule; see
+// vetMutation.
+func vetEntries(key kadid.ID, entries []wire.Entry) string {
+	for i := range entries {
+		e := &entries[i]
+		if len(e.Data) > 0 && len(e.Author) == 0 {
+			return fmt.Sprintf("kademlia: unsigned data entry %q", e.Field)
+		}
+		if err := likir.VerifyEntry(key, e.Field, e.Data, e.Author, e.Sig); err != nil {
+			return fmt.Sprintf("kademlia: entry %q: %v", e.Field, err)
+		}
+	}
+	return ""
+}
+
+// rejectUnauthorized records one UNAUTHORIZED verdict in the node's
+// counters.
+func (n *Node) rejectUnauthorized(k wire.Kind) {
+	n.authRejTotal.Add(1)
+	if c := n.metrics.authRejected.At(int(k) - 1); c != nil {
+		c.Add(1)
+	}
+}
+
+// DeadlineShed returns how many requests this node dropped because the
+// caller's propagated deadline had already expired at dispatch.
+func (n *Node) DeadlineShed() int64 { return n.shedTotal.Load() }
+
+// AuthRejected returns how many requests this node answered with
+// UNAUTHORIZED (failed admission or signed-mutation checks).
+func (n *Node) AuthRejected() int64 { return n.authRejTotal.Load() }
 
 // call sends one RPC and maintains the routing table on success and
 // failure. ctx bounds the exchange: when it ends, the transport's
@@ -524,6 +620,21 @@ func (n *Node) callOnce(ctx context.Context, to wire.Contact, msg *wire.Message)
 	tr := n.transport
 	n.selfMu.RUnlock()
 	msg.Cred = n.credBlob
+	// Stamp the caller's remaining budget on the wire so the receiver
+	// can shed the request if it arrives already dead. Zero means "no
+	// deadline"; a context that is over before encoding is refused here,
+	// saving the packet.
+	msg.Deadline = 0
+	if dl, ok := ctx.Deadline(); ok {
+		left := time.Until(dl)
+		if left <= 0 {
+			return nil, context.DeadlineExceeded
+		}
+		msg.Deadline = uint64(left / time.Microsecond)
+		if msg.Deadline == 0 {
+			msg.Deadline = 1 // sub-µs remainder still counts as a budget
+		}
+	}
 	// The request is marshalled into a pooled buffer. It is recycled
 	// only when the exchange did not end via ctx: a cancelled simnet
 	// call can leave an abandoned handler goroutine still draining the
@@ -561,6 +672,12 @@ func (n *Node) callOnce(ctx context.Context, to wire.Contact, msg *wire.Message)
 	}
 	if resp.Kind == wire.KindBusy {
 		return nil, fmt.Errorf("kademlia: %s is busy: %w", to.Addr, wire.ErrBusy)
+	}
+	if resp.Kind == wire.KindUnauthorized {
+		// An UNAUTHORIZED verdict comes from a live, policy-enforcing
+		// peer: surface the typed error and keep the peer routable — it
+		// is this node's standing that is in question, not the peer's.
+		return nil, fmt.Errorf("kademlia: %s refused: %s: %w", to.Addr, resp.Err, wire.ErrUnauthorized)
 	}
 	if resp.Kind == wire.KindError {
 		return nil, fmt.Errorf("kademlia: remote error: %s", resp.Err)
@@ -638,11 +755,20 @@ func (n *Node) Store(ctx context.Context, key kadid.ID, entries []wire.Entry) (i
 	if len(targets) == 0 {
 		return 0, ErrNoContacts
 	}
-	acks, busy := 0, 0
+	acks, busy, unauth := 0, 0, 0
 	var mu sync.Mutex
 	var wg sync.WaitGroup
 	for _, c := range targets {
 		if c.ID == n.id {
+			// The local replica applies the same signed-mutation rule the
+			// remote ones enforce: a node must not hold entries it would
+			// refuse from the network.
+			if n.cfg.CAPub != nil && vetEntries(key, entries) != "" {
+				mu.Lock()
+				unauth++
+				mu.Unlock()
+				continue
+			}
 			if n.store.Append(ctx, key, entries) == nil {
 				mu.Lock()
 				acks++
@@ -660,6 +786,8 @@ func (n *Node) Store(ctx context.Context, key kadid.ID, entries []wire.Entry) (i
 				acks++
 			} else if errors.Is(err, wire.ErrBusy) {
 				busy++
+			} else if errors.Is(err, wire.ErrUnauthorized) {
+				unauth++
 			}
 		}(c)
 	}
@@ -670,6 +798,11 @@ func (n *Node) Store(ctx context.Context, key kadid.ID, entries []wire.Entry) (i
 		}
 	}
 	if acks == 0 {
+		if unauth > 0 {
+			// Every replica that answered gave a policy verdict, not a
+			// failure: the write is refused, retrying is pointless.
+			return 0, fmt.Errorf("kademlia: %d replica(s) refused store of %s: %w", unauth, key.Short(), wire.ErrUnauthorized)
+		}
 		if busy > 0 {
 			// The replica set is saturated, not gone: surface the typed
 			// busy error so upper layers can back off instead of treating
@@ -738,7 +871,7 @@ func (n *Node) FindValue(ctx context.Context, key kadid.ID, topN int) ([]wire.En
 	if n.cfg.CAPub != nil {
 		kept := entries[:0]
 		for _, e := range entries {
-			if likir.VerifyEntry(key, &e) == nil {
+			if likir.VerifyEntry(key, e.Field, e.Data, e.Author, e.Sig) == nil {
 				kept = append(kept, e)
 			}
 		}

@@ -292,21 +292,38 @@ func TestLikirDropsTamperedEntries(t *testing.T) {
 	writer := cl.Nodes[2]
 
 	good := wire.Entry{Field: "res", Data: []byte("http://good")}
-	writer.cfg.Identity.SignEntry(key, &good)
+	good.Author, good.Sig = writer.cfg.Identity.SignEntry(key, good.Field, good.Data)
 
 	evil := wire.Entry{Field: "res2", Data: []byte("http://evil")}
-	writer.cfg.Identity.SignEntry(key, &evil)
+	evil.Author, evil.Sig = writer.cfg.Identity.SignEntry(key, evil.Field, evil.Data)
 	evil.Data = []byte("http://tampered") // break the signature
 
-	if _, err := writer.Store(context.Background(), key, []wire.Entry{good, evil}); err != nil {
-		t.Fatalf("Store: %v", err)
+	// Strict mode: a batch carrying one bad signature is refused whole —
+	// no replica acks it and nothing lands, not even the good entry.
+	if _, err := writer.Store(context.Background(), key, []wire.Entry{good, evil}); !errors.Is(err, wire.ErrUnauthorized) {
+		t.Fatalf("tampered batch: want ErrUnauthorized, got %v", err)
+	}
+	if _, err := cl.Nodes[7].FindValue(context.Background(), key, 0); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("tampered batch left residue on the overlay: %v", err)
+	}
+
+	// An unsigned data entry is refused the same way: data must always
+	// be attributable.
+	unsigned := wire.Entry{Field: "res3", Data: []byte("http://unsigned")}
+	if _, err := writer.Store(context.Background(), key, []wire.Entry{unsigned}); !errors.Is(err, wire.ErrUnauthorized) {
+		t.Fatalf("unsigned data entry: want ErrUnauthorized, got %v", err)
+	}
+
+	// The cleanly signed entry alone stores and reads back everywhere.
+	if _, err := writer.Store(context.Background(), key, []wire.Entry{good}); err != nil {
+		t.Fatalf("Store(good): %v", err)
 	}
 	es, err := cl.Nodes[7].FindValue(context.Background(), key, 0)
 	if err != nil {
 		t.Fatalf("FindValue: %v", err)
 	}
 	if len(es) != 1 || es[0].Field != "res" {
-		t.Fatalf("tampered entry survived: %+v", es)
+		t.Fatalf("want exactly the good entry, got %+v", es)
 	}
 }
 

@@ -16,6 +16,8 @@
 //     hosts.
 //
 // Only the Go standard library is used (crypto/ed25519, crypto/sha1).
+// The package deliberately depends on nothing above kadid, so the
+// transport stack (wire, session) can build on it without cycles.
 package likir
 
 import (
@@ -31,7 +33,6 @@ import (
 	"time"
 
 	"dharma/internal/kadid"
-	"dharma/internal/wire"
 )
 
 // Errors reported by credential and entry verification.
@@ -224,23 +225,24 @@ func entryTBS(key kadid.ID, field string, data []byte) []byte {
 	return b.Bytes()
 }
 
-// SignEntry fills Author and Sig on e so that the entry can be verified
-// against the block key it will be stored under.
-func (id *Identity) SignEntry(key kadid.ID, e *wire.Entry) {
-	e.Author = append([]byte(nil), id.Pub...)
-	e.Sig = ed25519.Sign(id.Priv, entryTBS(key, e.Field, e.Data))
+// SignEntry signs the (block key, field, data) triple of an entry and
+// returns the author public key and signature to attach to it.
+func (id *Identity) SignEntry(key kadid.ID, field string, data []byte) (author, sig []byte) {
+	author = append([]byte(nil), id.Pub...)
+	sig = ed25519.Sign(id.Priv, entryTBS(key, field, data))
+	return author, sig
 }
 
 // VerifyEntry checks the author signature on a signed entry. Unsigned
-// entries (no Author) are accepted: the overlay may run open.
-func VerifyEntry(key kadid.ID, e *wire.Entry) error {
-	if len(e.Author) == 0 {
+// entries (no author) are accepted: the overlay may run open.
+func VerifyEntry(key kadid.ID, field string, data, author, sig []byte) error {
+	if len(author) == 0 {
 		return nil
 	}
-	if len(e.Author) != ed25519.PublicKeySize {
+	if len(author) != ed25519.PublicKeySize {
 		return fmt.Errorf("%w: bad author key size", ErrBadSignature)
 	}
-	if !ed25519.Verify(ed25519.PublicKey(e.Author), entryTBS(key, e.Field, e.Data), e.Sig) {
+	if !ed25519.Verify(ed25519.PublicKey(author), entryTBS(key, field, data), sig) {
 		return ErrBadSignature
 	}
 	return nil

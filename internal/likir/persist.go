@@ -1,0 +1,221 @@
+package likir
+
+import (
+	"bytes"
+	"crypto/ed25519"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"dharma/internal/kadid"
+)
+
+// File persistence for the identity layer, used by the dharma-node CLI:
+// the authority's key material lives in a state directory (`ca init`),
+// issued identities in single files handed to node operators
+// (`ca issue`), and the signed revocation bundle in a file every node
+// re-reads on its maintenance tick (`ca revoke`).
+//
+// Key-bearing files are written 0600 and atomically (tmp + rename),
+// like the persist package's identity file: a half-written key after a
+// power cut must not strand a node behind an unusable identity.
+
+// Names of the files a CA state directory holds.
+const (
+	caKeyFile    = "ca.key"          // authority private key (secret)
+	caPubFile    = "ca.pub"          // authority public key (distribute)
+	caRevledger  = "revoked.ids"     // revoked node ids, one per line
+	caBundleFile = "revocations.bin" // signed bundle (distribute)
+)
+
+// Magic prefixes of the binary key files.
+var (
+	idMagic = []byte("LIKIRID1")
+	caMagic = []byte("LIKIRCA1")
+)
+
+// SaveCA persists the authority's key material and revocation ledger
+// under dir, plus the distributable ca.pub and signed bundle.
+func (a *Authority) SaveCA(dir string) error {
+	if err := os.MkdirAll(dir, 0o700); err != nil {
+		return fmt.Errorf("likir: %w", err)
+	}
+	var key bytes.Buffer
+	key.Write(caMagic)
+	writeBlob(&key, a.priv)
+	writeBlob(&key, []byte(fmt.Sprintf("%d", int64(a.validity/time.Second))))
+	if err := writeFileAtomic(filepath.Join(dir, caKeyFile), key.Bytes(), 0o600); err != nil {
+		return err
+	}
+	if err := writeFileAtomic(filepath.Join(dir, caPubFile),
+		[]byte(hex.EncodeToString(a.pub)+"\n"), 0o644); err != nil {
+		return err
+	}
+	a.revokedMu.Lock()
+	ids := make([]kadid.ID, 0, len(a.revoked))
+	for id := range a.revoked {
+		ids = append(ids, id)
+	}
+	a.revokedMu.Unlock()
+	sort.Slice(ids, func(i, j int) bool { return kadid.Cmp(ids[i], ids[j]) < 0 })
+	var ledger strings.Builder
+	for _, id := range ids {
+		ledger.WriteString(id.String())
+		ledger.WriteByte('\n')
+	}
+	if err := writeFileAtomic(filepath.Join(dir, caRevledger), []byte(ledger.String()), 0o644); err != nil {
+		return err
+	}
+	return writeFileAtomic(filepath.Join(dir, caBundleFile), a.RevocationBundle(), 0o644)
+}
+
+// LoadCA restores an authority from a state directory written by
+// SaveCA, including its revocation ledger.
+func LoadCA(dir string) (*Authority, error) {
+	data, err := os.ReadFile(filepath.Join(dir, caKeyFile))
+	if err != nil {
+		return nil, fmt.Errorf("likir: %w", err)
+	}
+	if !bytes.HasPrefix(data, caMagic) {
+		return nil, fmt.Errorf("likir: %s is not a CA key file", caKeyFile)
+	}
+	r := bytes.NewReader(data[len(caMagic):])
+	priv, err := readBlob(r)
+	if err != nil {
+		return nil, fmt.Errorf("likir: CA key: %w", err)
+	}
+	if len(priv) != ed25519.PrivateKeySize {
+		return nil, fmt.Errorf("likir: CA key has %d bytes, want %d", len(priv), ed25519.PrivateKeySize)
+	}
+	validityBlob, err := readBlob(r)
+	if err != nil {
+		return nil, fmt.Errorf("likir: CA validity: %w", err)
+	}
+	var secs int64
+	if _, err := fmt.Sscanf(string(validityBlob), "%d", &secs); err != nil || secs <= 0 {
+		return nil, fmt.Errorf("likir: CA validity %q", validityBlob)
+	}
+	key := ed25519.PrivateKey(priv)
+	a := &Authority{
+		pub:      key.Public().(ed25519.PublicKey),
+		priv:     key,
+		validity: time.Duration(secs) * time.Second,
+		now:      time.Now,
+	}
+	ledger, err := os.ReadFile(filepath.Join(dir, caRevledger))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return a, nil
+		}
+		return nil, fmt.Errorf("likir: %w", err)
+	}
+	for _, line := range strings.Split(string(ledger), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		id, err := kadid.Parse(line)
+		if err != nil {
+			return nil, fmt.Errorf("likir: %s: %w", caRevledger, err)
+		}
+		a.Revoke(id)
+	}
+	return a, nil
+}
+
+// BundlePath returns where a CA state directory keeps its distributable
+// revocation bundle.
+func BundlePath(dir string) string { return filepath.Join(dir, caBundleFile) }
+
+// PublicKeyPath returns where a CA state directory keeps its
+// distributable public key.
+func PublicKeyPath(dir string) string { return filepath.Join(dir, caPubFile) }
+
+// Save writes the identity — credential and private key — to path,
+// readable only by its owner.
+func (id *Identity) Save(path string) error {
+	var b bytes.Buffer
+	b.Write(idMagic)
+	writeBlob(&b, id.Credential.Marshal())
+	writeBlob(&b, id.Priv)
+	return writeFileAtomic(path, b.Bytes(), 0o600)
+}
+
+// LoadIdentity reads an identity file written by Save.
+func LoadIdentity(path string) (*Identity, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("likir: %w", err)
+	}
+	if !bytes.HasPrefix(data, idMagic) {
+		return nil, fmt.Errorf("likir: %s is not an identity file", path)
+	}
+	r := bytes.NewReader(data[len(idMagic):])
+	credBlob, err := readBlob(r)
+	if err != nil {
+		return nil, fmt.Errorf("likir: identity credential: %w", err)
+	}
+	cred, err := UnmarshalCredential(credBlob)
+	if err != nil {
+		return nil, err
+	}
+	priv, err := readBlob(r)
+	if err != nil {
+		return nil, fmt.Errorf("likir: identity key: %w", err)
+	}
+	if len(priv) != ed25519.PrivateKeySize {
+		return nil, fmt.Errorf("likir: identity key has %d bytes, want %d", len(priv), ed25519.PrivateKeySize)
+	}
+	if r.Len() != 0 {
+		return nil, fmt.Errorf("likir: %s: trailing bytes", path)
+	}
+	id := &Identity{Credential: *cred, Priv: ed25519.PrivateKey(priv)}
+	if !id.Priv.Public().(ed25519.PublicKey).Equal(cred.Pub) {
+		return nil, fmt.Errorf("likir: %s: private key does not match credential", path)
+	}
+	return id, nil
+}
+
+// LoadPublicKey reads a hex-encoded Ed25519 public key file (ca.pub).
+func LoadPublicKey(path string) (ed25519.PublicKey, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("likir: %w", err)
+	}
+	raw, err := hex.DecodeString(strings.TrimSpace(string(data)))
+	if err != nil {
+		return nil, fmt.Errorf("likir: %s: %w", path, err)
+	}
+	if len(raw) != ed25519.PublicKeySize {
+		return nil, fmt.Errorf("likir: %s holds %d key bytes, want %d", path, len(raw), ed25519.PublicKeySize)
+	}
+	return ed25519.PublicKey(raw), nil
+}
+
+// writeFileAtomic writes data via tmp + fsync + rename so a crash never
+// leaves a half-written key file behind.
+func writeFileAtomic(path string, data []byte, perm os.FileMode) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, perm)
+	if err != nil {
+		return fmt.Errorf("likir: %w", err)
+	}
+	if _, err = f.Write(data); err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, path)
+	}
+	if err != nil {
+		os.Remove(tmp) //nolint:errcheck
+		return fmt.Errorf("likir: %w", err)
+	}
+	return nil
+}

@@ -1,7 +1,9 @@
 package persist
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"sort"
@@ -159,8 +161,16 @@ func loadNewestSnapshot(dir string, apply func(Record) error, stats *RecoverySta
 	if err != nil {
 		return 0, fmt.Errorf("persist: read snapshot: %w", err)
 	}
-	for off := 0; off < len(data); {
-		rec, n, err := decodeFrame(data[off:])
+	// Whole-file integrity first, before any record is applied: a
+	// snapshot truncated at a frame boundary decodes cleanly record by
+	// record, so only the trailer checksum can prove the file complete.
+	body, wantRecords, err := verifySnapTrailer(data)
+	if err != nil {
+		return 0, fmt.Errorf("%w: snapshot %d: %v", ErrCorrupt, newest, err)
+	}
+	var applied uint64
+	for off := 0; off < len(body); {
+		rec, n, err := decodeFrame(body[off:])
 		if err != nil {
 			// Snapshots are written whole and renamed into place; any
 			// damage is corruption, not a torn write.
@@ -170,10 +180,33 @@ func loadNewestSnapshot(dir string, apply func(Record) error, stats *RecoverySta
 			return 0, fmt.Errorf("persist: apply snapshot record: %w", err)
 		}
 		stats.SnapshotRecords++
+		applied++
 		off += n
+	}
+	if applied != wantRecords {
+		return 0, fmt.Errorf("%w: snapshot %d holds %d records, trailer promises %d",
+			ErrCorrupt, newest, applied, wantRecords)
 	}
 	stats.SnapshotSeq = newest
 	return newest, nil
+}
+
+// verifySnapTrailer checks a snapshot's whole-file trailer (magic,
+// CRC-32C, record count) and returns the record bytes it covers.
+func verifySnapTrailer(data []byte) (body []byte, records uint64, err error) {
+	if len(data) < snapTrailerLen {
+		return nil, 0, fmt.Errorf("file too short for integrity trailer (%d bytes)", len(data))
+	}
+	trailer := data[len(data)-snapTrailerLen:]
+	if string(trailer[:len(snapMagic)]) != snapMagic {
+		return nil, 0, fmt.Errorf("integrity trailer missing or damaged")
+	}
+	body = data[:len(data)-snapTrailerLen]
+	want := binary.BigEndian.Uint32(trailer[len(snapMagic):])
+	if got := crc32.Checksum(body, snapCRCTable); got != want {
+		return nil, 0, fmt.Errorf("whole-file checksum mismatch: %08x, trailer says %08x", got, want)
+	}
+	return body, binary.BigEndian.Uint64(trailer[len(snapMagic)+4:]), nil
 }
 
 // replaySegment applies every record of one segment file. On the final

@@ -18,12 +18,15 @@ const (
 )
 
 // codecVersion 2 added the two BlockSummary uvarints after TopN.
-// Version 3 added the TraceID/Hop uvarints after the summary; the
-// decoder still accepts v2 frames (trace fields read as zero) so a
-// mixed-version fleet keeps interoperating during a rolling upgrade.
+// Version 3 added the TraceID/Hop uvarints after the summary. Version 4
+// added the Deadline uvarint after Hop, carrying the caller's remaining
+// budget across the wire. The decoder still accepts v2 and v3 frames
+// (missing fields read as zero) so a mixed-version fleet keeps
+// interoperating during a rolling upgrade.
 const (
-	codecVersion     = 3
-	codecVersionPrev = 2
+	codecVersion       = 4
+	codecVersionPrev   = 3
+	codecVersionOldest = 2
 )
 
 // ErrMalformed is wrapped by all decode errors.
@@ -52,6 +55,7 @@ func AppendEncode(dst []byte, m *Message) []byte {
 	w.uvarint(m.Summary.Digest)
 	w.uvarint(m.TraceID)
 	w.uvarint(uint64(m.Hop))
+	w.uvarint(m.Deadline)
 	w.uvarint(uint64(len(m.Contacts)))
 	for _, c := range m.Contacts {
 		w.id(c.ID)
@@ -107,7 +111,7 @@ func (d *Decoder) DecodeInto(m *Message, b []byte) error {
 func decodeInto(m *Message, b []byte, strs *interner) error {
 	r := &reader{buf: b, strs: strs}
 	v := r.byte()
-	if v != codecVersion && v != codecVersionPrev {
+	if v < codecVersionOldest || v > codecVersion {
 		return fmt.Errorf("%w: version %d", ErrMalformed, v)
 	}
 	m.Kind = Kind(r.byte())
@@ -123,6 +127,11 @@ func decodeInto(m *Message, b []byte, strs *interner) error {
 	} else {
 		m.TraceID = 0
 		m.Hop = 0
+	}
+	if v >= 4 {
+		m.Deadline = r.uvarint()
+	} else {
+		m.Deadline = 0
 	}
 
 	nc := r.uvarint()

@@ -55,18 +55,54 @@ func TestEncodeDecodeEmptyMessage(t *testing.T) {
 	}
 }
 
+// encodeLegacy hand-crafts a frame in an older codec layout: v2 (no
+// trace fields, no deadline) or v3 (trace fields, no deadline). Tests
+// and fuzz seeds use it to prove the rolling-upgrade guarantee — old
+// peers keep talking to new ones while the fleet converges.
+func encodeLegacy(version byte, m *Message) []byte {
+	w := &writer{}
+	w.byte(version)
+	w.byte(byte(m.Kind))
+	w.id(m.From.ID)
+	w.str(m.From.Addr)
+	w.id(m.Target)
+	w.uvarint(uint64(m.TopN))
+	w.uvarint(m.Summary.Fields)
+	w.uvarint(m.Summary.Digest)
+	if version >= 3 {
+		w.uvarint(m.TraceID)
+		w.uvarint(uint64(m.Hop))
+	}
+	w.uvarint(uint64(len(m.Contacts)))
+	for _, c := range m.Contacts {
+		w.id(c.ID)
+		w.str(c.Addr)
+	}
+	w.uvarint(uint64(len(m.Entries)))
+	for _, e := range m.Entries {
+		w.str(e.Field)
+		w.uvarint(e.Count)
+		w.uvarint(e.Init)
+		w.blob(e.Data)
+		w.blob(e.Author)
+		w.blob(e.Sig)
+	}
+	w.str(m.Err)
+	w.blob(m.Cred)
+	return w.buf
+}
+
 // TestDecodeAcceptsV2 hand-crafts a codec-v2 frame — the pre-trace
 // layout, with nothing between Summary.Digest and the contact count —
-// and asserts a v3 decoder still reads it, with the trace fields zero.
-// This is the rolling-upgrade guarantee: old peers keep talking to new
-// ones while the fleet converges.
+// and asserts a v4 decoder still reads it, with the trace and deadline
+// fields zero.
 func TestDecodeAcceptsV2(t *testing.T) {
 	want := sampleMessage()
 	want.TraceID = 0 // v2 frames cannot carry trace state
 	want.Hop = 0
 
 	w := &writer{}
-	w.byte(codecVersionPrev)
+	w.byte(codecVersionOldest)
 	w.byte(byte(want.Kind))
 	w.id(want.From.ID)
 	w.str(want.From.Addr)
@@ -107,13 +143,46 @@ func TestDecodeAcceptsV2(t *testing.T) {
 		t.Fatal(err)
 	}
 	if m.TraceID == 0 || m.Hop == 0 {
-		t.Fatal("v3 decode should have set trace fields")
+		t.Fatal("v4 decode should have set trace fields")
 	}
 	if err := d.DecodeInto(m, w.buf); err != nil {
 		t.Fatal(err)
 	}
 	if m.TraceID != 0 || m.Hop != 0 {
 		t.Fatalf("v2 decode left stale trace fields: id=%d hop=%d", m.TraceID, m.Hop)
+	}
+}
+
+// TestDecodeAcceptsV3 does the same for a codec-v3 frame — trace
+// fields present, no Deadline — proving the v3→v4 upgrade path and
+// that stale deadline state never leaks across decodes.
+func TestDecodeAcceptsV3(t *testing.T) {
+	want := sampleMessage()
+	buf := encodeLegacy(codecVersionPrev, want)
+
+	got, err := Decode(buf)
+	if err != nil {
+		t.Fatalf("Decode v3 frame: %v", err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("v3 decode mismatch:\n got %+v\nwant %+v", got, want)
+	}
+
+	var d Decoder
+	m := &Message{}
+	v4 := sampleMessage()
+	v4.Deadline = 12345
+	if err := d.DecodeInto(m, Encode(v4)); err != nil {
+		t.Fatal(err)
+	}
+	if m.Deadline != 12345 {
+		t.Fatal("v4 decode should have set the deadline field")
+	}
+	if err := d.DecodeInto(m, buf); err != nil {
+		t.Fatal(err)
+	}
+	if m.Deadline != 0 {
+		t.Fatalf("v3 decode left a stale deadline: %d", m.Deadline)
 	}
 }
 
@@ -173,6 +242,7 @@ func TestDecodeRejectsHugeList(t *testing.T) {
 	w.uvarint(0)              // Summary.Digest
 	w.uvarint(0)              // TraceID
 	w.uvarint(0)              // Hop
+	w.uvarint(0)              // Deadline
 	w.uvarint(MaxListLen + 1) // contact count
 	if _, err := Decode(w.buf); !errors.Is(err, ErrMalformed) {
 		t.Fatalf("want ErrMalformed, got %v", err)
@@ -230,7 +300,7 @@ func TestEntryClone(t *testing.T) {
 func TestKindString(t *testing.T) {
 	kinds := []Kind{KindPing, KindPong, KindStore, KindStoreAck, KindFindNode,
 		KindFindValue, KindNodes, KindValue, KindError, KindReplicate, KindBusy,
-		KindSummary, KindSummaryReply, Kind(200)}
+		KindSummary, KindSummaryReply, KindUnauthorized, Kind(200)}
 	seen := map[string]bool{}
 	for _, k := range kinds {
 		s := k.String()

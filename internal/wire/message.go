@@ -30,6 +30,7 @@ const (
 	KindBusy         // admission rejection: retry with backoff, peer is alive
 	KindSummary      // anti-entropy: compare block summaries before moving data
 	KindSummaryReply // response carrying the receiver's summary (+ counts on mismatch)
+	KindUnauthorized // identity rejection: sender or entries failed Likir verification
 )
 
 // String returns a human-readable name for the message kind.
@@ -61,6 +62,8 @@ func (k Kind) String() string {
 		return "SUMMARY"
 	case KindSummaryReply:
 		return "SUMMARY_REPLY"
+	case KindUnauthorized:
+		return "UNAUTHORIZED"
 	default:
 		return "UNKNOWN"
 	}
@@ -145,6 +148,12 @@ type BlockSummary struct {
 // their responses, and the hop-by-hop timeline is reassembled by
 // `Node.TraceLookup`. Both are zero for untraced traffic, and decode as
 // zero from v2 peers.
+//
+// Deadline is the deadline-propagation field of codec v4: the caller's
+// remaining budget in microseconds at send time (0 = unbounded). A
+// server installs it as a handler context deadline and sheds requests
+// whose budget already ran out — the caller is gone, answering is pure
+// waste. It decodes as zero from v2/v3 peers.
 type Message struct {
 	Kind     Kind
 	From     Contact  // the sender, so receivers can refresh routing state
@@ -152,6 +161,7 @@ type Message struct {
 	TopN     uint32   // FIND_VALUE: return at most this many entries (0 = all)
 	TraceID  uint64   // lookup trace this RPC belongs to (0 = untraced)
 	Hop      uint32   // α-wave number within the traced lookup
+	Deadline uint64   // caller's remaining budget in µs (0 = none)
 	Summary  BlockSummary
 	Contacts []Contact
 	Entries  []Entry
